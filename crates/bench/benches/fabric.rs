@@ -1,0 +1,53 @@
+//! Criterion benches of the simulation machinery itself: how fast the
+//! discrete-event kernel switches between simulated threads, and the
+//! simulator cost of streaming messages through the modeled fabric.
+//! These bound how large a cluster/workload the harness can replay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rsj_bench::measure_stream_bandwidth;
+use rsj_rdma::FabricConfig;
+use rsj_sim::{SimDuration, Simulation};
+
+fn bench_context_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_kernel");
+    for threads in [2usize, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("switches", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let sim = Simulation::new();
+                    for t in 0..threads {
+                        sim.spawn(format!("t{t}"), |ctx| {
+                            for _ in 0..200 {
+                                ctx.advance(SimDuration::from_nanos(10));
+                            }
+                        });
+                    }
+                    sim.run()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fabric_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric_stream");
+    const COUNT: usize = 256;
+    const MSG: usize = 64 * 1024;
+    g.throughput(Throughput::Bytes((COUNT * MSG) as u64));
+    for (name, cfg) in [("qdr", FabricConfig::qdr()), ("fdr", FabricConfig::fdr())] {
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(measure_stream_bandwidth(cfg, MSG, COUNT)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = fabric;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_context_switch, bench_fabric_stream
+}
+criterion_main!(fabric);

@@ -1,0 +1,78 @@
+//! Criterion microbenches of the real (wall-clock) join kernels — the
+//! quantities the paper's Eq. 15 rates correspond to on the original
+//! hardware: per-thread partitioning, histogram, build and probe speed,
+//! plus Zipf generation used by the skew workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsj_joins::{histogram, partition, ChainedTable};
+use rsj_workload::{Tuple, Tuple16, Zipf};
+
+const N: usize = 1 << 20;
+
+fn make_tuples(n: usize) -> Vec<Tuple16> {
+    (0..n as u64).map(|i| Tuple16::new(i * 7 + 3, i)).collect()
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let tuples = make_tuples(N);
+    let mut g = c.benchmark_group("histogram");
+    g.throughput(Throughput::Bytes((N * Tuple16::SIZE) as u64));
+    g.bench_function("10-bit", |b| {
+        b.iter(|| std::hint::black_box(histogram(&tuples, 0, 10)))
+    });
+    g.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let tuples = make_tuples(N);
+    let mut g = c.benchmark_group("partition");
+    g.throughput(Throughput::Bytes((N * Tuple16::SIZE) as u64));
+    for bits in [6u32, 10, 12] {
+        g.bench_with_input(BenchmarkId::new("bits", bits), &bits, |b, &bits| {
+            b.iter(|| std::hint::black_box(partition(&tuples, 0, bits)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_build_probe(c: &mut Criterion) {
+    // Cache-sized partition: 2048 tuples = 32 KiB.
+    let r = make_tuples(2048);
+    let s = make_tuples(8192);
+    let mut g = c.benchmark_group("build_probe");
+    g.throughput(Throughput::Bytes((r.len() * Tuple16::SIZE) as u64));
+    g.bench_function("build-2048", |b| {
+        b.iter(|| std::hint::black_box(ChainedTable::build(&r)))
+    });
+    let table = ChainedTable::build(&r);
+    g.throughput(Throughput::Bytes((s.len() * Tuple16::SIZE) as u64));
+    g.bench_function("probe-8192", |b| {
+        b.iter(|| std::hint::black_box(table.probe_all(&s)))
+    });
+    g.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zipf");
+    for theta in [1.05f64, 1.20] {
+        g.bench_with_input(
+            BenchmarkId::new("theta", format!("{theta}")),
+            &theta,
+            |b, &theta| {
+                let z = Zipf::new(1 << 24, theta);
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| std::hint::black_box(z.sample(&mut rng)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_histogram, bench_partition, bench_build_probe, bench_zipf
+}
+criterion_main!(kernels);

@@ -1,0 +1,25 @@
+//! # rsj-cluster — cluster topology, cost calibration, and phase accounting
+//!
+//! Shared vocabulary between the single-machine baseline, the distributed
+//! join, the analytical model and the benchmark harness:
+//!
+//! * [`ClusterSpec`] — the three hardware configurations of the paper's
+//!   Table 2 (QDR cluster, FDR cluster, multi-core server) plus the IPoIB
+//!   transport baseline;
+//! * [`CostModel`] — per-thread processing rates, anchored on the paper's
+//!   measured 955 MB/s partitioning speed (Eq. 15);
+//! * [`Meter`] — how simulated workers charge compute time to the virtual
+//!   clock;
+//! * [`PhaseTimes`] — the per-phase breakdown every experiment reports.
+
+#![warn(missing_docs)]
+
+mod cost;
+mod meter;
+mod phases;
+mod topology;
+
+pub use cost::CostModel;
+pub use meter::Meter;
+pub use phases::PhaseTimes;
+pub use topology::{ClusterSpec, Interconnect};

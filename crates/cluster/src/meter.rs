@@ -1,0 +1,126 @@
+//! Compute-time charging for simulated worker threads.
+//!
+//! Workers process real tuples but owe virtual time for every byte at the
+//! rates of the [`CostModel`](crate::CostModel). Charging per tuple would
+//! mean millions of scheduler events, so the [`Meter`] accrues owed time
+//! and settles it with the kernel in quanta — always flushing before any
+//! externally visible action (posting a send, hitting a barrier) so the
+//! relative order of compute and communication stays exact at those
+//! boundaries.
+
+use rsj_sim::{SimCtx, SimDuration};
+
+/// Accrues owed virtual compute time and settles it in quanta.
+pub struct Meter {
+    owed_ns: f64,
+    quantum_ns: f64,
+    total_ns: f64,
+}
+
+impl Meter {
+    /// Default settlement quantum: 20 µs of virtual time. Fine enough that
+    /// network interleaving decisions happen at realistic granularity, and
+    /// coarse enough to keep scheduler traffic low.
+    pub const DEFAULT_QUANTUM_NS: f64 = 20_000.0;
+
+    /// A meter with the default quantum.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Meter {
+        Meter::with_quantum_ns(Self::DEFAULT_QUANTUM_NS)
+    }
+
+    /// A meter with a custom quantum (tests use small ones).
+    pub fn with_quantum_ns(quantum_ns: f64) -> Meter {
+        assert!(quantum_ns >= 0.0);
+        Meter {
+            owed_ns: 0.0,
+            quantum_ns,
+            total_ns: 0.0,
+        }
+    }
+
+    /// Charge the time to process `bytes` at `rate` bytes/second,
+    /// settling with the kernel if a full quantum is owed.
+    #[inline]
+    pub fn charge_bytes(&mut self, ctx: &SimCtx, bytes: usize, rate: f64) {
+        debug_assert!(rate > 0.0);
+        self.owed_ns += bytes as f64 / rate * 1e9;
+        if self.owed_ns >= self.quantum_ns {
+            self.flush(ctx);
+        }
+    }
+
+    /// Charge a fixed number of seconds.
+    #[inline]
+    pub fn charge_seconds(&mut self, ctx: &SimCtx, seconds: f64) {
+        debug_assert!(seconds >= 0.0);
+        self.owed_ns += seconds * 1e9;
+        if self.owed_ns >= self.quantum_ns {
+            self.flush(ctx);
+        }
+    }
+
+    /// Settle all owed time with the kernel. Must be called before any
+    /// action whose virtual-time position matters (sends, barriers).
+    pub fn flush(&mut self, ctx: &SimCtx) {
+        if self.owed_ns > 0.0 {
+            let ns = self.owed_ns.round() as u64;
+            self.total_ns += self.owed_ns;
+            self.owed_ns = 0.0;
+            if ns > 0 {
+                ctx.advance(SimDuration::from_nanos(ns));
+            }
+        }
+    }
+
+    /// Total seconds charged through this meter (including unsettled).
+    pub fn total_seconds(&self) -> f64 {
+        (self.total_ns + self.owed_ns) / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_sim::Simulation;
+
+    #[test]
+    fn charges_accumulate_and_flush() {
+        let sim = Simulation::new();
+        sim.spawn("worker", |ctx| {
+            let mut m = Meter::with_quantum_ns(1000.0);
+            // 400 ns owed: below quantum, clock unchanged.
+            m.charge_bytes(ctx, 400, 1e9);
+            assert_eq!(ctx.now().as_nanos(), 0);
+            // 700 more: crosses quantum, clock advances by 1100 ns.
+            m.charge_bytes(ctx, 700, 1e9);
+            assert_eq!(ctx.now().as_nanos(), 1100);
+            m.charge_bytes(ctx, 100, 1e9);
+            m.flush(ctx);
+            assert_eq!(ctx.now().as_nanos(), 1200);
+            assert!((m.total_seconds() - 1.2e-6).abs() < 1e-15);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn total_equals_bytes_over_rate_regardless_of_quantum() {
+        for quantum in [0.0, 100.0, 1e6] {
+            let sim = Simulation::new();
+            sim.spawn("worker", move |ctx| {
+                let mut m = Meter::with_quantum_ns(quantum);
+                for _ in 0..1000 {
+                    m.charge_bytes(ctx, 64, 955.0e6);
+                }
+                m.flush(ctx);
+                let expect = 1000.0 * 64.0 / 955.0e6;
+                let now = ctx.now().as_secs_f64();
+                assert!(
+                    (now - expect).abs() < 1e-6 * expect + 1e-6,
+                    "quantum {quantum}: {now} vs {expect}"
+                );
+            });
+            sim.run();
+        }
+    }
+}

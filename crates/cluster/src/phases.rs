@@ -1,0 +1,101 @@
+//! Phase bookkeeping: every experiment in the paper reports per-phase
+//! execution times (histogram computation, network partitioning, local
+//! partitioning, build-probe), so the joins produce this breakdown too.
+
+use rsj_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Execution-time breakdown of one join run, mirroring the stacked bars of
+/// Figures 5b and 7.
+#[derive(Copy, Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PhaseTimes {
+    /// Histogram computation and exchange (§4.1).
+    #[serde(with = "duration_secs")]
+    pub histogram: SimDuration,
+    /// The network partitioning pass — partitioning interleaved with
+    /// transfer (§4.2.1); for single-machine joins this is the first
+    /// (local) partitioning pass.
+    #[serde(with = "duration_secs")]
+    pub network_partition: SimDuration,
+    /// Subsequent local partitioning passes (§4.2.3).
+    #[serde(with = "duration_secs")]
+    pub local_partition: SimDuration,
+    /// Build and probe (§4.3).
+    #[serde(with = "duration_secs")]
+    pub build_probe: SimDuration,
+}
+
+impl PhaseTimes {
+    /// Total execution time across all phases.
+    pub fn total(&self) -> SimDuration {
+        self.histogram + self.network_partition + self.local_partition + self.build_probe
+    }
+
+    /// All phases as `(name, duration)` rows, in execution order.
+    pub fn rows(&self) -> [(&'static str, SimDuration); 4] {
+        [
+            ("histogram", self.histogram),
+            ("network_partition", self.network_partition),
+            ("local_partition", self.local_partition),
+            ("build_probe", self.build_probe),
+        ]
+    }
+
+    /// Scale every phase by a constant (used to re-express scaled-down runs
+    /// in paper-equivalent time; valid because every modelled cost is
+    /// linear in the data volume — see `DESIGN.md` §4.5).
+    pub fn scaled(&self, factor: f64) -> PhaseTimes {
+        let s = |d: SimDuration| SimDuration::from_secs_f64(d.as_secs_f64() * factor);
+        PhaseTimes {
+            histogram: s(self.histogram),
+            network_partition: s(self.network_partition),
+            local_partition: s(self.local_partition),
+            build_probe: s(self.build_probe),
+        }
+    }
+}
+
+mod duration_secs {
+    //! Serialize [`SimDuration`] as fractional seconds for report output.
+    use rsj_sim::SimDuration;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(d: &SimDuration, s: S) -> Result<S::Ok, S::Error> {
+        d.as_secs_f64().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<SimDuration, D::Error> {
+        let secs = f64::deserialize(d)?;
+        Ok(SimDuration::from_secs_f64(secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_phases() {
+        let p = PhaseTimes {
+            histogram: SimDuration::from_millis(1),
+            network_partition: SimDuration::from_millis(2),
+            local_partition: SimDuration::from_millis(3),
+            build_probe: SimDuration::from_millis(4),
+        };
+        assert_eq!(p.total(), SimDuration::from_millis(10));
+        assert_eq!(p.rows()[2].0, "local_partition");
+    }
+
+    #[test]
+    fn scaling_is_linear() {
+        let p = PhaseTimes {
+            histogram: SimDuration::from_millis(10),
+            network_partition: SimDuration::from_millis(20),
+            local_partition: SimDuration::from_millis(30),
+            build_probe: SimDuration::from_millis(40),
+        };
+        let q = p.scaled(256.0);
+        assert_eq!(q.histogram, SimDuration::from_millis(2560));
+        assert_eq!(q.total(), SimDuration::from_millis(25600));
+    }
+}

@@ -1,0 +1,248 @@
+//! Configuration of a distributed join run: cluster, transport variant,
+//! receive semantics, partition assignment, and skew handling knobs.
+
+use rsj_cluster::ClusterSpec;
+
+/// How the network partitioning pass moves data (the three variants of
+/// Figure 5b).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum TransportMode {
+    /// RDMA with computation/communication interleaving: at least two
+    /// buffers per (thread, partition); a thread blocks only when the
+    /// buffer it wants to reuse is still in flight (§4.2.1).
+    RdmaInterleaved,
+    /// RDMA without interleaving: a thread posts a buffer and immediately
+    /// waits for the transfer to finish (the ablation of §6.3).
+    RdmaNonInterleaved,
+    /// TCP/IP over IPoIB: every message costs a kernel round trip and an
+    /// intermediate-buffer copy on both ends, and senders are throttled by
+    /// a flow-control window (§6.3's three reasons).
+    Tcp,
+}
+
+/// Which RDMA semantics the receiver side uses (§4.2.2).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ReceiveMode {
+    /// Channel semantics: senders SEND into a pool of small pre-registered
+    /// receive buffers; a dedicated receiver thread per machine copies
+    /// arriving buffers into per-partition staging memory and reposts
+    /// them. Uses one of the `NC/M` cores (§5.1.1). This is what the
+    /// paper's evaluation runs.
+    TwoSided,
+    /// Memory semantics: the receiver pre-registers one large buffer per
+    /// (partition, source machine) — sized exactly from the histograms —
+    /// and senders RDMA-WRITE into it at computed offsets. No receiver
+    /// CPU is consumed, but large regions must be pinned.
+    OneSided,
+}
+
+/// What happens to matching tuple pairs (§4.3: "The result containing the
+/// matching tuples can either be output to a local buffer or written to
+/// RDMA-enabled buffers, depending on the location where the result will
+/// be further processed").
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum MaterializeMode {
+    /// Count matches and checksum only — what the paper's evaluation (and
+    /// the baseline code of Balkesen et al.) measures.
+    CountOnly,
+    /// Materialize `<r.rid, s.rid>` pairs into local buffers on the
+    /// machine that produced them (the join feeds a co-located consumer).
+    Local,
+    /// Materialize into RDMA buffers and ship them to machine 0 — the
+    /// expensive distributed-materialization case §7 points at. Result
+    /// buffers are reused on send completion, like partition buffers.
+    ToCoordinator,
+}
+
+/// How partitions are assigned to machines after the histogram phase
+/// (§4.1).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum AssignmentPolicy {
+    /// Static round-robin: partition `p` goes to machine `p mod NM`.
+    RoundRobin,
+    /// Dynamic: sort partitions by element count (descending), then deal
+    /// them round-robin so the largest partitions land on distinct
+    /// machines — the paper's skew mitigation (§6.5).
+    SortedDynamic,
+}
+
+/// Full configuration of one distributed join execution.
+#[derive(Clone, Debug)]
+pub struct DistJoinConfig {
+    /// Cluster topology and cost model.
+    pub cluster: ClusterSpec,
+    /// Radix bits of the network pass (b₁) and the local pass (b₂).
+    pub radix_bits: (u32, u32),
+    /// Size of each RDMA-enabled send buffer; the paper fixes 64 KiB after
+    /// the Figure 3 sweep (§6.2).
+    pub rdma_buf_size: usize,
+    /// In-flight sends per (thread, partition); 2 = the paper's double
+    /// buffering. Only meaningful for [`TransportMode::RdmaInterleaved`].
+    pub send_depth: usize,
+    /// Transport variant.
+    pub transport: TransportMode,
+    /// Receiver semantics.
+    pub receive: ReceiveMode,
+    /// Partition-to-machine assignment policy.
+    pub assignment: AssignmentPolicy,
+    /// A build-probe task whose outer input exceeds this multiple of the
+    /// average is split into probe chunks shared among threads (§4.3: "more
+    /// than a predefined threshold"; §6.5 uses twice the average).
+    pub skew_split_factor: f64,
+    /// Cache budget for one hash table; inner partitions whose table would
+    /// exceed twice this are split into multiple smaller tables (§4.3).
+    pub cache_budget_bytes: usize,
+    /// Messages in flight per (source, destination) TCP connection before
+    /// the sender blocks (socket-buffer window). Only used by
+    /// [`TransportMode::Tcp`].
+    pub tcp_window_msgs: usize,
+    /// Override the interconnect's fabric parameters. Used by the scaled
+    /// experiment harness, which shrinks data volumes and fixed per-message
+    /// costs by the same factor so that virtual times rescale exactly (see
+    /// DESIGN.md §4.5).
+    pub fabric_override: Option<rsj_rdma::FabricConfig>,
+    /// Virtual-time quantum at which workers settle accrued compute time
+    /// with the scheduler. Scaled runs shrink it alongside the data so the
+    /// compute/communication interleaving granularity stays proportional.
+    pub meter_quantum_ns: f64,
+    /// **Extension beyond the paper** (its §6.5/§8 future work): idle
+    /// machines steal whole build-probe fragments from other machines'
+    /// task queues during the build-probe phase, pulling the fragment
+    /// bytes over the fabric with a one-sided RDMA READ. Off by default —
+    /// the paper measures the imbalance that results *without* it.
+    pub inter_machine_work_sharing: bool,
+    /// Smallest fragment (bytes) worth stealing across machines: below
+    /// this, the READ round trip costs more than the probe work saved.
+    pub work_sharing_min_bytes: usize,
+    /// **Extension beyond the paper**: share the *local partitioning pass*
+    /// of oversized partitions among a machine's threads (the paper's §4.3
+    /// already shares build-probe this way; under heavy skew the
+    /// single-threaded second pass of the giant partition is the actual
+    /// serial bottleneck — see EXPERIMENTS.md's fig8ws discussion). Off by
+    /// default to preserve the paper's measured imbalance.
+    pub parallel_local_pass: bool,
+    /// Result materialization (§4.3 / §7).
+    pub materialize: MaterializeMode,
+}
+
+impl DistJoinConfig {
+    /// Paper-default knobs for the given cluster: b₁ = b₂ = 10 (2²⁰ final
+    /// partitions, §6.4.3), 64 KiB buffers, double buffering, two-sided
+    /// interleaved RDMA, static round-robin assignment.
+    pub fn new(cluster: ClusterSpec) -> DistJoinConfig {
+        DistJoinConfig {
+            cluster,
+            radix_bits: (10, 10),
+            rdma_buf_size: 64 * 1024,
+            send_depth: 2,
+            transport: TransportMode::RdmaInterleaved,
+            receive: ReceiveMode::TwoSided,
+            assignment: AssignmentPolicy::RoundRobin,
+            skew_split_factor: 2.0,
+            cache_budget_bytes: 32 * 1024,
+            tcp_window_msgs: 8,
+            fabric_override: None,
+            meter_quantum_ns: rsj_cluster::Meter::DEFAULT_QUANTUM_NS,
+            inter_machine_work_sharing: false,
+            work_sharing_min_bytes: 16 * 1024,
+            parallel_local_pass: false,
+            materialize: MaterializeMode::CountOnly,
+        }
+    }
+
+    /// The fabric parameters this run will use: the explicit override if
+    /// set, otherwise the cluster interconnect's preset.
+    ///
+    /// # Panics
+    /// Panics for the QPI (single-machine) interconnect.
+    pub fn fabric_config(&self) -> rsj_rdma::FabricConfig {
+        self.fabric_override.unwrap_or_else(|| {
+            self.cluster
+                .interconnect
+                .fabric_config()
+                .expect("distributed join needs a networked interconnect")
+        })
+    }
+
+    /// Number of threads that partition during the network pass: with a
+    /// dedicated receiver core (two-sided or TCP), `NC/M − 1`; with
+    /// one-sided writes, all `NC/M` (§5.1.1).
+    pub fn partitioning_workers(&self) -> usize {
+        match self.receive {
+            ReceiveMode::TwoSided => self.cluster.cores_per_machine - 1,
+            ReceiveMode::OneSided => self.cluster.cores_per_machine,
+        }
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Panics
+    /// Panics on inconsistent settings (e.g. two-sided receive with a
+    /// single core per machine, or fewer first-pass partitions than
+    /// machines).
+    pub fn validate(&self) {
+        let (b1, b2) = self.radix_bits;
+        assert!(b1 >= 1 && b2 >= 1 && b1 + b2 <= 32, "radix bits out of range");
+        assert!(b1 <= 20, "first-pass partition ids must fit the wire tag");
+        assert!(
+            (1usize << b1) >= self.cluster.machines,
+            "need at least one first-pass partition per machine (Eq. 14)"
+        );
+        assert!(self.rdma_buf_size >= 64, "RDMA buffers unrealistically small");
+        assert!(self.send_depth >= 1);
+        assert!(self.skew_split_factor >= 1.0);
+        if self.receive == ReceiveMode::TwoSided {
+            assert!(
+                self.cluster.cores_per_machine >= 2,
+                "two-sided receive dedicates one core to receiving"
+            );
+        }
+        if self.transport == TransportMode::Tcp {
+            assert!(self.tcp_window_msgs >= 1);
+            assert_eq!(
+                self.receive,
+                ReceiveMode::TwoSided,
+                "the TCP baseline models a socket receiver thread"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_cluster::ClusterSpec;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = DistJoinConfig::new(ClusterSpec::qdr_cluster(4));
+        cfg.validate();
+        assert_eq!(cfg.radix_bits, (10, 10));
+        assert_eq!(cfg.rdma_buf_size, 64 * 1024);
+        assert_eq!(cfg.send_depth, 2);
+        assert_eq!(cfg.partitioning_workers(), 7); // NC/M - 1
+    }
+
+    #[test]
+    fn one_sided_uses_all_cores_for_partitioning() {
+        let mut cfg = DistJoinConfig::new(ClusterSpec::qdr_cluster(4));
+        cfg.receive = ReceiveMode::OneSided;
+        assert_eq!(cfg.partitioning_workers(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "Eq. 14")]
+    fn too_few_partitions_is_rejected() {
+        let mut cfg = DistJoinConfig::new(ClusterSpec::qdr_cluster(10));
+        cfg.radix_bits = (3, 10); // 8 partitions < 10 machines
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "dedicates one core")]
+    fn two_sided_needs_two_cores() {
+        let mut cfg = DistJoinConfig::new(ClusterSpec::qdr_cluster(2));
+        cfg.cluster.cores_per_machine = 1;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,85 @@
+//! Wire tags: the 32-bit immediate value attached to every two-sided
+//! message, identifying histogram exchanges, partition data, and
+//! end-of-stream markers.
+
+use crate::histogram::{REL_R, REL_S};
+
+/// Decoded message tag.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) enum Tag {
+    /// A machine-level histogram (phase 1 exchange).
+    Histogram,
+    /// Partition payload: `rel` ∈ {[`REL_R`], [`REL_S`]}, `part` < 2^b₁.
+    Data {
+        /// Relation index.
+        rel: usize,
+        /// First-pass partition id.
+        part: usize,
+    },
+    /// One partitioning worker finished sending to this machine.
+    Eos,
+    /// Materialized join-result bytes bound for the coordinator (§4.3).
+    Result,
+}
+
+const KIND_SHIFT: u32 = 30;
+const KIND_DATA: u32 = 0;
+const KIND_HIST: u32 = 1;
+const KIND_EOS: u32 = 2;
+const KIND_RESULT: u32 = 3;
+const REL_SHIFT: u32 = 24;
+const PART_MASK: u32 = (1 << REL_SHIFT) - 1;
+
+impl Tag {
+    pub(crate) fn encode(self) -> u32 {
+        match self {
+            Tag::Histogram => KIND_HIST << KIND_SHIFT,
+            Tag::Eos => KIND_EOS << KIND_SHIFT,
+            Tag::Result => KIND_RESULT << KIND_SHIFT,
+            Tag::Data { rel, part } => {
+                debug_assert!(rel == REL_R || rel == REL_S);
+                debug_assert!(part as u32 <= PART_MASK);
+                (KIND_DATA << KIND_SHIFT) | ((rel as u32) << REL_SHIFT) | part as u32
+            }
+        }
+    }
+
+    pub(crate) fn decode(raw: u32) -> Tag {
+        match raw >> KIND_SHIFT {
+            KIND_HIST => Tag::Histogram,
+            KIND_EOS => Tag::Eos,
+            KIND_RESULT => Tag::Result,
+            KIND_DATA => Tag::Data {
+                rel: ((raw >> REL_SHIFT) & 1) as usize,
+                part: (raw & PART_MASK) as usize,
+            },
+            _ => unreachable!("2-bit tag kind"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for tag in [
+            Tag::Histogram,
+            Tag::Eos,
+            Tag::Result,
+            Tag::Data { rel: REL_R, part: 0 },
+            Tag::Data {
+                rel: REL_S,
+                part: (1 << 20) - 1,
+            },
+        ] {
+            assert_eq!(Tag::decode(tag.encode()), tag);
+        }
+    }
+
+    #[test]
+    fn kind_three_is_result() {
+        assert_eq!(Tag::decode(3 << 30), Tag::Result);
+    }
+}

@@ -1,0 +1,174 @@
+//! The bucket-chained hash table of the build-probe phase.
+//!
+//! Follows the structure of Balkesen et al. [4]: an array of bucket heads
+//! plus a `next` chain, both `u32` indices into the tuple array — compact
+//! enough that a table over a ~32 KiB partition stays cache-resident
+//! (§6.4.3), which is the whole reason the radix join partitions first.
+
+use rsj_workload::{JoinResult, Tuple};
+
+/// Index sentinel for "end of chain".
+const NIL: u32 = u32::MAX;
+
+/// A read-only chained hash table built over one partition of the inner
+/// relation.
+pub struct ChainedTable<T> {
+    tuples: Vec<T>,
+    buckets: Vec<u32>,
+    next: Vec<u32>,
+    mask: u64,
+}
+
+/// Multiplicative hashing (Knuth). Partition keys share their low radix
+/// bits, so bucket selection must mix the *high* bits in.
+#[inline]
+fn hash(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32
+}
+
+impl<T: Tuple> ChainedTable<T> {
+    /// Build a table over `r` (copies the tuples in, as the original does).
+    pub fn build(r: &[T]) -> ChainedTable<T> {
+        assert!(
+            r.len() < NIL as usize,
+            "partition too large for u32 chaining"
+        );
+        let nbuckets = (r.len().max(1)).next_power_of_two();
+        let mask = (nbuckets - 1) as u64;
+        let mut buckets = vec![NIL; nbuckets];
+        let mut next = vec![NIL; r.len()];
+        for (i, t) in r.iter().enumerate() {
+            let b = (hash(t.key()) & mask) as usize;
+            next[i] = buckets[b];
+            buckets[b] = i as u32;
+        }
+        ChainedTable {
+            tuples: r.to_vec(),
+            buckets,
+            next,
+            mask,
+        }
+    }
+
+    /// Number of build-side tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Approximate memory footprint in bytes (tuples + bucket array +
+    /// chain), used by the skew handler to decide whether a table still
+    /// fits the processor cache.
+    pub fn footprint_bytes(&self) -> usize {
+        self.tuples.len() * T::SIZE + self.buckets.len() * 4 + self.next.len() * 4
+    }
+
+    /// Visit every build tuple matching `key`.
+    #[inline]
+    pub fn for_each_match(&self, key: u64, mut f: impl FnMut(&T)) {
+        let mut i = self.buckets[(hash(key) & self.mask) as usize];
+        while i != NIL {
+            let t = &self.tuples[i as usize];
+            if t.key() == key {
+                f(t);
+            }
+            i = self.next[i as usize];
+        }
+    }
+
+    /// Probe the table with every tuple of `s`, invoking `f(r, s)` for
+    /// every matching pair — the hook result materialization uses (§4.3).
+    pub fn for_each_join(&self, s: &[T], mut f: impl FnMut(&T, &T)) {
+        for t in s {
+            self.for_each_match(t.key(), |r| f(r, t));
+        }
+    }
+
+    /// Probe the table with every tuple of `s`, accumulating matches.
+    pub fn probe_all(&self, s: &[T]) -> JoinResult {
+        let mut result = JoinResult::default();
+        for t in s {
+            self.for_each_match(t.key(), |_r| result.add_match(t.key()));
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rsj_workload::{naive_hash_join, Tuple16};
+
+    #[test]
+    fn probe_finds_unique_matches() {
+        let r: Vec<Tuple16> = (1..=100u64).map(|k| Tuple16::new(k, k * 10)).collect();
+        let table = ChainedTable::build(&r);
+        let s: Vec<Tuple16> = [1u64, 50, 100, 101, 0]
+            .iter()
+            .map(|&k| Tuple16::new(k, 0))
+            .collect();
+        let res = table.probe_all(&s);
+        assert_eq!(res.matches, 3);
+        assert_eq!(res.s_key_sum, 151);
+    }
+
+    #[test]
+    fn duplicate_build_keys_all_match() {
+        let r = vec![
+            Tuple16::new(7, 0),
+            Tuple16::new(7, 1),
+            Tuple16::new(7, 2),
+            Tuple16::new(8, 3),
+        ];
+        let table = ChainedTable::build(&r);
+        let res = table.probe_all(&[Tuple16::new(7, 0)]);
+        assert_eq!(res.matches, 3);
+    }
+
+    #[test]
+    fn empty_sides_are_fine() {
+        let empty: Vec<Tuple16> = Vec::new();
+        let table = ChainedTable::build(&empty);
+        assert!(table.is_empty());
+        assert_eq!(table.probe_all(&[Tuple16::new(1, 0)]).matches, 0);
+        let table = ChainedTable::build(&[Tuple16::new(1, 0)]);
+        assert_eq!(table.probe_all(&empty).matches, 0);
+    }
+
+    #[test]
+    fn for_each_join_yields_every_pair() {
+        let r = vec![Tuple16::new(1, 10), Tuple16::new(1, 11), Tuple16::new(2, 12)];
+        let s = vec![Tuple16::new(1, 20), Tuple16::new(2, 21), Tuple16::new(3, 22)];
+        let table = ChainedTable::build(&r);
+        let mut pairs = Vec::new();
+        table.for_each_join(&s, |rt, st| pairs.push((rt.rid(), st.rid())));
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(10, 20), (11, 20), (12, 21)]);
+    }
+
+    #[test]
+    fn footprint_is_linear_in_tuples() {
+        let r: Vec<Tuple16> = (0..128u64).map(|k| Tuple16::new(k, k)).collect();
+        let table = ChainedTable::build(&r);
+        assert_eq!(table.footprint_bytes(), 128 * 16 + 128 * 4 + 128 * 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_probe_matches_naive_join(r_keys in prop::collection::vec(0u64..64, 0..200),
+                                         s_keys in prop::collection::vec(0u64..64, 0..200)) {
+            let r: Vec<Tuple16> =
+                r_keys.iter().enumerate().map(|(i, &k)| Tuple16::new(k, i as u64)).collect();
+            let s: Vec<Tuple16> =
+                s_keys.iter().enumerate().map(|(i, &k)| Tuple16::new(k, i as u64)).collect();
+            let expect = naive_hash_join(&r, &s);
+            let got = ChainedTable::build(&r).probe_all(&s);
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

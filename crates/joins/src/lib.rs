@@ -1,0 +1,30 @@
+//! # rsj-joins — single-node join algorithms
+//!
+//! The multi-core substrate the distributed join builds on (§3.1) and the
+//! baselines the paper compares against (§6.1):
+//!
+//! * [`partition`]/[`histogram`] — the radix partitioning kernels shared by
+//!   every join variant in this workspace;
+//! * [`ChainedTable`] — the cache-sized bucket-chained hash table of the
+//!   build-probe phase;
+//! * [`NumaQueues`] — the NUMA-aware task queues of the extended baseline;
+//! * [`run_single_machine_join`] — the parallel radix join of Balkesen et
+//!   al. [4] with the paper's extensions (Figure 5a's "single" bars);
+//! * [`run_no_partitioning_join`] — the hardware-oblivious baseline of
+//!   Blanas et al. [6].
+
+#![warn(missing_docs)]
+
+mod hash_table;
+mod no_partitioning;
+mod radix;
+mod single_machine;
+mod sort;
+mod task_queue;
+
+pub use hash_table::ChainedTable;
+pub use no_partitioning::{run_no_partitioning_join, NoPartitioningConfig, NoPartitioningOutcome};
+pub use radix::{choose_radix_bits, concat_partitioned, histogram, partition, partition_of, Partitioned};
+pub use single_machine::{run_single_machine_join, SingleJoinOutcome, SingleMachineConfig};
+pub use sort::{merge_join, merge_sorted_runs, sort_by_key};
+pub use task_queue::NumaQueues;

@@ -1,0 +1,192 @@
+//! The no-partitioning hash join of Blanas et al. [6] (§2.2) — the
+//! hardware-oblivious baseline that skips the partitioning stage and
+//! builds one shared hash table over the whole inner relation.
+//!
+//! The paper (following Balkesen et al. [4]) argues that a tuned radix join
+//! beats it; this implementation exists so that claim can be reproduced.
+//! Because the shared table far exceeds the processor cache, its build and
+//! probe rates are derated relative to the cache-resident rates of the
+//! radix join — the derating factor is the knob the whole comparison turns
+//! on, taken from the ~2x gap reported in [4].
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rsj_cluster::{CostModel, Meter, PhaseTimes};
+use rsj_sim::{SimBarrier, SimTime, Simulation};
+use rsj_workload::{JoinResult, Tuple};
+
+use crate::ChainedTable;
+
+/// Configuration of a no-partitioning join run.
+#[derive(Clone, Debug)]
+pub struct NoPartitioningConfig {
+    /// Worker threads.
+    pub cores: usize,
+    /// Per-thread rates (cache-resident values).
+    pub cost: CostModel,
+    /// Factor by which cache/TLB misses on the shared table slow down the
+    /// build and probe relative to cache-resident partitions.
+    pub cache_miss_derating: f64,
+}
+
+impl Default for NoPartitioningConfig {
+    fn default() -> Self {
+        NoPartitioningConfig {
+            cores: 32,
+            cost: CostModel::single_machine_server(),
+            cache_miss_derating: 2.0,
+        }
+    }
+}
+
+/// Outcome of a no-partitioning join.
+#[derive(Clone, Debug)]
+pub struct NoPartitioningOutcome {
+    /// Verified join summary.
+    pub result: JoinResult,
+    /// Phase breakdown: only `build_probe` is populated (there is no
+    /// partitioning by construction).
+    pub phases: PhaseTimes,
+}
+
+/// Run the no-partitioning join: a shared chained table over all of `r`,
+/// probed in parallel by slices of `s`.
+pub fn run_no_partitioning_join<T: Tuple>(
+    cfg: NoPartitioningConfig,
+    r: Vec<T>,
+    s: Vec<T>,
+) -> NoPartitioningOutcome {
+    assert!(cfg.cores >= 1);
+    assert!(cfg.cache_miss_derating >= 1.0);
+    let cores = cfg.cores;
+    let build_rate = cfg.cost.build_rate / cfg.cache_miss_derating;
+    let probe_rate = cfg.cost.probe_rate / cfg.cache_miss_derating;
+
+    struct Shared<T> {
+        r: Vec<T>,
+        s: Vec<T>,
+        barrier: Arc<SimBarrier>,
+        table: Mutex<Option<Arc<ChainedTable<T>>>>,
+        result: Mutex<JoinResult>,
+        marks: Mutex<Vec<SimTime>>,
+    }
+    let sh = Arc::new(Shared {
+        r,
+        s,
+        barrier: SimBarrier::new(cores),
+        table: Mutex::new(None),
+        result: Mutex::new(JoinResult::default()),
+        marks: Mutex::new(Vec::new()),
+    });
+
+    let sim = Simulation::new();
+    for t in 0..cores {
+        let sh = Arc::clone(&sh);
+        sim.spawn(format!("np-core-{t}"), move |ctx| {
+            let mut meter = Meter::new();
+            // Build: in the real algorithm every thread inserts its slice
+            // into the shared table with atomic bucket updates. The
+            // simulation performs the build once and charges each thread
+            // its per-slice share, which yields the identical parallel
+            // build time.
+            let r_slice_len = sh.r.len().div_ceil(cores);
+            let my_r = r_slice_len.min(sh.r.len().saturating_sub(t * r_slice_len));
+            meter.charge_bytes(ctx, my_r * T::SIZE, build_rate);
+            meter.flush(ctx);
+            if sh.barrier.wait(ctx) {
+                *sh.table.lock() = Some(Arc::new(ChainedTable::build(&sh.r)));
+                sh.marks.lock().push(ctx.now());
+            }
+            ctx.yield_now();
+            let table = Arc::clone(sh.table.lock().as_ref().expect("table built"));
+            // Probe this thread's slice of s.
+            let lo = t * sh.s.len() / cores;
+            let hi = (t + 1) * sh.s.len() / cores;
+            let my_s = &sh.s[lo..hi];
+            let local = table.probe_all(my_s);
+            meter.charge_bytes(ctx, my_s.len() * T::SIZE, probe_rate);
+            meter.flush(ctx);
+            sh.result.lock().merge(local);
+            if sh.barrier.wait(ctx) {
+                sh.marks.lock().push(ctx.now());
+            }
+        });
+    }
+    sim.run();
+
+    let marks = sh.marks.lock().clone();
+    let phases = PhaseTimes {
+        build_probe: marks[1] - SimTime::ZERO,
+        ..PhaseTimes::default()
+    };
+    let result = *sh.result.lock();
+    NoPartitioningOutcome { result, phases }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_workload::{generate_inner, generate_outer, naive_hash_join, Skew, Tuple16};
+
+    #[test]
+    fn produces_correct_result() {
+        let r = generate_inner::<Tuple16>(5_000, 1, 1);
+        let (s, oracle) = generate_outer::<Tuple16>(20_000, 5_000, 1, Skew::None, 2);
+        let rf: Vec<Tuple16> = r.iter_all().copied().collect();
+        let sf: Vec<Tuple16> = s.iter_all().copied().collect();
+        let out = run_no_partitioning_join(
+            NoPartitioningConfig {
+                cores: 4,
+                ..Default::default()
+            },
+            rf,
+            sf,
+        );
+        oracle.verify(&out.result);
+    }
+
+    #[test]
+    fn handles_duplicates_like_naive_join() {
+        let r: Vec<Tuple16> = (0..300u64).map(|i| Tuple16::new(i % 50, i)).collect();
+        let s: Vec<Tuple16> = (0..400u64).map(|i| Tuple16::new(i % 70, i)).collect();
+        let expect = naive_hash_join(&r, &s);
+        let out = run_no_partitioning_join(
+            NoPartitioningConfig {
+                cores: 3,
+                ..Default::default()
+            },
+            r,
+            s,
+        );
+        assert_eq!(out.result, expect);
+    }
+
+    #[test]
+    fn derating_slows_it_down() {
+        let r = generate_inner::<Tuple16>(50_000, 1, 3);
+        let (s, _) = generate_outer::<Tuple16>(50_000, 50_000, 1, Skew::None, 4);
+        let rf: Vec<Tuple16> = r.iter_all().copied().collect();
+        let sf: Vec<Tuple16> = s.iter_all().copied().collect();
+        let fast = run_no_partitioning_join(
+            NoPartitioningConfig {
+                cores: 4,
+                cache_miss_derating: 1.0,
+                ..Default::default()
+            },
+            rf.clone(),
+            sf.clone(),
+        );
+        let slow = run_no_partitioning_join(
+            NoPartitioningConfig {
+                cores: 4,
+                cache_miss_derating: 3.0,
+                ..Default::default()
+            },
+            rf,
+            sf,
+        );
+        let ratio = slow.phases.total().as_secs_f64() / fast.phases.total().as_secs_f64();
+        assert!((2.9..=3.1).contains(&ratio), "derating ratio {ratio}");
+    }
+}

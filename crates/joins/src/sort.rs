@@ -1,0 +1,186 @@
+//! Sort-merge kernels: the building blocks of the sort-merge join the
+//! paper discusses as the main alternative to hash joins (§2.2, Kim et
+//! al. [19], Albutiu et al. [2], Balkesen et al. [3]).
+//!
+//! The paper's §7 notes that its RDMA techniques "can be used to create
+//! distributed versions of many database operators like sort-merge
+//! joins"; `rsj-operators` does exactly that on top of these kernels.
+
+use rsj_workload::{JoinResult, Tuple};
+
+/// Sort tuples by key (unstable; rids break no ties, duplicates keep
+/// arbitrary relative order, which the join result is insensitive to).
+pub fn sort_by_key<T: Tuple>(tuples: &mut [T]) {
+    tuples.sort_unstable_by_key(|t| t.key());
+}
+
+/// Merge-join two key-sorted inputs, accumulating every matching pair.
+/// Handles duplicate keys on both sides (cross product per key group).
+///
+/// # Panics
+/// Debug builds assert the inputs are sorted — feeding unsorted data is a
+/// logic error upstream, not a recoverable condition.
+pub fn merge_join<T: Tuple>(r: &[T], s: &[T]) -> JoinResult {
+    debug_assert!(r.windows(2).all(|w| w[0].key() <= w[1].key()), "r unsorted");
+    debug_assert!(s.windows(2).all(|w| w[0].key() <= w[1].key()), "s unsorted");
+    let mut result = JoinResult::default();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < r.len() && j < s.len() {
+        let rk = r[i].key();
+        let sk = s[j].key();
+        match rk.cmp(&sk) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Extent of the key group on each side.
+                let i_end = i + r[i..].iter().take_while(|t| t.key() == rk).count();
+                let j_end = j + s[j..].iter().take_while(|t| t.key() == rk).count();
+                for _ in i..i_end {
+                    for t in &s[j..j_end] {
+                        result.add_match(t.key());
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    result
+}
+
+/// Merge `runs` of key-sorted tuples into one sorted vector (k-way merge
+/// by repeated two-way merging — the cost model charges by bytes moved, so
+/// the simple scheme is fine; real MPSM implementations do the same number
+/// of passes).
+pub fn merge_sorted_runs<T: Tuple>(mut runs: Vec<Vec<T>>) -> Vec<T> {
+    runs.retain(|r| !r.is_empty());
+    if runs.is_empty() {
+        return Vec::new();
+    }
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge_two(a, b)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    runs.pop().unwrap()
+}
+
+fn merge_two<T: Tuple>(a: Vec<T>, b: Vec<T>) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].key() <= b[j].key() {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rsj_workload::{naive_hash_join, Tuple16};
+
+    fn tuples(keys: &[u64]) -> Vec<Tuple16> {
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| Tuple16::new(k, i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn merge_join_unique_keys() {
+        let mut r = tuples(&[5, 1, 9, 3]);
+        let mut s = tuples(&[3, 9, 2, 11]);
+        sort_by_key(&mut r);
+        sort_by_key(&mut s);
+        let res = merge_join(&r, &s);
+        assert_eq!(res.matches, 2);
+        assert_eq!(res.s_key_sum, 12);
+    }
+
+    #[test]
+    fn merge_join_duplicates_cross_product() {
+        let mut r = tuples(&[7, 7, 7]);
+        let mut s = tuples(&[7, 7]);
+        sort_by_key(&mut r);
+        sort_by_key(&mut s);
+        assert_eq!(merge_join(&r, &s).matches, 6);
+    }
+
+    #[test]
+    fn merge_join_empty_sides() {
+        let empty: Vec<Tuple16> = Vec::new();
+        let one = tuples(&[1]);
+        assert_eq!(merge_join(&empty, &one).matches, 0);
+        assert_eq!(merge_join(&one, &empty).matches, 0);
+    }
+
+    #[test]
+    fn merge_sorted_runs_produces_sorted_output() {
+        let runs = vec![
+            {
+                let mut t = tuples(&[9, 1, 5]);
+                sort_by_key(&mut t);
+                t
+            },
+            {
+                let mut t = tuples(&[2, 8]);
+                sort_by_key(&mut t);
+                t
+            },
+            Vec::new(),
+            {
+                let mut t = tuples(&[3]);
+                sort_by_key(&mut t);
+                t
+            },
+        ];
+        let merged = merge_sorted_runs(runs);
+        let keys: Vec<u64> = merged.iter().map(|t| t.key()).collect();
+        assert_eq!(keys, vec![1, 2, 3, 5, 8, 9]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_merge_join_matches_hash_join(r_keys in prop::collection::vec(0u64..40, 0..120),
+                                             s_keys in prop::collection::vec(0u64..40, 0..120)) {
+            let mut r = tuples(&r_keys);
+            let mut s = tuples(&s_keys);
+            let expect = naive_hash_join(&r, &s);
+            sort_by_key(&mut r);
+            sort_by_key(&mut s);
+            prop_assert_eq!(merge_join(&r, &s), expect);
+        }
+
+        #[test]
+        fn prop_merge_runs_is_a_sorted_permutation(chunks in prop::collection::vec(
+            prop::collection::vec(0u64..1000, 0..50), 0..6)) {
+            let runs: Vec<Vec<Tuple16>> = chunks.iter().map(|c| {
+                let mut t = tuples(c);
+                sort_by_key(&mut t);
+                t
+            }).collect();
+            let mut all: Vec<u64> = chunks.concat();
+            let merged = merge_sorted_runs(runs);
+            let mut got: Vec<u64> = merged.iter().map(|t| t.key()).collect();
+            prop_assert!(got.windows(2).all(|w| w[0] <= w[1]));
+            all.sort_unstable();
+            got.sort_unstable();
+            prop_assert_eq!(got, all);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The **cyclo-join** of Frey et al. (§2.3 of the paper): a ring-topology
+//! join in which one relation stays stationary, fragmented across all
+//! machines, while the other rotates from machine to machine over RDMA.
+//!
+//! Implemented as a comparison baseline: after `NM` probe rounds every
+//! outer fragment has visited every inner fragment, so no repartitioning
+//! is ever needed — at the price of (NM−1)/NM of the outer relation
+//! crossing the wire *per round* and every probe hitting a machine-sized
+//! (cache-cold) hash table. The experiment comparing it to the radix hash
+//! join quantifies why the paper's partitioned approach wins.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rsj_cluster::{ClusterSpec, Meter, PhaseTimes};
+use rsj_joins::ChainedTable;
+use rsj_rdma::HostId;
+use rsj_sim::SimCtx;
+use rsj_workload::{decode_all, JoinResult, Relation, Tuple};
+
+use crate::runtime::{run_cluster, Runtime};
+use crate::wire::{ranges, OpTag, REL_S};
+
+/// Configuration of a cyclo-join run.
+#[derive(Clone, Debug)]
+pub struct CycloJoinConfig {
+    /// Cluster topology and rates.
+    pub cluster: ClusterSpec,
+    /// Build/probe derating against the machine-sized (cache-cold) table,
+    /// mirroring the no-partitioning join's penalty (§2.2).
+    pub cache_miss_derating: f64,
+    /// Fabric parameter override (used by scaled experiment runs).
+    pub fabric_override: Option<rsj_rdma::FabricConfig>,
+}
+
+impl CycloJoinConfig {
+    /// Defaults with the ~2x cache-miss derating of [4].
+    pub fn new(cluster: ClusterSpec) -> CycloJoinConfig {
+        CycloJoinConfig {
+            cluster,
+            cache_miss_derating: 2.0,
+            fabric_override: None,
+        }
+    }
+}
+
+/// Outcome of a cyclo-join run.
+#[derive(Clone, Debug)]
+pub struct CycloJoinOutcome {
+    /// Verified join summary.
+    pub result: JoinResult,
+    /// Phase breakdown: `build_probe` covers all probe rounds including
+    /// the rotation transfers they overlap with.
+    pub phases: PhaseTimes,
+}
+
+struct MachState<T> {
+    r_chunk: Vec<T>,
+    table: Mutex<Option<Arc<ChainedTable<T>>>>,
+    /// The outer fragment currently resident on this machine; replaced by
+    /// core 0 after every rotation, read by all cores after the barrier.
+    fragment: Mutex<Arc<Vec<T>>>,
+    result: Mutex<JoinResult>,
+}
+
+/// Run the cyclo-join: `r` stays stationary, `s` rotates around the ring.
+pub fn run_cyclo_join<T: Tuple>(
+    cfg: CycloJoinConfig,
+    r: Relation<T>,
+    s: Relation<T>,
+) -> CycloJoinOutcome {
+    let m = cfg.cluster.machines;
+    assert_eq!(r.machines(), m);
+    assert_eq!(s.machines(), m);
+    let cores = cfg.cluster.cores_per_machine;
+    assert!(cores >= 1);
+
+    let states: Arc<Vec<MachState<T>>> = Arc::new(
+        (0..m)
+            .map(|i| MachState {
+                r_chunk: r.chunk(i).to_vec(),
+                table: Mutex::new(None),
+                fragment: Mutex::new(Arc::new(s.chunk(i).to_vec())),
+                result: Mutex::new(JoinResult::default()),
+            })
+            .collect(),
+    );
+
+    let fabric_cfg = cfg.fabric_override.unwrap_or_else(|| cfg
+        .cluster
+        .interconnect
+        .fabric_config()
+        .expect("cyclo-join needs a networked ring"));
+    let nic_costs = cfg.cluster.cost.nic;
+    let cfg = Arc::new(cfg);
+    let st2 = Arc::clone(&states);
+    let marks = run_cluster(m, cores, fabric_cfg, nic_costs, move |ctx, rt, mach, core| {
+        worker(ctx, rt, &cfg, &st2, mach, core)
+    });
+
+    assert_eq!(marks.len(), 3, "expected build + rotate/probe boundaries");
+    let phases = PhaseTimes {
+        histogram: rsj_sim::SimDuration::ZERO,
+        network_partition: rsj_sim::SimDuration::ZERO,
+        local_partition: marks[1] - marks[0], // table build
+        build_probe: marks[2] - marks[1],     // rotation + probes
+    };
+    let mut result = JoinResult::default();
+    for st in states.iter() {
+        result.merge(*st.result.lock());
+    }
+    CycloJoinOutcome { result, phases }
+}
+
+fn worker<T: Tuple>(
+    ctx: &SimCtx,
+    rt: &Runtime,
+    cfg: &CycloJoinConfig,
+    states: &[MachState<T>],
+    mach: usize,
+    core: usize,
+) {
+    let st = &states[mach];
+    let m = rt.machines();
+    let cores = rt.cores();
+    let cost = &cfg.cluster.cost;
+    let build_rate = cost.build_rate / cfg.cache_miss_derating;
+    let probe_rate = cost.probe_rate / cfg.cache_miss_derating;
+    let mut meter = Meter::new();
+    let nic = rt.fabric.nic(HostId(mach));
+
+    // ---- Phase 1: build the stationary table over the whole local R
+    // chunk (machine-sized: cache-cold rates). Core 0 materializes it;
+    // every core is charged its share of the parallel build.
+    let share = st.r_chunk.len().div_ceil(cores).min(st.r_chunk.len());
+    meter.charge_bytes(ctx, share * T::SIZE, build_rate);
+    meter.flush(ctx);
+    if core == 0 {
+        *st.table.lock() = Some(Arc::new(ChainedTable::build(&st.r_chunk)));
+    }
+    rt.sync(ctx);
+
+    // ---- Phase 2: NM probe rounds; between rounds, core 0 ships the
+    // resident fragment to the right neighbour and installs the one
+    // arriving from the left.
+    let table = Arc::clone(st.table.lock().as_ref().expect("table built"));
+    let mut local = JoinResult::default();
+    for round in 0..m {
+        let frag = Arc::clone(&st.fragment.lock());
+        let range = ranges(frag.len(), cores)[core].clone();
+        let my = &frag[range];
+        local.merge(table.probe_all(my));
+        meter.charge_bytes(ctx, my.len() * T::SIZE, probe_rate);
+        meter.flush(ctx);
+        rt.sync_quiet(ctx);
+        if round + 1 == m {
+            break;
+        }
+        if core == 0 {
+            let mut payload = Vec::with_capacity(frag.len() * T::SIZE);
+            for t in frag.iter() {
+                t.write_to(&mut payload);
+            }
+            let dst = HostId((mach + 1) % m);
+            let ev = nic.post_send(
+                ctx,
+                dst,
+                OpTag::Data { rel: REL_S, part: round }.encode(),
+                payload,
+            );
+            let c = nic.recv(ctx).expect("ring transfer");
+            nic.repost_recv(ctx);
+            // Receive-side copy out of the RDMA buffer.
+            meter.charge_bytes(ctx, c.payload.len(), cost.memcpy_rate);
+            meter.flush(ctx);
+            let incoming: Vec<T> = decode_all(&c.payload);
+            ev.wait(ctx);
+            *st.fragment.lock() = Arc::new(incoming);
+        }
+        // The barrier publishes the new fragment to every core.
+        rt.sync_quiet(ctx);
+    }
+    meter.flush(ctx);
+    st.result.lock().merge(local);
+    rt.sync(ctx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_workload::{generate_inner, generate_outer, Skew, Tuple16};
+
+    fn cfg(machines: usize, cores: usize) -> CycloJoinConfig {
+        let mut spec = ClusterSpec::fdr_cluster(machines);
+        spec.cores_per_machine = cores;
+        CycloJoinConfig::new(spec)
+    }
+
+    #[test]
+    fn cyclo_join_is_verified_against_oracle() {
+        let machines = 3;
+        let r = generate_inner::<Tuple16>(4_000, machines, 61);
+        let (s, oracle) = generate_outer::<Tuple16>(12_000, 4_000, machines, Skew::None, 62);
+        let out = run_cyclo_join(cfg(machines, 2), r, s);
+        oracle.verify(&out.result);
+    }
+
+    #[test]
+    fn works_on_a_two_machine_ring_and_with_skew() {
+        let machines = 2;
+        let r = generate_inner::<Tuple16>(1_000, machines, 63);
+        let (s, oracle) = generate_outer::<Tuple16>(20_000, 1_000, machines, Skew::Zipf(1.2), 64);
+        let out = run_cyclo_join(cfg(machines, 3), r, s);
+        oracle.verify(&out.result);
+    }
+
+    #[test]
+    fn radix_hash_join_beats_cyclo_join_at_scale() {
+        // The cyclo-join ships the *whole outer relation* around the ring
+        // (NM−1 hops) and probes it against every machine's cache-cold
+        // table, so with many machines and a large outer relation the
+        // rotation wire time dominates; the partitioned join moves every
+        // tuple at most once. (On a small FDR ring with |S| = |R| the
+        // cyclo-join can actually win — no partitioning passes — which is
+        // why the paper's related work calls it an interesting design for
+        // storage-oriented rings rather than a join accelerator.)
+        use rsj_core::{run_distributed_join, DistJoinConfig};
+        let machines = 8;
+        let n_r = 20_000u64;
+        let n_s = 160_000u64;
+        let mk = || {
+            let r = generate_inner::<Tuple16>(n_r, machines, 65);
+            let (s, _) = generate_outer::<Tuple16>(n_s, n_r, machines, Skew::None, 66);
+            (r, s)
+        };
+        let (r, s) = mk();
+        let cyclo = run_cyclo_join(
+            {
+                let mut spec = ClusterSpec::qdr_cluster(machines);
+                spec.cores_per_machine = 8;
+                CycloJoinConfig::new(spec)
+            },
+            r,
+            s,
+        );
+        let (r, s) = mk();
+        let mut hj_cfg = DistJoinConfig::new(ClusterSpec::qdr_cluster(machines));
+        hj_cfg.radix_bits = (5, 3);
+        hj_cfg.rdma_buf_size = 1024;
+        let hj = run_distributed_join(hj_cfg, r, s);
+        assert_eq!(cyclo.result, hj.result);
+        assert!(
+            cyclo.phases.total() > hj.phases.total(),
+            "cyclo {:?} must exceed radix {:?}",
+            cyclo.phases.total(),
+            hj.phases.total()
+        );
+    }
+
+    #[test]
+    fn single_machine_ring_degenerates_to_local_probe() {
+        let r = generate_inner::<Tuple16>(2_000, 1, 67);
+        let (s, oracle) = generate_outer::<Tuple16>(4_000, 2_000, 1, Skew::None, 68);
+        let out = run_cyclo_join(cfg(1, 2), r, s);
+        oracle.verify(&out.result);
+    }
+}

@@ -1,0 +1,34 @@
+//! # rsj-operators — further distributed operators on the same substrate
+//!
+//! The paper's §7 argues its contributions — RDMA buffer pooling, buffer
+//! reuse, and interleaving computation with communication — "are general
+//! techniques which can be used to create distributed versions of many
+//! database operators like sort-merge joins or aggregation". This crate
+//! substantiates that claim:
+//!
+//! * [`run_sort_merge_join`] — a distributed **sort-merge join** sharing
+//!   the hash join's histogram and network partitioning structure, with a
+//!   sort + merge-join local phase;
+//! * [`run_aggregation`] — a distributed **group-by aggregation**
+//!   (`COUNT(*)`, `SUM(rid)` per key) over the same network pass;
+//! * [`run_cyclo_join`] — the ring-topology **cyclo-join** of Frey et
+//!   al. (§2.3), as a comparison baseline the radix join beats.
+//!
+//! All operators run on the deterministic simulation kernel, verify their
+//! results against generator oracles, and report the same [`PhaseTimes`]
+//! breakdown as the main join.
+//!
+//! [`PhaseTimes`]: rsj_cluster::PhaseTimes
+
+#![warn(missing_docs)]
+
+mod aggregation;
+mod cyclo_join;
+mod runtime;
+mod sort_merge;
+mod wire;
+
+pub use aggregation::{run_aggregation, AggregateResult, AggregationConfig, AggregationOutcome};
+pub use cyclo_join::{run_cyclo_join, CycloJoinConfig, CycloJoinOutcome};
+pub use runtime::{run_cluster, Runtime};
+pub use sort_merge::{run_sort_merge_join, SortMergeConfig, SortMergeOutcome};

@@ -1,0 +1,140 @@
+//! A small shared runtime for the additional distributed operators: a
+//! fabric, one simulated thread per core per machine, a cluster-wide
+//! barrier, and phase-boundary marks — the same skeleton the main join
+//! uses, factored out so each operator stays focused on its algorithm.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rsj_rdma::{Fabric, FabricConfig, NicCosts};
+use rsj_sim::{SimBarrier, SimCtx, SimTime, Simulation};
+
+/// The shared environment handed to every operator worker.
+pub struct Runtime {
+    /// The simulated fabric.
+    pub fabric: Arc<Fabric>,
+    barrier: Arc<SimBarrier>,
+    marks: Mutex<Vec<SimTime>>,
+    machines: usize,
+    cores: usize,
+}
+
+impl Runtime {
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Worker cores per machine.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Cluster-wide barrier plus a phase mark recorded by the leader.
+    /// Returns `true` for the leader.
+    pub fn sync(&self, ctx: &SimCtx) -> bool {
+        let leader = self.barrier.wait(ctx);
+        if leader {
+            self.marks.lock().push(ctx.now());
+        }
+        leader
+    }
+
+    /// Cluster-wide barrier without a mark.
+    pub fn sync_quiet(&self, ctx: &SimCtx) -> bool {
+        self.barrier.wait(ctx)
+    }
+}
+
+/// Run `worker(ctx, runtime, machine, core)` on every simulated core of a
+/// `machines × cores` cluster over the given fabric, shutting the fabric
+/// down at the end. Returns the phase marks recorded via
+/// [`Runtime::sync`], starting with t = 0.
+pub fn run_cluster<F>(
+    machines: usize,
+    cores: usize,
+    fabric_cfg: FabricConfig,
+    nic: NicCosts,
+    worker: F,
+) -> Vec<SimTime>
+where
+    F: Fn(&SimCtx, &Runtime, usize, usize) + Send + Sync + 'static,
+{
+    assert!(machines >= 1 && cores >= 1);
+    let fabric = Fabric::new(fabric_cfg, nic, machines);
+    let rt = Arc::new(Runtime {
+        fabric: Arc::clone(&fabric),
+        barrier: SimBarrier::new(machines * cores),
+        marks: Mutex::new(vec![SimTime::ZERO]),
+        machines,
+        cores,
+    });
+    let worker = Arc::new(worker);
+    let sim = Simulation::new();
+    fabric.launch(&sim);
+    for mach in 0..machines {
+        for core in 0..cores {
+            let rt = Arc::clone(&rt);
+            let worker = Arc::clone(&worker);
+            sim.spawn(format!("op-m{mach}-c{core}"), move |ctx| {
+                worker(ctx, &rt, mach, core);
+                // The last worker through the final barrier stops the
+                // fabric engines.
+                if rt.sync_quiet(ctx) {
+                    rt.fabric.shutdown(ctx);
+                }
+            });
+        }
+    }
+    sim.run();
+    let marks = rt.marks.lock().clone();
+    marks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_sim::SimDuration;
+
+    #[test]
+    fn marks_record_phase_boundaries() {
+        let marks = run_cluster(
+            2,
+            2,
+            FabricConfig::fdr(),
+            NicCosts::default(),
+            |ctx, rt, mach, core| {
+                ctx.advance(SimDuration::from_millis(1 + (mach * 2 + core) as u64));
+                rt.sync(ctx);
+                ctx.advance(SimDuration::from_millis(2));
+                rt.sync(ctx);
+            },
+        );
+        assert_eq!(marks.len(), 3);
+        assert_eq!(marks[1].as_nanos(), 4_000_000); // slowest of phase 1
+        assert_eq!(marks[2].as_nanos(), 6_000_000);
+    }
+
+    #[test]
+    fn workers_can_use_the_fabric() {
+        use rsj_rdma::HostId;
+        let marks = run_cluster(
+            2,
+            1,
+            FabricConfig::qdr(),
+            NicCosts::default(),
+            |ctx, rt, mach, _core| {
+                let nic = rt.fabric.nic(HostId(mach));
+                let dst = HostId(1 - mach);
+                let ev = nic.post_send(ctx, dst, 5, vec![0u8; 4096]);
+                let c = nic.recv(ctx).expect("peer message");
+                assert_eq!(c.tag, 5);
+                nic.repost_recv(ctx);
+                ev.wait(ctx);
+                rt.sync(ctx);
+            },
+        );
+        assert_eq!(marks.len(), 2);
+        assert!(marks[1] > SimTime::ZERO);
+    }
+}

@@ -1,0 +1,462 @@
+//! A distributed **sort-merge join** built from the same RDMA techniques
+//! as the radix hash join — the generalization the paper's §7 claims:
+//! *"RDMA buffer pooling, reuse of RDMA buffers, and interleaving
+//! computation and communication are general techniques which can be used
+//! to create distributed versions of many database operators like
+//! sort-merge joins or aggregation."*
+//!
+//! Structure: the histogram and network partitioning phases are identical
+//! in shape to the hash join's (partition on low radix bits, pooled
+//! double-buffered sends, one receiver core); the local phase then *sorts*
+//! each assigned partition of both relations and merge-joins them, instead
+//! of refining and hashing. Comparing the two operators on the same
+//! cluster reproduces the hash-vs-sort discussion of §2.2/[3].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rsj_cluster::{ClusterSpec, Meter, PhaseTimes};
+use rsj_joins::{merge_join, partition_of, sort_by_key};
+use rsj_rdma::{BufferPool, HostId, SendWindow};
+use rsj_sim::SimCtx;
+use rsj_workload::{decode_into, JoinResult, Relation, Tuple};
+
+use crate::runtime::{run_cluster, Runtime};
+use crate::wire::{ranges, OpTag, REL_R, REL_S};
+
+/// Configuration of a distributed sort-merge join.
+#[derive(Clone, Debug)]
+pub struct SortMergeConfig {
+    /// Cluster topology and rates.
+    pub cluster: ClusterSpec,
+    /// Radix bits of the (single) network partitioning pass.
+    pub radix_bits: u32,
+    /// RDMA send-buffer size.
+    pub rdma_buf_size: usize,
+    /// In-flight sends per (thread, partition).
+    pub send_depth: usize,
+    /// Fabric parameter override (used by scaled experiment runs).
+    pub fabric_override: Option<rsj_rdma::FabricConfig>,
+}
+
+impl SortMergeConfig {
+    /// Paper-style defaults on the given cluster.
+    pub fn new(cluster: ClusterSpec) -> SortMergeConfig {
+        SortMergeConfig {
+            cluster,
+            radix_bits: 10,
+            rdma_buf_size: 64 * 1024,
+            send_depth: 2,
+            fabric_override: None,
+        }
+    }
+}
+
+/// Outcome of a distributed sort-merge join run.
+#[derive(Clone, Debug)]
+pub struct SortMergeOutcome {
+    /// Verified join summary.
+    pub result: JoinResult,
+    /// Phase breakdown: `local_partition` holds the sort, `build_probe`
+    /// the merge-join.
+    pub phases: PhaseTimes,
+}
+
+struct MachState<T> {
+    r_chunk: Vec<T>,
+    s_chunk: Vec<T>,
+    hist: Mutex<Vec<[u64; 2]>>,
+    assignment: Mutex<Vec<usize>>,
+    /// (worker, rel, partition) → locally produced tuples.
+    local_out: Vec<Mutex<[Vec<Vec<T>>; 2]>>,
+    staging: [Mutex<Vec<Vec<u8>>>; 2],
+    next_task: AtomicUsize,
+    owned: Mutex<Vec<usize>>,
+    result: Mutex<JoinResult>,
+}
+
+/// Run the distributed sort-merge join (two-sided interleaved RDMA).
+pub fn run_sort_merge_join<T: Tuple>(
+    cfg: SortMergeConfig,
+    r: Relation<T>,
+    s: Relation<T>,
+) -> SortMergeOutcome {
+    let m = cfg.cluster.machines;
+    assert_eq!(r.machines(), m);
+    assert_eq!(s.machines(), m);
+    let cores = cfg.cluster.cores_per_machine;
+    assert!(cores >= 2, "one core receives, the rest partition");
+    let np = 1usize << cfg.radix_bits;
+    let workers = cores - 1;
+
+    let mach_state: Arc<Vec<MachState<T>>> = Arc::new(
+        (0..m)
+            .map(|i| MachState {
+                r_chunk: r.chunk(i).to_vec(),
+                s_chunk: s.chunk(i).to_vec(),
+                hist: Mutex::new(vec![[0; 2]; np]),
+                assignment: Mutex::new(Vec::new()),
+                local_out: (0..workers)
+                    .map(|_| {
+                        Mutex::new([
+                            (0..np).map(|_| Vec::new()).collect(),
+                            (0..np).map(|_| Vec::new()).collect(),
+                        ])
+                    })
+                    .collect(),
+                staging: [
+                    Mutex::new((0..np).map(|_| Vec::new()).collect()),
+                    Mutex::new((0..np).map(|_| Vec::new()).collect()),
+                ],
+                next_task: AtomicUsize::new(0),
+                owned: Mutex::new(Vec::new()),
+                result: Mutex::new(JoinResult::default()),
+            })
+            .collect(),
+    );
+    let pools: Arc<Vec<Arc<BufferPool>>> = Arc::new(
+        (0..m)
+            .map(|_| BufferPool::new(workers * cfg.send_depth * np * 2, cfg.rdma_buf_size, cfg.cluster.cost.nic))
+            .collect(),
+    );
+
+    let fabric_cfg = cfg.fabric_override.unwrap_or_else(|| cfg
+        .cluster
+        .interconnect
+        .fabric_config()
+        .expect("sort-merge join needs a networked cluster"));
+    let nic_costs = cfg.cluster.cost.nic;
+    let cfg = Arc::new(cfg);
+    let states = Arc::clone(&mach_state);
+    let marks = run_cluster(m, cores, fabric_cfg, nic_costs, move |ctx, rt, mach, core| {
+        worker(ctx, rt, &cfg, &states, &pools, mach, core)
+    });
+
+    assert_eq!(marks.len(), 5, "expected 4 phase boundaries");
+    let phases = PhaseTimes {
+        histogram: marks[1] - marks[0],
+        network_partition: marks[2] - marks[1],
+        local_partition: marks[3] - marks[2],
+        build_probe: marks[4] - marks[3],
+    };
+    let mut result = JoinResult::default();
+    for st in mach_state.iter() {
+        result.merge(*st.result.lock());
+    }
+    SortMergeOutcome { result, phases }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker<T: Tuple>(
+    ctx: &SimCtx,
+    rt: &Runtime,
+    cfg: &SortMergeConfig,
+    states: &[MachState<T>],
+    pools: &[Arc<BufferPool>],
+    mach: usize,
+    core: usize,
+) {
+    let st = &states[mach];
+    let m = rt.machines();
+    let np = 1usize << cfg.radix_bits;
+    let workers = rt.cores() - 1;
+    let cost = &cfg.cluster.cost;
+    let mut meter = Meter::new();
+    let nic = rt.fabric.nic(HostId(mach));
+
+    // ---- Phase 1: histogram + exchange (core 0 coordinates).
+    if core > 0 {
+        let w = core - 1;
+        let mut counts = vec![[0u64; 2]; np];
+        for (rel, chunk) in [(REL_R, &st.r_chunk), (REL_S, &st.s_chunk)] {
+            let range = ranges(chunk.len(), workers)[w].clone();
+            meter.charge_bytes(ctx, range.len() * T::SIZE, cost.histogram_rate);
+            for t in &chunk[range] {
+                counts[partition_of(t.key(), 0, cfg.radix_bits)][rel] += 1;
+            }
+        }
+        {
+            // Scope the guard: holding a real mutex across a yield point
+            // (flush advances the virtual clock) deadlocks the kernel.
+            let mut hist = st.hist.lock();
+            for (h, c) in hist.iter_mut().zip(&counts) {
+                h[0] += c[0];
+                h[1] += c[1];
+            }
+        }
+        meter.flush(ctx);
+    }
+    rt.sync_quiet(ctx);
+    if core == 0 {
+        // Exchange machine histograms; everyone derives the same
+        // round-robin assignment (totals only matter for sizing, which the
+        // staging vectors handle dynamically here).
+        let encoded: Vec<u8> = st
+            .hist
+            .lock()
+            .iter()
+            .flat_map(|h| [h[0].to_le_bytes(), h[1].to_le_bytes()].concat())
+            .collect();
+        let mut evs = Vec::new();
+        for dst in (0..m).filter(|&d| d != mach) {
+            evs.push(nic.post_send(ctx, HostId(dst), OpTag::Histogram.encode(), encoded.clone()));
+        }
+        for _ in 0..m.saturating_sub(1) {
+            let c = nic.recv(ctx).expect("histogram exchange");
+            assert_eq!(OpTag::decode(c.tag), OpTag::Histogram);
+            nic.repost_recv(ctx);
+        }
+        for ev in evs {
+            ev.wait(ctx);
+        }
+        let assignment: Vec<usize> = (0..np).map(|p| p % m).collect();
+        *st.owned.lock() = (0..np).filter(|&p| assignment[p] == mach).collect();
+        *st.assignment.lock() = assignment;
+    }
+    rt.sync(ctx);
+
+    // ---- Phase 2: network partitioning pass.
+    if core == 0 {
+        // Receiver: count EOS from every remote partitioning worker.
+        let expected = (m - 1) * workers;
+        let mut eos = 0;
+        while eos < expected {
+            let c = nic.recv(ctx).expect("network pass");
+            match OpTag::decode(c.tag) {
+                OpTag::Eos => eos += 1,
+                OpTag::Data { rel, part } => {
+                    meter.charge_bytes(ctx, c.payload.len(), cost.memcpy_rate);
+                    st.staging[rel].lock()[part].extend_from_slice(&c.payload);
+                }
+                OpTag::Histogram => panic!("late histogram message"),
+            }
+            nic.repost_recv(ctx);
+        }
+        meter.flush(ctx);
+    } else {
+        let w = core - 1;
+        let assignment = st.assignment.lock().clone();
+        let pool = &pools[mach];
+        type Slot = Option<(Vec<u8>, SendWindow)>;
+        let mut bufs: [Vec<Slot>; 2] =
+            [(0..np).map(|_| None).collect(), (0..np).map(|_| None).collect()];
+        let mut local: [Vec<Vec<T>>; 2] = [
+            (0..np).map(|_| Vec::new()).collect(),
+            (0..np).map(|_| Vec::new()).collect(),
+        ];
+        for (rel, chunk) in [(REL_R, &st.r_chunk), (REL_S, &st.s_chunk)] {
+            let range = ranges(chunk.len(), workers)[w].clone();
+            for t in &chunk[range] {
+                meter.charge_bytes(ctx, T::SIZE, cost.partition_rate);
+                let p = partition_of(t.key(), 0, cfg.radix_bits);
+                let dst = assignment[p];
+                if dst == mach {
+                    local[rel][p].push(*t);
+                } else {
+                    let slot = &mut bufs[rel][p];
+                    if slot.is_none() {
+                        *slot = Some((pool.take(ctx), SendWindow::new(cfg.send_depth)));
+                    }
+                    let (buf, window) = slot.as_mut().unwrap();
+                    t.write_to(buf);
+                    if buf.len() + T::SIZE > cfg.rdma_buf_size {
+                        meter.flush(ctx);
+                        window.admit(ctx);
+                        let payload = std::mem::take(buf);
+                        let ev =
+                            nic.post_send(ctx, HostId(dst), OpTag::Data { rel, part: p }.encode(), payload);
+                        window.record(ev);
+                    }
+                }
+            }
+        }
+        // Flush partials, drain, EOS.
+        for rel in [REL_R, REL_S] {
+            for p in 0..np {
+                if let Some((buf, window)) = bufs[rel][p].as_mut() {
+                    if !buf.is_empty() {
+                        meter.flush(ctx);
+                        window.admit(ctx);
+                        let payload = std::mem::take(buf);
+                        let dst = assignment[p];
+                        let ev = nic.post_send(
+                            ctx,
+                            HostId(dst),
+                            OpTag::Data { rel, part: p }.encode(),
+                            payload,
+                        );
+                        window.record(ev);
+                    }
+                    window.drain(ctx);
+                    pool.put(Vec::new());
+                }
+            }
+        }
+        meter.flush(ctx);
+        let mut evs = Vec::new();
+        for dst in (0..m).filter(|&d| d != mach) {
+            evs.push(nic.post_send(ctx, HostId(dst), OpTag::Eos.encode(), Vec::new()));
+        }
+        for ev in evs {
+            ev.wait(ctx);
+        }
+        *st.local_out[w].lock() = local;
+    }
+    rt.sync(ctx);
+
+    // ---- Phase 3: sort every assigned partition of both relations.
+    // Tasks via atomic counter; sorted outputs parked back into staging
+    // (as typed vectors in local_out[0] of the owning worker slot — reuse
+    // a dedicated store instead: stash in `sorted`).
+    let owned = st.owned.lock().clone();
+    loop {
+        let i = st.next_task.fetch_add(1, Ordering::SeqCst);
+        if i >= owned.len() {
+            break;
+        }
+        let p = owned[i];
+        let mut parts: [Vec<T>; 2] = [Vec::new(), Vec::new()];
+        for rel in [REL_R, REL_S] {
+            for w in 0..workers {
+                let mut guard = st.local_out[w].lock();
+                parts[rel].append(&mut guard[rel][p]);
+            }
+            let bytes = std::mem::take(&mut st.staging[rel].lock()[p]);
+            decode_into(&bytes, &mut parts[rel]);
+            sort_by_key(&mut parts[rel]);
+            meter.charge_bytes(ctx, parts[rel].len() * T::SIZE, cost.sort_rate);
+        }
+        // Stash the sorted partition for the merge phase.
+        let [r_p, s_p] = parts;
+        st.local_out[0].lock()[REL_R][p] = r_p;
+        st.local_out[0].lock()[REL_S][p] = s_p;
+        meter.flush(ctx);
+    }
+    meter.flush(ctx);
+    rt.sync(ctx);
+
+    // ---- Phase 4: merge-join each sorted partition pair.
+    st.next_task.store(0, Ordering::SeqCst);
+    rt.sync_quiet(ctx);
+    let mut local = JoinResult::default();
+    loop {
+        let i = st.next_task.fetch_add(1, Ordering::SeqCst);
+        if i >= owned.len() {
+            break;
+        }
+        let p = owned[i];
+        let (r_p, s_p) = {
+            let mut guard = st.local_out[0].lock();
+            (
+                std::mem::take(&mut guard[REL_R][p]),
+                std::mem::take(&mut guard[REL_S][p]),
+            )
+        };
+        local.merge(merge_join(&r_p, &s_p));
+        meter.charge_bytes(ctx, (r_p.len() + s_p.len()) * T::SIZE, cost.merge_rate);
+        meter.flush(ctx);
+    }
+    meter.flush(ctx);
+    st.result.lock().merge(local);
+    rt.sync(ctx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_workload::{generate_inner, generate_outer, Skew, Tuple16};
+
+    fn small_cfg(machines: usize, cores: usize) -> SortMergeConfig {
+        let mut spec = ClusterSpec::fdr_cluster(machines);
+        spec.cores_per_machine = cores;
+        let mut cfg = SortMergeConfig::new(spec);
+        cfg.radix_bits = 4;
+        cfg.rdma_buf_size = 1024;
+        cfg
+    }
+
+    #[test]
+    fn sort_merge_join_is_verified_against_oracle() {
+        let machines = 3;
+        let r = generate_inner::<Tuple16>(8_000, machines, 31);
+        let (s, oracle) = generate_outer::<Tuple16>(24_000, 8_000, machines, Skew::None, 32);
+        let out = run_sort_merge_join(small_cfg(machines, 3), r, s);
+        oracle.verify(&out.result);
+        assert!(out.phases.total().as_nanos() > 0);
+    }
+
+    #[test]
+    fn handles_skewed_keys() {
+        let machines = 2;
+        let r = generate_inner::<Tuple16>(2_000, machines, 33);
+        let (s, oracle) = generate_outer::<Tuple16>(30_000, 2_000, machines, Skew::Zipf(1.2), 34);
+        let out = run_sort_merge_join(small_cfg(machines, 3), r, s);
+        oracle.verify(&out.result);
+    }
+
+    #[test]
+    fn agrees_with_the_hash_join() {
+        use rsj_core::{run_distributed_join, DistJoinConfig};
+        let machines = 2;
+        let mk = || {
+            let r = generate_inner::<Tuple16>(5_000, machines, 35);
+            let (s, _) = generate_outer::<Tuple16>(10_000, 5_000, machines, Skew::None, 36);
+            (r, s)
+        };
+        let (r1, s1) = mk();
+        let sm = run_sort_merge_join(small_cfg(machines, 3), r1, s1);
+        let (r2, s2) = mk();
+        let mut hj_cfg = DistJoinConfig::new({
+            let mut spec = ClusterSpec::fdr_cluster(machines);
+            spec.cores_per_machine = 3;
+            spec
+        });
+        hj_cfg.radix_bits = (4, 2);
+        hj_cfg.rdma_buf_size = 1024;
+        let hj = run_distributed_join(hj_cfg, r2, s2);
+        assert_eq!(sm.result, hj.result);
+    }
+
+    #[test]
+    fn hash_join_is_faster_than_sort_merge() {
+        // §2.2/[3]: "the radix hash join is still superior to sort-merge
+        // approaches" at the paper's hardware rates.
+        use rsj_core::{run_distributed_join, DistJoinConfig};
+        let machines = 3;
+        let n = 60_000u64;
+        let r = generate_inner::<Tuple16>(n, machines, 37);
+        let (s, _) = generate_outer::<Tuple16>(n, n, machines, Skew::None, 38);
+        let sm = run_sort_merge_join(small_cfg(machines, 4), r, s);
+        let r = generate_inner::<Tuple16>(n, machines, 37);
+        let (s, _) = generate_outer::<Tuple16>(n, n, machines, Skew::None, 38);
+        let mut hj_cfg = DistJoinConfig::new({
+            let mut spec = ClusterSpec::fdr_cluster(machines);
+            spec.cores_per_machine = 4;
+            spec
+        });
+        hj_cfg.radix_bits = (4, 3);
+        hj_cfg.rdma_buf_size = 1024;
+        let hj = run_distributed_join(hj_cfg, r, s);
+        assert!(
+            sm.phases.total() > hj.phases.total(),
+            "sort-merge {:?} must exceed hash {:?}",
+            sm.phases.total(),
+            hj.phases.total()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let machines = 2;
+            let r = generate_inner::<Tuple16>(4_000, machines, 39);
+            let (s, _) = generate_outer::<Tuple16>(8_000, 4_000, machines, Skew::None, 40);
+            run_sort_merge_join(small_cfg(machines, 3), r, s)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.phases.total(), b.phases.total());
+    }
+}

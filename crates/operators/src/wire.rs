@@ -1,0 +1,83 @@
+//! Shared wire tags and slicing helpers for the extra operators.
+
+/// Inner-relation index.
+pub const REL_R: usize = 0;
+/// Outer-relation index.
+pub const REL_S: usize = 1;
+
+/// Message tags used by the operators (same layout idea as the main
+/// join's tags: 2 kind bits, 1 relation bit, partition id).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum OpTag {
+    /// Machine-level histogram exchange.
+    Histogram,
+    /// Partition payload.
+    Data {
+        /// Relation index ([`REL_R`] or [`REL_S`]).
+        rel: usize,
+        /// Partition id.
+        part: usize,
+    },
+    /// One sender finished.
+    Eos,
+}
+
+impl OpTag {
+    /// Encode into the 32-bit immediate.
+    pub fn encode(self) -> u32 {
+        match self {
+            OpTag::Histogram => 1 << 30,
+            OpTag::Eos => 2 << 30,
+            OpTag::Data { rel, part } => {
+                debug_assert!(part < (1 << 24));
+                ((rel as u32) << 24) | part as u32
+            }
+        }
+    }
+
+    /// Decode from the 32-bit immediate.
+    pub fn decode(raw: u32) -> OpTag {
+        match raw >> 30 {
+            1 => OpTag::Histogram,
+            2 => OpTag::Eos,
+            0 => OpTag::Data {
+                rel: ((raw >> 24) & 1) as usize,
+                part: (raw & 0x00FF_FFFF) as usize,
+            },
+            k => panic!("corrupt operator tag kind {k}"),
+        }
+    }
+}
+
+/// Split `len` items into `n` nearly-equal contiguous ranges.
+pub fn ranges(len: usize, n: usize) -> Vec<std::ops::Range<usize>> {
+    (0..n).map(|i| (i * len / n)..((i + 1) * len / n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        for tag in [
+            OpTag::Histogram,
+            OpTag::Eos,
+            OpTag::Data { rel: REL_R, part: 0 },
+            OpTag::Data {
+                rel: REL_S,
+                part: 1023,
+            },
+        ] {
+            assert_eq!(OpTag::decode(tag.encode()), tag);
+        }
+    }
+
+    #[test]
+    fn ranges_cover_exactly() {
+        let rs = ranges(10, 3);
+        assert_eq!(rs, vec![0..3, 3..6, 6..10]);
+        let total: usize = rs.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 10);
+    }
+}

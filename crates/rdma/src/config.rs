@@ -1,0 +1,200 @@
+//! Fabric and NIC configuration, with presets for the two networks of the
+//! paper's evaluation (Table 2 / §6.1 / Figure 3).
+//!
+//! Bandwidths follow the paper's convention of decimal megabytes
+//! (1 MB = 10⁶ bytes): the measured QDR bandwidth is 3.4 GB/s and FDR is
+//! 6.0 GB/s (§6.3).
+
+/// Identifies a machine (host) on the fabric.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct HostId(pub usize);
+
+/// Wire-level parameters of the simulated switched fabric.
+///
+/// The model (see `DESIGN.md` §1): every host has a full-duplex link to a
+/// single switch. A message of `s` bytes occupies its egress link for
+/// `max(s / bandwidth, 1 / msg_rate)` — the second term models the HCA's
+/// maximum message/packet processing rate, which is what caps throughput for
+/// small messages in Figure 3. The destination's ingress link is occupied
+/// for the same span, which creates incast contention when several hosts
+/// send to one receiver. Propagation/ack latency is a constant.
+#[derive(Copy, Clone, Debug)]
+pub struct FabricConfig {
+    /// Per-host, per-direction link bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// One-way propagation + switching latency in seconds.
+    pub latency: f64,
+    /// Maximum messages per second a NIC can issue/absorb (small-message
+    /// regime of Figure 3).
+    pub msg_rate: f64,
+    /// Effective per-host bandwidth lost for every host added beyond the
+    /// first, in bytes/second. The paper measures 110 MB/s per extra
+    /// machine on the QDR cluster (Eq. 15) and attributes it to switch
+    /// congestion; FDR shows none over its 4 hosts.
+    pub congestion_per_extra_host: f64,
+    /// Number of receive-buffer slots in each host's shared receive queue.
+    /// Arriving two-sided messages block the ingress engine when no slot is
+    /// posted (the analogue of an RNR NAK storm).
+    pub srq_slots: usize,
+}
+
+impl FabricConfig {
+    /// Quad Data Rate InfiniBand as measured in the paper: 3.4 GB/s per
+    /// host, with 110 MB/s of congestion per additional machine.
+    pub fn qdr() -> FabricConfig {
+        FabricConfig {
+            bandwidth: 3.4e9,
+            latency: 1.3e-6,
+            // Full bandwidth is reached at 8 KiB messages (Figure 3):
+            // msg_rate = bandwidth / 8192.
+            msg_rate: 3.4e9 / 8192.0,
+            congestion_per_extra_host: 110.0e6,
+            srq_slots: 256,
+        }
+    }
+
+    /// Fourteen Data Rate InfiniBand as measured in the paper: 6.0 GB/s per
+    /// host, no observable congestion on the 4-node cluster.
+    pub fn fdr() -> FabricConfig {
+        FabricConfig {
+            bandwidth: 6.0e9,
+            latency: 0.7e-6,
+            msg_rate: 6.0e9 / 8192.0,
+            congestion_per_extra_host: 0.0,
+            srq_slots: 256,
+        }
+    }
+
+    /// IP-over-InfiniBand on the FDR cluster: the paper measures only
+    /// 1.8 GB/s of effective bandwidth through the TCP/IP stack (§6.3),
+    /// "slightly higher than the bandwidth provided by 10 Gb Ethernet".
+    pub fn ipoib() -> FabricConfig {
+        FabricConfig {
+            bandwidth: 1.8e9,
+            latency: 15.0e-6,
+            // The kernel network stack, not the HCA, is the per-packet
+            // bottleneck; cap around 64 KiB × rate = bandwidth.
+            msg_rate: 1.8e9 / 65536.0,
+            congestion_per_extra_host: 0.0,
+            srq_slots: 256,
+        }
+    }
+
+    /// Effective per-host bandwidth for a fabric of `hosts` machines
+    /// (Eq. 15's congestion adjustment).
+    pub fn effective_bandwidth(&self, hosts: usize) -> f64 {
+        let lost = self.congestion_per_extra_host * hosts.saturating_sub(1) as f64;
+        (self.bandwidth - lost).max(1.0)
+    }
+
+    /// Virtual seconds a message of `bytes` occupies one link direction.
+    pub fn wire_seconds(&self, bytes: usize, hosts: usize) -> f64 {
+        let bw = self.effective_bandwidth(hosts);
+        (bytes as f64 / bw).max(1.0 / self.msg_rate)
+    }
+
+    /// Steady-state point-to-point bandwidth (bytes/s) for a stream of
+    /// `msg_bytes`-sized messages between two of `hosts` machines — the
+    /// closed-form of Figure 3, used to cross-check the simulated fabric.
+    pub fn stream_bandwidth(&self, msg_bytes: usize, hosts: usize) -> f64 {
+        msg_bytes as f64 / self.wire_seconds(msg_bytes, hosts)
+    }
+}
+
+/// CPU-side costs of driving the NIC. These are charged to the *calling
+/// simulated thread* (the HCA itself consumes no worker time — that is the
+/// entire point of RDMA; the TCP path charges much more, which is the
+/// entire point of the paper's Figure 5b).
+#[derive(Copy, Clone, Debug)]
+pub struct NicCosts {
+    /// Seconds to post one work request (WQE construction + doorbell).
+    pub post_overhead: f64,
+    /// Fixed seconds to register a memory region (ibv_reg_mr base cost).
+    pub mr_register_base: f64,
+    /// Additional seconds per 4 KiB page registered (pinning cost grows
+    /// with the number of pages — Frey & Alonso, ICDCS'09).
+    pub mr_register_per_page: f64,
+    /// Seconds of CPU per TCP send/recv syscall (context switch into the
+    /// kernel; reason (ii) of §6.3).
+    pub tcp_syscall: f64,
+    /// Bytes/second at which the kernel copies a message across the
+    /// intermediate socket buffer (reason (iii) of §6.3). Charged on both
+    /// the send and the receive path.
+    pub tcp_copy_rate: f64,
+}
+
+impl Default for NicCosts {
+    fn default() -> Self {
+        NicCosts {
+            post_overhead: 0.2e-6,
+            mr_register_base: 3.0e-6,
+            mr_register_per_page: 0.25e-6,
+            tcp_syscall: 20.0e-6,
+            tcp_copy_rate: 2.0e9,
+        }
+    }
+}
+
+impl NicCosts {
+    /// Seconds to register `bytes` of memory (page-granular pinning).
+    pub fn register_seconds(&self, bytes: usize) -> f64 {
+        let pages = bytes.div_ceil(4096);
+        self.mr_register_base + self.mr_register_per_page * pages as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qdr_congestion_matches_eq15() {
+        let cfg = FabricConfig::qdr();
+        // netMax(NM) = 3400 - (NM - 1) * 110 [MB/s]
+        assert_eq!(cfg.effective_bandwidth(1), 3.4e9);
+        assert_eq!(cfg.effective_bandwidth(4), 3.4e9 - 3.0 * 110.0e6);
+        assert_eq!(cfg.effective_bandwidth(10), 3.4e9 - 9.0 * 110.0e6);
+    }
+
+    #[test]
+    fn fdr_has_no_congestion() {
+        let cfg = FabricConfig::fdr();
+        assert_eq!(cfg.effective_bandwidth(2), cfg.effective_bandwidth(4));
+    }
+
+    #[test]
+    fn figure3_shape_small_messages_are_rate_bound() {
+        // Figure 3: bandwidth climbs with message size and saturates at
+        // 8 KiB on both networks.
+        for cfg in [FabricConfig::qdr(), FabricConfig::fdr()] {
+            // Peak bandwidth between a pair of hosts includes the Eq. 15
+            // congestion adjustment for a 2-host fabric.
+            let peak = cfg.effective_bandwidth(2);
+            let tiny = cfg.stream_bandwidth(64, 2);
+            let knee = cfg.stream_bandwidth(8 * 1024, 2);
+            let big = cfg.stream_bandwidth(512 * 1024, 2);
+            assert!(tiny < 0.05 * peak, "64 B must be far from peak");
+            assert!((knee - peak).abs() / peak < 0.05, "knee near saturation");
+            assert!((big - peak).abs() / peak < 1e-9);
+            // Monotone growth below the knee.
+            let mut prev = 0.0;
+            for shift in 1..=13u32 {
+                let bw = cfg.stream_bandwidth(1usize << shift, 2);
+                assert!(bw >= prev);
+                prev = bw;
+            }
+        }
+    }
+
+    #[test]
+    fn registration_cost_grows_with_pages() {
+        let costs = NicCosts::default();
+        let small = costs.register_seconds(4096);
+        let large = costs.register_seconds(1 << 20); // 256 pages
+        assert!(large > small);
+        assert!(
+            (large - small) - 255.0 * costs.mr_register_per_page < 1e-12,
+            "cost must be linear in page count"
+        );
+    }
+}

@@ -1,0 +1,715 @@
+//! The simulated switched fabric: per-host NICs with full-duplex links,
+//! egress/ingress serialization, propagation latency, and a message-rate
+//! cap — the network model behind every experiment.
+//!
+//! Topology matches the paper's clusters (§6.3): every machine connects to
+//! a single switch. Each host's NIC is driven by two simulated engine
+//! threads:
+//!
+//! * the **egress engine** serializes outgoing messages onto the host's
+//!   uplink (`max(bytes/bandwidth, 1/msg_rate)` per message), then forwards
+//!   them to the destination with the propagation latency added;
+//! * the **ingress engine** serializes arriving messages off the downlink
+//!   (creating incast contention when many hosts target one receiver),
+//!   performs the memory placement (SRQ buffer for two-sided, direct MR
+//!   write for one-sided), and fires completion events.
+//!
+//! Workers never spend CPU on the transfer itself — kernel bypass — they
+//! only pay [`NicCosts::post_overhead`] to post a work request. Waiting for
+//! a completion costs virtual time only if the completion has not fired
+//! yet, which is exactly the interleaving trade-off of §4.2.1.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rsj_sim::{SimChannel, SimCtx, SimDuration, SimEvent, SimSemaphore, SimTime, Simulation};
+
+use crate::config::{FabricConfig, HostId, NicCosts};
+use crate::mr::{MrTable, RemoteMr};
+
+/// A completed two-sided receive, as seen by the consuming thread.
+pub struct Completion {
+    /// Sending host.
+    pub src: HostId,
+    /// Application tag (immediate data): the join encodes the partition id
+    /// or a control opcode here.
+    pub tag: u32,
+    /// The received bytes, already placed in a receive buffer.
+    pub payload: Vec<u8>,
+}
+
+enum MsgKind {
+    TwoSided { tag: u32 },
+    OneSided { mr: usize, offset: usize },
+    /// Tiny request asking the *target* NIC to stream `len` bytes of its
+    /// MR back to the initiator (RDMA READ, no remote CPU).
+    ReadRequest { mr: usize, offset: usize, len: usize, reply: Arc<ReadState> },
+    /// The data leg of an RDMA READ, travelling back to the initiator.
+    ReadResponse { reply: Arc<ReadState> },
+}
+
+/// Shared state of one outstanding RDMA READ.
+pub struct ReadState {
+    done: Arc<SimEvent>,
+    data: Mutex<Option<Vec<u8>>>,
+}
+
+/// Initiator-side handle to an outstanding RDMA READ.
+pub struct ReadHandle {
+    state: Arc<ReadState>,
+}
+
+impl ReadHandle {
+    /// Block until the read data has been placed locally, then take it.
+    pub fn wait(self, ctx: &SimCtx) -> Vec<u8> {
+        self.state.done.wait(ctx);
+        self.state
+            .data
+            .lock()
+            .take()
+            .expect("read completed without data")
+    }
+
+    /// Whether the read has completed.
+    pub fn is_done(&self) -> bool {
+        self.state.done.is_set()
+    }
+}
+
+struct Message {
+    src: HostId,
+    dst: HostId,
+    payload: Vec<u8>,
+    kind: MsgKind,
+    /// Earliest instant the ingress engine may start draining this message
+    /// (egress completion + propagation latency); set by the egress engine.
+    arrival: SimTime,
+    /// Fired when the sender may reuse the buffer (send completion / ack).
+    completion: Option<Arc<SimEvent>>,
+    /// Released on delivery; backs TCP-style windowed flow control.
+    window: Option<Arc<SimSemaphore>>,
+}
+
+/// Per-NIC traffic counters (for reports and tests).
+#[derive(Copy, Clone, Default, Debug)]
+pub struct NicStats {
+    /// Messages sent.
+    pub tx_msgs: u64,
+    /// Payload bytes sent.
+    pub tx_bytes: u64,
+    /// Messages received.
+    pub rx_msgs: u64,
+    /// Payload bytes received.
+    pub rx_bytes: u64,
+    /// Nanoseconds the egress link was busy.
+    pub tx_busy_ns: u64,
+    /// Nanoseconds the ingress link was busy.
+    pub rx_busy_ns: u64,
+}
+
+/// One host's network interface: the verbs-facing API of the fabric.
+pub struct Nic {
+    host: HostId,
+    costs: NicCosts,
+    tx: Arc<SimChannel<Message>>,
+    recv_cq: Arc<SimChannel<Completion>>,
+    srq: Arc<SimSemaphore>,
+    /// This host's registered memory regions (one-sided write targets).
+    pub mrs: MrTable,
+    stats: Mutex<NicStats>,
+}
+
+impl Nic {
+    /// Post a two-sided SEND of `payload` to `dst`. Returns the send
+    /// completion event: the buffer behind `payload` is logically reusable
+    /// once it fires. Charges only the WQE post overhead to the caller.
+    pub fn post_send(&self, ctx: &SimCtx, dst: HostId, tag: u32, payload: Vec<u8>) -> Arc<SimEvent> {
+        self.post(ctx, dst, MsgKind::TwoSided { tag }, payload, None)
+    }
+
+    /// Like [`Nic::post_send`] but ties the message to a flow-control
+    /// window: the given semaphore is released when the message is
+    /// delivered. The caller must have acquired a permit beforehand.
+    pub fn post_send_windowed(
+        &self,
+        ctx: &SimCtx,
+        dst: HostId,
+        tag: u32,
+        payload: Vec<u8>,
+        window: Arc<SimSemaphore>,
+    ) -> Arc<SimEvent> {
+        self.post(ctx, dst, MsgKind::TwoSided { tag }, payload, Some(window))
+    }
+
+    /// Post a one-sided RDMA READ of `len` bytes from `remote` at
+    /// `offset`. No CPU is consumed on the remote host: its NIC streams
+    /// the data back directly (used by the work-sharing extension to pull
+    /// build-probe fragments from overloaded machines).
+    pub fn post_read(
+        &self,
+        ctx: &SimCtx,
+        remote: RemoteMr,
+        offset: usize,
+        len: usize,
+    ) -> ReadHandle {
+        assert!(offset + len <= remote.len, "one-sided read beyond remote region");
+        let state = Arc::new(ReadState {
+            done: SimEvent::new(),
+            data: Mutex::new(None),
+        });
+        ctx.advance(SimDuration::from_secs_f64(self.costs.post_overhead));
+        self.stats.lock().tx_msgs += 1;
+        self.tx.send(
+            ctx,
+            Message {
+                src: self.host,
+                dst: remote.host,
+                payload: Vec::new(),
+                kind: MsgKind::ReadRequest {
+                    mr: remote.index,
+                    offset,
+                    len,
+                    reply: Arc::clone(&state),
+                },
+                arrival: SimTime::ZERO,
+                completion: None,
+                window: None,
+            },
+        );
+        ReadHandle { state }
+    }
+
+    /// Post a one-sided RDMA WRITE of `payload` into `remote` at `offset`.
+    /// No CPU is consumed on the remote host; the returned event fires when
+    /// the write is acknowledged.
+    pub fn post_write(
+        &self,
+        ctx: &SimCtx,
+        remote: RemoteMr,
+        offset: usize,
+        payload: Vec<u8>,
+    ) -> Arc<SimEvent> {
+        assert!(
+            offset + payload.len() <= remote.len,
+            "one-sided write beyond remote region"
+        );
+        self.post(
+            ctx,
+            remote.host,
+            MsgKind::OneSided {
+                mr: remote.index,
+                offset,
+            },
+            payload,
+            None,
+        )
+    }
+
+    fn post(
+        &self,
+        ctx: &SimCtx,
+        dst: HostId,
+        kind: MsgKind,
+        payload: Vec<u8>,
+        window: Option<Arc<SimSemaphore>>,
+    ) -> Arc<SimEvent> {
+        ctx.advance(SimDuration::from_secs_f64(self.costs.post_overhead));
+        let completion = SimEvent::new();
+        {
+            let mut stats = self.stats.lock();
+            stats.tx_msgs += 1;
+            stats.tx_bytes += payload.len() as u64;
+        }
+        self.tx.send(
+            ctx,
+            Message {
+                src: self.host,
+                dst,
+                payload,
+                kind,
+                arrival: SimTime::ZERO,
+                completion: Some(Arc::clone(&completion)),
+                window,
+            },
+        );
+        completion
+    }
+
+    /// Block until the next two-sided message arrives. Returns `None` once
+    /// the fabric has shut down and all in-flight messages are drained.
+    ///
+    /// The caller owns a receive-buffer slot for the returned completion
+    /// and must call [`Nic::repost_recv`] once it has copied the payload
+    /// out (§4.2.2: "the receive buffers can be reused once the copy
+    /// operation terminated successfully").
+    pub fn recv(&self, ctx: &SimCtx) -> Option<Completion> {
+        self.recv_cq.recv(ctx)
+    }
+
+    /// Return one receive-buffer slot to the shared receive queue.
+    pub fn repost_recv(&self, ctx: &SimCtx) {
+        self.srq.release(ctx);
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> NicStats {
+        *self.stats.lock()
+    }
+
+    /// This NIC's host id.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+}
+
+/// The whole fabric: one [`Nic`] per host plus the engine threads driving
+/// them. Create with [`Fabric::new`], launch engines with
+/// [`Fabric::launch`], and call [`Fabric::shutdown`] when traffic ends so
+/// the engine threads terminate.
+pub struct Fabric {
+    cfg: FabricConfig,
+    nics: Vec<Arc<Nic>>,
+    rx_queues: Vec<Arc<SimChannel<Message>>>,
+    live_tx: Arc<AtomicUsize>,
+    launched: std::sync::atomic::AtomicBool,
+}
+
+impl Fabric {
+    /// Build a fabric of `hosts` machines.
+    pub fn new(cfg: FabricConfig, costs: NicCosts, hosts: usize) -> Arc<Fabric> {
+        assert!(hosts >= 1, "fabric needs at least one host");
+        let nics = (0..hosts)
+            .map(|h| {
+                Arc::new(Nic {
+                    host: HostId(h),
+                    costs,
+                    tx: SimChannel::new(),
+                    recv_cq: SimChannel::new(),
+                    srq: SimSemaphore::new(cfg.srq_slots),
+                    mrs: MrTable::new(HostId(h), costs),
+                    stats: Mutex::new(NicStats::default()),
+                })
+            })
+            .collect();
+        let rx_queues = (0..hosts).map(|_| SimChannel::new()).collect();
+        Arc::new(Fabric {
+            cfg,
+            nics,
+            rx_queues,
+            live_tx: Arc::new(AtomicUsize::new(hosts)),
+            launched: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.nics.len()
+    }
+
+    /// The fabric configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// The NIC of `host`.
+    pub fn nic(&self, host: HostId) -> Arc<Nic> {
+        Arc::clone(&self.nics[host.0])
+    }
+
+    /// Spawn the egress and ingress engine threads for every host.
+    /// Accepts either a [`Simulation`] (before `run`) or a [`SimCtx`]
+    /// (from inside the simulation) via [`Spawner`].
+    pub fn launch(self: &Arc<Self>, spawner: &impl Spawner) {
+        assert!(
+            !self.launched.swap(true, Ordering::SeqCst),
+            "fabric launched twice"
+        );
+        let n = self.hosts();
+        for h in 0..n {
+            // Egress engine for host h.
+            let fabric = Arc::clone(self);
+            spawner.spawn_task(format!("nic-tx-{h}"), move |ctx| {
+                let tx = Arc::clone(&fabric.nics[h].tx);
+                while let Some(mut msg) = tx.recv(ctx) {
+                    let wire =
+                        SimDuration::from_secs_f64(fabric.cfg.wire_seconds(msg.payload.len(), n));
+                    fabric.nics[h].stats.lock().tx_busy_ns += wire.as_nanos();
+                    ctx.advance(wire);
+                    msg.arrival = ctx.now() + SimDuration::from_secs_f64(fabric.cfg.latency);
+                    let dst = msg.dst.0;
+                    assert!(dst < n, "send to unknown host {dst}");
+                    fabric.rx_queues[dst].send(ctx, msg);
+                }
+                // Last egress engine standing closes all ingress queues.
+                if fabric.live_tx.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    for q in &fabric.rx_queues {
+                        q.close(ctx);
+                    }
+                }
+            });
+
+            // Ingress engine for host h.
+            let fabric = Arc::clone(self);
+            spawner.spawn_task(format!("nic-rx-{h}"), move |ctx| {
+                let rx = Arc::clone(&fabric.rx_queues[h]);
+                let nic = &fabric.nics[h];
+                while let Some(msg) = rx.recv(ctx) {
+                    ctx.sleep_until(msg.arrival);
+                    let wire =
+                        SimDuration::from_secs_f64(fabric.cfg.wire_seconds(msg.payload.len(), n));
+                    nic.stats.lock().rx_busy_ns += wire.as_nanos();
+                    ctx.advance(wire);
+                    {
+                        let mut stats = nic.stats.lock();
+                        stats.rx_msgs += 1;
+                        stats.rx_bytes += msg.payload.len() as u64;
+                    }
+                    match msg.kind {
+                        MsgKind::TwoSided { tag } => {
+                            // Consume a posted receive buffer; blocks (RNR)
+                            // if the application is not reposting.
+                            nic.srq.acquire(ctx);
+                            nic.recv_cq.send(
+                                ctx,
+                                Completion {
+                                    src: msg.src,
+                                    tag,
+                                    payload: msg.payload,
+                                },
+                            );
+                        }
+                        MsgKind::OneSided { mr, offset } => {
+                            nic.mrs.get(mr).dma_write(offset, &msg.payload);
+                        }
+                        MsgKind::ReadRequest { mr, offset, len, reply } => {
+                            // The *responder's* NIC streams the data back:
+                            // enqueue the response on this host's egress.
+                            let data =
+                                nic.mrs.get(mr).with_data(|d| d[offset..offset + len].to_vec());
+                            {
+                                let mut stats = nic.stats.lock();
+                                stats.tx_msgs += 1;
+                                stats.tx_bytes += data.len() as u64;
+                            }
+                            nic.tx.send(
+                                ctx,
+                                Message {
+                                    src: HostId(h),
+                                    dst: msg.src,
+                                    payload: data,
+                                    kind: MsgKind::ReadResponse { reply },
+                                    arrival: SimTime::ZERO,
+                                    completion: None,
+                                    window: None,
+                                },
+                            );
+                        }
+                        MsgKind::ReadResponse { reply } => {
+                            *reply.data.lock() = Some(msg.payload);
+                            reply.done.set(ctx);
+                        }
+                    }
+                    if let Some(c) = msg.completion {
+                        c.set(ctx);
+                    }
+                    if let Some(w) = msg.window {
+                        w.release(ctx);
+                    }
+                }
+                nic.recv_cq.close(ctx);
+            });
+        }
+    }
+
+    /// Stop accepting traffic: closes every egress queue, letting the
+    /// engine threads drain in-flight messages and terminate.
+    pub fn shutdown(&self, ctx: &SimCtx) {
+        for nic in &self.nics {
+            nic.tx.close(ctx);
+        }
+    }
+}
+
+/// Anything that can spawn a simulated thread ([`Simulation`] before the
+/// run starts, or a [`SimCtx`] from inside it).
+pub trait Spawner {
+    /// Spawn a simulated thread.
+    fn spawn_task<F: FnOnce(&SimCtx) + Send + 'static>(&self, name: String, f: F);
+}
+
+impl Spawner for Simulation {
+    fn spawn_task<F: FnOnce(&SimCtx) + Send + 'static>(&self, name: String, f: F) {
+        self.spawn(name, f);
+    }
+}
+
+impl Spawner for SimCtx {
+    fn spawn_task<F: FnOnce(&SimCtx) + Send + 'static>(&self, name: String, f: F) {
+        self.spawn(name, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_host_fabric(cfg: FabricConfig) -> (Simulation, Arc<Fabric>) {
+        let sim = Simulation::new();
+        let fabric = Fabric::new(cfg, NicCosts::default(), 2);
+        fabric.launch(&sim);
+        (sim, fabric)
+    }
+
+    /// Stream `count` messages of `size` bytes from host 0 to host 1 and
+    /// return the achieved bandwidth in bytes per virtual second.
+    fn stream_bandwidth(size: usize, count: usize, cfg: FabricConfig) -> f64 {
+        let (sim, fabric) = two_host_fabric(cfg);
+        let done = Arc::new(Mutex::new(0.0f64));
+        {
+            let fabric = Arc::clone(&fabric);
+            sim.spawn("sender", move |ctx| {
+                let nic = fabric.nic(HostId(0));
+                let mut events = Vec::new();
+                for _ in 0..count {
+                    events.push(nic.post_send(ctx, HostId(1), 7, vec![0u8; size]));
+                }
+                for ev in events {
+                    ev.wait(ctx);
+                }
+                fabric.shutdown(ctx);
+            });
+        }
+        {
+            let fabric = Arc::clone(&fabric);
+            let done = Arc::clone(&done);
+            sim.spawn("receiver", move |ctx| {
+                let nic = fabric.nic(HostId(1));
+                let mut got = 0usize;
+                while let Some(c) = nic.recv(ctx) {
+                    got += c.payload.len();
+                    nic.repost_recv(ctx);
+                }
+                assert_eq!(got, size * count);
+                *done.lock() = ctx.now().as_secs_f64();
+            });
+        }
+        sim.run();
+        let secs = *done.lock();
+        (size * count) as f64 / secs
+    }
+
+    #[test]
+    fn large_messages_reach_configured_bandwidth() {
+        let cfg = FabricConfig::fdr();
+        let bw = stream_bandwidth(512 * 1024, 64, cfg);
+        // Pipelined stream: expect within a few percent of 6.0 GB/s
+        // (the tail message pays ingress + latency once).
+        assert!(
+            (bw - cfg.bandwidth).abs() / cfg.bandwidth < 0.05,
+            "got {bw:.3e}"
+        );
+    }
+
+    #[test]
+    fn small_messages_are_message_rate_bound() {
+        let cfg = FabricConfig::qdr();
+        let bw = stream_bandwidth(256, 512, cfg);
+        let expect = cfg.stream_bandwidth(256, 2);
+        assert!(
+            (bw - expect).abs() / expect < 0.05,
+            "got {bw:.3e}, expected {expect:.3e}"
+        );
+        assert!(bw < 0.1 * cfg.bandwidth);
+    }
+
+    #[test]
+    fn incast_halves_per_sender_throughput() {
+        // Hosts 0 and 1 both stream to host 2: the shared ingress link
+        // must make the joint transfer take ~2x a single stream.
+        let cfg = FabricConfig::fdr();
+        let sim = Simulation::new();
+        let fabric = Fabric::new(cfg, NicCosts::default(), 3);
+        fabric.launch(&sim);
+        const MSG: usize = 256 * 1024;
+        const COUNT: usize = 32;
+        for src in 0..2usize {
+            let fabric = Arc::clone(&fabric);
+            sim.spawn(format!("sender{src}"), move |ctx| {
+                let nic = fabric.nic(HostId(src));
+                let evs: Vec<_> = (0..COUNT)
+                    .map(|_| nic.post_send(ctx, HostId(2), 0, vec![0u8; MSG]))
+                    .collect();
+                for ev in evs {
+                    ev.wait(ctx);
+                }
+            });
+        }
+        let finish = Arc::new(Mutex::new(0.0f64));
+        {
+            let fabric = Arc::clone(&fabric);
+            let finish = Arc::clone(&finish);
+            sim.spawn("receiver", move |ctx| {
+                let nic = fabric.nic(HostId(2));
+                for _ in 0..2 * COUNT {
+                    let c = nic.recv(ctx).expect("fabric closed early");
+                    assert_eq!(c.payload.len(), MSG);
+                    nic.repost_recv(ctx);
+                }
+                *finish.lock() = ctx.now().as_secs_f64();
+                fabric.shutdown(ctx);
+            });
+        }
+        sim.run();
+        let secs = *finish.lock();
+        let single = (COUNT * MSG) as f64 / cfg.bandwidth;
+        assert!(
+            (secs - 2.0 * single).abs() / (2.0 * single) < 0.1,
+            "incast took {secs:.6}s, expected ~{:.6}s",
+            2.0 * single
+        );
+    }
+
+    #[test]
+    fn one_sided_write_places_data_without_receiver_cpu() {
+        let (sim, fabric) = two_host_fabric(FabricConfig::fdr());
+        let region_ready = SimEvent::new();
+        let handle_cell = Arc::new(Mutex::new(None));
+        {
+            // Host 1 registers a region, then does nothing: one-sided
+            // writes need no receiver involvement.
+            let fabric = Arc::clone(&fabric);
+            let region_ready = Arc::clone(&region_ready);
+            let handle_cell = Arc::clone(&handle_cell);
+            sim.spawn("owner", move |ctx| {
+                let nic = fabric.nic(HostId(1));
+                let mr = nic.mrs.register(ctx, 1024);
+                *handle_cell.lock() = Some((mr.remote_handle(), Arc::clone(&mr)));
+                region_ready.set(ctx);
+            });
+        }
+        {
+            let fabric = Arc::clone(&fabric);
+            let region_ready = Arc::clone(&region_ready);
+            let handle_cell = Arc::clone(&handle_cell);
+            sim.spawn("writer", move |ctx| {
+                region_ready.wait(ctx);
+                let (handle, mr) = handle_cell.lock().clone().unwrap();
+                let nic = fabric.nic(HostId(0));
+                let ev = nic.post_write(ctx, handle, 128, vec![9u8; 64]);
+                ev.wait(ctx);
+                mr.with_data(|d| {
+                    assert!(d[128..192].iter().all(|&b| b == 9));
+                    assert_eq!(d[127], 0);
+                    assert_eq!(d[192], 0);
+                });
+                fabric.shutdown(ctx);
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn send_completion_allows_buffer_reuse_only_after_delivery() {
+        let (sim, fabric) = two_host_fabric(FabricConfig::qdr());
+        {
+            let fabric = Arc::clone(&fabric);
+            sim.spawn("sender", move |ctx| {
+                let nic = fabric.nic(HostId(0));
+                let t0 = ctx.now();
+                let ev = nic.post_send(ctx, HostId(1), 0, vec![0u8; 64 * 1024]);
+                // Posting is cheap...
+                let post_cost = (ctx.now() - t0).as_secs_f64();
+                assert!(post_cost < 1e-6);
+                // ...but the completion only fires after the wire time.
+                ev.wait(ctx);
+                let elapsed = (ctx.now() - t0).as_secs_f64();
+                let min_wire = 64.0 * 1024.0 / fabric.config().bandwidth;
+                assert!(elapsed >= min_wire, "{elapsed} < {min_wire}");
+                fabric.shutdown(ctx);
+            });
+        }
+        {
+            let fabric = Arc::clone(&fabric);
+            sim.spawn("receiver", move |ctx| {
+                let nic = fabric.nic(HostId(1));
+                while let Some(_c) = nic.recv(ctx) {
+                    nic.repost_recv(ctx);
+                }
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn one_sided_read_pulls_remote_data() {
+        let (sim, fabric) = two_host_fabric(FabricConfig::fdr());
+        let ready = SimEvent::new();
+        let handle_cell = Arc::new(Mutex::new(None));
+        {
+            let fabric = Arc::clone(&fabric);
+            let ready = Arc::clone(&ready);
+            let handle_cell = Arc::clone(&handle_cell);
+            sim.spawn("owner", move |ctx| {
+                let nic = fabric.nic(HostId(1));
+                let mr = nic.mrs.register(ctx, 256);
+                mr.dma_write(64, &[7u8; 128]);
+                *handle_cell.lock() = Some(mr.remote_handle());
+                ready.set(ctx);
+            });
+        }
+        {
+            let fabric = Arc::clone(&fabric);
+            let ready = Arc::clone(&ready);
+            let handle_cell = Arc::clone(&handle_cell);
+            sim.spawn("reader", move |ctx| {
+                ready.wait(ctx);
+                let remote = handle_cell.lock().unwrap();
+                let nic = fabric.nic(HostId(0));
+                let t0 = ctx.now();
+                let data = nic.post_read(ctx, remote, 64, 128).wait(ctx);
+                assert_eq!(data, vec![7u8; 128]);
+                // The read paid at least one round trip plus the data leg.
+                let elapsed = (ctx.now() - t0).as_secs_f64();
+                let min = 2.0 * fabric.config().latency + 128.0 / fabric.config().bandwidth;
+                assert!(elapsed >= min, "{elapsed} < {min}");
+                fabric.shutdown(ctx);
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let (sim, fabric) = two_host_fabric(FabricConfig::fdr());
+        {
+            let fabric = Arc::clone(&fabric);
+            sim.spawn("sender", move |ctx| {
+                let nic = fabric.nic(HostId(0));
+                for i in 0..5u32 {
+                    nic.post_send(ctx, HostId(1), i, vec![0u8; 1000]).wait(ctx);
+                }
+                fabric.shutdown(ctx);
+            });
+        }
+        {
+            let fabric = Arc::clone(&fabric);
+            sim.spawn("receiver", move |ctx| {
+                let nic = fabric.nic(HostId(1));
+                let mut tags = Vec::new();
+                while let Some(c) = nic.recv(ctx) {
+                    tags.push(c.tag);
+                    nic.repost_recv(ctx);
+                }
+                assert_eq!(tags, vec![0, 1, 2, 3, 4], "in-order delivery");
+            });
+        }
+        sim.run();
+        let tx = fabric.nic(HostId(0)).stats();
+        let rx = fabric.nic(HostId(1)).stats();
+        assert_eq!(tx.tx_msgs, 5);
+        assert_eq!(tx.tx_bytes, 5000);
+        assert_eq!(rx.rx_msgs, 5);
+        assert_eq!(rx.rx_bytes, 5000);
+    }
+}

@@ -1,0 +1,33 @@
+//! # rsj-rdma — simulated RDMA verbs over a modeled InfiniBand fabric
+//!
+//! A software stand-in for `libibverbs` + InfiniBand hardware, faithful to
+//! the behaviours the paper's join algorithm depends on:
+//!
+//! * **kernel bypass / zero copy** — posting a work request costs the
+//!   worker sub-microsecond; the transfer itself consumes no worker CPU;
+//! * **memory registration** — regions must be registered before the HCA
+//!   touches them, at a cost linear in the page count ([`MrTable`]);
+//! * **one-sided and two-sided semantics** — RDMA WRITE into a remote
+//!   [`Mr`] with no remote CPU, or SEND/RECV against a shared receive
+//!   queue with completion notifications ([`Nic`]);
+//! * **asynchrony** — completions fire on virtual time; whether a worker
+//!   overlaps computation with them is the algorithm's choice (and the
+//!   subject of Figure 5b);
+//! * **a parameterized wire** — bandwidth, propagation latency, message
+//!   rate and congestion reproduce the QDR/FDR curves of Figure 3
+//!   ([`FabricConfig`]).
+//!
+//! See `DESIGN.md` §1 for why this substitution preserves the paper's
+//! experimental behaviour.
+
+#![warn(missing_docs)]
+
+mod config;
+mod fabric;
+mod mr;
+mod pool;
+
+pub use config::{FabricConfig, HostId, NicCosts};
+pub use fabric::{Completion, Fabric, Nic, NicStats, ReadHandle, Spawner};
+pub use mr::{Mr, MrTable, RemoteMr};
+pub use pool::{BufferPool, SendWindow};

@@ -1,0 +1,190 @@
+//! Memory regions: registered, pinned buffers that the (simulated) HCA may
+//! read and write directly.
+//!
+//! The paper stresses (§3.2.1) that registration pins pages and its cost
+//! grows with the region size, so algorithms must pre-register and reuse
+//! buffers instead of registering on the fly. This module makes that cost
+//! explicit: [`MrTable::register`] charges virtual time on the calling
+//! thread according to [`NicCosts::register_seconds`].
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rsj_sim::{SimCtx, SimDuration};
+
+use crate::config::{HostId, NicCosts};
+
+/// A handle naming a remote (or local) memory region for one-sided access —
+/// the moral equivalent of an `(addr, rkey)` pair exchanged out of band.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct RemoteMr {
+    /// The host owning the region.
+    pub host: HostId,
+    /// Index into that host's [`MrTable`].
+    pub index: usize,
+    /// Region length in bytes (for bounds checking on the initiator side).
+    pub len: usize,
+}
+
+/// A registered memory region on one host.
+pub struct Mr {
+    host: HostId,
+    index: usize,
+    data: Mutex<Vec<u8>>,
+}
+
+impl Mr {
+    /// The handle by which remote initiators address this region.
+    pub fn remote_handle(&self) -> RemoteMr {
+        RemoteMr {
+            host: self.host,
+            index: self.index,
+            len: self.data.lock().len(),
+        }
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.lock().len()
+    }
+
+    /// Whether the region has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// DMA write into the region (performed by the simulated HCA's ingress
+    /// engine — costs the *owner's CPU* nothing).
+    ///
+    /// # Panics
+    /// Panics if `offset + src.len()` exceeds the region: real hardware
+    /// would raise a protection fault and kill the QP.
+    pub(crate) fn dma_write(&self, offset: usize, src: &[u8]) {
+        let mut data = self.data.lock();
+        let end = offset
+            .checked_add(src.len())
+            .expect("RDMA write offset overflow");
+        assert!(
+            end <= data.len(),
+            "RDMA write out of bounds: [{offset}, {end}) into region of {} bytes",
+            data.len()
+        );
+        data[offset..end].copy_from_slice(src);
+    }
+
+    /// Read the region contents by reference (local access by the owner).
+    pub fn with_data<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        f(&self.data.lock())
+    }
+
+    /// Take the region contents out, leaving it empty. Used when the join
+    /// assembles received partitions after the network pass; avoids a copy.
+    pub fn take_data(&self) -> Vec<u8> {
+        std::mem::take(&mut *self.data.lock())
+    }
+}
+
+/// Per-host registry of memory regions, with registration accounting.
+pub struct MrTable {
+    host: HostId,
+    costs: NicCosts,
+    regions: Mutex<Vec<Arc<Mr>>>,
+    registered_bytes: Mutex<u64>,
+}
+
+impl MrTable {
+    pub(crate) fn new(host: HostId, costs: NicCosts) -> MrTable {
+        MrTable {
+            host,
+            costs,
+            regions: Mutex::new(Vec::new()),
+            registered_bytes: Mutex::new(0),
+        }
+    }
+
+    /// Register a zero-initialized region of `len` bytes, charging the
+    /// calling thread the pinning cost.
+    pub fn register(&self, ctx: &SimCtx, len: usize) -> Arc<Mr> {
+        ctx.advance(SimDuration::from_secs_f64(self.costs.register_seconds(len)));
+        let mut regions = self.regions.lock();
+        let mr = Arc::new(Mr {
+            host: self.host,
+            index: regions.len(),
+            data: Mutex::new(vec![0u8; len]),
+        });
+        regions.push(Arc::clone(&mr));
+        *self.registered_bytes.lock() += len as u64;
+        mr
+    }
+
+    /// Look up a region by index (ingress-engine path for one-sided writes).
+    pub(crate) fn get(&self, index: usize) -> Arc<Mr> {
+        Arc::clone(
+            self.regions
+                .lock()
+                .get(index)
+                .expect("one-sided write to unregistered MR"),
+        )
+    }
+
+    /// Total bytes ever registered on this host — the "pinned memory"
+    /// figure the paper's §4.2.2 small-memory discussion is about.
+    pub fn registered_bytes(&self) -> u64 {
+        *self.registered_bytes.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_sim::Simulation;
+
+    #[test]
+    fn registration_charges_virtual_time_and_tracks_bytes() {
+        let sim = Simulation::new();
+        sim.spawn("reg", |ctx| {
+            let table = MrTable::new(HostId(0), NicCosts::default());
+            let before = ctx.now();
+            let mr = table.register(ctx, 1 << 20);
+            let charged = (ctx.now() - before).as_secs_f64();
+            let expect = NicCosts::default().register_seconds(1 << 20);
+            assert!((charged - expect).abs() < 1e-9);
+            assert_eq!(mr.len(), 1 << 20);
+            assert_eq!(table.registered_bytes(), 1 << 20);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn dma_write_and_take_roundtrip() {
+        let sim = Simulation::new();
+        sim.spawn("rw", |ctx| {
+            let table = MrTable::new(HostId(3), NicCosts::default());
+            let mr = table.register(ctx, 16);
+            mr.dma_write(4, &[1, 2, 3, 4]);
+            mr.with_data(|d| {
+                assert_eq!(&d[4..8], &[1, 2, 3, 4]);
+                assert_eq!(d[0], 0);
+            });
+            let handle = mr.remote_handle();
+            assert_eq!(handle.host, HostId(3));
+            assert_eq!(handle.len, 16);
+            let data = mr.take_data();
+            assert_eq!(data.len(), 16);
+            assert!(mr.is_empty());
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_write_faults() {
+        let sim = Simulation::new();
+        sim.spawn("oob", |ctx| {
+            let table = MrTable::new(HostId(0), NicCosts::default());
+            let mr = table.register(ctx, 8);
+            mr.dma_write(6, &[0; 4]);
+        });
+        sim.run();
+    }
+}

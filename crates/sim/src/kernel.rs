@@ -1,0 +1,629 @@
+//! The discrete-event kernel: a cooperative scheduler for simulated threads.
+//!
+//! Every simulated entity (a worker core, a NIC engine, a coordinator) is a
+//! real OS thread, but **exactly one of them runs at any moment**. A thread
+//! runs until it reaches a *yield point* — [`SimCtx::advance`] (charge
+//! virtual time), [`SimCtx::park`] (block until unparked), or thread exit —
+//! at which point the kernel dispatches the runnable thread with the
+//! smallest `(wake_time, sequence_number)` key. Virtual time jumps directly
+//! from event to event; no wall-clock time is ever consulted, so a
+//! simulation is bit-for-bit deterministic across runs and machines.
+//!
+//! This design lets the join algorithm be written as ordinary blocking Rust
+//! code (loops, channels, barriers) while its *timing* comes entirely from
+//! the cost model — which is exactly the substitution DESIGN.md calls for:
+//! real data, virtual time.
+
+use std::collections::BinaryHeap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a simulated thread within one [`Simulation`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskId(pub(crate) usize);
+
+/// Scheduler entry: wake `task` at `time`; ties broken by insertion order
+/// (`seq`), which makes dispatch deterministic.
+#[derive(PartialEq, Eq)]
+struct Event {
+    time: SimTime,
+    seq: u64,
+    task: usize,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event wins.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum TaskState {
+    /// Has an event in the queue (or is about to get one).
+    Runnable,
+    /// Currently executing on its OS thread.
+    Running,
+    /// Waiting for an explicit unpark.
+    Blocked,
+    Finished,
+}
+
+/// Per-thread wake gate. The OS thread sleeps on `cv` until `open` is set
+/// by the kernel; `abort` tells it to unwind instead of resuming.
+struct Gate {
+    lock: Mutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    open: bool,
+    abort: bool,
+}
+
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate {
+            lock: Mutex::new(GateState::default()),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn open(&self, abort: bool) {
+        let mut g = self.lock.lock();
+        g.open = true;
+        g.abort |= abort;
+        self.cv.notify_one();
+    }
+
+    /// Blocks the OS thread until the kernel grants execution. Returns
+    /// `true` if the simulation is aborting and the thread must unwind.
+    fn wait(&self) -> bool {
+        let mut g = self.lock.lock();
+        while !g.open {
+            self.cv.wait(&mut g);
+        }
+        g.open = false;
+        g.abort
+    }
+}
+
+struct Slot {
+    name: String,
+    gate: Arc<Gate>,
+    state: TaskState,
+    /// A pending unpark delivered while the task was not blocked; consumed
+    /// by the next `park`.
+    permit: bool,
+}
+
+struct State {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Event>,
+    slots: Vec<Slot>,
+    /// Number of spawned-but-unfinished tasks.
+    live: usize,
+    /// First panic message observed; once set, the simulation aborts.
+    failure: Option<String>,
+    done: bool,
+}
+
+pub(crate) struct Kernel {
+    state: Mutex<State>,
+    /// Signalled when the simulation completes or fails.
+    finished_cv: Condvar,
+}
+
+/// Sentinel panic payload used to unwind simulated threads when the
+/// simulation aborts (after another thread panicked or a deadlock was
+/// detected). Not an error in the aborting thread itself.
+struct SimAbort;
+
+impl Kernel {
+    fn new() -> Arc<Kernel> {
+        Arc::new(Kernel {
+            state: Mutex::new(State {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                slots: Vec::new(),
+                live: 0,
+                failure: None,
+                done: false,
+            }),
+            finished_cv: Condvar::new(),
+        })
+    }
+
+    fn push_event(state: &mut State, time: SimTime, task: usize) {
+        let seq = state.seq;
+        state.seq += 1;
+        state.queue.push(Event { time, seq, task });
+    }
+
+    /// Picks and wakes the next runnable task. Must be called with the state
+    /// lock held, by a thread that is itself no longer `Running`.
+    fn dispatch(&self, state: &mut State) {
+        loop {
+            match state.queue.pop() {
+                Some(ev) => {
+                    let slot = &mut state.slots[ev.task];
+                    match slot.state {
+                        TaskState::Runnable => {
+                            debug_assert!(ev.time >= state.now, "time went backwards");
+                            state.now = ev.time;
+                            slot.state = TaskState::Running;
+                            let abort = state.failure.is_some();
+                            slot.gate.open(abort);
+                            return;
+                        }
+                        // A stale event (task was already woken by a newer
+                        // one, or finished): skip it.
+                        _ => continue,
+                    }
+                }
+                None => {
+                    if state.live == 0 {
+                        state.done = true;
+                        self.finished_cv.notify_all();
+                    } else if state.failure.is_none() {
+                        // Live tasks but nothing runnable: deadlock.
+                        let blocked: Vec<&str> = state
+                            .slots
+                            .iter()
+                            .filter(|s| s.state == TaskState::Blocked)
+                            .map(|s| s.name.as_str())
+                            .collect();
+                        state.failure = Some(format!(
+                            "simulation deadlock at {}: {} task(s) blocked with no pending \
+                             events: {blocked:?}",
+                            state.now, state.live
+                        ));
+                        self.abort_all(state);
+                    } else {
+                        self.abort_all(state);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Wake every blocked task with the abort flag so the simulation can
+    /// unwind after a failure.
+    fn abort_all(&self, state: &mut State) {
+        for slot in &mut state.slots {
+            if slot.state == TaskState::Blocked {
+                slot.state = TaskState::Runnable;
+                slot.gate.open(true);
+            }
+        }
+        if state.live == 0 {
+            state.done = true;
+            self.finished_cv.notify_all();
+        }
+    }
+
+    /// Yield point: transition `tid` out of Running, dispatch a successor,
+    /// then sleep until re-granted. Panics with [`SimAbort`] if the
+    /// simulation is aborting.
+    fn yield_and_wait(&self, tid: usize, new_state: TaskState, wake_at: Option<SimTime>) {
+        let gate = {
+            let mut st = self.state.lock();
+            debug_assert_eq!(st.slots[tid].state, TaskState::Running);
+            st.slots[tid].state = new_state;
+            if let Some(t) = wake_at {
+                Self::push_event(&mut st, t, tid);
+            }
+            let gate = Arc::clone(&st.slots[tid].gate);
+            self.dispatch(&mut st);
+            gate
+        };
+        if gate.wait() {
+            panic::panic_any(SimAbort);
+        }
+    }
+}
+
+/// A handle to the kernel held by each simulated thread. All virtual-time
+/// operations go through this context.
+///
+/// # Locking discipline
+///
+/// Simulated code may use real mutexes for shared state (they are never
+/// contended in real time — only one simulated thread runs at once), but a
+/// guard must **never** be held across a yield point ([`SimCtx::advance`],
+/// [`SimCtx::park`], or anything that calls them, such as a meter flush or
+/// a barrier). The kernel would dispatch another thread, which can then
+/// block on the held lock *outside* the kernel's knowledge: every OS
+/// thread ends up waiting on a futex and the deadlock detector never runs,
+/// because the kernel still believes the lock holder's successor is
+/// runnable. Scope guards tightly.
+///
+/// A `SimCtx` identifies *this* thread to the scheduler; it is deliberately
+/// not `Clone` — pass it by reference into helpers, and use
+/// [`SimCtx::spawn`] to create new simulated threads (each gets its own
+/// context).
+pub struct SimCtx {
+    kernel: Arc<Kernel>,
+    tid: usize,
+}
+
+impl SimCtx {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.state.lock().now
+    }
+
+    /// This thread's id, usable as an unpark target from other threads.
+    pub fn id(&self) -> TaskId {
+        TaskId(self.tid)
+    }
+
+    /// Charge `d` of virtual time to this thread: the thread resumes once
+    /// the virtual clock reaches `now + d`, after all earlier events.
+    pub fn advance(&self, d: SimDuration) {
+        let wake = self.now() + d;
+        self.kernel
+            .yield_and_wait(self.tid, TaskState::Runnable, Some(wake));
+    }
+
+    /// Yield without consuming virtual time, letting other threads scheduled
+    /// at the current instant run first (in deterministic seq order).
+    pub fn yield_now(&self) {
+        self.advance(SimDuration::ZERO);
+    }
+
+    /// Sleep until the virtual clock reaches `t` (no-op if already past).
+    pub fn sleep_until(&self, t: SimTime) {
+        let now = self.now();
+        if t > now {
+            self.advance(t - now);
+        } else {
+            self.yield_now();
+        }
+    }
+
+    /// Block until another thread calls [`SimCtx::unpark`] on this thread's
+    /// [`TaskId`]. If an unpark was already delivered (a *permit*), returns
+    /// immediately. Virtual time may advance arbitrarily while parked.
+    pub fn park(&self) {
+        {
+            let mut st = self.kernel.state.lock();
+            if st.slots[self.tid].permit {
+                st.slots[self.tid].permit = false;
+                return;
+            }
+        }
+        self.kernel
+            .yield_and_wait(self.tid, TaskState::Blocked, None);
+    }
+
+    /// Make `target` runnable at the current virtual time. If `target` is
+    /// not parked, a permit is stored and its next [`SimCtx::park`] returns
+    /// immediately.
+    pub fn unpark(&self, target: TaskId) {
+        let mut st = self.kernel.state.lock();
+        let slot = &mut st.slots[target.0];
+        match slot.state {
+            TaskState::Blocked => {
+                slot.state = TaskState::Runnable;
+                let now = st.now;
+                Kernel::push_event(&mut st, now, target.0);
+            }
+            TaskState::Finished => {}
+            _ => slot.permit = true,
+        }
+    }
+
+    /// Spawn a new simulated thread. It becomes runnable at the current
+    /// virtual time and starts executing once dispatched.
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> TaskId
+    where
+        F: FnOnce(&SimCtx) + Send + 'static,
+    {
+        spawn_task(&self.kernel, name.into(), f)
+    }
+}
+
+fn spawn_task<F>(kernel: &Arc<Kernel>, name: String, f: F) -> TaskId
+where
+    F: FnOnce(&SimCtx) + Send + 'static,
+{
+    let gate = Gate::new();
+    let tid = {
+        let mut st = kernel.state.lock();
+        assert!(!st.done, "cannot spawn into a finished simulation");
+        let tid = st.slots.len();
+        st.slots.push(Slot {
+            name,
+            gate: Arc::clone(&gate),
+            state: TaskState::Runnable,
+            permit: false,
+        });
+        st.live += 1;
+        let now = st.now;
+        Kernel::push_event(&mut st, now, tid);
+        tid
+    };
+
+    let kernel2 = Arc::clone(kernel);
+    std::thread::Builder::new()
+        .name(format!("sim-{tid}"))
+        .stack_size(512 * 1024)
+        .spawn(move || {
+            // Wait until first dispatched.
+            if gate.wait() {
+                finish_task(&kernel2, tid, None);
+                return;
+            }
+            let ctx = SimCtx {
+                kernel: Arc::clone(&kernel2),
+                tid,
+            };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+            let failure = match result {
+                Ok(()) => None,
+                Err(payload) => {
+                    if payload.downcast_ref::<SimAbort>().is_some() {
+                        None // induced unwind, original failure already recorded
+                    } else {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        Some(msg)
+                    }
+                }
+            };
+            finish_task(&kernel2, tid, failure);
+        })
+        .expect("failed to spawn OS thread for simulated task");
+    TaskId(tid)
+}
+
+fn finish_task(kernel: &Arc<Kernel>, tid: usize, failure: Option<String>) {
+    let mut st = kernel.state.lock();
+    st.slots[tid].state = TaskState::Finished;
+    st.live -= 1;
+    if let Some(msg) = failure {
+        if st.failure.is_none() {
+            let name = st.slots[tid].name.clone();
+            st.failure = Some(format!("simulated thread '{name}' panicked: {msg}"));
+        }
+        kernel.abort_all(&mut st);
+    }
+    kernel.dispatch(&mut st);
+}
+
+/// A complete simulation run: spawn root threads, then [`Simulation::run`]
+/// to completion of all simulated threads.
+///
+/// ```
+/// use rsj_sim::{Simulation, SimDuration};
+///
+/// let sim = Simulation::new();
+/// sim.spawn("worker", |ctx| {
+///     ctx.advance(SimDuration::from_millis(5));
+///     assert_eq!(ctx.now().as_nanos(), 5_000_000);
+/// });
+/// let end = sim.run();
+/// assert_eq!(end.as_nanos(), 5_000_000);
+/// ```
+pub struct Simulation {
+    kernel: Arc<Kernel>,
+}
+
+impl Simulation {
+    /// Create an empty simulation with the clock at zero.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Simulation {
+        Simulation {
+            kernel: Kernel::new(),
+        }
+    }
+
+    /// Spawn a root simulated thread (runnable at t = 0).
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> TaskId
+    where
+        F: FnOnce(&SimCtx) + Send + 'static,
+    {
+        spawn_task(&self.kernel, name.into(), f)
+    }
+
+    /// Run the simulation until every simulated thread has finished.
+    /// Returns the final virtual time.
+    ///
+    /// # Panics
+    /// Propagates the first panic raised inside any simulated thread, and
+    /// panics on deadlock (live threads with no pending events).
+    pub fn run(self) -> SimTime {
+        {
+            let mut st = self.kernel.state.lock();
+            if !st.done && st.live > 0 {
+                self.kernel.dispatch(&mut st);
+            } else {
+                st.done = true;
+            }
+            while !st.done {
+                self.kernel.finished_cv.wait(&mut st);
+            }
+            if let Some(msg) = st.failure.take() {
+                drop(st);
+                panic!("{msg}");
+            }
+            st.now
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn clock_advances_per_thread() {
+        let sim = Simulation::new();
+        sim.spawn("a", |ctx| {
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            ctx.advance(SimDuration::from_millis(10));
+            assert_eq!(ctx.now().as_nanos(), 10_000_000);
+        });
+        assert_eq!(sim.run().as_nanos(), 10_000_000);
+    }
+
+    #[test]
+    fn threads_interleave_in_time_order() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let sim = Simulation::new();
+        for (name, delay) in [("late", 20u64), ("early", 5), ("mid", 12)] {
+            let order = Arc::clone(&order);
+            sim.spawn(name, move |ctx| {
+                ctx.advance(SimDuration::from_millis(delay));
+                order.lock().push(name);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.lock(), vec!["early", "mid", "late"]);
+    }
+
+    #[test]
+    fn equal_times_dispatch_in_spawn_order() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let sim = Simulation::new();
+        for i in 0..5usize {
+            let order = Arc::clone(&order);
+            sim.spawn(format!("t{i}"), move |ctx| {
+                ctx.advance(SimDuration::from_millis(1));
+                order.lock().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn park_unpark_handshake() {
+        let sim = Simulation::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        let waiter = sim.spawn("waiter", move |ctx| {
+            ctx.park();
+            hits2.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(ctx.now(), SimTime::from_nanos(3_000_000));
+        });
+        sim.spawn("waker", move |ctx| {
+            ctx.advance(SimDuration::from_millis(3));
+            ctx.unpark(waiter);
+        });
+        sim.run();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn unpark_before_park_leaves_permit() {
+        let sim = Simulation::new();
+        let target = sim.spawn("sleeper", |ctx| {
+            // Sleep past the unpark, then park: the permit must be consumed
+            // without blocking (otherwise: deadlock).
+            ctx.advance(SimDuration::from_millis(10));
+            ctx.park();
+        });
+        sim.spawn("early-waker", move |ctx| {
+            ctx.advance(SimDuration::from_millis(1));
+            ctx.unpark(target);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn nested_spawn_runs() {
+        let sim = Simulation::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        sim.spawn("parent", move |ctx| {
+            let hits3 = Arc::clone(&hits2);
+            ctx.spawn("child", move |ctx| {
+                ctx.advance(SimDuration::from_micros(7));
+                hits3.fetch_add(1, Ordering::SeqCst);
+            });
+            ctx.advance(SimDuration::from_millis(1));
+            hits2.fetch_add(1, Ordering::SeqCst);
+        });
+        let end = sim.run();
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        assert_eq!(end.as_nanos(), 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let sim = Simulation::new();
+        sim.spawn("stuck", |ctx| ctx.park());
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panic_propagates_to_run() {
+        let sim = Simulation::new();
+        sim.spawn("bomber", |ctx| {
+            ctx.advance(SimDuration::from_millis(1));
+            panic!("boom");
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panic_aborts_blocked_peers() {
+        let sim = Simulation::new();
+        sim.spawn("forever", |ctx| ctx.park());
+        sim.spawn("bomber", |ctx| {
+            ctx.advance(SimDuration::from_millis(1));
+            panic!("boom");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn empty_simulation_finishes_at_zero() {
+        let sim = Simulation::new();
+        assert_eq!(sim.run(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        fn one_run() -> Vec<(u64, usize)> {
+            let trace = Arc::new(Mutex::new(Vec::new()));
+            let sim = Simulation::new();
+            for i in 0..8usize {
+                let trace = Arc::clone(&trace);
+                sim.spawn(format!("w{i}"), move |ctx| {
+                    for step in 0..20u64 {
+                        ctx.advance(SimDuration::from_nanos((i as u64 * 37 + step * 13) % 97));
+                        trace.lock().push((ctx.now().as_nanos(), i));
+                    }
+                });
+            }
+            sim.run();
+            let t = trace.lock().clone();
+            t
+        }
+        assert_eq!(one_run(), one_run());
+    }
+}

@@ -1,0 +1,429 @@
+//! Synchronization primitives for simulated threads.
+//!
+//! These mirror the standard-library primitives but block on **virtual
+//! time** via [`SimCtx::park`]/[`SimCtx::unpark`]: a thread waiting on a
+//! [`SimBarrier`] consumes no virtual time itself; the clock advances to
+//! whenever the last participant arrives.
+//!
+//! Internally they use real mutexes, but since the kernel runs exactly one
+//! simulated thread at a time, the locks are never contended; they exist
+//! only to satisfy `Send`/`Sync`.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kernel::{SimCtx, TaskId};
+
+/// A reusable barrier for a fixed number of simulated threads, the direct
+/// analogue of the inter-machine barriers between join phases.
+pub struct SimBarrier {
+    inner: Mutex<BarrierState>,
+    n: usize,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    waiters: Vec<TaskId>,
+}
+
+impl SimBarrier {
+    /// A barrier for `n` participants (`n >= 1`).
+    pub fn new(n: usize) -> Arc<SimBarrier> {
+        assert!(n >= 1, "barrier needs at least one participant");
+        Arc::new(SimBarrier {
+            inner: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                waiters: Vec::with_capacity(n),
+            }),
+            n,
+        })
+    }
+
+    /// Block until all `n` participants have called `wait` for the current
+    /// generation. Returns `true` for exactly one participant per
+    /// generation (the *leader* — the last to arrive).
+    pub fn wait(&self, ctx: &SimCtx) -> bool {
+        let gen = {
+            let mut st = self.inner.lock();
+            st.arrived += 1;
+            if st.arrived == self.n {
+                st.arrived = 0;
+                st.generation += 1;
+                for w in st.waiters.drain(..) {
+                    ctx.unpark(w);
+                }
+                return true;
+            }
+            st.waiters.push(ctx.id());
+            st.generation
+        };
+        // Park until our generation completes. A single park suffices:
+        // unparks are only issued by the generation leader, but guard
+        // against permit carry-over by re-checking the generation.
+        loop {
+            ctx.park();
+            if self.inner.lock().generation != gen {
+                return false;
+            }
+        }
+    }
+}
+
+/// An unbounded MPSC/MPMC channel between simulated threads.
+///
+/// `send` never blocks; `recv` parks the receiver until an item arrives.
+/// Closing wakes all receivers, which then drain remaining items and get
+/// `None`.
+pub struct SimChannel<T> {
+    inner: Mutex<ChannelState<T>>,
+}
+
+struct ChannelState<T> {
+    queue: VecDeque<T>,
+    receivers: VecDeque<TaskId>,
+    senders_done: bool,
+}
+
+impl<T> SimChannel<T> {
+    /// Create an open, empty channel.
+    pub fn new() -> Arc<SimChannel<T>> {
+        Arc::new(SimChannel {
+            inner: Mutex::new(ChannelState {
+                queue: VecDeque::new(),
+                receivers: VecDeque::new(),
+                senders_done: false,
+            }),
+        })
+    }
+
+    /// Enqueue an item, waking one parked receiver if any.
+    ///
+    /// # Panics
+    /// Panics if the channel has been closed.
+    pub fn send(&self, ctx: &SimCtx, value: T) {
+        let mut st = self.inner.lock();
+        assert!(!st.senders_done, "send on closed SimChannel");
+        st.queue.push_back(value);
+        if let Some(rx) = st.receivers.pop_front() {
+            ctx.unpark(rx);
+        }
+    }
+
+    /// Receive the next item, parking until one is available. Returns
+    /// `None` once the channel is closed *and* drained.
+    pub fn recv(&self, ctx: &SimCtx) -> Option<T> {
+        loop {
+            {
+                let mut st = self.inner.lock();
+                if let Some(v) = st.queue.pop_front() {
+                    return Some(v);
+                }
+                if st.senders_done {
+                    return None;
+                }
+                st.receivers.push_back(ctx.id());
+            }
+            ctx.park();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.lock().queue.pop_front()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().queue.is_empty()
+    }
+
+    /// Close the channel: no further sends are allowed and all parked
+    /// receivers wake (they drain the queue, then observe `None`).
+    pub fn close(&self, ctx: &SimCtx) {
+        let mut st = self.inner.lock();
+        st.senders_done = true;
+        for rx in st.receivers.drain(..) {
+            ctx.unpark(rx);
+        }
+    }
+}
+
+/// A counting semaphore on virtual time. Used e.g. to bound in-flight RDMA
+/// work requests per queue pair.
+pub struct SimSemaphore {
+    inner: Mutex<SemState>,
+}
+
+struct SemState {
+    permits: usize,
+    waiters: VecDeque<TaskId>,
+}
+
+impl SimSemaphore {
+    /// A semaphore with `permits` initial permits.
+    pub fn new(permits: usize) -> Arc<SimSemaphore> {
+        Arc::new(SimSemaphore {
+            inner: Mutex::new(SemState {
+                permits,
+                waiters: VecDeque::new(),
+            }),
+        })
+    }
+
+    /// Acquire one permit, parking until available.
+    pub fn acquire(&self, ctx: &SimCtx) {
+        loop {
+            {
+                let mut st = self.inner.lock();
+                if st.permits > 0 {
+                    st.permits -= 1;
+                    return;
+                }
+                st.waiters.push_back(ctx.id());
+            }
+            ctx.park();
+        }
+    }
+
+    /// Release one permit, waking one parked acquirer if any.
+    pub fn release(&self, ctx: &SimCtx) {
+        let mut st = self.inner.lock();
+        st.permits += 1;
+        if let Some(w) = st.waiters.pop_front() {
+            ctx.unpark(w);
+        }
+    }
+
+    /// Current number of available permits.
+    pub fn available(&self) -> usize {
+        self.inner.lock().permits
+    }
+}
+
+/// A one-shot event: waiters park until [`SimEvent::set`] fires; afterwards
+/// `wait` returns immediately. The analogue of an RDMA completion
+/// notification for a single outstanding work request.
+pub struct SimEvent {
+    inner: Mutex<EventState>,
+}
+
+struct EventState {
+    set: bool,
+    waiters: Vec<TaskId>,
+}
+
+impl SimEvent {
+    /// A fresh, un-fired event.
+    pub fn new() -> Arc<SimEvent> {
+        Arc::new(SimEvent {
+            inner: Mutex::new(EventState {
+                set: false,
+                waiters: Vec::new(),
+            }),
+        })
+    }
+
+    /// Fire the event, waking all waiters. Idempotent.
+    pub fn set(&self, ctx: &SimCtx) {
+        let mut st = self.inner.lock();
+        st.set = true;
+        for w in st.waiters.drain(..) {
+            ctx.unpark(w);
+        }
+    }
+
+    /// Whether the event has fired.
+    pub fn is_set(&self) -> bool {
+        self.inner.lock().set
+    }
+
+    /// Park until the event fires (returns immediately if already fired).
+    pub fn wait(&self, ctx: &SimCtx) {
+        loop {
+            {
+                let mut st = self.inner.lock();
+                if st.set {
+                    return;
+                }
+                st.waiters.push(ctx.id());
+            }
+            ctx.park();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Simulation;
+    use crate::time::SimDuration;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn barrier_synchronizes_to_slowest() {
+        let sim = Simulation::new();
+        let barrier = SimBarrier::new(4);
+        let release_times = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..4u64 {
+            let barrier = Arc::clone(&barrier);
+            let times = Arc::clone(&release_times);
+            sim.spawn(format!("w{i}"), move |ctx| {
+                ctx.advance(SimDuration::from_millis(1 + i * 10));
+                barrier.wait(ctx);
+                times.lock().push(ctx.now().as_nanos());
+            });
+        }
+        sim.run();
+        let times = release_times.lock();
+        // Everyone released at the time of the slowest arriver (31 ms).
+        assert_eq!(times.len(), 4);
+        assert!(times.iter().all(|&t| t == 31_000_000));
+    }
+
+    #[test]
+    fn barrier_has_exactly_one_leader_per_generation() {
+        let sim = Simulation::new();
+        let barrier = SimBarrier::new(3);
+        let leaders = Arc::new(AtomicUsize::new(0));
+        for i in 0..3u64 {
+            let barrier = Arc::clone(&barrier);
+            let leaders = Arc::clone(&leaders);
+            sim.spawn(format!("w{i}"), move |ctx| {
+                for round in 0..5u64 {
+                    ctx.advance(SimDuration::from_micros(i * 7 + round));
+                    if barrier.wait(ctx) {
+                        leaders.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(leaders.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn channel_delivers_in_fifo_order() {
+        let sim = Simulation::new();
+        let ch = SimChannel::new();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        {
+            let ch = Arc::clone(&ch);
+            let got = Arc::clone(&got);
+            sim.spawn("rx", move |ctx| {
+                while let Some(v) = ch.recv(ctx) {
+                    got.lock().push(v);
+                }
+            });
+        }
+        {
+            let ch = Arc::clone(&ch);
+            sim.spawn("tx", move |ctx| {
+                for v in 0..10u32 {
+                    ctx.advance(SimDuration::from_micros(1));
+                    ch.send(ctx, v);
+                }
+                ch.close(ctx);
+            });
+        }
+        sim.run();
+        assert_eq!(*got.lock(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn channel_close_wakes_receiver_with_none() {
+        let sim = Simulation::new();
+        let ch: Arc<SimChannel<u32>> = SimChannel::new();
+        let saw_none = Arc::new(AtomicUsize::new(0));
+        {
+            let ch = Arc::clone(&ch);
+            let saw_none = Arc::clone(&saw_none);
+            sim.spawn("rx", move |ctx| {
+                assert!(ch.recv(ctx).is_none());
+                saw_none.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        {
+            let ch = Arc::clone(&ch);
+            sim.spawn("closer", move |ctx| {
+                ctx.advance(SimDuration::from_millis(2));
+                ch.close(ctx);
+            });
+        }
+        sim.run();
+        assert_eq!(saw_none.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn semaphore_bounds_concurrency() {
+        // Two permits, four workers each holding a permit for 10 ms: total
+        // virtual span must be 20 ms (two waves), not 10 (unbounded) or
+        // 40 (serialized).
+        let sim = Simulation::new();
+        let sem = SimSemaphore::new(2);
+        let max_end = Arc::new(AtomicU64::new(0));
+        for i in 0..4 {
+            let sem = Arc::clone(&sem);
+            let max_end = Arc::clone(&max_end);
+            sim.spawn(format!("w{i}"), move |ctx| {
+                sem.acquire(ctx);
+                ctx.advance(SimDuration::from_millis(10));
+                sem.release(ctx);
+                max_end.fetch_max(ctx.now().as_nanos(), Ordering::SeqCst);
+            });
+        }
+        sim.run();
+        assert_eq!(max_end.load(Ordering::SeqCst), 20_000_000);
+    }
+
+    #[test]
+    fn event_wakes_all_waiters_and_is_sticky() {
+        let sim = Simulation::new();
+        let ev = SimEvent::new();
+        let woken = Arc::new(AtomicUsize::new(0));
+        for i in 0..3 {
+            let ev = Arc::clone(&ev);
+            let woken = Arc::clone(&woken);
+            sim.spawn(format!("waiter{i}"), move |ctx| {
+                ev.wait(ctx);
+                woken.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        {
+            let ev = Arc::clone(&ev);
+            sim.spawn("setter", move |ctx| {
+                ctx.advance(SimDuration::from_millis(1));
+                ev.set(ctx);
+            });
+        }
+        // A late waiter sees the event already set.
+        {
+            let ev = Arc::clone(&ev);
+            let woken = Arc::clone(&woken);
+            sim.spawn("late", move |ctx| {
+                ctx.advance(SimDuration::from_millis(5));
+                ev.wait(ctx);
+                woken.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        sim.run();
+        assert_eq!(woken.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn semaphore_starvation_is_a_deadlock() {
+        let sim = Simulation::new();
+        let sem = SimSemaphore::new(0);
+        sim.spawn("starved", move |ctx| sem.acquire(ctx));
+        sim.run();
+    }
+}

@@ -1,0 +1,312 @@
+//! Virtual time: instants ([`SimTime`]) and durations ([`SimDuration`]) with
+//! nanosecond resolution.
+//!
+//! All timing in the simulator is expressed in these types. They are plain
+//! `u64` nanosecond counters, so arithmetic is exact and the simulation is
+//! fully deterministic: no wall-clock source is ever consulted.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the virtual clock, in nanoseconds since simulation start.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime {
+    ns: u64,
+}
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration {
+    ns: u64,
+}
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime { ns: 0 };
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime { ns }
+    }
+
+    /// Raw nanoseconds since the epoch.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.ns
+    }
+
+    /// Seconds since the epoch, as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.ns as f64 / 1e9
+    }
+
+    /// The duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self`; virtual time never runs
+    /// backwards, so this indicates a logic error in the caller.
+    #[inline]
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        assert!(
+            earlier.ns <= self.ns,
+            "duration_since: {earlier:?} is after {self:?}"
+        );
+        SimDuration {
+            ns: self.ns - earlier.ns,
+        }
+    }
+
+    /// `max` of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.ns >= other.ns {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration { ns: 0 };
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration { ns }
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration { ns: us * 1_000 }
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration { ns: ms * 1_000_000 }
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration {
+            ns: s * 1_000_000_000,
+        }
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration: {s} s");
+        SimDuration {
+            ns: (s * 1e9).round() as u64,
+        }
+    }
+
+    /// The virtual time it takes to process `bytes` at `bytes_per_sec`.
+    ///
+    /// This is the workhorse for charging compute and network costs. A rate
+    /// of zero or below is a configuration error.
+    #[inline]
+    pub fn for_bytes(bytes: u64, bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec > 0.0 && bytes_per_sec.is_finite(),
+            "invalid rate: {bytes_per_sec} B/s"
+        );
+        SimDuration::from_secs_f64(bytes as f64 / bytes_per_sec)
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.ns
+    }
+
+    /// Seconds as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.ns as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration {
+            ns: self.ns.saturating_sub(other.ns),
+        }
+    }
+
+    /// `max` of two durations.
+    #[inline]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.ns >= other.ns {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime {
+            ns: self.ns.checked_add(rhs.ns).expect("SimTime overflow"),
+        }
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration {
+            ns: self.ns.checked_add(rhs.ns).expect("SimDuration overflow"),
+        }
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        assert!(rhs.ns <= self.ns, "SimDuration underflow");
+        SimDuration {
+            ns: self.ns - rhs.ns,
+        }
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration {
+            ns: self.ns.checked_mul(rhs).expect("SimDuration overflow"),
+        }
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration { ns: self.ns / rhs }
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::from_nanos(1_500);
+        let d = SimDuration::from_micros(2);
+        assert_eq!((t + d).as_nanos(), 3_500);
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn for_bytes_matches_rate() {
+        // 1 MiB at 1 MiB/s is exactly one second.
+        let d = SimDuration::for_bytes(1 << 20, (1 << 20) as f64);
+        assert_eq!(d, SimDuration::from_secs(1));
+        // 64 KiB at 3.4 GB/s.
+        let d = SimDuration::for_bytes(64 * 1024, 3.4e9);
+        let expect = 64.0 * 1024.0 / 3.4e9;
+        // Rounding to whole nanoseconds bounds the error by 0.5 ns.
+        assert!((d.as_secs_f64() - expect).abs() <= 0.5e-9);
+    }
+
+    #[test]
+    fn duration_ordering_and_sum() {
+        let a = SimDuration::from_millis(3);
+        let b = SimDuration::from_millis(5);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        let total: SimDuration = [a, b, a].into_iter().sum();
+        assert_eq!(total, SimDuration::from_millis(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_since")]
+    fn backwards_duration_panics() {
+        let _ = SimTime::ZERO.duration_since(SimTime::from_nanos(1));
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(1e-9).as_nanos(), 1);
+        assert_eq!(SimDuration::from_secs_f64(2.5e-9).as_nanos(), 3); // round half up
+    }
+}

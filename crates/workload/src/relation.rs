@@ -1,0 +1,221 @@
+//! Relations distributed over machines, and their generators.
+//!
+//! Matching §6.1.1: *"In the data loading phase the input data is
+//! distributed evenly across all available machines. The rids are
+//! range-partitioned at load time and each machine is assigned a particular
+//! range of rids."* Keys are dense (1‥=n) and the workloads are highly
+//! distinct-value joins: the inner relation holds every key exactly once,
+//! and every outer tuple matches exactly one inner tuple.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::oracle::ExpectedResult;
+use crate::tuple::Tuple;
+use crate::zipf::Zipf;
+
+/// A relation horizontally partitioned across machines: chunk `m` lives in
+/// machine `m`'s memory.
+pub struct Relation<T> {
+    chunks: Vec<Vec<T>>,
+}
+
+impl<T: Tuple> Relation<T> {
+    /// Build from per-machine chunks.
+    pub fn from_chunks(chunks: Vec<Vec<T>>) -> Relation<T> {
+        assert!(!chunks.is_empty(), "relation needs at least one chunk");
+        Relation { chunks }
+    }
+
+    /// Number of machines the relation is spread over.
+    pub fn machines(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The tuples resident on machine `m`.
+    pub fn chunk(&self, m: usize) -> &[T] {
+        &self.chunks[m]
+    }
+
+    /// Total tuple count.
+    pub fn total_tuples(&self) -> u64 {
+        self.chunks.iter().map(|c| c.len() as u64).sum()
+    }
+
+    /// Total size in bytes (wire representation).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_tuples() * T::SIZE as u64
+    }
+
+    /// Iterate over every tuple on every machine.
+    pub fn iter_all(&self) -> impl Iterator<Item = &T> {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+}
+
+/// Split `n` items into `machines` nearly-equal contiguous ranges.
+fn even_ranges(n: u64, machines: usize) -> Vec<std::ops::Range<u64>> {
+    let m = machines as u64;
+    (0..m)
+        .map(|i| (i * n / m)..((i + 1) * n / m))
+        .collect()
+}
+
+/// Generate the inner relation: keys are a pseudo-random permutation of
+/// `1‥=n` (each key exactly once), rids are `0‥n` range-partitioned across
+/// machines in load order.
+pub fn generate_inner<T: Tuple>(n: u64, machines: usize, seed: u64) -> Relation<T> {
+    assert!(machines >= 1);
+    let mut keys: Vec<u64> = (1..=n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    keys.shuffle(&mut rng);
+    let chunks = even_ranges(n, machines)
+        .into_iter()
+        .map(|r| {
+            r.map(|rid| T::new(keys[rid as usize], rid))
+                .collect::<Vec<T>>()
+        })
+        .collect();
+    Relation::from_chunks(chunks)
+}
+
+/// Key-skew settings for the outer relation's foreign-key column (§6.5).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Skew {
+    /// Uniform foreign keys; additionally guarantees that every inner key
+    /// has at least one match when `outer >= inner` (§6.1.1).
+    None,
+    /// Zipf-distributed foreign keys with the given exponent (the paper
+    /// uses 1.05 for "low" and 1.20 for "high" skew).
+    Zipf(f64),
+}
+
+/// Generate the outer relation with `n_outer` tuples whose foreign keys
+/// reference an inner key domain of `1‥=inner_keys`. Returns the relation
+/// and the [`ExpectedResult`] oracle for verifying a join against the
+/// matching inner relation.
+pub fn generate_outer<T: Tuple>(
+    n_outer: u64,
+    inner_keys: u64,
+    machines: usize,
+    skew: Skew,
+    seed: u64,
+) -> (Relation<T>, ExpectedResult) {
+    assert!(machines >= 1);
+    assert!(inner_keys >= 1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_07e2);
+    let mut keys: Vec<u64> = Vec::with_capacity(n_outer as usize);
+    match skew {
+        Skew::None => {
+            // Coverage prefix: a permutation of the whole key domain, so
+            // "for each tuple in the inner relation, there is at least one
+            // matching tuple in the outer relation".
+            let covered = n_outer.min(inner_keys);
+            let mut prefix: Vec<u64> = (1..=covered).collect();
+            prefix.shuffle(&mut rng);
+            keys.extend_from_slice(&prefix);
+            for _ in covered..n_outer {
+                keys.push(rng.gen_range(1..=inner_keys));
+            }
+            keys.shuffle(&mut rng);
+        }
+        Skew::Zipf(theta) => {
+            let z = Zipf::new(inner_keys, theta);
+            for _ in 0..n_outer {
+                keys.push(z.sample(&mut rng));
+            }
+        }
+    }
+    let mut s_key_sum = 0u64;
+    for &k in &keys {
+        s_key_sum = s_key_sum.wrapping_add(k);
+    }
+    let chunks = even_ranges(n_outer, machines)
+        .into_iter()
+        .map(|r| {
+            r.map(|rid| T::new(keys[rid as usize], rid))
+                .collect::<Vec<T>>()
+        })
+        .collect();
+    (
+        Relation::from_chunks(chunks),
+        ExpectedResult {
+            // Every outer key is drawn from 1‥=inner_keys and the inner
+            // relation holds each key exactly once.
+            matches: n_outer,
+            s_key_sum,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple16;
+    use std::collections::HashSet;
+
+    #[test]
+    fn inner_has_every_key_exactly_once() {
+        let r = generate_inner::<Tuple16>(1000, 4, 1);
+        let keys: HashSet<u64> = r.iter_all().map(|t| t.key()).collect();
+        assert_eq!(keys.len(), 1000);
+        assert_eq!(r.total_tuples(), 1000);
+        assert!(keys.contains(&1) && keys.contains(&1000));
+    }
+
+    #[test]
+    fn inner_rids_are_range_partitioned() {
+        let r = generate_inner::<Tuple16>(100, 4, 2);
+        for m in 0..4 {
+            let rids: Vec<u64> = r.chunk(m).iter().map(|t| t.rid()).collect();
+            assert_eq!(rids, ((m as u64 * 25)..((m as u64 + 1) * 25)).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn outer_uniform_covers_inner_domain() {
+        let (s, oracle) = generate_outer::<Tuple16>(2000, 500, 4, Skew::None, 3);
+        let keys: HashSet<u64> = s.iter_all().map(|t| t.key()).collect();
+        assert_eq!(keys.len(), 500, "all inner keys must appear");
+        assert_eq!(oracle.matches, 2000);
+        let sum: u64 = s
+            .iter_all()
+            .fold(0u64, |a, t| a.wrapping_add(t.key()));
+        assert_eq!(sum, oracle.s_key_sum);
+    }
+
+    #[test]
+    fn outer_zipf_is_skewed_toward_small_keys() {
+        let (s, _) = generate_outer::<Tuple16>(100_000, 10_000, 2, Skew::Zipf(1.2), 5);
+        let head = s.iter_all().filter(|t| t.key() <= 10).count();
+        let tail = s.iter_all().filter(|t| t.key() > 9_000).count();
+        assert!(
+            head > 20 * tail.max(1),
+            "Zipf head ({head}) must dominate tail ({tail})"
+        );
+    }
+
+    #[test]
+    fn chunks_are_balanced() {
+        let r = generate_inner::<Tuple16>(1003, 4, 9);
+        let sizes: Vec<usize> = (0..4).map(|m| r.chunk(m).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 1003);
+        assert!(sizes.iter().all(|&s| (250..=251).contains(&s)));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_inner::<Tuple16>(64, 2, 7);
+        let b = generate_inner::<Tuple16>(64, 2, 7);
+        assert!(a.iter_all().zip(b.iter_all()).all(|(x, y)| x == y));
+        let c = generate_inner::<Tuple16>(64, 2, 8);
+        assert!(a.iter_all().zip(c.iter_all()).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn total_bytes_uses_wire_size() {
+        let r = generate_inner::<Tuple16>(10, 1, 0);
+        assert_eq!(r.total_bytes(), 160);
+    }
+}

@@ -1,0 +1,201 @@
+//! Zipf-distributed key sampling for the skew experiments (§6.5).
+//!
+//! The paper populates the foreign-key column of the outer relation from a
+//! Zipf law with exponent 1.05 ("low skew") or 1.20 ("high skew") over the
+//! key domain of the inner relation. This module implements the
+//! rejection-inversion sampler of Hörmann & Derflinger (1996), which is
+//! exact for any exponent > 0 and needs no O(n) precomputation — important
+//! because the domain has billions of elements at paper scale.
+
+use rand::Rng;
+
+/// Rejection-inversion Zipf sampler over `{1, …, n}` with exponent `theta`:
+/// `P(k) ∝ k^-theta`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    h_integral_x1: f64,
+    h_integral_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Create a sampler over `{1, …, n}` with exponent `theta > 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta <= 0`.
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        assert!(n >= 1, "Zipf domain must be non-empty");
+        assert!(theta > 0.0 && theta.is_finite(), "theta must be positive");
+        let h_integral_x1 = h_integral(1.5, theta) - 1.0;
+        let h_integral_n = h_integral(n as f64 + 0.5, theta);
+        let s = 2.0 - h_integral_inverse(h_integral(2.5, theta) - h(2.0, theta), theta);
+        Zipf {
+            n,
+            theta,
+            h_integral_x1,
+            h_integral_n,
+            s,
+        }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draw one rank in `{1, …, n}` (1 is the most frequent).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u: f64 = self.h_integral_n
+                + rng.gen::<f64>() * (self.h_integral_x1 - self.h_integral_n);
+            let x = h_integral_inverse(u, self.theta);
+            let k64 = (x + 0.5).floor();
+            let k = (k64 as u64).clamp(1, self.n);
+            if (k as f64) - x <= self.s
+                || u >= h_integral(k as f64 + 0.5, self.theta) - h(k as f64, self.theta)
+            {
+                return k;
+            }
+        }
+    }
+}
+
+/// `H(x)`: antiderivative of `h(x) = x^-theta`, shifted so the algorithm's
+/// identities hold for theta = 1 as well.
+fn h_integral(x: f64, theta: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - theta) * log_x) * log_x
+}
+
+/// `h(x) = x^-theta`.
+fn h(x: f64, theta: f64) -> f64 {
+    (-theta * x.ln()).exp()
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inverse(x: f64, theta: f64) -> f64 {
+    let mut t = x * (1.0 - theta);
+    if t < -1.0 {
+        // Numerical guard from the reference implementation.
+        t = -1.0;
+    }
+    (helper1(t) * x).exp()
+}
+
+/// `log1p(x) / x`, stable near zero.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `expm1(x) / x`, stable near zero.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical_counts(n: u64, theta: f64, draws: usize) -> Vec<u64> {
+        let z = Zipf::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0u64; n as usize + 1];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn frequencies_follow_power_law() {
+        // With theta = 1.0 over {1..1000}: P(1)/P(10) = 10.
+        let counts = empirical_counts(1000, 1.0, 400_000);
+        let ratio = counts[1] as f64 / counts[10] as f64;
+        assert!(
+            (ratio - 10.0).abs() / 10.0 < 0.15,
+            "P(1)/P(10) = {ratio}, expected ~10"
+        );
+    }
+
+    #[test]
+    fn higher_theta_means_heavier_head() {
+        let low = empirical_counts(10_000, 1.05, 200_000);
+        let high = empirical_counts(10_000, 1.20, 200_000);
+        assert!(
+            high[1] > low[1],
+            "rank-1 frequency must grow with skew: {} vs {}",
+            high[1],
+            low[1]
+        );
+    }
+
+    #[test]
+    fn exact_distribution_chi_square_small_domain() {
+        // chi-square goodness-of-fit against the exact Zipf pmf on a tiny
+        // domain; very loose 99.9% critical value for 9 dof is 27.9.
+        let n = 10u64;
+        let theta = 1.2;
+        let draws = 200_000usize;
+        let counts = empirical_counts(n, theta, draws);
+        let z_norm: f64 = (1..=n).map(|k| (k as f64).powf(-theta)).sum();
+        let mut chi2 = 0.0;
+        for k in 1..=n {
+            let expected = draws as f64 * (k as f64).powf(-theta) / z_norm;
+            let diff = counts[k as usize] as f64 - expected;
+            chi2 += diff * diff / expected;
+        }
+        assert!(chi2 < 27.9, "chi-square {chi2} too large");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let z = Zipf::new(1 << 20, 1.05);
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..64).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..64).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn huge_domain_works_without_precomputation() {
+        // Paper scale: 2^31 keys. Construction must be O(1).
+        let z = Zipf::new(2_147_483_648, 1.05);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=2_147_483_648).contains(&k));
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! The §7 generalization in action: run the same workload through four
+//! distributed operators — the paper's radix hash join, a sort-merge
+//! join, the cyclo-join of §2.3, and a group-by aggregation — all built
+//! on the same RDMA buffer-pooling/interleaving machinery.
+//!
+//! ```text
+//! cargo run --release --example operator_zoo
+//! ```
+
+use rsj::cluster::ClusterSpec;
+use rsj::core::{run_distributed_join, DistJoinConfig};
+use rsj::operators::{
+    run_aggregation, run_cyclo_join, run_sort_merge_join, AggregationConfig, CycloJoinConfig,
+    SortMergeConfig,
+};
+use rsj::workload::{generate_inner, generate_outer, Skew, Tuple16};
+
+const MACHINES: usize = 4;
+const N_R: u64 = 1_000_000;
+const N_S: u64 = 4_000_000;
+
+fn workload() -> (
+    rsj::workload::Relation<Tuple16>,
+    rsj::workload::Relation<Tuple16>,
+    rsj::workload::ExpectedResult,
+) {
+    let r = generate_inner::<Tuple16>(N_R, MACHINES, 71);
+    let (s, oracle) = generate_outer::<Tuple16>(N_S, N_R, MACHINES, Skew::None, 72);
+    (r, s, oracle)
+}
+
+fn main() {
+    println!("{N_R} ⋈ {N_S} tuples on {MACHINES} FDR machines, 8 cores each\n");
+    let spec = ClusterSpec::fdr_cluster(MACHINES);
+
+    // Radix hash join (the paper's algorithm).
+    let (r, s, oracle) = workload();
+    let mut cfg = DistJoinConfig::new(spec.clone());
+    cfg.radix_bits = (8, 4);
+    let hash = run_distributed_join(cfg, r, s);
+    oracle.verify(&hash.result);
+    println!(
+        "{:>22}: total {} (net pass {})",
+        "radix hash join",
+        hash.phases.total(),
+        hash.phases.network_partition
+    );
+
+    // Sort-merge join over the same network pass.
+    let (r, s, oracle) = workload();
+    let mut cfg = SortMergeConfig::new(spec.clone());
+    cfg.radix_bits = 8;
+    let sm = run_sort_merge_join(cfg, r, s);
+    oracle.verify(&sm.result);
+    println!(
+        "{:>22}: total {} (sort {}, merge {})",
+        "sort-merge join",
+        sm.phases.total(),
+        sm.phases.local_partition,
+        sm.phases.build_probe
+    );
+
+    // Cyclo-join: no partitioning, the outer relation rotates the ring.
+    let (r, s, oracle) = workload();
+    let cyclo = run_cyclo_join(CycloJoinConfig::new(spec.clone()), r, s);
+    oracle.verify(&cyclo.result);
+    println!(
+        "{:>22}: total {} ({} rotation+probe rounds)",
+        "cyclo-join",
+        cyclo.phases.total(),
+        MACHINES
+    );
+
+    // Group-by aggregation over the outer relation.
+    let (_, s, _) = workload();
+    let mut cfg = AggregationConfig::new(spec);
+    cfg.radix_bits = 8;
+    let agg = run_aggregation(cfg, s);
+    println!(
+        "{:>22}: total {} ({} groups)",
+        "aggregation",
+        agg.phases.total(),
+        agg.result.groups
+    );
+    assert_eq!(agg.result.groups, N_R, "every inner key appears in S");
+
+    println!("\nAll joins produced the identical verified result. Expected");
+    println!("ordering (paper §2.2/§2.3): radix hash < sort-merge < cyclo-join —");
+    println!("sorting is slower than radix partitioning per pass, and the");
+    println!("cyclo-join ships the outer relation around the whole ring while");
+    println!("probing machine-sized, cache-cold tables.");
+}

@@ -1,0 +1,68 @@
+//! Transport shootout (the paper's Figure 5b in miniature): the same join
+//! over TCP/IPoIB, non-interleaved RDMA, and interleaved RDMA.
+//!
+//! Demonstrates the paper's two headline findings about the network
+//! partitioning pass: upper-layer protocols (IPoIB) cannot deliver the
+//! fabric's performance, and interleaving computation with communication
+//! hides a large part of the remaining wire time.
+//!
+//! ```text
+//! cargo run --release --example transport_shootout
+//! ```
+
+use rsj::cluster::{ClusterSpec, Interconnect};
+use rsj::core::{run_distributed_join, DistJoinConfig, TransportMode};
+use rsj::workload::{generate_inner, generate_outer, Skew, Tuple16};
+
+fn run(transport: TransportMode) -> rsj::core::DistJoinOutcome {
+    let machines = 4;
+    let mut cfg = DistJoinConfig::new(ClusterSpec::fdr_cluster(machines));
+    // Example-scale tuning: few enough network partitions (and small
+    // enough buffers) that every (thread, partition) stream fills many
+    // buffers — the regime where double buffering has something to hide.
+    cfg.radix_bits = (4, 8);
+    cfg.rdma_buf_size = 1024;
+    cfg.transport = transport;
+    if transport == TransportMode::Tcp {
+        // The TCP baseline runs over IPoIB: 1.8 GB/s effective bandwidth
+        // through the kernel network stack.
+        cfg.cluster.interconnect = Interconnect::IpoIb;
+    }
+    let n = 4_000_000;
+    let r = generate_inner::<Tuple16>(n, machines, 7);
+    let (s, oracle) = generate_outer::<Tuple16>(n, n, machines, Skew::None, 8);
+    let out = run_distributed_join(cfg, r, s);
+    oracle.verify(&out.result);
+    out
+}
+
+fn main() {
+    println!("4M ⋈ 4M tuples on 4 machines, 8 cores each\n");
+    let mut rows = Vec::new();
+    for (label, transport) in [
+        ("TCP over IPoIB", TransportMode::Tcp),
+        ("RDMA, non-interleaved", TransportMode::RdmaNonInterleaved),
+        ("RDMA, interleaved", TransportMode::RdmaInterleaved),
+    ] {
+        let out = run(transport);
+        println!(
+            "{label:>22}: total {} | network pass {} | send stalls {:.3}s",
+            out.phases.total(),
+            out.phases.network_partition,
+            out.machines
+                .iter()
+                .map(|m| m.send_stall_seconds)
+                .sum::<f64>()
+        );
+        rows.push((label, out));
+    }
+    let tcp = rows[0].1.phases.network_partition.as_secs_f64();
+    let nil = rows[1].1.phases.network_partition.as_secs_f64();
+    let il = rows[2].1.phases.network_partition.as_secs_f64();
+    println!(
+        "\nnetwork pass: RDMA beats TCP by {:.1}x; interleaving saves another {:.0}%",
+        tcp / nil,
+        (1.0 - il / nil) * 100.0
+    );
+    println!("(every variant produced the identical, verified join result)");
+}

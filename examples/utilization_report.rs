@@ -1,0 +1,57 @@
+//! CPU-utilization view of the interleaving argument (§3.2.1/§6.3): the
+//! whole point of asynchronous RDMA is that "the processor remains
+//! available for processing while a network operation is taking place".
+//! This example measures it: per-machine CPU busy time, send-stall time,
+//! and utilization for the interleaved and non-interleaved variants.
+//!
+//! ```text
+//! cargo run --release --example utilization_report
+//! ```
+
+use rsj::cluster::ClusterSpec;
+use rsj::core::{run_distributed_join, DistJoinConfig, TransportMode};
+use rsj::workload::{generate_inner, generate_outer, Skew, Tuple16};
+
+fn run(transport: TransportMode) -> rsj::core::DistJoinOutcome {
+    let machines = 4;
+    let mut cfg = DistJoinConfig::new(ClusterSpec::qdr_cluster(machines));
+    cfg.radix_bits = (4, 7);
+    cfg.rdma_buf_size = 2048;
+    cfg.transport = transport;
+    let n = 3_000_000;
+    let r = generate_inner::<Tuple16>(n, machines, 13);
+    let (s, oracle) = generate_outer::<Tuple16>(n, n, machines, Skew::None, 14);
+    let out = run_distributed_join(cfg, r, s);
+    oracle.verify(&out.result);
+    out
+}
+
+fn main() {
+    println!("3M ⋈ 3M tuples on 4 QDR machines, 8 cores each\n");
+    for (label, transport) in [
+        ("interleaved", TransportMode::RdmaInterleaved),
+        ("non-interleaved", TransportMode::RdmaNonInterleaved),
+    ] {
+        let out = run(transport);
+        let total = out.phases.total().as_secs_f64();
+        println!("{label}: total {} | network pass {}", out.phases.total(), out.phases.network_partition);
+        println!(
+            "  {:>8}  {:>12} {:>12} {:>12}",
+            "machine", "cpu busy (s)", "stalled (s)", "utilization"
+        );
+        for (i, m) in out.machines.iter().enumerate() {
+            println!(
+                "  {:>8}  {:>12.5} {:>12.5} {:>11.1}%",
+                i,
+                m.cpu_busy_seconds,
+                m.send_stall_seconds,
+                m.cpu_busy_seconds / (8.0 * total) * 100.0
+            );
+        }
+        println!();
+    }
+    println!("Expected shape: the non-interleaved variant stalls its partitioning");
+    println!("threads after every posted buffer, so its send-stall column grows and");
+    println!("its utilization drops — the time the interleaved variant spends");
+    println!("computing under in-flight transfers (§6.3's ~35% network-pass gap).");
+}
