@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus the lint gauntlet. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo fmt --check
+cargo clippy --workspace -- -D warnings

@@ -80,8 +80,22 @@ pub fn fig5a(scale: Scale) {
         oracle.verify(&single.result);
         let t_single = scale.paper_seconds(single.phases.total());
 
-        let fdr = run_scaled_join(scale, ClusterSpec::fdr_cluster(4), m_tuples, m_tuples, Skew::None, |_| {});
-        let qdr = run_scaled_join(scale, ClusterSpec::qdr_cluster(4), m_tuples, m_tuples, Skew::None, |_| {});
+        let fdr = run_scaled_join(
+            scale,
+            ClusterSpec::fdr_cluster(4),
+            m_tuples,
+            m_tuples,
+            Skew::None,
+            |_| {},
+        );
+        let qdr = run_scaled_join(
+            scale,
+            ClusterSpec::qdr_cluster(4),
+            m_tuples,
+            m_tuples,
+            Skew::None,
+            |_| {},
+        );
         t.row(vec![
             label.to_string(),
             secs(t_single),
@@ -132,11 +146,24 @@ pub fn fig5b(scale: Scale) {
         ),
     ];
     let mut t = Table::new(&[
-        "variant", "histogram", "network part.", "local part.", "build-probe", "total", "(paper total)",
+        "variant",
+        "histogram",
+        "network part.",
+        "local part.",
+        "build-probe",
+        "total",
+        "(paper total)",
     ]);
     let mut net_times = Vec::new();
     for (label, paper_total, tweak) in variants {
-        let out = run_scaled_join(scale, ClusterSpec::fdr_cluster(4), 2048, 2048, Skew::None, tweak);
+        let out = run_scaled_join(
+            scale,
+            ClusterSpec::fdr_cluster(4),
+            2048,
+            2048,
+            Skew::None,
+            tweak,
+        );
         let [h, n, l, b, total] = scale.paper_phases(&out.phases);
         net_times.push((label, n));
         t.row(vec![
@@ -153,8 +180,16 @@ pub fn fig5b(scale: Scale) {
     println!("Differences are confined to the network partitioning pass, as in the");
     println!("paper; interleaving hides part of the wire time, and the TCP stack");
     println!("pays for kernel crossings and intermediate copies.");
-    let il = net_times.iter().find(|(l, _)| l.contains("interleaved") && !l.contains("non")).unwrap().1;
-    let nil = net_times.iter().find(|(l, _)| l.contains("non-interleaved")).unwrap().1;
+    let il = net_times
+        .iter()
+        .find(|(l, _)| l.contains("interleaved") && !l.contains("non"))
+        .unwrap()
+        .1;
+    let nil = net_times
+        .iter()
+        .find(|(l, _)| l.contains("non-interleaved"))
+        .unwrap()
+        .1;
     println!(
         "Interleaving reduced the network pass by {:.0}% (paper: ~35%).",
         (1.0 - il / nil) * 100.0
@@ -165,18 +200,50 @@ pub fn fig5b(scale: Scale) {
 pub fn fig6a(scale: Scale) {
     hdr("Figure 6a — large-to-large joins on the QDR cluster");
     let paper_2048: &[(usize, f64)] = &[
-        (2, 11.16), (3, 8.68), (4, 7.19), (5, 6.09), (6, 5.36),
-        (7, 5.02), (8, 4.46), (9, 4.14), (10, 3.84),
+        (2, 11.16),
+        (3, 8.68),
+        (4, 7.19),
+        (5, 6.09),
+        (6, 5.36),
+        (7, 5.02),
+        (8, 4.46),
+        (9, 4.14),
+        (10, 3.84),
     ];
     let mut t = Table::new(&[
-        "machines", "1024M⋈1024M", "2048M⋈2048M", "(paper)", "4096M⋈4096M",
+        "machines",
+        "1024M⋈1024M",
+        "2048M⋈2048M",
+        "(paper)",
+        "4096M⋈4096M",
     ]);
     for m in 2..=10usize {
-        let t1024 = run_scaled_join(scale, ClusterSpec::qdr_cluster(m), 1024, 1024, Skew::None, |_| {});
-        let t2048 = run_scaled_join(scale, ClusterSpec::qdr_cluster(m), 2048, 2048, Skew::None, |_| {});
+        let t1024 = run_scaled_join(
+            scale,
+            ClusterSpec::qdr_cluster(m),
+            1024,
+            1024,
+            Skew::None,
+            |_| {},
+        );
+        let t2048 = run_scaled_join(
+            scale,
+            ClusterSpec::qdr_cluster(m),
+            2048,
+            2048,
+            Skew::None,
+            |_| {},
+        );
         // The paper could not fit 2x4096M on two machines (memory).
         let t4096 = if m >= 3 {
-            Some(run_scaled_join(scale, ClusterSpec::qdr_cluster(m), 4096, 4096, Skew::None, |_| {}))
+            Some(run_scaled_join(
+                scale,
+                ClusterSpec::qdr_cluster(m),
+                4096,
+                4096,
+                Skew::None,
+                |_| {},
+            ))
         } else {
             None
         };
@@ -203,7 +270,14 @@ pub fn fig6b(scale: Scale) {
     for m in 2..=10usize {
         let mut cells = vec![m.to_string()];
         for inner in [256u64, 512, 1024, 2048] {
-            let out = run_scaled_join(scale, ClusterSpec::qdr_cluster(m), inner, 2048, Skew::None, |_| {});
+            let out = run_scaled_join(
+                scale,
+                ClusterSpec::qdr_cluster(m),
+                inner,
+                2048,
+                Skew::None,
+                |_| {},
+            );
             cells.push(secs(scale.paper_seconds(out.phases.total())));
         }
         t.row(cells);
@@ -218,11 +292,24 @@ pub fn fig7a(scale: Scale) {
     hdr("Figure 7a — phase breakdown of 2048M ⋈ 2048M on the QDR cluster");
     let paper_totals = [11.16, 8.68, 7.19, 6.09, 5.36, 5.02, 4.46, 4.14, 3.84];
     let mut t = Table::new(&[
-        "machines", "histogram", "network part.", "local part.", "build-probe", "total", "(paper)",
+        "machines",
+        "histogram",
+        "network part.",
+        "local part.",
+        "build-probe",
+        "total",
+        "(paper)",
     ]);
     let mut firsts = Vec::new();
     for m in 2..=10usize {
-        let out = run_scaled_join(scale, ClusterSpec::qdr_cluster(m), 2048, 2048, Skew::None, |_| {});
+        let out = run_scaled_join(
+            scale,
+            ClusterSpec::qdr_cluster(m),
+            2048,
+            2048,
+            Skew::None,
+            |_| {},
+        );
         let [h, n, l, b, total] = scale.paper_phases(&out.phases);
         firsts.push((m, n, l, b));
         t.row(vec![
@@ -238,7 +325,10 @@ pub fn fig7a(scale: Scale) {
     println!("{}", t.render());
     let (_, n2, l2, b2) = firsts[0];
     let (_, n10, l10, b10) = firsts[8];
-    println!("Speed-up 2→10 machines: network pass {:.2}x (paper: limited by the", n2 / n10);
+    println!(
+        "Speed-up 2→10 machines: network pass {:.2}x (paper: limited by the",
+        n2 / n10
+    );
     println!(
         "network), local pass {:.2}x (paper: 4.73x), build-probe {:.2}x (paper: 5.00x).",
         l2 / l10,
@@ -251,11 +341,25 @@ pub fn fig7b(scale: Scale) {
     hdr("Figure 7b — scale-out with increasing workload on the QDR cluster");
     let paper_totals = [5.69, 6.52, 7.16, 7.57, 8.24, 8.67, 9.08, 9.39, 9.97];
     let mut t = Table::new(&[
-        "machines", "tuples/relation", "histogram", "network part.", "local part.", "build-probe", "total", "(paper)",
+        "machines",
+        "tuples/relation",
+        "histogram",
+        "network part.",
+        "local part.",
+        "build-probe",
+        "total",
+        "(paper)",
     ]);
     for m in 2..=10usize {
         let millions = 512 * m as u64;
-        let out = run_scaled_join(scale, ClusterSpec::qdr_cluster(m), millions, millions, Skew::None, |_| {});
+        let out = run_scaled_join(
+            scale,
+            ClusterSpec::qdr_cluster(m),
+            millions,
+            millions,
+            Skew::None,
+            |_| {},
+        );
         let [h, n, l, b, total] = scale.paper_phases(&out.phases);
         t.row(vec![
             m.to_string(),
@@ -278,11 +382,16 @@ pub fn fig7b(scale: Scale) {
 /// machines, dynamic assignment).
 pub fn fig8(scale: Scale) {
     hdr("Figure 8 — data skew (128M ⋈ 2048M, dynamic assignment)");
-    let paper = [
-        (4usize, [2.49, 4.41, 8.19]),
-        (8usize, [4.19, 5.04, 8.51]),
-    ];
-    let mut t = Table::new(&["machines", "skew", "histogram", "network part.", "local+bp", "total", "(paper)"]);
+    let paper = [(4usize, [2.49, 4.41, 8.19]), (8usize, [4.19, 5.04, 8.51])];
+    let mut t = Table::new(&[
+        "machines",
+        "skew",
+        "histogram",
+        "network part.",
+        "local+bp",
+        "total",
+        "(paper)",
+    ]);
     for (m, paper_vals) in paper {
         for (i, (label, skew)) in [
             ("none", Skew::None),
@@ -320,7 +429,12 @@ pub fn fig8(scale: Scale) {
 pub fn fig8_work_sharing(scale: Scale) {
     hdr("Extension — Figure 8 workloads with work sharing");
     let mut t = Table::new(&[
-        "machines", "skew", "baseline", "+probe stealing", "+parallel local pass", "combined gain",
+        "machines",
+        "skew",
+        "baseline",
+        "+probe stealing",
+        "+parallel local pass",
+        "combined gain",
     ]);
     for m in [4usize, 8] {
         for (label, skew) in [
@@ -366,13 +480,27 @@ pub fn fig8_work_sharing(scale: Scale) {
 /// Figures 9a/9b: analytical model vs simulated execution.
 pub fn fig9(scale: Scale, fdr: bool) {
     let (name, specs): (&str, Vec<ClusterSpec>) = if fdr {
-        ("Figure 9a — model vs measured on the FDR cluster", (2..=4).map(ClusterSpec::fdr_cluster).collect())
+        (
+            "Figure 9a — model vs measured on the FDR cluster",
+            (2..=4).map(ClusterSpec::fdr_cluster).collect(),
+        )
     } else {
-        ("Figure 9b — model vs measured on the QDR cluster", [4, 6, 8, 10].into_iter().map(ClusterSpec::qdr_cluster).collect())
+        (
+            "Figure 9b — model vs measured on the QDR cluster",
+            [4, 6, 8, 10]
+                .into_iter()
+                .map(ClusterSpec::qdr_cluster)
+                .collect(),
+        )
     };
     hdr(name);
     let mut t = Table::new(&[
-        "machines", "measured total", "estimated (§5)", "refined est.", "abs err §5", "abs err refined",
+        "machines",
+        "measured total",
+        "estimated (§5)",
+        "refined est.",
+        "abs err §5",
+        "abs err refined",
     ]);
     let mut errs = Vec::new();
     let mut errs_refined = Vec::new();
@@ -407,15 +535,25 @@ pub fn fig9(scale: Scale, fdr: bool) {
 /// Figures 10a/10b: network partitioning pass with 4 vs 8 cores/machine.
 pub fn fig10(scale: Scale, fdr: bool) {
     let (name, machines): (&str, Vec<usize>) = if fdr {
-        ("Figure 10b — network partitioning with 4 vs 8 cores (FDR)", (2..=4).collect())
+        (
+            "Figure 10b — network partitioning with 4 vs 8 cores (FDR)",
+            (2..=4).collect(),
+        )
     } else {
-        ("Figure 10a — network partitioning with 4 vs 8 cores (QDR)", (2..=10).collect())
+        (
+            "Figure 10a — network partitioning with 4 vs 8 cores (QDR)",
+            (2..=10).collect(),
+        )
     };
     hdr(name);
     let mut t = Table::new(&["machines", "4 cores", "8 cores", "8-core benefit"]);
     for m in machines {
         let spec = |cores| {
-            let base = if fdr { ClusterSpec::fdr_cluster(m) } else { ClusterSpec::qdr_cluster(m) };
+            let base = if fdr {
+                ClusterSpec::fdr_cluster(m)
+            } else {
+                ClusterSpec::qdr_cluster(m)
+            };
             base.with_cores(cores)
         };
         let t4 = run_scaled_join(scale, spec(4), 2048, 2048, Skew::None, |_| {});
@@ -459,8 +597,16 @@ pub fn wide_tuples(scale: Scale) {
     let t64 = run_width::<Tuple64>(scale, 512);
     let mut t = Table::new(&["workload", "total (s)", "vs 16-byte"]);
     t.row(vec!["2048M x 16B".into(), secs(t16), "-".into()]);
-    t.row(vec!["1024M x 32B".into(), secs(t32), format!("{:+.1}%", (t32 / t16 - 1.0) * 100.0)]);
-    t.row(vec![" 512M x 64B".into(), secs(t64), format!("{:+.1}%", (t64 / t16 - 1.0) * 100.0)]);
+    t.row(vec![
+        "1024M x 32B".into(),
+        secs(t32),
+        format!("{:+.1}%", (t32 / t16 - 1.0) * 100.0),
+    ]);
+    t.row(vec![
+        " 512M x 64B".into(),
+        secs(t64),
+        format!("{:+.1}%", (t64 / t16 - 1.0) * 100.0),
+    ]);
     println!("{}", t.render());
     println!("Paper: \"the execution time of the join, as well as the execution time");
     println!("of each phase, is identical for all three workloads\" — data movement,");
@@ -470,7 +616,13 @@ pub fn wide_tuples(scale: Scale) {
 /// Table 2: the hardware configurations (presets).
 pub fn hardware(_scale: Scale) {
     hdr("Table 2 — hardware configurations modeled by the presets");
-    let mut t = Table::new(&["preset", "machines", "cores/machine", "interconnect", "bandwidth"]);
+    let mut t = Table::new(&[
+        "preset",
+        "machines",
+        "cores/machine",
+        "interconnect",
+        "bandwidth",
+    ]);
     for spec in [
         ClusterSpec::qdr_cluster(10),
         ClusterSpec::fdr_cluster(4),
@@ -499,17 +651,28 @@ pub fn optimal(_scale: Scale) {
     let qdr = FabricConfig::qdr();
     let fdr = FabricConfig::fdr();
     let ps_part = rsj_cluster::CostModel::cluster().partition_rate;
-    let mut t = Table::new(&["network", "machines", "optimal cores (Eq. 12)", "paper says"]);
+    let mut t = Table::new(&[
+        "network",
+        "machines",
+        "optimal cores (Eq. 12)",
+        "paper says",
+    ]);
     t.row(vec![
         "QDR".into(),
         "10".into(),
-        format!("{:.1}", model::optimal_cores(qdr.effective_bandwidth(10), ps_part, 10)),
+        format!(
+            "{:.1}",
+            model::optimal_cores(qdr.effective_bandwidth(10), ps_part, 10)
+        ),
         "4 cores".into(),
     ]);
     t.row(vec![
         "FDR".into(),
         "4".into(),
-        format!("{:.1}", model::optimal_cores(fdr.effective_bandwidth(4), ps_part, 4)),
+        format!(
+            "{:.1}",
+            model::optimal_cores(fdr.effective_bandwidth(4), ps_part, 4)
+        ),
         "7 cores".into(),
     ]);
     println!("{}", t.render());
@@ -540,12 +703,8 @@ pub fn buffer_size_sweep(scale: Scale) {
             Skew::None,
             |c| c.rdma_buf_size = buf_kib * 1024,
         );
-        let bound = model::max_machines_for_full_buffers(
-            2048.0 * MB_PER_MTUPLES,
-            1024,
-            8,
-            buf_kib * 1024,
-        );
+        let bound =
+            model::max_machines_for_full_buffers(2048.0 * MB_PER_MTUPLES, 1024, 8, buf_kib * 1024);
         t.row(vec![
             format!("{buf_kib} KiB"),
             secs(scale.paper_seconds(out.phases.network_partition)),
@@ -566,11 +725,32 @@ pub fn operators(scale: Scale) {
     hdr("Extension — operator comparison (2x1024M, 4 FDR machines)");
     use rsj_cluster::ClusterSpec;
     let machines = 4;
-    let mut t = Table::new(&["operator", "histogram", "network", "local", "final", "total"]);
+    let mut t = Table::new(&[
+        "operator",
+        "histogram",
+        "network",
+        "local",
+        "final",
+        "total",
+    ]);
 
-    let hash = run_scaled_join(scale, ClusterSpec::fdr_cluster(machines), 1024, 1024, Skew::None, |_| {});
+    let hash = run_scaled_join(
+        scale,
+        ClusterSpec::fdr_cluster(machines),
+        1024,
+        1024,
+        Skew::None,
+        |_| {},
+    );
     let [h, n, l, b, total] = scale.paper_phases(&hash.phases);
-    t.row(vec!["radix hash join".into(), secs(h), secs(n), secs(l), secs(b), secs(total)]);
+    t.row(vec![
+        "radix hash join".into(),
+        secs(h),
+        secs(n),
+        secs(l),
+        secs(b),
+        secs(total),
+    ]);
 
     // Sort-merge join on the identical workload (fixed costs scaled like
     // the hash join's).
@@ -583,7 +763,14 @@ pub fn operators(scale: Scale) {
     let sm = rsj_operators::run_sort_merge_join(sm_cfg, w.r, w.s);
     w.oracle.verify(&sm.result);
     let [h, n, l, b, total] = scale.paper_phases(&sm.phases);
-    t.row(vec!["sort-merge join".into(), secs(h), secs(n), secs(l), secs(b), secs(total)]);
+    t.row(vec![
+        "sort-merge join".into(),
+        secs(h),
+        secs(n),
+        secs(l),
+        secs(b),
+        secs(total),
+    ]);
 
     // Cyclo-join baseline.
     let w = crate::workload(scale, 1024, 1024, machines, Skew::None);
@@ -594,7 +781,14 @@ pub fn operators(scale: Scale) {
     let cyclo = rsj_operators::run_cyclo_join(cy_cfg, w.r, w.s);
     w.oracle.verify(&cyclo.result);
     let [h, n, l, b, total] = scale.paper_phases(&cyclo.phases);
-    t.row(vec!["cyclo-join".into(), secs(h), secs(n), secs(l), secs(b), secs(total)]);
+    t.row(vec![
+        "cyclo-join".into(),
+        secs(h),
+        secs(n),
+        secs(l),
+        secs(b),
+        secs(total),
+    ]);
 
     println!("{}", t.render());
     println!("All three produce the identical verified result. The radix hash join");
@@ -614,15 +808,25 @@ pub fn materialization(scale: Scale) {
         ("local buffers", MaterializeMode::Local),
         ("ship to coordinator", MaterializeMode::ToCoordinator),
     ] {
-        let out = run_scaled_join(scale, ClusterSpec::fdr_cluster(4), 1024, 1024, Skew::None, |c| {
-            c.materialize = mode;
-        });
+        let out = run_scaled_join(
+            scale,
+            ClusterSpec::fdr_cluster(4),
+            1024,
+            1024,
+            Skew::None,
+            |c| {
+                c.materialize = mode;
+            },
+        );
         let [_, _, _, b, total] = scale.paper_phases(&out.phases);
         t.row(vec![
             label.to_string(),
             secs(b),
             secs(total),
-            format!("{:.1} GB", out.materialized_bytes as f64 * scale.factor as f64 / 1e9),
+            format!(
+                "{:.1} GB",
+                out.materialized_bytes as f64 * scale.factor as f64 / 1e9
+            ),
         ]);
     }
     println!("{}", t.render());

@@ -100,7 +100,11 @@ impl Scale {
     /// docs). Also picks a second-pass bit count that keeps final
     /// fragments near the paper's ~32 KiB working set at the scaled
     /// volume.
-    pub fn scale_config(&self, mut cfg: DistJoinConfig, total_paper_millions: u64) -> DistJoinConfig {
+    pub fn scale_config(
+        &self,
+        mut cfg: DistJoinConfig,
+        total_paper_millions: u64,
+    ) -> DistJoinConfig {
         // Data-linear quantities.
         cfg.rdma_buf_size = self.scale_buf(cfg.rdma_buf_size);
         // Fixed per-event costs shrink with the scale.
@@ -132,7 +136,13 @@ pub struct Workload {
 
 /// Generate a scaled workload of `r_millions ⋈ s_millions` (paper tuple
 /// counts) across `machines`.
-pub fn workload(scale: Scale, r_millions: u64, s_millions: u64, machines: usize, skew: Skew) -> Workload {
+pub fn workload(
+    scale: Scale,
+    r_millions: u64,
+    s_millions: u64,
+    machines: usize,
+    skew: Skew,
+) -> Workload {
     let n_r = scale.tuples(r_millions);
     let n_s = scale.tuples(s_millions);
     let r = generate_inner::<Tuple16>(n_r, machines, 0xFEED + r_millions);
@@ -297,10 +307,7 @@ mod tests {
     fn scale_math() {
         let s = Scale::new(256);
         assert_eq!(s.tuples(2048), 8_000_000);
-        assert_eq!(
-            s.paper_seconds(rsj_sim::SimDuration::from_millis(10)),
-            2.56
-        );
+        assert_eq!(s.paper_seconds(rsj_sim::SimDuration::from_millis(10)), 2.56);
     }
 
     #[test]

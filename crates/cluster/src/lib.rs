@@ -10,16 +10,25 @@
 //!   measured 955 MB/s partitioning speed (Eq. 15);
 //! * [`Meter`] — how simulated workers charge compute time to the virtual
 //!   clock;
-//! * [`PhaseTimes`] — the per-phase breakdown every experiment reports.
+//! * [`PhaseTimes`] — the per-phase breakdown every experiment reports;
+//! * [`runtime`] — the shared phase runtime every distributed operator
+//!   runs on: fabric + per-core simulated threads + cluster barrier with
+//!   structured phase bookkeeping ([`runtime::PhaseEvent`]);
+//! * [`wire`] — the unified 32-bit wire-tag codec shared by the join and
+//!   the §7 operators.
 
 #![warn(missing_docs)]
 
 mod cost;
 mod meter;
 mod phases;
+pub mod runtime;
 mod topology;
+pub mod wire;
 
 pub use cost::CostModel;
 pub use meter::Meter;
 pub use phases::PhaseTimes;
+pub use runtime::{run_cluster, ClusterRun, PhaseEvent, Runtime};
 pub use topology::{ClusterSpec, Interconnect};
+pub use wire::{ranges, TagError, WireTag};

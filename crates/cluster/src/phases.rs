@@ -3,26 +3,46 @@
 //! partitioning, build-probe), so the joins produce this breakdown too.
 
 use rsj_sim::SimDuration;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// Execution-time breakdown of one join run, mirroring the stacked bars of
 /// Figures 5b and 7.
-#[derive(Copy, Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default)]
 pub struct PhaseTimes {
     /// Histogram computation and exchange (§4.1).
-    #[serde(with = "duration_secs")]
     pub histogram: SimDuration,
     /// The network partitioning pass — partitioning interleaved with
     /// transfer (§4.2.1); for single-machine joins this is the first
     /// (local) partitioning pass.
-    #[serde(with = "duration_secs")]
     pub network_partition: SimDuration,
     /// Subsequent local partitioning passes (§4.2.3).
-    #[serde(with = "duration_secs")]
     pub local_partition: SimDuration,
     /// Build and probe (§4.3).
-    #[serde(with = "duration_secs")]
     pub build_probe: SimDuration,
+}
+
+// Durations serialize as fractional seconds for report output.
+impl Serialize for PhaseTimes {
+    fn to_value(&self) -> Value {
+        serde::obj(
+            self.rows()
+                .map(|(name, d)| (name, Value::Num(d.as_secs_f64()))),
+        )
+    }
+}
+
+impl Deserialize for PhaseTimes {
+    fn from_value(v: &Value) -> Result<PhaseTimes, Error> {
+        let secs = |key| -> Result<SimDuration, Error> {
+            Ok(SimDuration::from_secs_f64(v.field(key)?.as_f64()?))
+        };
+        Ok(PhaseTimes {
+            histogram: secs("histogram")?,
+            network_partition: secs("network_partition")?,
+            local_partition: secs("local_partition")?,
+            build_probe: secs("build_probe")?,
+        })
+    }
 }
 
 impl PhaseTimes {
@@ -52,21 +72,6 @@ impl PhaseTimes {
             local_partition: s(self.local_partition),
             build_probe: s(self.build_probe),
         }
-    }
-}
-
-mod duration_secs {
-    //! Serialize [`SimDuration`] as fractional seconds for report output.
-    use rsj_sim::SimDuration;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(d: &SimDuration, s: S) -> Result<S::Ok, S::Error> {
-        d.as_secs_f64().serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<SimDuration, D::Error> {
-        let secs = f64::deserialize(d)?;
-        Ok(SimDuration::from_secs_f64(secs))
     }
 }
 

@@ -1,0 +1,336 @@
+//! The shared phase runtime: a fabric, one simulated thread per core per
+//! machine, a cluster-wide barrier, and structured phase bookkeeping.
+//!
+//! Every distributed operator in the workspace — the main radix hash join
+//! (`rsj-core`) and the §7 operators (`rsj-operators`) — runs as a set of
+//! `machines × cores` simulated worker threads that proceed through
+//! algorithm phases separated by cluster-wide barriers. This module owns
+//! that skeleton so each operator stays focused on its algorithm:
+//!
+//! * [`Runtime::sync_named`] ends a phase: it records, per machine, when
+//!   that machine's slowest core arrived ([`PhaseEvent`]), and the global
+//!   barrier-release time (a *mark*);
+//! * [`PhaseTimes::from_events`] folds the named events of the main join
+//!   back into the per-phase breakdown every experiment reports.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rsj_rdma::{Fabric, FabricConfig, NicCosts};
+use rsj_sim::{SimBarrier, SimCtx, SimDuration, SimTime, Simulation};
+
+use crate::phases::PhaseTimes;
+
+/// One machine's share of one named phase: the phase started for everyone
+/// at `start` (the previous barrier's release) and this machine's slowest
+/// core reached the closing barrier at `end`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PhaseEvent {
+    /// Phase name, as passed to [`Runtime::sync_named`].
+    pub name: &'static str,
+    /// Machine index.
+    pub machine: usize,
+    /// Phase start (global; the previous phase's barrier release).
+    pub start: SimTime,
+    /// This machine's arrival at the closing barrier.
+    pub end: SimTime,
+}
+
+impl PhaseEvent {
+    /// How long this machine spent in the phase (including any wait for
+    /// its own slowest core, excluding the wait for other machines).
+    pub fn duration(&self) -> rsj_sim::SimDuration {
+        self.end - self.start
+    }
+}
+
+/// Bookkeeping mutated under one lock at each barrier.
+struct RunState {
+    /// Global phase boundaries: barrier-release times, starting at t = 0.
+    marks: Vec<SimTime>,
+    /// Completed per-machine phase records, in phase order.
+    events: Vec<PhaseEvent>,
+    /// Per-machine max arrival time at the *current* phase's barrier.
+    pending: Vec<SimTime>,
+}
+
+/// The shared environment handed to every worker of a distributed
+/// operator.
+pub struct Runtime {
+    /// The simulated fabric connecting the machines.
+    pub fabric: Arc<Fabric>,
+    barrier: Arc<SimBarrier>,
+    state: Mutex<RunState>,
+    machines: usize,
+    cores: usize,
+}
+
+/// What a finished [`Runtime::run`] reports.
+pub struct ClusterRun {
+    /// Global phase boundaries (barrier-release times), starting with
+    /// t = 0; one extra entry per [`Runtime::sync`]/[`Runtime::sync_named`].
+    pub marks: Vec<SimTime>,
+    /// Per-machine records of every *named* phase, in phase order.
+    pub events: Vec<PhaseEvent>,
+}
+
+impl Runtime {
+    /// Build the runtime for a `machines × cores` cluster over a fresh
+    /// fabric. Workers are spawned by [`Runtime::run`].
+    pub fn new(
+        machines: usize,
+        cores: usize,
+        fabric_cfg: FabricConfig,
+        nic: NicCosts,
+    ) -> Arc<Runtime> {
+        assert!(machines >= 1 && cores >= 1);
+        Arc::new(Runtime {
+            fabric: Fabric::new(fabric_cfg, nic, machines),
+            barrier: SimBarrier::new(machines * cores),
+            state: Mutex::new(RunState {
+                marks: vec![SimTime::ZERO],
+                events: Vec::new(),
+                pending: vec![SimTime::ZERO; machines],
+            }),
+            machines,
+            cores,
+        })
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Worker cores per machine.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// End a named phase: cluster-wide barrier, recording one
+    /// [`PhaseEvent`] per machine plus a global mark. Returns `true` on
+    /// exactly one core (the leader).
+    pub fn sync_named(&self, ctx: &SimCtx, name: &'static str, machine: usize) -> bool {
+        {
+            let mut st = self.state.lock();
+            st.pending[machine] = st.pending[machine].max(ctx.now());
+        }
+        let leader = self.barrier.wait(ctx);
+        if leader {
+            let now = ctx.now();
+            let mut st = self.state.lock();
+            let start = *st.marks.last().expect("marks start non-empty");
+            for machine in 0..self.machines {
+                let end = st.pending[machine];
+                st.events.push(PhaseEvent {
+                    name,
+                    machine,
+                    start,
+                    end,
+                });
+                st.pending[machine] = SimTime::ZERO;
+            }
+            st.marks.push(now);
+        }
+        leader
+    }
+
+    /// End an anonymous phase: cluster-wide barrier plus a global mark,
+    /// without per-machine events. Returns `true` on the leader.
+    pub fn sync(&self, ctx: &SimCtx) -> bool {
+        let leader = self.barrier.wait(ctx);
+        if leader {
+            let mut st = self.state.lock();
+            let now = ctx.now();
+            st.marks.push(now);
+            // A mark is also a phase boundary for event bookkeeping.
+            st.pending.fill(SimTime::ZERO);
+        }
+        leader
+    }
+
+    /// Cluster-wide barrier without any bookkeeping.
+    pub fn sync_quiet(&self, ctx: &SimCtx) -> bool {
+        self.barrier.wait(ctx)
+    }
+
+    /// Run `worker(ctx, runtime, machine, core)` on every simulated core,
+    /// shutting the fabric down after the last worker finishes. Returns
+    /// the recorded marks and events.
+    pub fn run<F>(self: &Arc<Self>, worker: F) -> ClusterRun
+    where
+        F: Fn(&SimCtx, &Runtime, usize, usize) + Send + Sync + 'static,
+    {
+        let worker = Arc::new(worker);
+        let sim = Simulation::new();
+        self.fabric.launch(&sim);
+        for mach in 0..self.machines {
+            for core in 0..self.cores {
+                let rt = Arc::clone(self);
+                let worker = Arc::clone(&worker);
+                sim.spawn(format!("m{mach}-c{core}"), move |ctx| {
+                    worker(ctx, &rt, mach, core);
+                    // The last worker through the final barrier stops the
+                    // fabric engines.
+                    if rt.sync_quiet(ctx) {
+                        rt.fabric.shutdown(ctx);
+                    }
+                });
+            }
+        }
+        sim.run();
+        let st = self.state.lock();
+        ClusterRun {
+            marks: st.marks.clone(),
+            events: st.events.clone(),
+        }
+    }
+}
+
+/// Convenience wrapper: build a [`Runtime`] and run `worker` on every core
+/// of a `machines × cores` cluster. Returns the phase bookkeeping.
+pub fn run_cluster<F>(
+    machines: usize,
+    cores: usize,
+    fabric_cfg: FabricConfig,
+    nic: NicCosts,
+    worker: F,
+) -> ClusterRun
+where
+    F: Fn(&SimCtx, &Runtime, usize, usize) + Send + Sync + 'static,
+{
+    Runtime::new(machines, cores, fabric_cfg, nic).run(worker)
+}
+
+impl PhaseTimes {
+    /// Fold named phase events into the canonical per-phase breakdown.
+    ///
+    /// Each phase's duration is the span from its global start to the
+    /// arrival of the cluster-wide slowest machine — so as long as the
+    /// phases were recorded back-to-back, the four durations sum to the
+    /// end-to-end time. Unknown phase names are ignored.
+    pub fn from_events(events: &[PhaseEvent]) -> PhaseTimes {
+        let span = |name: &str| {
+            events
+                .iter()
+                .filter(|e| e.name == name)
+                .map(|e| e.end - e.start)
+                .max()
+                .unwrap_or(SimDuration::ZERO)
+        };
+        PhaseTimes {
+            histogram: span("histogram"),
+            network_partition: span("network_partition"),
+            local_partition: span("local_partition"),
+            build_probe: span("build_probe"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_sim::SimDuration;
+
+    #[test]
+    fn marks_record_phase_boundaries() {
+        let run = run_cluster(
+            2,
+            2,
+            FabricConfig::fdr(),
+            NicCosts::default(),
+            |ctx, rt, mach, core| {
+                ctx.advance(SimDuration::from_millis(1 + (mach * 2 + core) as u64));
+                rt.sync(ctx);
+                ctx.advance(SimDuration::from_millis(2));
+                rt.sync(ctx);
+            },
+        );
+        assert_eq!(run.marks.len(), 3);
+        assert_eq!(run.marks[1].as_nanos(), 4_000_000); // slowest of phase 1
+        assert_eq!(run.marks[2].as_nanos(), 6_000_000);
+    }
+
+    #[test]
+    fn named_sync_records_per_machine_events() {
+        let run = run_cluster(
+            3,
+            2,
+            FabricConfig::qdr(),
+            NicCosts::default(),
+            |ctx, rt, mach, core| {
+                // Machine m's slowest core takes 10(m+1) ms in phase one.
+                ctx.advance(SimDuration::from_millis(
+                    10 * (mach as u64 + 1) - core as u64,
+                ));
+                rt.sync_named(ctx, "alpha", mach);
+                ctx.advance(SimDuration::from_millis(5));
+                rt.sync_named(ctx, "beta", mach);
+            },
+        );
+        assert_eq!(run.events.len(), 6);
+        let alpha: Vec<_> = run.events.iter().filter(|e| e.name == "alpha").collect();
+        assert_eq!(alpha.len(), 3);
+        for (m, ev) in alpha.iter().enumerate() {
+            assert_eq!(ev.machine, m);
+            assert_eq!(ev.start, SimTime::ZERO);
+            assert_eq!(ev.end.as_nanos(), 10_000_000 * (m as u64 + 1));
+        }
+        // Phase two starts for everyone at the slowest machine's arrival.
+        let beta: Vec<_> = run.events.iter().filter(|e| e.name == "beta").collect();
+        assert_eq!(beta[0].start, run.marks[1]);
+        assert_eq!(beta[2].end, run.marks[2]);
+    }
+
+    #[test]
+    fn events_fold_into_phase_times_that_sum_to_total() {
+        let run = run_cluster(
+            2,
+            1,
+            FabricConfig::fdr(),
+            NicCosts::default(),
+            |ctx, rt, mach, _core| {
+                for (phase, ms) in [
+                    ("histogram", 1u64),
+                    ("network_partition", 7),
+                    ("local_partition", 3),
+                    ("build_probe", 9),
+                ] {
+                    ctx.advance(SimDuration::from_millis(ms * (mach as u64 + 1)));
+                    rt.sync_named(ctx, phase, mach);
+                }
+            },
+        );
+        let times = PhaseTimes::from_events(&run.events);
+        // Machine 1 is the slowest throughout: each phase takes 2x ms.
+        assert_eq!(times.histogram, SimDuration::from_millis(2));
+        assert_eq!(times.network_partition, SimDuration::from_millis(14));
+        assert_eq!(times.local_partition, SimDuration::from_millis(6));
+        assert_eq!(times.build_probe, SimDuration::from_millis(18));
+        // Back-to-back phases: durations sum to the end-to-end time.
+        assert_eq!(times.total(), *run.marks.last().unwrap() - SimTime::ZERO);
+    }
+
+    #[test]
+    fn workers_can_use_the_fabric() {
+        use rsj_rdma::HostId;
+        let run = run_cluster(
+            2,
+            1,
+            FabricConfig::qdr(),
+            NicCosts::default(),
+            |ctx, rt, mach, _core| {
+                let nic = rt.fabric.nic(HostId(mach));
+                let dst = HostId(1 - mach);
+                let ev = nic.post_send(ctx, dst, 5, vec![0u8; 4096]);
+                let c = nic.recv(ctx).expect("peer message");
+                assert_eq!(c.tag, 5);
+                nic.repost_recv(ctx);
+                ev.wait(ctx);
+                rt.sync(ctx);
+            },
+        );
+        assert_eq!(run.marks.len(), 2);
+        assert!(run.marks[1] > SimTime::ZERO);
+    }
+}

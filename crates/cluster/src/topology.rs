@@ -1,12 +1,12 @@
 //! Cluster topologies: the three hardware configurations of Table 2.
 
 use rsj_rdma::FabricConfig;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 use crate::cost::CostModel;
 
 /// Which interconnect a configuration uses.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Interconnect {
     /// QDR InfiniBand (3.4 GB/s measured, with congestion — Eq. 15).
     Qdr,
@@ -32,9 +32,35 @@ impl Interconnect {
     }
 }
 
+impl Serialize for Interconnect {
+    fn to_value(&self) -> Value {
+        Value::Str(
+            match self {
+                Interconnect::Qdr => "Qdr",
+                Interconnect::Fdr => "Fdr",
+                Interconnect::IpoIb => "IpoIb",
+                Interconnect::Qpi => "Qpi",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Deserialize for Interconnect {
+    fn from_value(v: &Value) -> Result<Interconnect, Error> {
+        match v.as_str()? {
+            "Qdr" => Ok(Interconnect::Qdr),
+            "Fdr" => Ok(Interconnect::Fdr),
+            "IpoIb" => Ok(Interconnect::IpoIb),
+            "Qpi" => Ok(Interconnect::Qpi),
+            other => Err(Error::new(format!("unknown interconnect `{other}`"))),
+        }
+    }
+}
+
 /// A concrete cluster: machine count, cores per machine, interconnect and
 /// cost model.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ClusterSpec {
     /// Human-readable name (for reports).
     pub name: String,
@@ -46,6 +72,30 @@ pub struct ClusterSpec {
     pub interconnect: Interconnect,
     /// Per-thread cost model.
     pub cost: CostModel,
+}
+
+impl Serialize for ClusterSpec {
+    fn to_value(&self) -> Value {
+        serde::obj([
+            ("name", self.name.to_value()),
+            ("machines", self.machines.to_value()),
+            ("cores_per_machine", self.cores_per_machine.to_value()),
+            ("interconnect", self.interconnect.to_value()),
+            ("cost", self.cost.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ClusterSpec {
+    fn from_value(v: &Value) -> Result<ClusterSpec, Error> {
+        Ok(ClusterSpec {
+            name: Deserialize::from_value(v.field("name")?)?,
+            machines: Deserialize::from_value(v.field("machines")?)?,
+            cores_per_machine: Deserialize::from_value(v.field("cores_per_machine")?)?,
+            interconnect: Deserialize::from_value(v.field("interconnect")?)?,
+            cost: Deserialize::from_value(v.field("cost")?)?,
+        })
+    }
 }
 
 impl ClusterSpec {
@@ -108,7 +158,10 @@ impl ClusterSpec {
 
     /// Override the cores per machine (Figure 10 sweeps 4 vs 8).
     pub fn with_cores(mut self, cores: usize) -> ClusterSpec {
-        assert!(cores >= 2, "need at least one partitioning + one receiver core");
+        assert!(
+            cores >= 2,
+            "need at least one partitioning + one receiver core"
+        );
         self.cores_per_machine = cores;
         self
     }

@@ -1,0 +1,172 @@
+//! The unified wire-tag codec: the 32-bit immediate value attached to
+//! every two-sided message by the distributed join and the §7 operators.
+//!
+//! Layout (one codec for every operator — the superset of what each
+//! needs):
+//!
+//! ```text
+//! bits 31..30  kind      (0 = Data, 1 = Histogram, 2 = Eos, 3 = Result)
+//! bit  24      relation  (Data only: 0 = R, 1 = S)
+//! bits 23..0   partition (Data only)
+//! ```
+//!
+//! All other bits must be zero; [`WireTag::decode`] is fallible and
+//! rejects set must-be-zero bits with a [`TagError`] carrying the raw
+//! immediate, replacing the two divergent panic paths the join and the
+//! operators used to have.
+
+use std::fmt;
+
+/// Inner-relation index.
+pub const REL_R: usize = 0;
+/// Outer-relation index.
+pub const REL_S: usize = 1;
+
+const KIND_SHIFT: u32 = 30;
+const KIND_DATA: u32 = 0;
+const KIND_HIST: u32 = 1;
+const KIND_EOS: u32 = 2;
+const KIND_RESULT: u32 = 3;
+const REL_SHIFT: u32 = 24;
+const PART_MASK: u32 = (1 << REL_SHIFT) - 1;
+/// In a Data tag, bits 29..25 sit between the relation bit and the
+/// partition id and are never used.
+const DATA_UNUSED_MASK: u32 = ((1 << KIND_SHIFT) - 1) & !(1 << REL_SHIFT) & !PART_MASK;
+
+/// Decoded message tag.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum WireTag {
+    /// A machine-level histogram (phase-one exchange).
+    Histogram,
+    /// Partition payload: `rel` ∈ {[`REL_R`], [`REL_S`]}, `part` < 2²⁴.
+    Data {
+        /// Relation index.
+        rel: usize,
+        /// Partition id.
+        part: usize,
+    },
+    /// One sender finished streaming to this machine.
+    Eos,
+    /// Materialized join-result bytes bound for the coordinator (§4.3).
+    Result,
+}
+
+/// A 32-bit immediate that does not decode to a [`WireTag`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct TagError {
+    /// The rejected immediate value.
+    pub raw: u32,
+    reason: &'static str,
+}
+
+impl fmt::Display for TagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid wire tag {:#010x}: {}", self.raw, self.reason)
+    }
+}
+
+impl std::error::Error for TagError {}
+
+impl WireTag {
+    /// Encode into the 32-bit immediate.
+    pub fn encode(self) -> u32 {
+        match self {
+            WireTag::Histogram => KIND_HIST << KIND_SHIFT,
+            WireTag::Eos => KIND_EOS << KIND_SHIFT,
+            WireTag::Result => KIND_RESULT << KIND_SHIFT,
+            WireTag::Data { rel, part } => {
+                debug_assert!(rel == REL_R || rel == REL_S);
+                debug_assert!(part as u32 <= PART_MASK);
+                (KIND_DATA << KIND_SHIFT) | ((rel as u32) << REL_SHIFT) | part as u32
+            }
+        }
+    }
+
+    /// Decode from the 32-bit immediate, rejecting set must-be-zero bits.
+    pub fn decode(raw: u32) -> Result<WireTag, TagError> {
+        let payload = raw & !(0b11 << KIND_SHIFT);
+        match raw >> KIND_SHIFT {
+            KIND_DATA => {
+                if raw & DATA_UNUSED_MASK != 0 {
+                    Err(TagError {
+                        raw,
+                        reason: "Data tag has non-zero bits between relation and partition",
+                    })
+                } else {
+                    Ok(WireTag::Data {
+                        rel: ((raw >> REL_SHIFT) & 1) as usize,
+                        part: (raw & PART_MASK) as usize,
+                    })
+                }
+            }
+            kind if payload != 0 => Err(TagError {
+                raw,
+                reason: match kind {
+                    KIND_HIST => "Histogram tag has non-zero payload bits",
+                    KIND_EOS => "Eos tag has non-zero payload bits",
+                    _ => "Result tag has non-zero payload bits",
+                },
+            }),
+            KIND_HIST => Ok(WireTag::Histogram),
+            KIND_EOS => Ok(WireTag::Eos),
+            _ => Ok(WireTag::Result),
+        }
+    }
+}
+
+/// Split `len` items into `n` nearly-equal contiguous ranges.
+pub fn ranges(len: usize, n: usize) -> Vec<std::ops::Range<usize>> {
+    (0..n).map(|i| (i * len / n)..((i + 1) * len / n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for tag in [
+            WireTag::Histogram,
+            WireTag::Eos,
+            WireTag::Result,
+            WireTag::Data {
+                rel: REL_R,
+                part: 0,
+            },
+            WireTag::Data {
+                rel: REL_S,
+                part: (1 << 24) - 1,
+            },
+        ] {
+            assert_eq!(WireTag::decode(tag.encode()), Ok(tag));
+        }
+    }
+
+    #[test]
+    fn kind_three_is_result() {
+        assert_eq!(WireTag::decode(3 << 30), Ok(WireTag::Result));
+    }
+
+    #[test]
+    fn rejects_unused_bits_with_raw_value() {
+        // Data with a junk bit between relation and partition.
+        let raw = 1 << 27;
+        let err = WireTag::decode(raw).unwrap_err();
+        assert_eq!(err.raw, raw);
+        assert!(err.to_string().contains("0x08000000"));
+        // Non-data kinds with payload bits.
+        for kind in [KIND_HIST, KIND_EOS, KIND_RESULT] {
+            let raw = (kind << KIND_SHIFT) | 7;
+            let err = WireTag::decode(raw).unwrap_err();
+            assert_eq!(err.raw, raw);
+        }
+    }
+
+    #[test]
+    fn ranges_cover_exactly() {
+        let rs = ranges(10, 3);
+        assert_eq!(rs, vec![0..3, 3..6, 6..10]);
+        let total: usize = rs.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 10);
+    }
+}

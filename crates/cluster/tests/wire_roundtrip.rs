@@ -1,0 +1,49 @@
+//! Property tests of the unified wire-tag codec: every encodable tag
+//! round-trips through the 32-bit immediate, and every immediate either
+//! decodes to a tag that re-encodes to itself or is rejected with an
+//! error naming the raw value.
+
+use proptest::prelude::*;
+use rsj_cluster::wire::{REL_R, REL_S};
+use rsj_cluster::{TagError, WireTag};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Data tags round-trip for every relation and 24-bit partition id.
+    #[test]
+    fn prop_data_roundtrips(rel in 0usize..2, part in 0usize..(1 << 24)) {
+        let tag = WireTag::Data { rel, part };
+        prop_assert_eq!(WireTag::decode(tag.encode()), Ok(tag));
+    }
+
+    /// Decode is a partial inverse of encode over the whole u32 space:
+    /// accepted immediates re-encode bit-for-bit, rejected ones carry the
+    /// offending raw value in the error and its Display text.
+    #[test]
+    fn prop_decode_accepts_exactly_the_encodable_immediates(raw in any::<u32>()) {
+        match WireTag::decode(raw) {
+            Ok(tag) => prop_assert_eq!(tag.encode(), raw),
+            Err(TagError { raw: reported, .. }) => {
+                prop_assert_eq!(reported, raw);
+                let msg = WireTag::decode(raw).unwrap_err().to_string();
+                prop_assert!(msg.contains(&format!("{raw:#010x}")));
+            }
+        }
+    }
+
+    /// Control tags reject any payload contamination.
+    #[test]
+    fn prop_control_tags_reject_payload_bits(kind in 1u32..4, payload in 1u32..(1 << 30)) {
+        let raw = (kind << 30) | payload;
+        prop_assert!(WireTag::decode(raw).is_err());
+    }
+}
+
+#[test]
+fn control_tags_roundtrip() {
+    for tag in [WireTag::Histogram, WireTag::Eos, WireTag::Result] {
+        assert_eq!(WireTag::decode(tag.encode()), Ok(tag));
+    }
+    assert_ne!(REL_R, REL_S);
+}

@@ -182,13 +182,19 @@ impl DistJoinConfig {
     /// machines).
     pub fn validate(&self) {
         let (b1, b2) = self.radix_bits;
-        assert!(b1 >= 1 && b2 >= 1 && b1 + b2 <= 32, "radix bits out of range");
+        assert!(
+            b1 >= 1 && b2 >= 1 && b1 + b2 <= 32,
+            "radix bits out of range"
+        );
         assert!(b1 <= 20, "first-pass partition ids must fit the wire tag");
         assert!(
             (1usize << b1) >= self.cluster.machines,
             "need at least one first-pass partition per machine (Eq. 14)"
         );
-        assert!(self.rdma_buf_size >= 64, "RDMA buffers unrealistically small");
+        assert!(
+            self.rdma_buf_size >= 64,
+            "RDMA buffers unrealistically small"
+        );
         assert!(self.send_depth >= 1);
         assert!(self.skew_split_factor >= 1.0);
         if self.receive == ReceiveMode::TwoSided {

@@ -1,41 +1,34 @@
-//! The distributed radix hash join (§4), end to end.
+//! The distributed radix hash join (§4): the thin orchestrator.
 //!
-//! One simulated thread per core per machine executes the four phases the
-//! paper describes, separated by cluster-wide barriers so that per-phase
-//! times can be reported exactly like the paper's stacked bars:
+//! The four phases live in [`crate::phases`], one module each; this file
+//! only wires them together. One simulated thread per core per machine —
+//! provided by the promoted [`rsj_cluster::Runtime`] — executes the
+//! phases the paper describes, separated by cluster-wide named barriers
+//! so that per-phase times can be reported exactly like the paper's
+//! stacked bars:
 //!
-//! 1. **Histogram computation** (§4.1) — every thread scans its section of
-//!    both inputs; thread histograms combine into machine histograms,
-//!    which are exchanged over the network and combined into the global
-//!    histogram from which every machine derives the partition→machine
-//!    assignment and all receive-buffer sizes.
-//! 2. **Network partitioning pass** (§4.2.1) — threads partition their
-//!    input on the low b₁ radix bits; tuples of locally-assigned
-//!    partitions go to private local buffers, others into fixed-size
-//!    RDMA buffers that are posted to the target machine when full. With
-//!    interleaving, ≥2 buffers per (thread, partition) let computation
-//!    overlap the wire; the receiver side is either a dedicated core
-//!    draining two-sided completions or pre-registered one-sided regions.
-//! 3. **Local partitioning pass** (§4.2.3) — each machine refines its
-//!    assigned partitions on the next b₂ bits to cache-sized fragments.
-//! 4. **Build-probe** (§4.3) — chained hash tables per fragment; skewed
-//!    outer fragments are split into probe chunks shared among threads,
-//!    oversized inner fragments into multiple cache-sized tables.
+//! 1. **Histogram computation** (§4.1) — [`crate::phases::histogram`];
+//! 2. **Network partitioning pass** (§4.2.1) — [`crate::phases::network`];
+//! 3. **Local partitioning pass** (§4.2.3) — [`crate::phases::local`];
+//! 4. **Build-probe** (§4.3) — [`crate::phases::build_probe`].
+//!
+//! Each barrier records one [`rsj_cluster::PhaseEvent`] per machine;
+//! [`rsj_cluster::PhaseTimes::from_events`] folds them into the
+//! [`DistJoinOutcome`]'s per-phase breakdown.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use rsj_cluster::{Meter, PhaseTimes};
-use rsj_joins::{partition, partition_of, ChainedTable, NumaQueues, Partitioned};
-use rsj_rdma::{BufferPool, Fabric, HostId, Nic, RemoteMr, SendWindow};
-use rsj_sim::{SimBarrier, SimCtx, SimSemaphore, SimTime, Simulation};
-use rsj_workload::{decode_into, JoinResult, Relation, Tuple};
+use rsj_cluster::{Meter, PhaseTimes, Runtime};
+use rsj_rdma::HostId;
+use rsj_sim::{SimCtx, SimTime};
+use rsj_workload::{JoinResult, Relation, Tuple};
 
-use crate::config::{DistJoinConfig, MaterializeMode, ReceiveMode, TransportMode};
-use crate::histogram::{assign_partitions, Histogram, REL_R, REL_S};
-use crate::wire::Tag;
+use crate::config::{DistJoinConfig, MaterializeMode};
+use crate::phases::build_probe::phase_build_probe;
+use crate::phases::histogram::phase_histogram;
+use crate::phases::local::phase_local;
+use crate::phases::network::phase_network;
+use crate::phases::ClusterShared;
 
 /// Per-machine statistics of one run.
 #[derive(Copy, Clone, Debug, Default)]
@@ -75,131 +68,6 @@ pub struct DistJoinOutcome {
     pub materialized_bytes: u64,
 }
 
-/// Which relation's chunk a sender is currently partitioning.
-const RELS: [usize; 2] = [REL_R, REL_S];
-
-type MrKey = (usize, usize, usize, usize); // (dst, rel, part, src)
-
-enum BpTask<T> {
-    /// Build over fragment `j` of `r`, probe with fragment `j` of `s`.
-    BuildProbe {
-        r: Arc<Partitioned<T>>,
-        s: Arc<Partitioned<T>>,
-        j: usize,
-    },
-    /// Probe `s.part(j)[lo..hi]` against pre-built tables (skew split).
-    ProbeChunk {
-        tables: Arc<Vec<ChainedTable<T>>>,
-        s: Arc<Partitioned<T>>,
-        j: usize,
-        lo: usize,
-        hi: usize,
-    },
-}
-
-/// Bytes of work a build-probe task represents (used for queue accounting
-/// and steal decisions).
-fn task_bytes<T: Tuple>(t: &BpTask<T>) -> usize {
-    match t {
-        BpTask::BuildProbe { r, s, j } => (r.part(*j).len() + s.part(*j).len()) * T::SIZE,
-        BpTask::ProbeChunk { lo, hi, .. } => (hi - lo) * T::SIZE,
-    }
-}
-
-/// One slice of an assembled partition's second pass (parallel local
-/// pass): `(owned_idx, rel, slice_idx, lo..hi)` over the assembled input.
-type LpSlice = (usize, usize, usize, std::ops::Range<usize>);
-/// An assembled partition: both relations' tuples, shared by slice tasks.
-type LpAssembled<T> = Arc<[Vec<T>; 2]>;
-/// Per-owned-partition second-pass outputs, one slot per slice per
-/// relation.
-type LpOutputs<T> = Vec<[Vec<Option<Partitioned<T>>>; 2]>;
-
-struct GlobalInfo {
-    assignment: Vec<usize>,
-    machine_hists: Vec<Histogram>,
-    /// Partitions owned by this machine, in ascending order.
-    owned: Vec<usize>,
-    /// Outer-relation tuples above which a final fragment is split for
-    /// parallel probing.
-    s_split_threshold: usize,
-}
-
-struct LocalOut<T> {
-    parts: [Vec<Vec<T>>; 2],
-}
-
-struct MachineState<T> {
-    local_barrier: Arc<SimBarrier>,
-    r_chunk: Vec<T>,
-    s_chunk: Vec<T>,
-    /// Per-partitioning-worker thread histograms (needed for one-sided
-    /// write offsets).
-    worker_hists: Vec<Mutex<Option<Histogram>>>,
-    machine_hist: Mutex<Histogram>,
-    info: Mutex<Option<Arc<GlobalInfo>>>,
-    /// Per-worker private local-partition buffers (no synchronization
-    /// while partitioning — Figure 2).
-    local_out: Vec<Mutex<LocalOut<T>>>,
-    /// Receiver-side staging: bytes per (rel, partition) for two-sided.
-    staging: [Mutex<Vec<Vec<u8>>>; 2],
-    /// One-sided receive regions: (rel, part, src) → our registered MR.
-    recv_mrs: Mutex<HashMap<(usize, usize, usize), Arc<rsj_rdma::Mr>>>,
-    next_local_task: AtomicUsize,
-    bp_tasks: NumaQueues<BpTask<T>>,
-    result: Mutex<JoinResult>,
-    stall_seconds: Mutex<f64>,
-    cpu_busy_seconds: Mutex<f64>,
-    /// Bytes of join result materialized into this machine's local
-    /// buffers (§4.3 local output).
-    result_bytes_local: Mutex<u64>,
-    /// Fragments whose tables this machine already pulled over the wire
-    /// (work-sharing extension): table transfer is paid once per fragment
-    /// per thief machine, chunks individually.
-    fetched_tables: Mutex<std::collections::HashSet<usize>>,
-    /// Parallel local pass (extension): per-owned-partition assembled
-    /// inputs, slice task list, and per-slice second-pass outputs.
-    lp_assembled: Mutex<Vec<Option<LpAssembled<T>>>>,
-    lp_tasks: Mutex<Vec<LpSlice>>,
-    lp_outputs: Mutex<LpOutputs<T>>,
-    next_lp_task: AtomicUsize,
-    next_lp_emit: AtomicUsize,
-    /// Bytes of build-probe work currently queued on this machine.
-    bp_queued_bytes: AtomicUsize,
-    /// Bytes currently being pulled *out* of this machine by thieves
-    /// (their reads serialize on our egress link).
-    steal_outstanding_bytes: AtomicUsize,
-}
-
-struct ClusterShared<T> {
-    cfg: DistJoinConfig,
-    fabric: Arc<Fabric>,
-    machines: Vec<MachineState<T>>,
-    global_barrier: Arc<SimBarrier>,
-    marks: Mutex<Vec<SimTime>>,
-    /// Exchanged one-sided write targets.
-    mr_registry: Mutex<HashMap<MrKey, RemoteMr>>,
-    /// Per-(src, dst) TCP flow-control windows.
-    tcp_windows: Vec<Vec<Arc<SimSemaphore>>>,
-    pools: Vec<Arc<BufferPool>>,
-    /// Per-machine scratch regions that work-sharing thieves RDMA-READ
-    /// stolen fragments from (extension; `None` when disabled or the
-    /// machine owns no partitions).
-    scratch_mrs: Mutex<Vec<Option<RemoteMr>>>,
-    /// Cluster-wide count of workers currently processing a build-probe
-    /// task. While nonzero, idle thieves keep polling: a busy worker may
-    /// still split an oversized fragment into stealable chunks.
-    bp_busy: AtomicUsize,
-    /// Materialized result bytes received by the coordinator (machine 0)
-    /// in [`MaterializeMode::ToCoordinator`] runs.
-    coord_result_bytes: Mutex<u64>,
-}
-
-/// Split `len` items into `n` nearly-equal contiguous ranges.
-fn ranges(len: usize, n: usize) -> Vec<std::ops::Range<usize>> {
-    (0..n).map(|i| (i * len / n)..((i + 1) * len / n)).collect()
-}
-
 /// Execute the distributed join on relations already loaded across the
 /// cluster (chunk `m` of each relation resides on machine `m`). Returns
 /// the verified result, the per-phase breakdown and per-machine stats.
@@ -213,105 +81,38 @@ pub fn run_distributed_join<T: Tuple>(
     assert_eq!(r.machines(), m, "inner relation not loaded on this cluster");
     assert_eq!(s.machines(), m, "outer relation not loaded on this cluster");
     let cores = cfg.cluster.cores_per_machine;
-    let workers = cfg.partitioning_workers();
-    let np1 = 1usize << cfg.radix_bits.0;
 
-    let fabric = Fabric::new(cfg.fabric_config(), cfg.cluster.cost.nic, m);
+    let rt = Runtime::new(m, cores, cfg.fabric_config(), cfg.cluster.cost.nic);
+    let shared = Arc::new(ClusterShared::new(cfg, Arc::clone(&rt.fabric), &r, &s));
 
-    let machines: Vec<MachineState<T>> = (0..m)
-        .map(|i| MachineState {
-            local_barrier: SimBarrier::new(cores),
-            r_chunk: r.chunk(i).to_vec(),
-            s_chunk: s.chunk(i).to_vec(),
-            worker_hists: (0..workers).map(|_| Mutex::new(None)).collect(),
-            machine_hist: Mutex::new(Histogram::zeros(np1)),
-            info: Mutex::new(None),
-            local_out: (0..workers)
-                .map(|_| {
-                    Mutex::new(LocalOut {
-                        parts: [
-                            (0..np1).map(|_| Vec::new()).collect(),
-                            (0..np1).map(|_| Vec::new()).collect(),
-                        ],
-                    })
-                })
-                .collect(),
-            staging: [
-                Mutex::new((0..np1).map(|_| Vec::new()).collect()),
-                Mutex::new((0..np1).map(|_| Vec::new()).collect()),
-            ],
-            recv_mrs: Mutex::new(HashMap::new()),
-            next_local_task: AtomicUsize::new(0),
-            bp_tasks: NumaQueues::new(1),
-            result: Mutex::new(JoinResult::default()),
-            stall_seconds: Mutex::new(0.0),
-            cpu_busy_seconds: Mutex::new(0.0),
-            result_bytes_local: Mutex::new(0),
-            fetched_tables: Mutex::new(std::collections::HashSet::new()),
-            lp_assembled: Mutex::new(Vec::new()),
-            lp_tasks: Mutex::new(Vec::new()),
-            lp_outputs: Mutex::new(Vec::new()),
-            next_lp_task: AtomicUsize::new(0),
-            next_lp_emit: AtomicUsize::new(0),
-            bp_queued_bytes: AtomicUsize::new(0),
-            steal_outstanding_bytes: AtomicUsize::new(0),
-        })
-        .collect();
+    let sh = Arc::clone(&shared);
+    let run = rt.run(move |ctx, rt, mach, core| worker(ctx, rt, &sh, mach, core));
 
-    let pools = (0..m)
-        .map(|_| {
-            // Up to `send_depth` buffers per (worker, relation, remote
-            // partition); R's buffers stay drawn while S is partitioned.
-            BufferPool::new(
-                workers * cfg.send_depth * np1 * 2,
-                cfg.rdma_buf_size,
-                cfg.cluster.cost.nic,
-            )
-        })
-        .collect();
-    let tcp_windows = (0..m)
-        .map(|_| (0..m).map(|_| SimSemaphore::new(cfg.tcp_window_msgs)).collect())
-        .collect();
+    assert_eq!(
+        run.marks.len(),
+        5,
+        "expected 4 phase boundaries, got {:?}",
+        run.marks
+    );
+    debug_assert!(
+        run.marks.windows(2).all(|w| w[0] <= w[1]),
+        "phase marks must be monotone: {:?}",
+        run.marks
+    );
+    let phases = PhaseTimes::from_events(&run.events);
+    // Back-to-back named phases: the folded durations cover the run end
+    // to end, exactly as the former raw-mark differences did.
+    debug_assert_eq!(
+        phases.total(),
+        *run.marks.last().unwrap() - SimTime::ZERO,
+        "per-phase durations must sum to the end-to-end time"
+    );
 
-    let shared = Arc::new(ClusterShared {
-        cfg,
-        fabric: Arc::clone(&fabric),
-        machines,
-        global_barrier: SimBarrier::new(m * cores),
-        marks: Mutex::new(vec![SimTime::ZERO]),
-        mr_registry: Mutex::new(HashMap::new()),
-        tcp_windows,
-        pools,
-        scratch_mrs: Mutex::new(vec![None; m]),
-        bp_busy: AtomicUsize::new(0),
-        coord_result_bytes: Mutex::new(0),
-    });
-
-    let sim = Simulation::new();
-    fabric.launch(&sim);
-    for mach in 0..m {
-        for core in 0..cores {
-            let sh = Arc::clone(&shared);
-            sim.spawn(format!("m{mach}-c{core}"), move |ctx| {
-                worker(ctx, &sh, mach, core)
-            });
-        }
-    }
-    sim.run();
-
-    let marks = shared.marks.lock().clone();
-    assert_eq!(marks.len(), 5, "expected 4 phase boundaries, got {marks:?}");
-    let phases = PhaseTimes {
-        histogram: marks[1] - marks[0],
-        network_partition: marks[2] - marks[1],
-        local_partition: marks[3] - marks[2],
-        build_probe: marks[4] - marks[3],
-    };
     let mut result = JoinResult::default();
     let mut reports = Vec::with_capacity(m);
     for (i, mach) in shared.machines.iter().enumerate() {
         result.merge(*mach.result.lock());
-        let nic = fabric.nic(HostId(i));
+        let nic = rt.fabric.nic(HostId(i));
         let stats = nic.stats();
         reports.push(MachineReport {
             tx_bytes: stats.tx_bytes,
@@ -343,1430 +144,22 @@ pub fn run_distributed_join<T: Tuple>(
     }
 }
 
-/// Global barrier + phase mark (recorded once by the barrier leader).
-fn phase_sync<T>(ctx: &SimCtx, sh: &ClusterShared<T>) -> bool {
-    let leader = sh.global_barrier.wait(ctx);
-    if leader {
-        sh.marks.lock().push(ctx.now());
-    }
-    leader
-}
-
-fn worker<T: Tuple>(ctx: &SimCtx, sh: &ClusterShared<T>, mach: usize, core: usize) {
+/// One simulated core's journey through the four phases. The runtime's
+/// named barriers record the per-machine phase events; the trailing
+/// barrier and fabric shutdown are handled by [`Runtime::run`].
+fn worker<T: Tuple>(ctx: &SimCtx, rt: &Runtime, sh: &ClusterShared<T>, mach: usize, core: usize) {
     let mut meter = Meter::with_quantum_ns(sh.cfg.meter_quantum_ns);
 
     phase_histogram(ctx, sh, mach, core, &mut meter);
-    phase_sync(ctx, sh);
+    rt.sync_named(ctx, "histogram", mach);
 
     phase_network(ctx, sh, mach, core, &mut meter);
-    phase_sync(ctx, sh);
+    rt.sync_named(ctx, "network_partition", mach);
 
     phase_local(ctx, sh, mach, core, &mut meter);
-    phase_sync(ctx, sh);
+    rt.sync_named(ctx, "local_partition", mach);
 
     phase_build_probe(ctx, sh, mach, core, &mut meter);
     *sh.machines[mach].cpu_busy_seconds.lock() += meter.total_seconds();
-    let leader = phase_sync(ctx, sh);
-    if leader {
-        sh.fabric.shutdown(ctx);
-    }
-}
-
-// ---------------------------------------------------------------- phase 1
-
-fn phase_histogram<T: Tuple>(
-    ctx: &SimCtx,
-    sh: &ClusterShared<T>,
-    mach: usize,
-    core: usize,
-    meter: &mut Meter,
-) {
-    let cfg = &sh.cfg;
-    let st = &sh.machines[mach];
-    let b1 = cfg.radix_bits.0;
-    let np1 = 1usize << b1;
-    let m = cfg.cluster.machines;
-    let workers = cfg.partitioning_workers();
-
-    // Partitioning workers scan their (future) partitioning slices so the
-    // per-worker histograms line up with what each worker will later send;
-    // a dedicated receiver core has no slice.
-    if let Some(w) = sender_index(cfg, core) {
-        let mut hist = Histogram::zeros(np1);
-        for (rel, chunk) in [(REL_R, &st.r_chunk), (REL_S, &st.s_chunk)] {
-            let range = ranges(chunk.len(), workers)[w].clone();
-            let slice_len = range.len();
-            for t in &chunk[range] {
-                hist.counts[rel][partition_of(t.key(), 0, b1)] += 1;
-            }
-            meter.charge_bytes(ctx, slice_len * T::SIZE, cfg.cluster.cost.histogram_rate);
-        }
-        st.machine_hist.lock().add(&hist);
-        *st.worker_hists[w].lock() = Some(hist);
-        meter.flush(ctx);
-    }
-    st.local_barrier.wait(ctx);
-
-    // Core 0 exchanges the machine histogram and computes global state.
-    if core == 0 {
-        let nic = sh.fabric.nic(HostId(mach));
-        let mine = st.machine_hist.lock().clone();
-        let encoded = mine.encode();
-        let mut evs = Vec::new();
-        for dst in 0..m {
-            if dst != mach {
-                evs.push(nic.post_send(ctx, HostId(dst), Tag::Histogram.encode(), encoded.clone()));
-            }
-        }
-        let mut machine_hists: Vec<Histogram> = vec![Histogram::zeros(np1); m];
-        machine_hists[mach] = mine;
-        for _ in 0..m.saturating_sub(1) {
-            let c = nic.recv(ctx).expect("fabric closed during histogram exchange");
-            assert_eq!(Tag::decode(c.tag), Tag::Histogram, "unexpected phase-1 message");
-            machine_hists[c.src.0] = Histogram::decode(&c.payload);
-            nic.repost_recv(ctx);
-        }
-        for ev in evs {
-            ev.wait(ctx);
-        }
-
-        let mut global = Histogram::zeros(np1);
-        for h in &machine_hists {
-            global.add(h);
-        }
-        let assignment = assign_partitions(&global, m, cfg.assignment);
-        let owned: Vec<usize> = (0..np1).filter(|&p| assignment[p] == mach).collect();
-        let s_total: u64 = global.counts[REL_S].iter().sum();
-        let final_parts = (np1 as u64) << cfg.radix_bits.1;
-        let s_split_threshold = ((s_total as f64 / final_parts as f64)
-            * cfg.skew_split_factor)
-            .ceil()
-            .max(64.0) as usize;
-
-        // One-sided receive: register one region per (rel, partition we
-        // own, remote source), sized exactly from the source's histogram
-        // (§4.2.2). This pins large memory and its cost is charged here.
-        if cfg.receive == ReceiveMode::OneSided {
-            let mut registry = Vec::new();
-            for &p in &owned {
-                for src in (0..m).filter(|&s| s != mach) {
-                    for rel in RELS {
-                        let tuples = machine_hists[src].counts[rel][p];
-                        if tuples == 0 {
-                            continue;
-                        }
-                        let mr = nic.mrs.register(ctx, tuples as usize * T::SIZE);
-                        registry.push(((mach, rel, p, src), mr.remote_handle()));
-                        st.recv_mrs.lock().insert((rel, p, src), mr);
-                    }
-                }
-            }
-            sh.mr_registry.lock().extend(registry);
-        }
-
-        // Work-sharing extension: pre-register a scratch region sized to
-        // the largest partition this machine will own, so thieves can pull
-        // fragments with one-sided READs during build-probe.
-        if cfg.inter_machine_work_sharing {
-            let max_part_bytes = owned
-                .iter()
-                .map(|&p| global.total(p) as usize * T::SIZE)
-                .max()
-                .unwrap_or(0);
-            if max_part_bytes > 0 {
-                let mr = nic.mrs.register(ctx, max_part_bytes);
-                sh.scratch_mrs.lock()[mach] = Some(mr.remote_handle());
-            }
-        }
-
-        *st.info.lock() = Some(Arc::new(GlobalInfo {
-            assignment,
-            machine_hists,
-            owned,
-            s_split_threshold,
-        }));
-    }
-}
-
-/// The partitioning-worker index of `core`, or `None` if this core is the
-/// dedicated receiver (two-sided/TCP: core 0).
-fn sender_index(cfg: &DistJoinConfig, core: usize) -> Option<usize> {
-    match cfg.receive {
-        ReceiveMode::OneSided => Some(core),
-        ReceiveMode::TwoSided => {
-            if core == 0 {
-                None
-            } else {
-                Some(core - 1)
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------- phase 2
-
-struct SendBuf {
-    buf: Vec<u8>,
-    window: SendWindow,
-    /// Bytes already RDMA-written for this (rel, part) by this worker
-    /// (one-sided offset cursor).
-    written: usize,
-    /// Pool buffers this stream has drawn. The real algorithm reuses the
-    /// same `send_depth` physical buffers in turn (§4.2.1); the simulator
-    /// moves buffer contents onto the wire, so refills beyond `send_depth`
-    /// are logical reuses of already-drawn buffers, not new pool draws.
-    taken: usize,
-}
-
-fn phase_network<T: Tuple>(
-    ctx: &SimCtx,
-    sh: &ClusterShared<T>,
-    mach: usize,
-    core: usize,
-    meter: &mut Meter,
-) {
-    let cfg = &sh.cfg;
-    match sender_index(cfg, core) {
-        None => receiver_loop::<T>(ctx, sh, mach, meter),
-        Some(w) => sender_loop::<T>(ctx, sh, mach, w, meter),
-    }
-}
-
-fn sender_loop<T: Tuple>(
-    ctx: &SimCtx,
-    sh: &ClusterShared<T>,
-    mach: usize,
-    w: usize,
-    meter: &mut Meter,
-) {
-    let cfg = &sh.cfg;
-    let st = &sh.machines[mach];
-    let info = Arc::clone(st.info.lock().as_ref().expect("histogram phase incomplete"));
-    let nic = sh.fabric.nic(HostId(mach));
-    let pool = &sh.pools[mach];
-    let b1 = cfg.radix_bits.0;
-    let np1 = 1usize << b1;
-    let m = cfg.cluster.machines;
-    let workers = cfg.partitioning_workers();
-    let rate = cfg.cluster.cost.partition_rate;
-    let buf_cap = cfg.rdma_buf_size;
-
-    // One-sided write offsets: this worker's base offset within the remote
-    // region for (rel, p) is the sum of the preceding workers' counts.
-    let my_hist;
-    let base_offsets: Option<[Vec<usize>; 2]> = if cfg.receive == ReceiveMode::OneSided {
-        let mut bases = [vec![0usize; np1], vec![0usize; np1]];
-        for prev in 0..w {
-            let g = st.worker_hists[prev].lock();
-            let h = g.as_ref().expect("worker histogram missing");
-            for rel in RELS {
-                for (base, &count) in bases[rel].iter_mut().zip(&h.counts[rel]) {
-                    *base += count as usize * T::SIZE;
-                }
-            }
-        }
-        my_hist = st.worker_hists[w].lock().clone();
-        Some(bases)
-    } else {
-        my_hist = None;
-        None
-    };
-
-    let mut bufs: [Vec<Option<SendBuf>>; 2] = [
-        (0..np1).map(|_| None).collect(),
-        (0..np1).map(|_| None).collect(),
-    ];
-    let mut local = LocalOut {
-        parts: [
-            (0..np1).map(|_| Vec::new()).collect(),
-            (0..np1).map(|_| Vec::new()).collect(),
-        ],
-    };
-    let mut stall = 0.0f64;
-
-    for (rel, chunk) in [(REL_R, &st.r_chunk), (REL_S, &st.s_chunk)] {
-        let range = ranges(chunk.len(), workers)[w].clone();
-        for t in &chunk[range] {
-            meter.charge_bytes(ctx, T::SIZE, rate);
-            let p = partition_of(t.key(), 0, b1);
-            let dst = info.assignment[p];
-            if dst == mach {
-                local.parts[rel][p].push(*t);
-            } else {
-                let slot = &mut bufs[rel][p];
-                if slot.is_none() {
-                    *slot = Some(SendBuf {
-                        buf: pool.take(ctx),
-                        window: SendWindow::new(cfg.send_depth),
-                        written: 0,
-                        taken: 1,
-                    });
-                }
-                let sb = slot.as_mut().unwrap();
-                t.write_to(&mut sb.buf);
-                if sb.buf.len() + T::SIZE > buf_cap {
-                    let base = base_offsets.as_ref().map_or(0, |b| b[rel][p]);
-                    flush_buf::<T>(
-                        ctx, sh, mach, meter, &nic, sb, rel, p, dst, base, &mut stall, false,
-                    );
-                }
-            }
-        }
-    }
-
-    // Final partial buffers, then end-of-stream markers.
-    for rel in RELS {
-        for p in 0..np1 {
-            if let Some(sb) = bufs[rel][p].as_mut() {
-                let dst = info.assignment[p];
-                if !sb.buf.is_empty() {
-                    let base = base_offsets.as_ref().map_or(0, |b| b[rel][p]);
-                    flush_buf::<T>(
-                        ctx, sh, mach, meter, &nic, sb, rel, p, dst, base, &mut stall, true,
-                    );
-                }
-                sb.window.drain(ctx);
-                // admit() + drain() stalls were accumulated by the window.
-                stall += sb.window.stall_seconds();
-                // All sends confirmed: the stream's buffers return to the
-                // pool for the next operator to draw.
-                for _ in 0..sb.taken {
-                    pool.put(Vec::new());
-                }
-                // One-sided: every byte announced in the histogram must
-                // have been written, or remote assembly would read zeros.
-                if let Some(h) = &my_hist {
-                    assert_eq!(
-                        sb.written,
-                        h.counts[rel][p] as usize * T::SIZE,
-                        "one-sided write count mismatch for rel {rel} part {p}"
-                    );
-                }
-            }
-        }
-    }
-    meter.flush(ctx);
-    if cfg.receive == ReceiveMode::TwoSided {
-        let mut evs = Vec::new();
-        for dst in (0..m).filter(|&d| d != mach) {
-            evs.push(nic.post_send(ctx, HostId(dst), Tag::Eos.encode(), Vec::new()));
-        }
-        for ev in evs {
-            ev.wait(ctx);
-        }
-    }
-    *st.stall_seconds.lock() += stall;
-
-    // Hand the private local buffers to the machine state for assembly.
-    let mut out = st.local_out[w].lock();
-    *out = local;
-}
-
-#[allow(clippy::too_many_arguments)]
-fn flush_buf<T: Tuple>(
-    ctx: &SimCtx,
-    sh: &ClusterShared<T>,
-    mach: usize,
-    meter: &mut Meter,
-    nic: &Nic,
-    sb: &mut SendBuf,
-    rel: usize,
-    p: usize,
-    dst: usize,
-    base: usize,
-    stall: &mut f64,
-    is_final: bool,
-) {
-    let cfg = &sh.cfg;
-    let payload_len = sb.buf.len();
-    debug_assert!(payload_len > 0);
-    match cfg.transport {
-        TransportMode::Tcp => {
-            // Kernel path: syscall + copy across the socket buffer are CPU
-            // work on the sending worker (§6.3 reasons (ii) and (iii)).
-            meter.charge_seconds(ctx, cfg.cluster.cost.nic.tcp_syscall);
-            meter.charge_bytes(ctx, payload_len, cfg.cluster.cost.nic.tcp_copy_rate);
-            meter.flush(ctx);
-            let window = Arc::clone(&sh.tcp_windows[mach][dst]);
-            let t0 = ctx.now();
-            window.acquire(ctx);
-            *stall += (ctx.now() - t0).as_secs_f64();
-            let payload = std::mem::take(&mut sb.buf);
-            nic.post_send_windowed(
-                ctx,
-                HostId(dst),
-                Tag::Data { rel, part: p }.encode(),
-                payload,
-                window,
-            );
-            // The kernel copied the data; the user buffer is free again.
-        }
-        TransportMode::RdmaInterleaved | TransportMode::RdmaNonInterleaved => {
-            meter.flush(ctx);
-            let interleaved = cfg.transport == TransportMode::RdmaInterleaved;
-            if interleaved {
-                // Stall time is tracked by the window itself and folded
-                // into the report after the final drain.
-                sb.window.admit(ctx);
-            }
-            let payload = std::mem::take(&mut sb.buf);
-            let ev = match cfg.receive {
-                ReceiveMode::TwoSided => {
-                    nic.post_send(ctx, HostId(dst), Tag::Data { rel, part: p }.encode(), payload)
-                }
-                ReceiveMode::OneSided => {
-                    let remote = *sh
-                        .mr_registry
-                        .lock()
-                        .get(&(dst, rel, p, mach))
-                        .expect("one-sided region not registered");
-                    let ev = nic.post_write(ctx, remote, base + sb.written, payload);
-                    sb.written += payload_len;
-                    ev
-                }
-            };
-            if interleaved {
-                sb.window.record(ev);
-            } else {
-                // Non-interleaved ablation: wait for the wire immediately.
-                let t0 = ctx.now();
-                ev.wait(ctx);
-                *stall += (ctx.now() - t0).as_secs_f64();
-            }
-            if !is_final {
-                sb.buf = if sb.taken < cfg.send_depth {
-                    sb.taken += 1;
-                    sh.pools[mach].take(ctx)
-                } else {
-                    // admit() guaranteed one of our buffers completed; this
-                    // is its reuse, not a new pool draw.
-                    Vec::new()
-                };
-            }
-        }
-    }
-}
-
-fn receiver_loop<T: Tuple>(ctx: &SimCtx, sh: &ClusterShared<T>, mach: usize, meter: &mut Meter) {
-    let cfg = &sh.cfg;
-    let st = &sh.machines[mach];
-    let info = Arc::clone(st.info.lock().as_ref().expect("histogram phase incomplete"));
-    let nic = sh.fabric.nic(HostId(mach));
-    let m = cfg.cluster.machines;
-    let expected_eos = (m - 1) * cfg.partitioning_workers();
-    let mut eos = 0usize;
-    while eos < expected_eos {
-        let c = nic.recv(ctx).expect("fabric closed during network pass");
-        match Tag::decode(c.tag) {
-            Tag::Eos => eos += 1,
-            Tag::Data { rel, part } => {
-                assert_eq!(
-                    info.assignment[part], mach,
-                    "partition {part} routed to the wrong machine"
-                );
-                if cfg.transport == TransportMode::Tcp {
-                    meter.charge_seconds(ctx, cfg.cluster.cost.nic.tcp_syscall);
-                    meter.charge_bytes(ctx, c.payload.len(), cfg.cluster.cost.nic.tcp_copy_rate);
-                } else {
-                    // §4.2.2: copy the small receive buffer into the large
-                    // per-partition staging buffer, then repost it.
-                    meter.charge_bytes(ctx, c.payload.len(), cfg.cluster.cost.memcpy_rate);
-                }
-                st.staging[rel].lock()[part].extend_from_slice(&c.payload);
-            }
-            other => panic!("unexpected {other:?} during network pass"),
-        }
-        nic.repost_recv(ctx);
-    }
-    meter.flush(ctx);
-}
-
-// ---------------------------------------------------------------- phase 3
-
-fn phase_local<T: Tuple>(
-    ctx: &SimCtx,
-    sh: &ClusterShared<T>,
-    mach: usize,
-    core: usize,
-    meter: &mut Meter,
-) {
-    let cfg = &sh.cfg;
-    let st = &sh.machines[mach];
-    let info = Arc::clone(st.info.lock().as_ref().expect("histogram phase incomplete"));
-    let (b1, b2) = cfg.radix_bits;
-    let rate = cfg.cluster.cost.partition_rate;
-    let m = cfg.cluster.machines;
-
-    if cfg.parallel_local_pass {
-        return phase_local_parallel(ctx, sh, mach, core, meter, &info);
-    }
-
-    loop {
-        let i = st.next_local_task.fetch_add(1, Ordering::SeqCst);
-        if i >= info.owned.len() {
-            break;
-        }
-        let p = info.owned[i];
-        // Assemble partition p: local buffers from every worker plus the
-        // bytes received over the network (pointer-level assembly in the
-        // original; the copies here are simulator artifacts, not charged).
-        let mut rel_parts: [Vec<T>; 2] = [Vec::new(), Vec::new()];
-        for rel in RELS {
-            for w in 0..cfg.partitioning_workers() {
-                let mut guard = st.local_out[w].lock();
-                rel_parts[rel].append(&mut guard.parts[rel][p]);
-            }
-            match cfg.receive {
-                ReceiveMode::TwoSided => {
-                    let bytes = std::mem::take(&mut st.staging[rel].lock()[p]);
-                    decode_into(&bytes, &mut rel_parts[rel]);
-                }
-                ReceiveMode::OneSided => {
-                    for src in (0..m).filter(|&s| s != mach) {
-                        if let Some(mr) = st.recv_mrs.lock().get(&(rel, p, src)) {
-                            let bytes = mr.take_data();
-                            decode_into(&bytes, &mut rel_parts[rel]);
-                        }
-                    }
-                }
-            }
-        }
-        // Assembly completeness: the histogram phase announced exactly how
-        // many tuples of each relation land in p cluster-wide.
-        for rel in RELS {
-            let expect: u64 = info.machine_hists.iter().map(|h| h.counts[rel][p]).sum();
-            assert_eq!(
-                rel_parts[rel].len() as u64,
-                expect,
-                "partition {p} of relation {rel} lost tuples in transit"
-            );
-        }
-        let [r_p, s_p] = rel_parts;
-        meter.charge_bytes(ctx, (r_p.len() + s_p.len()) * T::SIZE, rate);
-        let sub_r = Arc::new(partition(&r_p, b1, b2));
-        let sub_s = Arc::new(partition(&s_p, b1, b2));
-        for j in 0..(1usize << b2) {
-            if !sub_r.part(j).is_empty() || !sub_s.part(j).is_empty() {
-                let t = BpTask::BuildProbe {
-                    r: Arc::clone(&sub_r),
-                    s: Arc::clone(&sub_s),
-                    j,
-                };
-                st.bp_queued_bytes.fetch_add(task_bytes(&t), Ordering::SeqCst);
-                st.bp_tasks.push(0, t);
-            }
-        }
-        meter.flush(ctx);
-    }
-    meter.flush(ctx);
-}
-
-/// Parallel local pass (extension; see `DistJoinConfig::parallel_local_pass`).
-///
-/// Three machine-local stages separated by local barriers:
-/// 1. assemble each owned partition (as the sequential path does);
-/// 2. second-pass partition the assembled inputs in *slices*, drained by
-///    all cores from a shared task list — so a giant skewed partition is
-///    processed by every core instead of one;
-/// 3. concatenate the slice outputs per final fragment and enqueue the
-///    build-probe tasks.
-fn phase_local_parallel<T: Tuple>(
-    ctx: &SimCtx,
-    sh: &ClusterShared<T>,
-    mach: usize,
-    core: usize,
-    meter: &mut Meter,
-    info: &GlobalInfo,
-) {
-    let cfg = &sh.cfg;
-    let st = &sh.machines[mach];
-    let (b1, b2) = cfg.radix_bits;
-    let rate = cfg.cluster.cost.partition_rate;
-    let m = cfg.cluster.machines;
-    let cores = cfg.cluster.cores_per_machine;
-    let owned = &info.owned;
-
-    // Stage 0: one core sizes the shared slots.
-    if core == 0 {
-        *st.lp_assembled.lock() = (0..owned.len()).map(|_| None).collect();
-        *st.lp_outputs.lock() = (0..owned.len()).map(|_| [Vec::new(), Vec::new()]).collect();
-    }
-    st.local_barrier.wait(ctx);
-
-    // Stage 1: assemble owned partitions (uncharged pointer assembly, as
-    // in the sequential path).
-    loop {
-        let i = st.next_local_task.fetch_add(1, Ordering::SeqCst);
-        if i >= owned.len() {
-            break;
-        }
-        let p = owned[i];
-        let mut rel_parts: [Vec<T>; 2] = [Vec::new(), Vec::new()];
-        for rel in RELS {
-            for w in 0..cfg.partitioning_workers() {
-                let mut guard = st.local_out[w].lock();
-                rel_parts[rel].append(&mut guard.parts[rel][p]);
-            }
-            match cfg.receive {
-                ReceiveMode::TwoSided => {
-                    let bytes = std::mem::take(&mut st.staging[rel].lock()[p]);
-                    decode_into(&bytes, &mut rel_parts[rel]);
-                }
-                ReceiveMode::OneSided => {
-                    for src in (0..m).filter(|&s| s != mach) {
-                        if let Some(mr) = st.recv_mrs.lock().get(&(rel, p, src)) {
-                            let bytes = mr.take_data();
-                            decode_into(&bytes, &mut rel_parts[rel]);
-                        }
-                    }
-                }
-            }
-            let expect: u64 = info.machine_hists.iter().map(|h| h.counts[rel][p]).sum();
-            assert_eq!(rel_parts[rel].len() as u64, expect, "partition {p} lost tuples");
-        }
-        st.lp_assembled.lock()[i] = Some(Arc::new(rel_parts));
-    }
-    // Leader of this barrier builds the slice task list from the
-    // assembled sizes, aiming for several tasks per core so a giant
-    // partition spreads across the whole machine.
-    if st.local_barrier.wait(ctx) {
-        let assembled = st.lp_assembled.lock();
-        let total_tuples: usize = assembled
-            .iter()
-            .flatten()
-            .map(|a| a[REL_R].len() + a[REL_S].len())
-            .sum();
-        let target = (total_tuples / (cores * 8)).max(256);
-        let mut tasks = Vec::new();
-        let mut outputs = st.lp_outputs.lock();
-        for (i, slot) in assembled.iter().enumerate() {
-            let a = slot.as_ref().expect("assembly incomplete");
-            for rel in RELS {
-                let len = a[rel].len();
-                let slices = len.div_ceil(target).max(1);
-                outputs[i][rel] = (0..slices).map(|_| None).collect();
-                for k in 0..slices {
-                    let lo = k * len / slices;
-                    let hi = (k + 1) * len / slices;
-                    tasks.push((i, rel, k, lo..hi));
-                }
-            }
-        }
-        *st.lp_tasks.lock() = tasks;
-    }
-    ctx.yield_now();
-
-    // Stage 2: every core drains slice tasks; a skewed partition's slices
-    // are interleaved with everything else.
-    let n_tasks = st.lp_tasks.lock().len();
-    loop {
-        let t = st.next_lp_task.fetch_add(1, Ordering::SeqCst);
-        if t >= n_tasks {
-            break;
-        }
-        let (i, rel, k, range) = st.lp_tasks.lock()[t].clone();
-        let assembled = Arc::clone(st.lp_assembled.lock()[i].as_ref().expect("assembled"));
-        let slice = &assembled[rel][range];
-        let parted = partition(slice, b1, b2);
-        meter.charge_bytes(ctx, slice.len() * T::SIZE, rate);
-        st.lp_outputs.lock()[i][rel][k] = Some(parted);
-        meter.flush(ctx);
-    }
-    meter.flush(ctx);
-    st.local_barrier.wait(ctx);
-
-    // Stage 3: concatenate slice outputs per fragment and enqueue
-    // build-probe tasks (uncharged assembly, same convention as the
-    // sequential path's pointer-level combining).
-    loop {
-        let i = st.next_lp_emit.fetch_add(1, Ordering::SeqCst);
-        if i >= owned.len() {
-            break;
-        }
-        let mut merged: [Option<Arc<Partitioned<T>>>; 2] = [None, None];
-        for rel in RELS {
-            let slices: Vec<Partitioned<T>> = st.lp_outputs.lock()[i][rel]
-                .iter_mut()
-                .map(|s| s.take().expect("slice output missing"))
-                .collect();
-            merged[rel] = Some(Arc::new(rsj_joins::concat_partitioned(
-                &slices,
-                1usize << b2,
-            )));
-        }
-        let [sub_r, sub_s] = merged;
-        let (sub_r, sub_s) = (sub_r.unwrap(), sub_s.unwrap());
-        for j in 0..(1usize << b2) {
-            if !sub_r.part(j).is_empty() || !sub_s.part(j).is_empty() {
-                let t = BpTask::BuildProbe {
-                    r: Arc::clone(&sub_r),
-                    s: Arc::clone(&sub_s),
-                    j,
-                };
-                st.bp_queued_bytes.fetch_add(task_bytes(&t), Ordering::SeqCst);
-                st.bp_tasks.push(0, t);
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------- phase 4
-
-/// §4.3 result materialization: matches are serialized as
-/// `<r.rid, s.rid>` pairs (16 bytes) into output buffers. In coordinator
-/// mode a full buffer is posted to machine 0 and reused once the send
-/// completes — the same pooled double-buffering discipline as the
-/// partitioning pass.
-struct ResultEmitter {
-    mode: MaterializeMode,
-    is_coordinator: bool,
-    buf: Vec<u8>,
-    window: SendWindow,
-    cap: usize,
-    bytes: u64,
-}
-
-impl ResultEmitter {
-    fn new(cfg: &DistJoinConfig, mach: usize) -> ResultEmitter {
-        ResultEmitter {
-            mode: cfg.materialize,
-            is_coordinator: mach == 0,
-            buf: Vec::new(),
-            window: SendWindow::new(cfg.send_depth),
-            cap: cfg.rdma_buf_size,
-            bytes: 0,
-        }
-    }
-
-    #[inline]
-    fn emit<T: Tuple>(
-        &mut self,
-        ctx: &SimCtx,
-        meter: &mut Meter,
-        nic: &Nic,
-        cost: &rsj_cluster::CostModel,
-        r: &T,
-        s: &T,
-    ) {
-        self.buf.extend_from_slice(&r.rid().to_le_bytes());
-        self.buf.extend_from_slice(&s.rid().to_le_bytes());
-        self.bytes += 16;
-        meter.charge_bytes(ctx, 16, cost.memcpy_rate);
-        if self.buf.len() + 16 > self.cap {
-            self.flush(ctx, meter, nic);
-        }
-    }
-
-    fn flush(&mut self, ctx: &SimCtx, meter: &mut Meter, nic: &Nic) {
-        if self.buf.is_empty() {
-            return;
-        }
-        if self.mode == MaterializeMode::ToCoordinator && !self.is_coordinator {
-            meter.flush(ctx);
-            self.window.admit(ctx);
-            let payload = std::mem::take(&mut self.buf);
-            let ev = nic.post_send(ctx, HostId(0), Tag::Result.encode(), payload);
-            self.window.record(ev);
-        } else {
-            // Local output buffer handed to the downstream consumer; the
-            // write cost was charged per pair.
-            self.buf.clear();
-        }
-    }
-
-    /// Final flush + EOS + drain; returns the bytes that stayed local.
-    fn finish(&mut self, ctx: &SimCtx, meter: &mut Meter, nic: &Nic) -> u64 {
-        if self.mode == MaterializeMode::CountOnly {
-            return 0;
-        }
-        self.flush(ctx, meter, nic);
-        if self.mode == MaterializeMode::ToCoordinator && !self.is_coordinator {
-            meter.flush(ctx);
-            nic.post_send(ctx, HostId(0), Tag::Eos.encode(), Vec::new())
-                .wait(ctx);
-            self.window.drain(ctx);
-            0
-        } else {
-            self.bytes
-        }
-    }
-}
-
-/// Coordinator-side result sink: machine 0's core 0 absorbs materialized
-/// result buffers during the build-probe phase in
-/// [`MaterializeMode::ToCoordinator`] runs.
-fn result_sink<T: Tuple>(ctx: &SimCtx, sh: &ClusterShared<T>, meter: &mut Meter) {
-    let m = sh.cfg.cluster.machines;
-    let nic = sh.fabric.nic(HostId(0));
-    let expected_eos = (m - 1) * sh.cfg.cluster.cores_per_machine;
-    let mut eos = 0;
-    let mut bytes = 0u64;
-    while eos < expected_eos {
-        let c = nic.recv(ctx).expect("fabric closed during result sink");
-        match Tag::decode(c.tag) {
-            Tag::Eos => eos += 1,
-            Tag::Result => {
-                // Copy out of the receive buffer into result storage.
-                meter.charge_bytes(ctx, c.payload.len(), sh.cfg.cluster.cost.memcpy_rate);
-                bytes += c.payload.len() as u64;
-            }
-            other => panic!("unexpected {other:?} during result sink"),
-        }
-        nic.repost_recv(ctx);
-    }
-    meter.flush(ctx);
-    *sh.coord_result_bytes.lock() += bytes;
-}
-
-fn phase_build_probe<T: Tuple>(
-    ctx: &SimCtx,
-    sh: &ClusterShared<T>,
-    mach: usize,
-    _core: usize,
-    meter: &mut Meter,
-) {
-    let cfg = &sh.cfg;
-    let st = &sh.machines[mach];
-    let info = Arc::clone(st.info.lock().as_ref().expect("histogram phase incomplete"));
-    let cost = &cfg.cluster.cost;
-    let mut local = JoinResult::default();
-    let nic = sh.fabric.nic(HostId(mach));
-    let mut emitter = ResultEmitter::new(cfg, mach);
-
-    // Coordinator sink: machine 0's first core absorbs shipped results
-    // instead of probing (its other cores keep working).
-    if cfg.materialize == MaterializeMode::ToCoordinator
-        && mach == 0
-        && _core == 0
-        && cfg.cluster.machines > 1
-    {
-        return result_sink(ctx, sh, meter);
-    }
-
-    loop {
-        let task = match st.bp_tasks.pop(0) {
-            Some(t) => {
-                st.bp_queued_bytes.fetch_sub(task_bytes(&t), Ordering::SeqCst);
-                t
-            }
-            None => {
-                if !cfg.inter_machine_work_sharing {
-                    break;
-                }
-                match steal_task(ctx, sh, mach, meter) {
-                    Some(t) => t,
-                    None => {
-                        // Nothing stealable right now. If any worker is
-                        // still busy it may yet split an oversized
-                        // fragment; poll briefly before giving up.
-                        if sh.bp_busy.load(Ordering::SeqCst) == 0
-                            && sh.machines.iter().all(|m| m.bp_tasks.is_empty())
-                        {
-                            break;
-                        }
-                        // Poll at the granularity of the smallest stealable
-                        // unit so the phase end is not overshot.
-                        let poll = cfg.work_sharing_min_bytes as f64
-                            / cfg.cluster.cost.probe_rate;
-                        ctx.advance(rsj_sim::SimDuration::from_secs_f64(poll));
-                        continue;
-                    }
-                }
-            }
-        };
-        sh.bp_busy.fetch_add(1, Ordering::SeqCst);
-        match task {
-            BpTask::BuildProbe { r, s, j } => {
-                let r_part = r.part(j);
-                let s_part = s.part(j);
-                // Oversized inner fragment (skew on R): split into several
-                // cache-sized tables; every probe then visits all of them
-                // (§4.3).
-                let est_footprint = r_part.len() * (T::SIZE + 8);
-                let n_tables = est_footprint.div_ceil(2 * cfg.cache_budget_bytes).max(1);
-                let chunk = r_part.len().div_ceil(n_tables).max(1);
-                let tables: Vec<ChainedTable<T>> = r_part
-                    .chunks(chunk.max(1))
-                    .map(ChainedTable::build)
-                    .collect();
-                meter.charge_bytes(ctx, r_part.len() * T::SIZE, cost.build_rate);
-                let tables = Arc::new(tables);
-                if s_part.len() > info.s_split_threshold {
-                    // Skewed outer fragment: share the probe among threads
-                    // in chunks of the threshold size.
-                    let mut lo = 0;
-                    while lo < s_part.len() {
-                        let hi = (lo + info.s_split_threshold).min(s_part.len());
-                        let t = BpTask::ProbeChunk {
-                            tables: Arc::clone(&tables),
-                            s: Arc::clone(&s),
-                            j,
-                            lo,
-                            hi,
-                        };
-                        st.bp_queued_bytes.fetch_add(task_bytes(&t), Ordering::SeqCst);
-                        st.bp_tasks.push(0, t);
-                        lo = hi;
-                    }
-                } else {
-                    probe_chunk(ctx, meter, cost, &tables, s_part, &mut local, &mut emitter, &nic);
-                }
-            }
-            BpTask::ProbeChunk { tables, s, j, lo, hi } => {
-                probe_chunk(ctx, meter, cost, &tables, &s.part(j)[lo..hi], &mut local, &mut emitter, &nic);
-            }
-        }
-        sh.bp_busy.fetch_sub(1, Ordering::SeqCst);
-        meter.flush(ctx);
-    }
-    let local_bytes = emitter.finish(ctx, meter, &nic);
-    if local_bytes > 0 {
-        *st.result_bytes_local.lock() += local_bytes;
-    }
-    meter.flush(ctx);
-    st.result.lock().merge(local);
-}
-
-/// Work-sharing extension: pull one build-probe fragment from another
-/// machine's queue, paying the wire cost of moving its bytes here via a
-/// one-sided RDMA READ from the victim's scratch region.
-///
-/// A steal only happens when it is expected to *finish sooner* than the
-/// victim would get to the task itself: the thief compares the victim's
-/// backlog drain time against the transfer time behind all outstanding
-/// steals from that victim (their reads serialize on one egress link).
-/// Without this estimate, eager thieves move tail work onto a channel
-/// slower than a local probe thread and make the phase longer.
-fn steal_task<T: Tuple>(
-    ctx: &SimCtx,
-    sh: &ClusterShared<T>,
-    mach: usize,
-    meter: &mut Meter,
-) -> Option<BpTask<T>> {
-    let m = sh.cfg.cluster.machines;
-    let cores = sh.cfg.cluster.cores_per_machine as f64;
-    let probe_rate = sh.cfg.cluster.cost.probe_rate;
-    let net = sh.fabric.config().effective_bandwidth(m);
-    let min_bytes = sh.cfg.work_sharing_min_bytes;
-    for step in 1..m {
-        let victim = (mach + step) % m;
-        let vstate = &sh.machines[victim];
-        let backlog = vstate.bp_queued_bytes.load(Ordering::SeqCst);
-        let outstanding = vstate.steal_outstanding_bytes.load(Ordering::SeqCst);
-        let worth = |t: &BpTask<T>| -> bool {
-            let bytes = task_bytes(t);
-            if bytes < min_bytes {
-                return false;
-            }
-            // The victim reaches this task after draining ~its backlog
-            // across its cores; the thief gets it after the pending
-            // transfers plus its own, plus the probe itself.
-            let victim_finish = backlog.saturating_sub(bytes) as f64 / (cores * probe_rate);
-            let steal_finish = (outstanding + bytes) as f64 / net + bytes as f64 / probe_rate;
-            steal_finish < victim_finish
-        };
-        let task = vstate.bp_tasks.pop_if(0, worth);
-        if let Some(task) = task {
-            let bytes = task_bytes(&task);
-            vstate.bp_queued_bytes.fetch_sub(bytes, Ordering::SeqCst);
-            // Table bytes cross the wire only on this machine's first
-            // contact with the fragment; the tables stay cached here.
-            let wire_bytes = bytes
-                + match &task {
-                    BpTask::ProbeChunk { tables, .. } => {
-                        let frag_id = Arc::as_ptr(tables) as usize;
-                        if sh.machines[mach].fetched_tables.lock().insert(frag_id) {
-                            tables.iter().map(|t| t.footprint_bytes()).sum::<usize>()
-                        } else {
-                            0
-                        }
-                    }
-                    BpTask::BuildProbe { .. } => 0,
-                };
-            let remote = sh.scratch_mrs.lock()[victim];
-            if let Some(remote) = remote {
-                let len = wire_bytes.min(remote.len);
-                if len > 0 {
-                    vstate.steal_outstanding_bytes.fetch_add(len, Ordering::SeqCst);
-                    meter.flush(ctx);
-                    // The payload content is immaterial (the fragment is
-                    // shared in simulator memory); the READ charges the
-                    // honest wire time of moving it.
-                    let _bytes = sh
-                        .fabric
-                        .nic(HostId(mach))
-                        .post_read(ctx, remote, 0, len)
-                        .wait(ctx);
-                    vstate.steal_outstanding_bytes.fetch_sub(len, Ordering::SeqCst);
-                }
-            }
-            return Some(task);
-        }
-    }
-    None
-}
-
-#[allow(clippy::too_many_arguments)]
-fn probe_chunk<T: Tuple>(
-    ctx: &SimCtx,
-    meter: &mut Meter,
-    cost: &rsj_cluster::CostModel,
-    tables: &[ChainedTable<T>],
-    s_part: &[T],
-    local: &mut JoinResult,
-    emitter: &mut ResultEmitter,
-    nic: &Nic,
-) {
-    if emitter.mode == MaterializeMode::CountOnly {
-        for table in tables {
-            local.merge(table.probe_all(s_part));
-        }
-    } else {
-        for table in tables {
-            let mut res = JoinResult::default();
-            table.for_each_join(s_part, |r, s| {
-                res.add_match(s.key());
-                emitter.emit(ctx, meter, nic, cost, r, s);
-            });
-            local.merge(res);
-        }
-    }
-    // Probing k split tables costs k passes over the probe input (§4.3).
-    meter.charge_bytes(ctx, s_part.len() * T::SIZE * tables.len(), cost.probe_rate);
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::AssignmentPolicy;
-    use rsj_cluster::ClusterSpec;
-    use rsj_workload::{generate_inner, generate_outer, Skew, Tuple16, Tuple32, Tuple64};
-
-    fn small_cfg(machines: usize, cores: usize) -> DistJoinConfig {
-        let mut spec = ClusterSpec::fdr_cluster(machines.min(4));
-        if machines > 4 {
-            spec = ClusterSpec::qdr_cluster(machines);
-        }
-        spec.cores_per_machine = cores;
-        let mut cfg = DistJoinConfig::new(spec);
-        cfg.radix_bits = (4, 3);
-        cfg.rdma_buf_size = 1024;
-        cfg
-    }
-
-    fn workload(
-        machines: usize,
-        n_r: u64,
-        n_s: u64,
-        skew: Skew,
-    ) -> (
-        Relation<Tuple16>,
-        Relation<Tuple16>,
-        rsj_workload::ExpectedResult,
-    ) {
-        let r = generate_inner::<Tuple16>(n_r, machines, 42);
-        let (s, oracle) = generate_outer::<Tuple16>(n_s, n_r, machines, skew, 43);
-        (r, s, oracle)
-    }
-
-    #[test]
-    fn two_sided_interleaved_produces_verified_result() {
-        let (r, s, oracle) = workload(3, 6_000, 18_000, Skew::None);
-        let out = run_distributed_join(small_cfg(3, 3), r, s);
-        oracle.verify(&out.result);
-        assert!(out.phases.total().as_nanos() > 0);
-        // Data actually crossed the simulated wire.
-        assert!(out.machines.iter().all(|m| m.tx_bytes > 0));
-    }
-
-    #[test]
-    fn non_interleaved_is_slower_in_network_pass() {
-        let (r, s, _) = workload(3, 20_000, 20_000, Skew::None);
-        let mut il = small_cfg(3, 3);
-        il.transport = TransportMode::RdmaInterleaved;
-        let mut nil = small_cfg(3, 3);
-        nil.transport = TransportMode::RdmaNonInterleaved;
-        let (r2, s2, _) = workload(3, 20_000, 20_000, Skew::None);
-        let out_il = run_distributed_join(il, r, s);
-        let out_nil = run_distributed_join(nil, r2, s2);
-        assert_eq!(out_il.result, out_nil.result);
-        assert!(
-            out_nil.phases.network_partition > out_il.phases.network_partition,
-            "non-interleaved {:?} must exceed interleaved {:?}",
-            out_nil.phases.network_partition,
-            out_il.phases.network_partition
-        );
-        // Other phases are unaffected by the transport variant.
-        assert_eq!(out_il.phases.build_probe, out_nil.phases.build_probe);
-    }
-
-    #[test]
-    fn tcp_is_slowest_in_network_pass() {
-        let (r, s, oracle) = workload(3, 20_000, 20_000, Skew::None);
-        let mut tcp = small_cfg(3, 3);
-        tcp.transport = TransportMode::Tcp;
-        tcp.cluster.interconnect = rsj_cluster::Interconnect::IpoIb;
-        let out_tcp = run_distributed_join(tcp, r, s);
-        oracle.verify(&out_tcp.result);
-        let (r2, s2, _) = workload(3, 20_000, 20_000, Skew::None);
-        let out_rdma = run_distributed_join(small_cfg(3, 3), r2, s2);
-        assert!(
-            out_tcp.phases.network_partition > out_rdma.phases.network_partition,
-            "tcp {:?} vs rdma {:?}",
-            out_tcp.phases.network_partition,
-            out_rdma.phases.network_partition
-        );
-    }
-
-    #[test]
-    fn one_sided_receive_matches_two_sided() {
-        let (r, s, oracle) = workload(3, 8_000, 16_000, Skew::None);
-        let mut cfg = small_cfg(3, 3);
-        cfg.receive = ReceiveMode::OneSided;
-        let out = run_distributed_join(cfg, r, s);
-        oracle.verify(&out.result);
-        // One-sided pins per-partition regions: registered bytes must be
-        // far larger than the two-sided variant's zero.
-        assert!(out.machines.iter().any(|m| m.registered_bytes > 0));
-    }
-
-    #[test]
-    fn skewed_workload_with_dynamic_assignment() {
-        let (r, s, oracle) = workload(4, 4_000, 40_000, Skew::Zipf(1.2));
-        let mut cfg = small_cfg(4, 3);
-        cfg.assignment = AssignmentPolicy::SortedDynamic;
-        let out = run_distributed_join(cfg, r, s);
-        oracle.verify(&out.result);
-    }
-
-    #[test]
-    fn skew_increases_execution_time() {
-        let mk = |skew| {
-            let (r, s, _) = workload(4, 4_000, 60_000, skew);
-            let mut cfg = small_cfg(4, 3);
-            cfg.assignment = AssignmentPolicy::SortedDynamic;
-            run_distributed_join(cfg, r, s)
-        };
-        let uniform = mk(Skew::None);
-        let heavy = mk(Skew::Zipf(1.2));
-        assert!(
-            heavy.phases.total() > uniform.phases.total(),
-            "heavy skew {:?} must exceed uniform {:?} (Figure 8)",
-            heavy.phases.total(),
-            uniform.phases.total()
-        );
-    }
-
-    #[test]
-    fn deterministic_across_runs() {
-        let run = || {
-            let (r, s, _) = workload(3, 5_000, 10_000, Skew::Zipf(1.05));
-            run_distributed_join(small_cfg(3, 3), r, s)
-        };
-        let a = run();
-        let b = run();
-        assert_eq!(a.result, b.result);
-        assert_eq!(a.phases.total(), b.phases.total());
-        assert_eq!(a.machines[1].tx_bytes, b.machines[1].tx_bytes);
-    }
-
-    #[test]
-    fn virtual_time_is_linear_in_data_size() {
-        let run = |n: u64| {
-            let (r, s, _) = workload(2, n, n, Skew::None);
-            run_distributed_join(small_cfg(2, 3), r, s)
-        };
-        let small = run(8_000);
-        let large = run(16_000);
-        let ratio = large.phases.total().as_secs_f64() / small.phases.total().as_secs_f64();
-        assert!(
-            (1.7..=2.3).contains(&ratio),
-            "doubling data gave time ratio {ratio:.3}"
-        );
-    }
-
-    #[test]
-    fn wide_tuples_same_bytes_same_time() {
-        // §6.7: constant byte volume across 16/32/64-byte tuples gives
-        // near-identical execution times.
-        fn run_width<T: Tuple>(tuples: u64) -> (JoinResult, f64) {
-            let machines = 2;
-            let r = generate_inner::<T>(tuples, machines, 7);
-            let (s, oracle) = generate_outer::<T>(tuples, tuples, machines, Skew::None, 8);
-            let mut cfg = DistJoinConfig::new(ClusterSpec::fdr_cluster(machines));
-            cfg.cluster.cores_per_machine = 3;
-            cfg.radix_bits = (4, 3);
-            cfg.rdma_buf_size = 1024;
-            let out = run_distributed_join(cfg, r, s);
-            oracle.verify(&out.result);
-            (out.result, out.phases.total().as_secs_f64())
-        }
-        let (_, t16) = run_width::<Tuple16>(16_000);
-        let (_, t32) = run_width::<Tuple32>(8_000);
-        let (_, t64) = run_width::<Tuple64>(4_000);
-        for (label, t) in [("32B", t32), ("64B", t64)] {
-            assert!(
-                (t - t16).abs() / t16 < 0.12,
-                "{label} time {t:.6} deviates from 16B {t16:.6}"
-            );
-        }
-    }
-
-    #[test]
-    fn no_on_the_fly_registrations_with_pooling() {
-        let (r, s, _) = workload(3, 10_000, 10_000, Skew::None);
-        let out = run_distributed_join(small_cfg(3, 3), r, s);
-        assert!(out.machines.iter().all(|m| m.fly_registrations == 0));
-    }
-
-    #[test]
-    fn single_machine_cluster_degenerates_gracefully() {
-        let (r, s, oracle) = workload(1, 4_000, 8_000, Skew::None);
-        let out = run_distributed_join(small_cfg(1, 3), r, s);
-        oracle.verify(&out.result);
-        // Nothing to send: all partitions are local.
-        assert_eq!(out.machines[0].tx_bytes, 0);
-    }
-
-    #[test]
-    fn cpu_accounting_is_plausible() {
-        let (r, s, _) = workload(2, 30_000, 30_000, Skew::None);
-        let out = run_distributed_join(small_cfg(2, 3), r, s);
-        let total = out.phases.total().as_secs_f64();
-        for m in &out.machines {
-            let util = m.cpu_busy_seconds / (3.0 * total);
-            // Cores are busy a meaningful fraction of the run but can
-            // never exceed 100%.
-            assert!(util > 0.2 && util <= 1.0, "utilization {util:.3}");
-        }
-    }
-
-    #[test]
-    fn small_to_large_ratios_all_verify() {
-        for ratio in [1u64, 2, 4, 8] {
-            let n_s = 16_000u64;
-            let n_r = n_s / ratio;
-            let (r, s, oracle) = workload(2, n_r, n_s, Skew::None);
-            let out = run_distributed_join(small_cfg(2, 3), r, s);
-            oracle.verify(&out.result);
-        }
-    }
-}
-
-#[cfg(test)]
-mod materialize_tests {
-    use super::*;
-    use crate::config::MaterializeMode;
-    use rsj_cluster::ClusterSpec;
-    use rsj_workload::{generate_inner, generate_outer, Skew, Tuple16};
-
-    fn run(mode: MaterializeMode, machines: usize) -> DistJoinOutcome {
-        let r = generate_inner::<Tuple16>(4_000, machines, 95);
-        let (s, oracle) = generate_outer::<Tuple16>(16_000, 4_000, machines, Skew::None, 96);
-        let mut spec = ClusterSpec::fdr_cluster(machines.min(4));
-        spec.cores_per_machine = 3;
-        let mut cfg = DistJoinConfig::new(spec);
-        cfg.radix_bits = (4, 2);
-        cfg.rdma_buf_size = 512;
-        cfg.materialize = mode;
-        let out = run_distributed_join(cfg, r, s);
-        oracle.verify(&out.result);
-        out
-    }
-
-    #[test]
-    fn count_only_materializes_nothing() {
-        let out = run(MaterializeMode::CountOnly, 3);
-        assert_eq!(out.materialized_bytes, 0);
-    }
-
-    #[test]
-    fn local_materialization_covers_every_match() {
-        let out = run(MaterializeMode::Local, 3);
-        assert_eq!(out.materialized_bytes, out.result.matches * 16);
-    }
-
-    #[test]
-    fn coordinator_materialization_covers_every_match() {
-        let out = run(MaterializeMode::ToCoordinator, 3);
-        assert_eq!(out.materialized_bytes, out.result.matches * 16);
-        // Remote machines shipped their shares over the wire.
-        assert!(out.machines[1].tx_bytes > 0);
-    }
-
-    #[test]
-    fn coordinator_mode_on_single_machine_degenerates_to_local() {
-        let out = run(MaterializeMode::ToCoordinator, 1);
-        assert_eq!(out.materialized_bytes, out.result.matches * 16);
-    }
-
-    #[test]
-    fn materialization_costs_show_up_in_build_probe() {
-        let base = run(MaterializeMode::CountOnly, 3);
-        let coord = run(MaterializeMode::ToCoordinator, 3);
-        assert_eq!(base.result, coord.result);
-        assert!(
-            coord.phases.build_probe > base.phases.build_probe,
-            "shipping the result must cost something: {:?} vs {:?}",
-            coord.phases.build_probe,
-            base.phases.build_probe
-        );
-    }
-
-    #[test]
-    fn materialization_with_skew_and_work_sharing() {
-        let machines = 4;
-        let r = generate_inner::<Tuple16>(2_000, machines, 97);
-        let (s, oracle) =
-            generate_outer::<Tuple16>(60_000, 2_000, machines, Skew::Zipf(1.3), 98);
-        let mut spec = ClusterSpec::qdr_cluster(machines);
-        spec.cores_per_machine = 3;
-        let mut cfg = DistJoinConfig::new(spec);
-        cfg.radix_bits = (4, 2);
-        cfg.rdma_buf_size = 512;
-        cfg.materialize = MaterializeMode::ToCoordinator;
-        cfg.parallel_local_pass = true;
-        let out = run_distributed_join(cfg, r, s);
-        oracle.verify(&out.result);
-        assert_eq!(out.materialized_bytes, out.result.matches * 16);
-    }
-}
-
-#[cfg(test)]
-mod work_sharing_tests {
-    use super::*;
-    use crate::config::AssignmentPolicy;
-    use rsj_cluster::ClusterSpec;
-    use rsj_workload::{generate_inner, generate_outer, Skew, Tuple16};
-
-    fn skewed_run(work_sharing: bool) -> DistJoinOutcome {
-        let machines = 4;
-        let r = generate_inner::<Tuple16>(3_000, machines, 77);
-        let (s, oracle) =
-            generate_outer::<Tuple16>(300_000, 3_000, machines, Skew::Zipf(1.5), 78);
-        let mut spec = ClusterSpec::qdr_cluster(machines);
-        spec.cores_per_machine = 3;
-        let mut cfg = DistJoinConfig::new(spec);
-        // Enough final fragments that the hottest key's fragment splits
-        // into a deep chunk backlog (the regime where stealing pays).
-        cfg.radix_bits = (4, 3);
-        cfg.rdma_buf_size = 512;
-        cfg.assignment = AssignmentPolicy::SortedDynamic;
-        cfg.inter_machine_work_sharing = work_sharing;
-        // Scale the per-message floors to the test's tiny volume, as the
-        // experiment harness does.
-        let mut fabric = cfg.fabric_config();
-        fabric.msg_rate *= 128.0;
-        fabric.latency /= 128.0;
-        cfg.fabric_override = Some(fabric);
-        cfg.work_sharing_min_bytes = 2 * 1024;
-        let out = run_distributed_join(cfg, r, s);
-        oracle.verify(&out.result);
-        out
-    }
-
-    #[test]
-    fn work_sharing_preserves_the_result() {
-        let without = skewed_run(false);
-        let with = skewed_run(true);
-        assert_eq!(without.result, with.result);
-    }
-
-    #[test]
-    fn work_sharing_shortens_build_probe_under_heavy_skew() {
-        let without = skewed_run(false);
-        let with = skewed_run(true);
-        assert!(
-            with.phases.build_probe < without.phases.build_probe,
-            "work sharing {:?} must beat {:?}",
-            with.phases.build_probe,
-            without.phases.build_probe
-        );
-    }
-
-    #[test]
-    fn work_sharing_registers_scratch_regions() {
-        let with = skewed_run(true);
-        assert!(
-            with.machines.iter().any(|m| m.registered_bytes > 0),
-            "scratch regions must be pinned"
-        );
-    }
-
-    #[test]
-    fn parallel_local_pass_preserves_result_and_shortens_skewed_local_phase() {
-        let run = |parallel: bool| {
-            let machines = 4;
-            let r = generate_inner::<Tuple16>(3_000, machines, 88);
-            let (s, oracle) =
-                generate_outer::<Tuple16>(200_000, 3_000, machines, Skew::Zipf(1.4), 89);
-            let mut spec = ClusterSpec::qdr_cluster(machines);
-            spec.cores_per_machine = 4;
-            let mut cfg = DistJoinConfig::new(spec);
-            cfg.radix_bits = (3, 3);
-            cfg.rdma_buf_size = 512;
-            cfg.assignment = AssignmentPolicy::SortedDynamic;
-            cfg.parallel_local_pass = parallel;
-            let out = run_distributed_join(cfg, r, s);
-            oracle.verify(&out.result);
-            out
-        };
-        let base = run(false);
-        let par = run(true);
-        assert_eq!(base.result, par.result);
-        // The giant partition's second pass is single-threaded in the
-        // baseline and spread over 4 cores in the parallel pass.
-        assert!(
-            par.phases.local_partition.as_secs_f64()
-                < 0.7 * base.phases.local_partition.as_secs_f64(),
-            "parallel {:?} vs baseline {:?}",
-            par.phases.local_partition,
-            base.phases.local_partition
-        );
-    }
-
-    #[test]
-    fn parallel_local_pass_matches_on_uniform_and_one_sided() {
-        for receive in [ReceiveMode::TwoSided, ReceiveMode::OneSided] {
-            let machines = 3;
-            let r = generate_inner::<Tuple16>(9_000, machines, 90);
-            let (s, oracle) =
-                generate_outer::<Tuple16>(18_000, 9_000, machines, Skew::None, 91);
-            let mut spec = ClusterSpec::fdr_cluster(machines);
-            spec.cores_per_machine = 3;
-            let mut cfg = DistJoinConfig::new(spec);
-            cfg.radix_bits = (4, 3);
-            cfg.rdma_buf_size = 1024;
-            cfg.receive = receive;
-            cfg.parallel_local_pass = true;
-            let out = run_distributed_join(cfg, r, s);
-            oracle.verify(&out.result);
-        }
-    }
-
-    #[test]
-    fn work_sharing_is_harmless_on_uniform_data() {
-        let machines = 3;
-        let run = |ws: bool| {
-            let r = generate_inner::<Tuple16>(12_000, machines, 80);
-            let (s, oracle) =
-                generate_outer::<Tuple16>(24_000, 12_000, machines, Skew::None, 81);
-            let mut spec = ClusterSpec::fdr_cluster(machines);
-            spec.cores_per_machine = 3;
-            let mut cfg = DistJoinConfig::new(spec);
-            cfg.radix_bits = (4, 2);
-            cfg.rdma_buf_size = 512;
-            cfg.inter_machine_work_sharing = ws;
-            let out = run_distributed_join(cfg, r, s);
-            oracle.verify(&out.result);
-            out
-        };
-        let base = run(false);
-        let ws = run(true);
-        assert_eq!(base.result, ws.result);
-        // Balanced queues leave little to steal; time must not regress by
-        // more than the stray read here or there.
-        let ratio = ws.phases.total().as_secs_f64() / base.phases.total().as_secs_f64();
-        assert!(ratio < 1.1, "uniform-data regression: {ratio:.3}");
-    }
+    rt.sync_named(ctx, "build_probe", mach);
 }

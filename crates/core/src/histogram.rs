@@ -7,11 +7,10 @@
 
 use crate::config::AssignmentPolicy;
 
-/// Relations are identified on the wire by an index: 0 = inner (R),
-/// 1 = outer (S).
-pub const REL_R: usize = 0;
-/// Outer relation index.
-pub const REL_S: usize = 1;
+// Relations are identified on the wire by an index: 0 = inner (R),
+// 1 = outer (S). The indices are owned by the unified wire codec and
+// re-exported here for the histogram-centric call sites.
+pub use rsj_cluster::wire::{REL_R, REL_S};
 
 /// Per-partition tuple counts for both relations, as computed by one
 /// thread, one machine, or the whole cluster.

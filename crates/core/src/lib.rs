@@ -31,7 +31,7 @@
 mod config;
 mod driver;
 mod histogram;
-mod wire;
+mod phases;
 
 pub use config::{AssignmentPolicy, DistJoinConfig, MaterializeMode, ReceiveMode, TransportMode};
 pub use driver::{run_distributed_join, DistJoinOutcome, MachineReport};

@@ -1,0 +1,371 @@
+//! Phase 4 — build-probe (§4.3).
+//!
+//! Chained hash tables per fragment; skewed outer fragments are split
+//! into probe chunks shared among threads, oversized inner fragments into
+//! multiple cache-sized tables. Matches are counted or materialized
+//! ([`ResultEmitter`]), and the inter-machine work-sharing extension lets
+//! idle machines pull fragments from remote queues ([`steal_task`]).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use rsj_cluster::{Meter, WireTag};
+use rsj_joins::ChainedTable;
+use rsj_rdma::{HostId, Nic, SendWindow};
+use rsj_sim::SimCtx;
+use rsj_workload::{JoinResult, Tuple};
+
+use crate::config::{DistJoinConfig, MaterializeMode};
+use crate::phases::{task_bytes, BpTask, ClusterShared};
+
+/// §4.3 result materialization: matches are serialized as
+/// `<r.rid, s.rid>` pairs (16 bytes) into output buffers. In coordinator
+/// mode a full buffer is posted to machine 0 and reused once the send
+/// completes — the same pooled double-buffering discipline as the
+/// partitioning pass.
+struct ResultEmitter {
+    mode: MaterializeMode,
+    is_coordinator: bool,
+    buf: Vec<u8>,
+    window: SendWindow,
+    cap: usize,
+    bytes: u64,
+}
+
+impl ResultEmitter {
+    fn new(cfg: &DistJoinConfig, mach: usize) -> ResultEmitter {
+        ResultEmitter {
+            mode: cfg.materialize,
+            is_coordinator: mach == 0,
+            buf: Vec::new(),
+            window: SendWindow::new(cfg.send_depth),
+            cap: cfg.rdma_buf_size,
+            bytes: 0,
+        }
+    }
+
+    #[inline]
+    fn emit<T: Tuple>(
+        &mut self,
+        ctx: &SimCtx,
+        meter: &mut Meter,
+        nic: &Nic,
+        cost: &rsj_cluster::CostModel,
+        r: &T,
+        s: &T,
+    ) {
+        self.buf.extend_from_slice(&r.rid().to_le_bytes());
+        self.buf.extend_from_slice(&s.rid().to_le_bytes());
+        self.bytes += 16;
+        meter.charge_bytes(ctx, 16, cost.memcpy_rate);
+        if self.buf.len() + 16 > self.cap {
+            self.flush(ctx, meter, nic);
+        }
+    }
+
+    fn flush(&mut self, ctx: &SimCtx, meter: &mut Meter, nic: &Nic) {
+        if self.buf.is_empty() {
+            return;
+        }
+        if self.mode == MaterializeMode::ToCoordinator && !self.is_coordinator {
+            meter.flush(ctx);
+            self.window.admit(ctx);
+            let payload = std::mem::take(&mut self.buf);
+            let ev = nic.post_send(ctx, HostId(0), WireTag::Result.encode(), payload);
+            self.window.record(ev);
+        } else {
+            // Local output buffer handed to the downstream consumer; the
+            // write cost was charged per pair.
+            self.buf.clear();
+        }
+    }
+
+    /// Final flush + EOS + drain; returns the bytes that stayed local.
+    fn finish(&mut self, ctx: &SimCtx, meter: &mut Meter, nic: &Nic) -> u64 {
+        if self.mode == MaterializeMode::CountOnly {
+            return 0;
+        }
+        self.flush(ctx, meter, nic);
+        if self.mode == MaterializeMode::ToCoordinator && !self.is_coordinator {
+            meter.flush(ctx);
+            nic.post_send(ctx, HostId(0), WireTag::Eos.encode(), Vec::new())
+                .wait(ctx);
+            self.window.drain(ctx);
+            0
+        } else {
+            self.bytes
+        }
+    }
+}
+
+/// Coordinator-side result sink: machine 0's core 0 absorbs materialized
+/// result buffers during the build-probe phase in
+/// [`MaterializeMode::ToCoordinator`] runs.
+fn result_sink<T: Tuple>(ctx: &SimCtx, sh: &ClusterShared<T>, meter: &mut Meter) {
+    let m = sh.cfg.cluster.machines;
+    let nic = sh.fabric.nic(HostId(0));
+    let expected_eos = (m - 1) * sh.cfg.cluster.cores_per_machine;
+    let mut eos = 0;
+    let mut bytes = 0u64;
+    while eos < expected_eos {
+        let c = nic.recv(ctx).expect("fabric closed during result sink");
+        match WireTag::decode(c.tag).unwrap_or_else(|e| panic!("result sink: {e}")) {
+            WireTag::Eos => eos += 1,
+            WireTag::Result => {
+                // Copy out of the receive buffer into result storage.
+                meter.charge_bytes(ctx, c.payload.len(), sh.cfg.cluster.cost.memcpy_rate);
+                bytes += c.payload.len() as u64;
+            }
+            other => panic!("unexpected {other:?} during result sink"),
+        }
+        nic.repost_recv(ctx);
+    }
+    meter.flush(ctx);
+    *sh.coord_result_bytes.lock() += bytes;
+}
+
+pub(crate) fn phase_build_probe<T: Tuple>(
+    ctx: &SimCtx,
+    sh: &ClusterShared<T>,
+    mach: usize,
+    core: usize,
+    meter: &mut Meter,
+) {
+    let cfg = &sh.cfg;
+    let st = &sh.machines[mach];
+    let info = Arc::clone(st.info.lock().as_ref().expect("histogram phase incomplete"));
+    let cost = &cfg.cluster.cost;
+    let mut local = JoinResult::default();
+    let nic = sh.fabric.nic(HostId(mach));
+    let mut emitter = ResultEmitter::new(cfg, mach);
+
+    // Coordinator sink: machine 0's first core absorbs shipped results
+    // instead of probing (its other cores keep working).
+    if cfg.materialize == MaterializeMode::ToCoordinator
+        && mach == 0
+        && core == 0
+        && cfg.cluster.machines > 1
+    {
+        return result_sink(ctx, sh, meter);
+    }
+
+    loop {
+        let task = match st.bp_tasks.pop(0) {
+            Some(t) => {
+                st.bp_queued_bytes
+                    .fetch_sub(task_bytes(&t), Ordering::SeqCst);
+                t
+            }
+            None => {
+                if !cfg.inter_machine_work_sharing {
+                    break;
+                }
+                match steal_task(ctx, sh, mach, meter) {
+                    Some(t) => t,
+                    None => {
+                        // Nothing stealable right now. If any worker is
+                        // still busy it may yet split an oversized
+                        // fragment; poll briefly before giving up.
+                        if sh.bp_busy.load(Ordering::SeqCst) == 0
+                            && sh.machines.iter().all(|m| m.bp_tasks.is_empty())
+                        {
+                            break;
+                        }
+                        // Poll at the granularity of the smallest stealable
+                        // unit so the phase end is not overshot.
+                        let poll = cfg.work_sharing_min_bytes as f64 / cfg.cluster.cost.probe_rate;
+                        ctx.advance(rsj_sim::SimDuration::from_secs_f64(poll));
+                        continue;
+                    }
+                }
+            }
+        };
+        sh.bp_busy.fetch_add(1, Ordering::SeqCst);
+        match task {
+            BpTask::BuildProbe { r, s, j } => {
+                let r_part = r.part(j);
+                let s_part = s.part(j);
+                // Oversized inner fragment (skew on R): split into several
+                // cache-sized tables; every probe then visits all of them
+                // (§4.3).
+                let est_footprint = r_part.len() * (T::SIZE + 8);
+                let n_tables = est_footprint.div_ceil(2 * cfg.cache_budget_bytes).max(1);
+                let chunk = r_part.len().div_ceil(n_tables).max(1);
+                let tables: Vec<ChainedTable<T>> = r_part
+                    .chunks(chunk.max(1))
+                    .map(ChainedTable::build)
+                    .collect();
+                meter.charge_bytes(ctx, r_part.len() * T::SIZE, cost.build_rate);
+                let tables = Arc::new(tables);
+                if s_part.len() > info.s_split_threshold {
+                    // Skewed outer fragment: share the probe among threads
+                    // in chunks of the threshold size.
+                    let mut lo = 0;
+                    while lo < s_part.len() {
+                        let hi = (lo + info.s_split_threshold).min(s_part.len());
+                        let t = BpTask::ProbeChunk {
+                            tables: Arc::clone(&tables),
+                            s: Arc::clone(&s),
+                            j,
+                            lo,
+                            hi,
+                        };
+                        st.bp_queued_bytes
+                            .fetch_add(task_bytes(&t), Ordering::SeqCst);
+                        st.bp_tasks.push(0, t);
+                        lo = hi;
+                    }
+                } else {
+                    probe_chunk(
+                        ctx,
+                        meter,
+                        cost,
+                        &tables,
+                        s_part,
+                        &mut local,
+                        &mut emitter,
+                        &nic,
+                    );
+                }
+            }
+            BpTask::ProbeChunk {
+                tables,
+                s,
+                j,
+                lo,
+                hi,
+            } => {
+                probe_chunk(
+                    ctx,
+                    meter,
+                    cost,
+                    &tables,
+                    &s.part(j)[lo..hi],
+                    &mut local,
+                    &mut emitter,
+                    &nic,
+                );
+            }
+        }
+        sh.bp_busy.fetch_sub(1, Ordering::SeqCst);
+        meter.flush(ctx);
+    }
+    let local_bytes = emitter.finish(ctx, meter, &nic);
+    if local_bytes > 0 {
+        *st.result_bytes_local.lock() += local_bytes;
+    }
+    meter.flush(ctx);
+    st.result.lock().merge(local);
+}
+
+/// Work-sharing extension: pull one build-probe fragment from another
+/// machine's queue, paying the wire cost of moving its bytes here via a
+/// one-sided RDMA READ from the victim's scratch region.
+///
+/// A steal only happens when it is expected to *finish sooner* than the
+/// victim would get to the task itself: the thief compares the victim's
+/// backlog drain time against the transfer time behind all outstanding
+/// steals from that victim (their reads serialize on one egress link).
+/// Without this estimate, eager thieves move tail work onto a channel
+/// slower than a local probe thread and make the phase longer.
+fn steal_task<T: Tuple>(
+    ctx: &SimCtx,
+    sh: &ClusterShared<T>,
+    mach: usize,
+    meter: &mut Meter,
+) -> Option<BpTask<T>> {
+    let m = sh.cfg.cluster.machines;
+    let cores = sh.cfg.cluster.cores_per_machine as f64;
+    let probe_rate = sh.cfg.cluster.cost.probe_rate;
+    let net = sh.fabric.config().effective_bandwidth(m);
+    let min_bytes = sh.cfg.work_sharing_min_bytes;
+    for step in 1..m {
+        let victim = (mach + step) % m;
+        let vstate = &sh.machines[victim];
+        let backlog = vstate.bp_queued_bytes.load(Ordering::SeqCst);
+        let outstanding = vstate.steal_outstanding_bytes.load(Ordering::SeqCst);
+        let worth = |t: &BpTask<T>| -> bool {
+            let bytes = task_bytes(t);
+            if bytes < min_bytes {
+                return false;
+            }
+            // The victim reaches this task after draining ~its backlog
+            // across its cores; the thief gets it after the pending
+            // transfers plus its own, plus the probe itself.
+            let victim_finish = backlog.saturating_sub(bytes) as f64 / (cores * probe_rate);
+            let steal_finish = (outstanding + bytes) as f64 / net + bytes as f64 / probe_rate;
+            steal_finish < victim_finish
+        };
+        let task = vstate.bp_tasks.pop_if(0, worth);
+        if let Some(task) = task {
+            let bytes = task_bytes(&task);
+            vstate.bp_queued_bytes.fetch_sub(bytes, Ordering::SeqCst);
+            // Table bytes cross the wire only on this machine's first
+            // contact with the fragment; the tables stay cached here.
+            let wire_bytes = bytes
+                + match &task {
+                    BpTask::ProbeChunk { tables, .. } => {
+                        let frag_id = Arc::as_ptr(tables) as usize;
+                        if sh.machines[mach].fetched_tables.lock().insert(frag_id) {
+                            tables.iter().map(|t| t.footprint_bytes()).sum::<usize>()
+                        } else {
+                            0
+                        }
+                    }
+                    BpTask::BuildProbe { .. } => 0,
+                };
+            let remote = sh.scratch_mrs.lock()[victim];
+            if let Some(remote) = remote {
+                let len = wire_bytes.min(remote.len);
+                if len > 0 {
+                    vstate
+                        .steal_outstanding_bytes
+                        .fetch_add(len, Ordering::SeqCst);
+                    meter.flush(ctx);
+                    // The payload content is immaterial (the fragment is
+                    // shared in simulator memory); the READ charges the
+                    // honest wire time of moving it.
+                    let _bytes = sh
+                        .fabric
+                        .nic(HostId(mach))
+                        .post_read(ctx, remote, 0, len)
+                        .wait(ctx);
+                    vstate
+                        .steal_outstanding_bytes
+                        .fetch_sub(len, Ordering::SeqCst);
+                }
+            }
+            return Some(task);
+        }
+    }
+    None
+}
+
+#[allow(clippy::too_many_arguments)]
+fn probe_chunk<T: Tuple>(
+    ctx: &SimCtx,
+    meter: &mut Meter,
+    cost: &rsj_cluster::CostModel,
+    tables: &[ChainedTable<T>],
+    s_part: &[T],
+    local: &mut JoinResult,
+    emitter: &mut ResultEmitter,
+    nic: &Nic,
+) {
+    if emitter.mode == MaterializeMode::CountOnly {
+        for table in tables {
+            local.merge(table.probe_all(s_part));
+        }
+    } else {
+        for table in tables {
+            let mut res = JoinResult::default();
+            table.for_each_join(s_part, |r, s| {
+                res.add_match(s.key());
+                emitter.emit(ctx, meter, nic, cost, r, s);
+            });
+            local.merge(res);
+        }
+    }
+    // Probing k split tables costs k passes over the probe input (§4.3).
+    meter.charge_bytes(ctx, s_part.len() * T::SIZE * tables.len(), cost.probe_rate);
+}

@@ -1,0 +1,139 @@
+//! Phase 1 — histogram computation and exchange (§4.1).
+//!
+//! Every thread scans its section of both inputs; thread histograms
+//! combine into machine histograms, which are exchanged over the network
+//! and combined into the global histogram from which every machine
+//! derives the partition→machine assignment and all receive-buffer sizes.
+
+use std::sync::Arc;
+
+use rsj_cluster::{ranges, Meter, WireTag};
+use rsj_joins::partition_of;
+use rsj_rdma::HostId;
+use rsj_sim::SimCtx;
+use rsj_workload::Tuple;
+
+use crate::histogram::{assign_partitions, Histogram, REL_R, REL_S};
+use crate::phases::{sender_index, ClusterShared, GlobalInfo, RELS};
+use crate::ReceiveMode;
+
+pub(crate) fn phase_histogram<T: Tuple>(
+    ctx: &SimCtx,
+    sh: &ClusterShared<T>,
+    mach: usize,
+    core: usize,
+    meter: &mut Meter,
+) {
+    let cfg = &sh.cfg;
+    let st = &sh.machines[mach];
+    let b1 = cfg.radix_bits.0;
+    let np1 = 1usize << b1;
+    let m = cfg.cluster.machines;
+    let workers = cfg.partitioning_workers();
+
+    // Partitioning workers scan their (future) partitioning slices so the
+    // per-worker histograms line up with what each worker will later send;
+    // a dedicated receiver core has no slice.
+    if let Some(w) = sender_index(cfg, core) {
+        let mut hist = Histogram::zeros(np1);
+        for (rel, chunk) in [(REL_R, &st.r_chunk), (REL_S, &st.s_chunk)] {
+            let range = ranges(chunk.len(), workers)[w].clone();
+            let slice_len = range.len();
+            for t in &chunk[range] {
+                hist.counts[rel][partition_of(t.key(), 0, b1)] += 1;
+            }
+            meter.charge_bytes(ctx, slice_len * T::SIZE, cfg.cluster.cost.histogram_rate);
+        }
+        st.machine_hist.lock().add(&hist);
+        *st.worker_hists[w].lock() = Some(hist);
+        meter.flush(ctx);
+    }
+    st.local_barrier.wait(ctx);
+
+    // Core 0 exchanges the machine histogram and computes global state.
+    if core == 0 {
+        let nic = sh.fabric.nic(HostId(mach));
+        let mine = st.machine_hist.lock().clone();
+        let encoded = mine.encode();
+        let mut evs = Vec::new();
+        for dst in 0..m {
+            if dst != mach {
+                evs.push(nic.post_send(
+                    ctx,
+                    HostId(dst),
+                    WireTag::Histogram.encode(),
+                    encoded.clone(),
+                ));
+            }
+        }
+        let mut machine_hists: Vec<Histogram> = vec![Histogram::zeros(np1); m];
+        machine_hists[mach] = mine;
+        for _ in 0..m.saturating_sub(1) {
+            let c = nic
+                .recv(ctx)
+                .expect("fabric closed during histogram exchange");
+            let tag = WireTag::decode(c.tag).unwrap_or_else(|e| panic!("histogram exchange: {e}"));
+            assert_eq!(tag, WireTag::Histogram, "unexpected phase-1 message");
+            machine_hists[c.src.0] = Histogram::decode(&c.payload);
+            nic.repost_recv(ctx);
+        }
+        for ev in evs {
+            ev.wait(ctx);
+        }
+
+        let mut global = Histogram::zeros(np1);
+        for h in &machine_hists {
+            global.add(h);
+        }
+        let assignment = assign_partitions(&global, m, cfg.assignment);
+        let owned: Vec<usize> = (0..np1).filter(|&p| assignment[p] == mach).collect();
+        let s_total: u64 = global.counts[REL_S].iter().sum();
+        let final_parts = (np1 as u64) << cfg.radix_bits.1;
+        let s_split_threshold = ((s_total as f64 / final_parts as f64) * cfg.skew_split_factor)
+            .ceil()
+            .max(64.0) as usize;
+
+        // One-sided receive: register one region per (rel, partition we
+        // own, remote source), sized exactly from the source's histogram
+        // (§4.2.2). This pins large memory and its cost is charged here.
+        if cfg.receive == ReceiveMode::OneSided {
+            let mut registry = Vec::new();
+            for &p in &owned {
+                for src in (0..m).filter(|&s| s != mach) {
+                    for rel in RELS {
+                        let tuples = machine_hists[src].counts[rel][p];
+                        if tuples == 0 {
+                            continue;
+                        }
+                        let mr = nic.mrs.register(ctx, tuples as usize * T::SIZE);
+                        registry.push(((mach, rel, p, src), mr.remote_handle()));
+                        st.recv_mrs.lock().insert((rel, p, src), mr);
+                    }
+                }
+            }
+            sh.mr_registry.lock().extend(registry);
+        }
+
+        // Work-sharing extension: pre-register a scratch region sized to
+        // the largest partition this machine will own, so thieves can pull
+        // fragments with one-sided READs during build-probe.
+        if cfg.inter_machine_work_sharing {
+            let max_part_bytes = owned
+                .iter()
+                .map(|&p| global.total(p) as usize * T::SIZE)
+                .max()
+                .unwrap_or(0);
+            if max_part_bytes > 0 {
+                let mr = nic.mrs.register(ctx, max_part_bytes);
+                sh.scratch_mrs.lock()[mach] = Some(mr.remote_handle());
+            }
+        }
+
+        *st.info.lock() = Some(Arc::new(GlobalInfo {
+            assignment,
+            machine_hists,
+            owned,
+            s_split_threshold,
+        }));
+    }
+}

@@ -1,0 +1,252 @@
+//! Phase 3 — local partitioning pass (§4.2.3).
+//!
+//! Each machine refines its assigned partitions on the next b₂ bits to
+//! cache-sized fragments, then enqueues the build-probe tasks. The
+//! optional [`phase_local_parallel`] extension additionally shares the
+//! second pass of oversized partitions among the machine's cores.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use rsj_cluster::Meter;
+use rsj_joins::{partition, Partitioned};
+use rsj_sim::SimCtx;
+use rsj_workload::{decode_into, Tuple};
+
+use crate::histogram::{REL_R, REL_S};
+use crate::phases::{task_bytes, BpTask, ClusterShared, GlobalInfo, RELS};
+use crate::ReceiveMode;
+
+pub(crate) fn phase_local<T: Tuple>(
+    ctx: &SimCtx,
+    sh: &ClusterShared<T>,
+    mach: usize,
+    core: usize,
+    meter: &mut Meter,
+) {
+    let cfg = &sh.cfg;
+    let st = &sh.machines[mach];
+    let info = Arc::clone(st.info.lock().as_ref().expect("histogram phase incomplete"));
+    let (b1, b2) = cfg.radix_bits;
+    let rate = cfg.cluster.cost.partition_rate;
+    let m = cfg.cluster.machines;
+
+    if cfg.parallel_local_pass {
+        return phase_local_parallel(ctx, sh, mach, core, meter, &info);
+    }
+
+    loop {
+        let i = st.next_local_task.fetch_add(1, Ordering::SeqCst);
+        if i >= info.owned.len() {
+            break;
+        }
+        let p = info.owned[i];
+        // Assemble partition p: local buffers from every worker plus the
+        // bytes received over the network (pointer-level assembly in the
+        // original; the copies here are simulator artifacts, not charged).
+        let mut rel_parts: [Vec<T>; 2] = [Vec::new(), Vec::new()];
+        for rel in RELS {
+            for w in 0..cfg.partitioning_workers() {
+                let mut guard = st.local_out[w].lock();
+                rel_parts[rel].append(&mut guard.parts[rel][p]);
+            }
+            match cfg.receive {
+                ReceiveMode::TwoSided => {
+                    let bytes = std::mem::take(&mut st.staging[rel].lock()[p]);
+                    decode_into(&bytes, &mut rel_parts[rel]);
+                }
+                ReceiveMode::OneSided => {
+                    for src in (0..m).filter(|&s| s != mach) {
+                        if let Some(mr) = st.recv_mrs.lock().get(&(rel, p, src)) {
+                            let bytes = mr.take_data();
+                            decode_into(&bytes, &mut rel_parts[rel]);
+                        }
+                    }
+                }
+            }
+        }
+        // Assembly completeness: the histogram phase announced exactly how
+        // many tuples of each relation land in p cluster-wide.
+        for rel in RELS {
+            let expect: u64 = info.machine_hists.iter().map(|h| h.counts[rel][p]).sum();
+            assert_eq!(
+                rel_parts[rel].len() as u64,
+                expect,
+                "partition {p} of relation {rel} lost tuples in transit"
+            );
+        }
+        let [r_p, s_p] = rel_parts;
+        meter.charge_bytes(ctx, (r_p.len() + s_p.len()) * T::SIZE, rate);
+        let sub_r = Arc::new(partition(&r_p, b1, b2));
+        let sub_s = Arc::new(partition(&s_p, b1, b2));
+        for j in 0..(1usize << b2) {
+            if !sub_r.part(j).is_empty() || !sub_s.part(j).is_empty() {
+                let t = BpTask::BuildProbe {
+                    r: Arc::clone(&sub_r),
+                    s: Arc::clone(&sub_s),
+                    j,
+                };
+                st.bp_queued_bytes
+                    .fetch_add(task_bytes(&t), Ordering::SeqCst);
+                st.bp_tasks.push(0, t);
+            }
+        }
+        meter.flush(ctx);
+    }
+    meter.flush(ctx);
+}
+
+/// Parallel local pass (extension; see
+/// [`crate::DistJoinConfig::parallel_local_pass`]).
+///
+/// Three machine-local stages separated by local barriers:
+/// 1. assemble each owned partition (as the sequential path does);
+/// 2. second-pass partition the assembled inputs in *slices*, drained by
+///    all cores from a shared task list — so a giant skewed partition is
+///    processed by every core instead of one;
+/// 3. concatenate the slice outputs per final fragment and enqueue the
+///    build-probe tasks.
+fn phase_local_parallel<T: Tuple>(
+    ctx: &SimCtx,
+    sh: &ClusterShared<T>,
+    mach: usize,
+    core: usize,
+    meter: &mut Meter,
+    info: &GlobalInfo,
+) {
+    let cfg = &sh.cfg;
+    let st = &sh.machines[mach];
+    let (b1, b2) = cfg.radix_bits;
+    let rate = cfg.cluster.cost.partition_rate;
+    let m = cfg.cluster.machines;
+    let cores = cfg.cluster.cores_per_machine;
+    let owned = &info.owned;
+
+    // Stage 0: one core sizes the shared slots.
+    if core == 0 {
+        *st.lp_assembled.lock() = (0..owned.len()).map(|_| None).collect();
+        *st.lp_outputs.lock() = (0..owned.len()).map(|_| [Vec::new(), Vec::new()]).collect();
+    }
+    st.local_barrier.wait(ctx);
+
+    // Stage 1: assemble owned partitions (uncharged pointer assembly, as
+    // in the sequential path).
+    loop {
+        let i = st.next_local_task.fetch_add(1, Ordering::SeqCst);
+        if i >= owned.len() {
+            break;
+        }
+        let p = owned[i];
+        let mut rel_parts: [Vec<T>; 2] = [Vec::new(), Vec::new()];
+        for rel in RELS {
+            for w in 0..cfg.partitioning_workers() {
+                let mut guard = st.local_out[w].lock();
+                rel_parts[rel].append(&mut guard.parts[rel][p]);
+            }
+            match cfg.receive {
+                ReceiveMode::TwoSided => {
+                    let bytes = std::mem::take(&mut st.staging[rel].lock()[p]);
+                    decode_into(&bytes, &mut rel_parts[rel]);
+                }
+                ReceiveMode::OneSided => {
+                    for src in (0..m).filter(|&s| s != mach) {
+                        if let Some(mr) = st.recv_mrs.lock().get(&(rel, p, src)) {
+                            let bytes = mr.take_data();
+                            decode_into(&bytes, &mut rel_parts[rel]);
+                        }
+                    }
+                }
+            }
+            let expect: u64 = info.machine_hists.iter().map(|h| h.counts[rel][p]).sum();
+            assert_eq!(
+                rel_parts[rel].len() as u64,
+                expect,
+                "partition {p} lost tuples"
+            );
+        }
+        st.lp_assembled.lock()[i] = Some(Arc::new(rel_parts));
+    }
+    // Leader of this barrier builds the slice task list from the
+    // assembled sizes, aiming for several tasks per core so a giant
+    // partition spreads across the whole machine.
+    if st.local_barrier.wait(ctx) {
+        let assembled = st.lp_assembled.lock();
+        let total_tuples: usize = assembled
+            .iter()
+            .flatten()
+            .map(|a| a[REL_R].len() + a[REL_S].len())
+            .sum();
+        let target = (total_tuples / (cores * 8)).max(256);
+        let mut tasks = Vec::new();
+        let mut outputs = st.lp_outputs.lock();
+        for (i, slot) in assembled.iter().enumerate() {
+            let a = slot.as_ref().expect("assembly incomplete");
+            for rel in RELS {
+                let len = a[rel].len();
+                let slices = len.div_ceil(target).max(1);
+                outputs[i][rel] = (0..slices).map(|_| None).collect();
+                for k in 0..slices {
+                    let lo = k * len / slices;
+                    let hi = (k + 1) * len / slices;
+                    tasks.push((i, rel, k, lo..hi));
+                }
+            }
+        }
+        *st.lp_tasks.lock() = tasks;
+    }
+    ctx.yield_now();
+
+    // Stage 2: every core drains slice tasks; a skewed partition's slices
+    // are interleaved with everything else.
+    let n_tasks = st.lp_tasks.lock().len();
+    loop {
+        let t = st.next_lp_task.fetch_add(1, Ordering::SeqCst);
+        if t >= n_tasks {
+            break;
+        }
+        let (i, rel, k, range) = st.lp_tasks.lock()[t].clone();
+        let assembled = Arc::clone(st.lp_assembled.lock()[i].as_ref().expect("assembled"));
+        let slice = &assembled[rel][range];
+        let parted = partition(slice, b1, b2);
+        meter.charge_bytes(ctx, slice.len() * T::SIZE, rate);
+        st.lp_outputs.lock()[i][rel][k] = Some(parted);
+        meter.flush(ctx);
+    }
+    meter.flush(ctx);
+    st.local_barrier.wait(ctx);
+
+    // Stage 3: concatenate slice outputs per fragment and enqueue
+    // build-probe tasks (uncharged assembly, same convention as the
+    // sequential path's pointer-level combining).
+    loop {
+        let i = st.next_lp_emit.fetch_add(1, Ordering::SeqCst);
+        if i >= owned.len() {
+            break;
+        }
+        let mut merged: [Option<Arc<Partitioned<T>>>; 2] = [None, None];
+        for rel in RELS {
+            let slices: Vec<Partitioned<T>> = st.lp_outputs.lock()[i][rel]
+                .iter_mut()
+                .map(|s| s.take().expect("slice output missing"))
+                .collect();
+            merged[rel] = Some(Arc::new(rsj_joins::concat_partitioned(
+                &slices,
+                1usize << b2,
+            )));
+        }
+        let [sub_r, sub_s] = merged;
+        let (sub_r, sub_s) = (sub_r.unwrap(), sub_s.unwrap());
+        for j in 0..(1usize << b2) {
+            if !sub_r.part(j).is_empty() || !sub_s.part(j).is_empty() {
+                let t = BpTask::BuildProbe {
+                    r: Arc::clone(&sub_r),
+                    s: Arc::clone(&sub_s),
+                    j,
+                };
+                st.bp_queued_bytes
+                    .fetch_add(task_bytes(&t), Ordering::SeqCst);
+                st.bp_tasks.push(0, t);
+            }
+        }
+    }
+}

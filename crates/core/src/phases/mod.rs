@@ -1,0 +1,263 @@
+//! The four phases of the distributed radix hash join, one module each,
+//! plus the cluster state they share.
+//!
+//! [`crate::driver`] is the thin orchestrator: it builds the
+//! [`ClusterShared`] state against the promoted
+//! [`rsj_cluster::Runtime`]'s fabric and runs each phase between named
+//! barriers. Everything algorithmic lives here:
+//!
+//! * [`histogram`] — §4.1 histogram computation, exchange, and the
+//!   derived global state ([`GlobalInfo`]);
+//! * [`network`] — §4.2 network partitioning pass (pooled double-buffered
+//!   senders, two-sided receiver loop or one-sided writes);
+//! * [`local`] — §4.2.3 local partitioning pass (serial and parallel);
+//! * [`build_probe`] — §4.3 build-probe with skew splitting, result
+//!   materialization, and the inter-machine work-sharing extension.
+
+pub(crate) mod build_probe;
+pub(crate) mod histogram;
+pub(crate) mod local;
+pub(crate) mod network;
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rsj_joins::{ChainedTable, NumaQueues, Partitioned};
+use rsj_rdma::{BufferPool, Fabric, RemoteMr};
+use rsj_sim::{SimBarrier, SimSemaphore};
+use rsj_workload::{JoinResult, Relation, Tuple};
+
+use crate::config::{DistJoinConfig, ReceiveMode};
+use crate::histogram::{Histogram, REL_R, REL_S};
+
+/// Which relation's chunk a sender is currently partitioning.
+pub(crate) const RELS: [usize; 2] = [REL_R, REL_S];
+
+/// One-sided write target key: `(dst, rel, part, src)`.
+pub(crate) type MrKey = (usize, usize, usize, usize);
+
+pub(crate) enum BpTask<T> {
+    /// Build over fragment `j` of `r`, probe with fragment `j` of `s`.
+    BuildProbe {
+        r: Arc<Partitioned<T>>,
+        s: Arc<Partitioned<T>>,
+        j: usize,
+    },
+    /// Probe `s.part(j)[lo..hi]` against pre-built tables (skew split).
+    ProbeChunk {
+        tables: Arc<Vec<ChainedTable<T>>>,
+        s: Arc<Partitioned<T>>,
+        j: usize,
+        lo: usize,
+        hi: usize,
+    },
+}
+
+/// Bytes of work a build-probe task represents (used for queue accounting
+/// and steal decisions).
+pub(crate) fn task_bytes<T: Tuple>(t: &BpTask<T>) -> usize {
+    match t {
+        BpTask::BuildProbe { r, s, j } => (r.part(*j).len() + s.part(*j).len()) * T::SIZE,
+        BpTask::ProbeChunk { lo, hi, .. } => (hi - lo) * T::SIZE,
+    }
+}
+
+/// One slice of an assembled partition's second pass (parallel local
+/// pass): `(owned_idx, rel, slice_idx, lo..hi)` over the assembled input.
+pub(crate) type LpSlice = (usize, usize, usize, std::ops::Range<usize>);
+/// An assembled partition: both relations' tuples, shared by slice tasks.
+pub(crate) type LpAssembled<T> = Arc<[Vec<T>; 2]>;
+/// Per-owned-partition second-pass outputs, one slot per slice per
+/// relation.
+pub(crate) type LpOutputs<T> = Vec<[Vec<Option<Partitioned<T>>>; 2]>;
+
+/// Cluster-wide state derived from the global histogram by every machine
+/// at the end of phase one.
+pub(crate) struct GlobalInfo {
+    pub(crate) assignment: Vec<usize>,
+    pub(crate) machine_hists: Vec<Histogram>,
+    /// Partitions owned by this machine, in ascending order.
+    pub(crate) owned: Vec<usize>,
+    /// Outer-relation tuples above which a final fragment is split for
+    /// parallel probing.
+    pub(crate) s_split_threshold: usize,
+}
+
+pub(crate) struct LocalOut<T> {
+    pub(crate) parts: [Vec<Vec<T>>; 2],
+}
+
+pub(crate) struct MachineState<T> {
+    pub(crate) local_barrier: Arc<SimBarrier>,
+    pub(crate) r_chunk: Vec<T>,
+    pub(crate) s_chunk: Vec<T>,
+    /// Per-partitioning-worker thread histograms (needed for one-sided
+    /// write offsets).
+    pub(crate) worker_hists: Vec<Mutex<Option<Histogram>>>,
+    pub(crate) machine_hist: Mutex<Histogram>,
+    pub(crate) info: Mutex<Option<Arc<GlobalInfo>>>,
+    /// Per-worker private local-partition buffers (no synchronization
+    /// while partitioning — Figure 2).
+    pub(crate) local_out: Vec<Mutex<LocalOut<T>>>,
+    /// Receiver-side staging: bytes per (rel, partition) for two-sided.
+    pub(crate) staging: [Mutex<Vec<Vec<u8>>>; 2],
+    /// One-sided receive regions: (rel, part, src) → our registered MR.
+    pub(crate) recv_mrs: Mutex<HashMap<(usize, usize, usize), Arc<rsj_rdma::Mr>>>,
+    pub(crate) next_local_task: AtomicUsize,
+    pub(crate) bp_tasks: NumaQueues<BpTask<T>>,
+    pub(crate) result: Mutex<JoinResult>,
+    pub(crate) stall_seconds: Mutex<f64>,
+    pub(crate) cpu_busy_seconds: Mutex<f64>,
+    /// Bytes of join result materialized into this machine's local
+    /// buffers (§4.3 local output).
+    pub(crate) result_bytes_local: Mutex<u64>,
+    /// Fragments whose tables this machine already pulled over the wire
+    /// (work-sharing extension): table transfer is paid once per fragment
+    /// per thief machine, chunks individually.
+    pub(crate) fetched_tables: Mutex<HashSet<usize>>,
+    /// Parallel local pass (extension): per-owned-partition assembled
+    /// inputs, slice task list, and per-slice second-pass outputs.
+    pub(crate) lp_assembled: Mutex<Vec<Option<LpAssembled<T>>>>,
+    pub(crate) lp_tasks: Mutex<Vec<LpSlice>>,
+    pub(crate) lp_outputs: Mutex<LpOutputs<T>>,
+    pub(crate) next_lp_task: AtomicUsize,
+    pub(crate) next_lp_emit: AtomicUsize,
+    /// Bytes of build-probe work currently queued on this machine.
+    pub(crate) bp_queued_bytes: AtomicUsize,
+    /// Bytes currently being pulled *out* of this machine by thieves
+    /// (their reads serialize on our egress link).
+    pub(crate) steal_outstanding_bytes: AtomicUsize,
+}
+
+impl<T: Tuple> MachineState<T> {
+    fn new(cfg: &DistJoinConfig, r_chunk: Vec<T>, s_chunk: Vec<T>) -> MachineState<T> {
+        let cores = cfg.cluster.cores_per_machine;
+        let workers = cfg.partitioning_workers();
+        let np1 = 1usize << cfg.radix_bits.0;
+        MachineState {
+            local_barrier: SimBarrier::new(cores),
+            r_chunk,
+            s_chunk,
+            worker_hists: (0..workers).map(|_| Mutex::new(None)).collect(),
+            machine_hist: Mutex::new(Histogram::zeros(np1)),
+            info: Mutex::new(None),
+            local_out: (0..workers)
+                .map(|_| {
+                    Mutex::new(LocalOut {
+                        parts: [
+                            (0..np1).map(|_| Vec::new()).collect(),
+                            (0..np1).map(|_| Vec::new()).collect(),
+                        ],
+                    })
+                })
+                .collect(),
+            staging: [
+                Mutex::new((0..np1).map(|_| Vec::new()).collect()),
+                Mutex::new((0..np1).map(|_| Vec::new()).collect()),
+            ],
+            recv_mrs: Mutex::new(HashMap::new()),
+            next_local_task: AtomicUsize::new(0),
+            bp_tasks: NumaQueues::new(1),
+            result: Mutex::new(JoinResult::default()),
+            stall_seconds: Mutex::new(0.0),
+            cpu_busy_seconds: Mutex::new(0.0),
+            result_bytes_local: Mutex::new(0),
+            fetched_tables: Mutex::new(HashSet::new()),
+            lp_assembled: Mutex::new(Vec::new()),
+            lp_tasks: Mutex::new(Vec::new()),
+            lp_outputs: Mutex::new(Vec::new()),
+            next_lp_task: AtomicUsize::new(0),
+            next_lp_emit: AtomicUsize::new(0),
+            bp_queued_bytes: AtomicUsize::new(0),
+            steal_outstanding_bytes: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Everything the phases share across the cluster. Barriers and phase
+/// marks live in the promoted [`rsj_cluster::Runtime`], not here.
+pub(crate) struct ClusterShared<T> {
+    pub(crate) cfg: DistJoinConfig,
+    pub(crate) fabric: Arc<Fabric>,
+    pub(crate) machines: Vec<MachineState<T>>,
+    /// Exchanged one-sided write targets.
+    pub(crate) mr_registry: Mutex<HashMap<MrKey, RemoteMr>>,
+    /// Per-(src, dst) TCP flow-control windows.
+    pub(crate) tcp_windows: Vec<Vec<Arc<SimSemaphore>>>,
+    pub(crate) pools: Vec<Arc<BufferPool>>,
+    /// Per-machine scratch regions that work-sharing thieves RDMA-READ
+    /// stolen fragments from (extension; `None` when disabled or the
+    /// machine owns no partitions).
+    pub(crate) scratch_mrs: Mutex<Vec<Option<RemoteMr>>>,
+    /// Cluster-wide count of workers currently processing a build-probe
+    /// task. While nonzero, idle thieves keep polling: a busy worker may
+    /// still split an oversized fragment into stealable chunks.
+    pub(crate) bp_busy: AtomicUsize,
+    /// Materialized result bytes received by the coordinator (machine 0)
+    /// in [`crate::MaterializeMode::ToCoordinator`] runs.
+    pub(crate) coord_result_bytes: Mutex<u64>,
+}
+
+impl<T: Tuple> ClusterShared<T> {
+    /// Build the shared state for a validated configuration against the
+    /// runtime's fabric.
+    pub(crate) fn new(
+        cfg: DistJoinConfig,
+        fabric: Arc<Fabric>,
+        r: &Relation<T>,
+        s: &Relation<T>,
+    ) -> ClusterShared<T> {
+        let m = cfg.cluster.machines;
+        let workers = cfg.partitioning_workers();
+        let np1 = 1usize << cfg.radix_bits.0;
+        let machines = (0..m)
+            .map(|i| MachineState::new(&cfg, r.chunk(i).to_vec(), s.chunk(i).to_vec()))
+            .collect();
+        let pools = (0..m)
+            .map(|_| {
+                // Up to `send_depth` buffers per (worker, relation, remote
+                // partition); R's buffers stay drawn while S is partitioned.
+                BufferPool::new(
+                    workers * cfg.send_depth * np1 * 2,
+                    cfg.rdma_buf_size,
+                    cfg.cluster.cost.nic,
+                )
+            })
+            .collect();
+        let tcp_windows = (0..m)
+            .map(|_| {
+                (0..m)
+                    .map(|_| SimSemaphore::new(cfg.tcp_window_msgs))
+                    .collect()
+            })
+            .collect();
+        ClusterShared {
+            cfg,
+            fabric,
+            machines,
+            mr_registry: Mutex::new(HashMap::new()),
+            tcp_windows,
+            pools,
+            scratch_mrs: Mutex::new(vec![None; m]),
+            bp_busy: AtomicUsize::new(0),
+            coord_result_bytes: Mutex::new(0),
+        }
+    }
+}
+
+/// The partitioning-worker index of `core`, or `None` if this core is the
+/// dedicated receiver (two-sided/TCP: core 0).
+pub(crate) fn sender_index(cfg: &DistJoinConfig, core: usize) -> Option<usize> {
+    match cfg.receive {
+        ReceiveMode::OneSided => Some(core),
+        ReceiveMode::TwoSided => {
+            if core == 0 {
+                None
+            } else {
+                Some(core - 1)
+            }
+        }
+    }
+}

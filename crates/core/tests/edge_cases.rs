@@ -100,13 +100,17 @@ fn uneven_chunks_across_machines() {
     // balance partitioning by slices, and the join must verify.
     let machines = 3;
     let chunks_r = vec![
-        (0..5_000u64).map(|i| Tuple16::new(i + 1, i)).collect::<Vec<_>>(),
+        (0..5_000u64)
+            .map(|i| Tuple16::new(i + 1, i))
+            .collect::<Vec<_>>(),
         vec![Tuple16::new(5_001, 5_000)],
         Vec::new(),
     ];
     let chunks_s = vec![
         Vec::new(),
-        (0..5_001u64).map(|i| Tuple16::new(i + 1, i)).collect::<Vec<_>>(),
+        (0..5_001u64)
+            .map(|i| Tuple16::new(i + 1, i))
+            .collect::<Vec<_>>(),
         vec![Tuple16::new(1, 9_999)],
     ];
     let r = Relation::from_chunks(chunks_r);

@@ -142,8 +142,16 @@ mod tests {
 
     #[test]
     fn for_each_join_yields_every_pair() {
-        let r = vec![Tuple16::new(1, 10), Tuple16::new(1, 11), Tuple16::new(2, 12)];
-        let s = vec![Tuple16::new(1, 20), Tuple16::new(2, 21), Tuple16::new(3, 22)];
+        let r = vec![
+            Tuple16::new(1, 10),
+            Tuple16::new(1, 11),
+            Tuple16::new(2, 12),
+        ];
+        let s = vec![
+            Tuple16::new(1, 20),
+            Tuple16::new(2, 21),
+            Tuple16::new(3, 22),
+        ];
         let table = ChainedTable::build(&r);
         let mut pairs = Vec::new();
         table.for_each_join(&s, |rt, st| pairs.push((rt.rid(), st.rid())));

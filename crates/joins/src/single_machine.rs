@@ -128,14 +128,22 @@ fn worker<T: Tuple>(ctx: &rsj_sim::SimCtx, sh: &Shared<T>, t: usize) {
     let my_s = &sh.s[s_range];
 
     // --- Phase 1: histogram computation over both relations.
-    meter.charge_bytes(ctx, (my_r.len() + my_s.len()) * T::SIZE, cfg.cost.histogram_rate);
+    meter.charge_bytes(
+        ctx,
+        (my_r.len() + my_s.len()) * T::SIZE,
+        cfg.cost.histogram_rate,
+    );
     meter.flush(ctx);
     sync(ctx, sh);
 
     // --- Phase 2: first partitioning pass (thread-private outputs).
     let parted_r = partition(my_r, 0, b1);
     let parted_s = partition(my_s, 0, b1);
-    meter.charge_bytes(ctx, (my_r.len() + my_s.len()) * T::SIZE, cfg.cost.partition_rate);
+    meter.charge_bytes(
+        ctx,
+        (my_r.len() + my_s.len()) * T::SIZE,
+        cfg.cost.partition_rate,
+    );
     *sh.pass1[t].lock() = Some((parted_r, parted_s));
     meter.flush(ctx);
     if sync(ctx, sh) {
@@ -160,7 +168,11 @@ fn worker<T: Tuple>(ctx: &rsj_sim::SimCtx, sh: &Shared<T>, t: usize) {
             r_p.extend_from_slice(pr.part(p));
             s_p.extend_from_slice(ps.part(p));
         }
-        meter.charge_bytes(ctx, (r_p.len() + s_p.len()) * T::SIZE, cfg.cost.partition_rate);
+        meter.charge_bytes(
+            ctx,
+            (r_p.len() + s_p.len()) * T::SIZE,
+            cfg.cost.partition_rate,
+        );
         let sub_r = Arc::new(partition(&r_p, b1, b2));
         let sub_s = Arc::new(partition(&s_p, b1, b2));
         for j in 0..(1usize << b2) {
@@ -241,8 +253,7 @@ mod tests {
         let (s, _) = generate_outer::<Tuple16>(50_000, 50_000, 1, Skew::None, 4);
         let one = run_single_machine_join(small_cfg(1), flat(&r), flat(&s));
         let eight = run_single_machine_join(small_cfg(8), flat(&r), flat(&s));
-        let speedup =
-            one.phases.total().as_secs_f64() / eight.phases.total().as_secs_f64();
+        let speedup = one.phases.total().as_secs_f64() / eight.phases.total().as_secs_f64();
         assert!(
             (6.0..=8.5).contains(&speedup),
             "8-core speedup was {speedup:.2}"

@@ -96,7 +96,10 @@ mod tests {
         for i in 0..5 {
             q.push(0, i);
         }
-        assert_eq!((0..5).map(|_| q.pop(0).unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            (0..5).map(|_| q.pop(0).unwrap()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
     }
 
     #[test]

@@ -310,7 +310,11 @@ mod tests {
         // Hand-computed: netMax = 2410 MB/s, psNet = 344.3 MB/s,
         // psThread = 10·955·344.3 / (9·955 + 344.3) ≈ 367.9 MB/s.
         let p = ps_thread(&qdr_input(10));
-        assert!((p / MB - 367.9).abs() < 1.0, "psThread = {:.1} MB/s", p / MB);
+        assert!(
+            (p / MB - 367.9).abs() < 1.0,
+            "psThread = {:.1} MB/s",
+            p / MB
+        );
     }
 
     #[test]
@@ -369,8 +373,8 @@ mod tests {
         // The local pass and build-probe alone scale ~linearly.
         let p2 = predict(&qdr_input(2));
         let p10 = predict(&qdr_input(10));
-        let local_speedup = p2.phases.local_partition.as_secs_f64()
-            / p10.phases.local_partition.as_secs_f64();
+        let local_speedup =
+            p2.phases.local_partition.as_secs_f64() / p10.phases.local_partition.as_secs_f64();
         assert!((4.8..=5.2).contains(&local_speedup));
     }
 
@@ -378,10 +382,22 @@ mod tests {
     fn fdr_network_pass_scales_better_than_qdr() {
         // §6.6: speed-up of the network pass from 2 → 4 nodes is 1.7 on
         // FDR vs 1.3 on QDR.
-        let fdr = predict(&fdr_input(2)).phases.network_partition.as_secs_f64()
-            / predict(&fdr_input(4)).phases.network_partition.as_secs_f64();
-        let qdr = predict(&qdr_input(2)).phases.network_partition.as_secs_f64()
-            / predict(&qdr_input(4)).phases.network_partition.as_secs_f64();
+        let fdr = predict(&fdr_input(2))
+            .phases
+            .network_partition
+            .as_secs_f64()
+            / predict(&fdr_input(4))
+                .phases
+                .network_partition
+                .as_secs_f64();
+        let qdr = predict(&qdr_input(2))
+            .phases
+            .network_partition
+            .as_secs_f64()
+            / predict(&qdr_input(4))
+                .phases
+                .network_partition
+                .as_secs_f64();
         assert!(fdr > qdr, "FDR {fdr:.2}x vs QDR {qdr:.2}x");
         assert!((1.5..=2.0).contains(&fdr), "FDR scale-out {fdr:.2}");
         assert!((1.2..=1.7).contains(&qdr), "QDR scale-out {qdr:.2}");

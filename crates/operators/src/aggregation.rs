@@ -18,8 +18,8 @@ use rsj_rdma::{BufferPool, HostId, SendWindow};
 use rsj_sim::SimCtx;
 use rsj_workload::{decode_into, Relation, Tuple};
 
-use crate::runtime::{run_cluster, Runtime};
-use crate::wire::{ranges, OpTag, REL_S};
+use rsj_cluster::wire::REL_S;
+use rsj_cluster::{ranges, run_cluster, Runtime, WireTag};
 
 /// Configuration of a distributed aggregation.
 #[derive(Clone, Debug)]
@@ -108,29 +108,36 @@ pub fn run_aggregation<T: Tuple>(cfg: AggregationConfig, s: Relation<T>) -> Aggr
     );
     let pools: Arc<Vec<Arc<BufferPool>>> = Arc::new(
         (0..m)
-            .map(|_| BufferPool::new(workers * cfg.send_depth * np, cfg.rdma_buf_size, cfg.cluster.cost.nic))
+            .map(|_| {
+                BufferPool::new(
+                    workers * cfg.send_depth * np,
+                    cfg.rdma_buf_size,
+                    cfg.cluster.cost.nic,
+                )
+            })
             .collect(),
     );
 
-    let fabric_cfg = cfg.fabric_override.unwrap_or_else(|| cfg
-        .cluster
-        .interconnect
-        .fabric_config()
-        .expect("aggregation needs a networked cluster"));
+    let fabric_cfg = cfg.fabric_override.unwrap_or_else(|| {
+        cfg.cluster
+            .interconnect
+            .fabric_config()
+            .expect("aggregation needs a networked cluster")
+    });
     let nic_costs = cfg.cluster.cost.nic;
     let cfg = Arc::new(cfg);
     let st2 = Arc::clone(&states);
-    let marks = run_cluster(m, cores, fabric_cfg, nic_costs, move |ctx, rt, mach, core| {
-        worker(ctx, rt, &cfg, &st2, &pools, mach, core)
-    });
+    let run = run_cluster(
+        m,
+        cores,
+        fabric_cfg,
+        nic_costs,
+        move |ctx, rt, mach, core| worker(ctx, rt, &cfg, &st2, &pools, mach, core),
+    );
 
-    assert_eq!(marks.len(), 4, "expected 3 phase boundaries");
-    let phases = PhaseTimes {
-        histogram: marks[1] - marks[0],
-        network_partition: marks[2] - marks[1],
-        local_partition: rsj_sim::SimDuration::ZERO,
-        build_probe: marks[3] - marks[2],
-    };
+    assert_eq!(run.marks.len(), 4, "expected 3 phase boundaries");
+    // No local refinement pass: `local_partition` stays zero in the fold.
+    let phases = PhaseTimes::from_events(&run.events);
     let mut result = AggregateResult::default();
     for st in states.iter() {
         let r = st.result.lock();
@@ -171,7 +178,7 @@ fn worker<T: Tuple>(
         *st.owned.lock() = (0..np).filter(|&p| assignment[p] == mach).collect();
         *st.assignment.lock() = assignment;
     }
-    rt.sync(ctx);
+    rt.sync_named(ctx, "histogram", mach);
 
     // ---- Phase 2: network partitioning pass on the group key.
     if core == 0 {
@@ -179,13 +186,13 @@ fn worker<T: Tuple>(
         let mut eos = 0;
         while eos < expected {
             let c = nic.recv(ctx).expect("network pass");
-            match OpTag::decode(c.tag) {
-                OpTag::Eos => eos += 1,
-                OpTag::Data { part, .. } => {
+            match WireTag::decode(c.tag).unwrap_or_else(|e| panic!("network pass: {e}")) {
+                WireTag::Eos => eos += 1,
+                WireTag::Data { part, .. } => {
                     meter.charge_bytes(ctx, c.payload.len(), cost.memcpy_rate);
                     st.staging.lock()[part].extend_from_slice(&c.payload);
                 }
-                OpTag::Histogram => panic!("unexpected histogram message"),
+                other => panic!("unexpected {other:?} during network pass"),
             }
             nic.repost_recv(ctx);
         }
@@ -217,7 +224,11 @@ fn worker<T: Tuple>(
                     let ev = nic.post_send(
                         ctx,
                         HostId(dst),
-                        OpTag::Data { rel: REL_S, part: p }.encode(),
+                        WireTag::Data {
+                            rel: REL_S,
+                            part: p,
+                        }
+                        .encode(),
                         payload,
                     );
                     window.record(ev);
@@ -233,7 +244,11 @@ fn worker<T: Tuple>(
                     let ev = nic.post_send(
                         ctx,
                         HostId(assignment[p]),
-                        OpTag::Data { rel: REL_S, part: p }.encode(),
+                        WireTag::Data {
+                            rel: REL_S,
+                            part: p,
+                        }
+                        .encode(),
                         payload,
                     );
                     window.record(ev);
@@ -245,14 +260,14 @@ fn worker<T: Tuple>(
         meter.flush(ctx);
         let mut evs = Vec::new();
         for dst in (0..m).filter(|&d| d != mach) {
-            evs.push(nic.post_send(ctx, HostId(dst), OpTag::Eos.encode(), Vec::new()));
+            evs.push(nic.post_send(ctx, HostId(dst), WireTag::Eos.encode(), Vec::new()));
         }
         for ev in evs {
             ev.wait(ctx);
         }
         *st.local_out[w].lock() = local;
     }
-    rt.sync(ctx);
+    rt.sync_named(ctx, "network_partition", mach);
 
     // ---- Phase 3: local hash aggregation per owned partition.
     let owned = st.owned.lock().clone();
@@ -294,7 +309,7 @@ fn worker<T: Tuple>(
         r.key_weighted_count = r.key_weighted_count.wrapping_add(local.key_weighted_count);
         r.rid_sum = r.rid_sum.wrapping_add(local.rid_sum);
     }
-    rt.sync(ctx);
+    rt.sync_named(ctx, "build_probe", mach);
 }
 
 #[cfg(test)]

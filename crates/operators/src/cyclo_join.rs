@@ -18,8 +18,8 @@ use rsj_rdma::HostId;
 use rsj_sim::SimCtx;
 use rsj_workload::{decode_all, JoinResult, Relation, Tuple};
 
-use crate::runtime::{run_cluster, Runtime};
-use crate::wire::{ranges, OpTag, REL_S};
+use rsj_cluster::wire::REL_S;
+use rsj_cluster::{ranges, run_cluster, Runtime, WireTag};
 
 /// Configuration of a cyclo-join run.
 #[derive(Clone, Debug)]
@@ -86,25 +86,31 @@ pub fn run_cyclo_join<T: Tuple>(
             .collect(),
     );
 
-    let fabric_cfg = cfg.fabric_override.unwrap_or_else(|| cfg
-        .cluster
-        .interconnect
-        .fabric_config()
-        .expect("cyclo-join needs a networked ring"));
+    let fabric_cfg = cfg.fabric_override.unwrap_or_else(|| {
+        cfg.cluster
+            .interconnect
+            .fabric_config()
+            .expect("cyclo-join needs a networked ring")
+    });
     let nic_costs = cfg.cluster.cost.nic;
     let cfg = Arc::new(cfg);
     let st2 = Arc::clone(&states);
-    let marks = run_cluster(m, cores, fabric_cfg, nic_costs, move |ctx, rt, mach, core| {
-        worker(ctx, rt, &cfg, &st2, mach, core)
-    });
+    let run = run_cluster(
+        m,
+        cores,
+        fabric_cfg,
+        nic_costs,
+        move |ctx, rt, mach, core| worker(ctx, rt, &cfg, &st2, mach, core),
+    );
 
-    assert_eq!(marks.len(), 3, "expected build + rotate/probe boundaries");
-    let phases = PhaseTimes {
-        histogram: rsj_sim::SimDuration::ZERO,
-        network_partition: rsj_sim::SimDuration::ZERO,
-        local_partition: marks[1] - marks[0], // table build
-        build_probe: marks[2] - marks[1],     // rotation + probes
-    };
+    assert_eq!(
+        run.marks.len(),
+        3,
+        "expected build + rotate/probe boundaries"
+    );
+    // Only two named phases: the table build folds into `local_partition`,
+    // the rotation rounds into `build_probe`; the rest stay zero.
+    let phases = PhaseTimes::from_events(&run.events);
     let mut result = JoinResult::default();
     for st in states.iter() {
         result.merge(*st.result.lock());
@@ -138,7 +144,7 @@ fn worker<T: Tuple>(
     if core == 0 {
         *st.table.lock() = Some(Arc::new(ChainedTable::build(&st.r_chunk)));
     }
-    rt.sync(ctx);
+    rt.sync_named(ctx, "local_partition", mach);
 
     // ---- Phase 2: NM probe rounds; between rounds, core 0 ships the
     // resident fragment to the right neighbour and installs the one
@@ -165,7 +171,11 @@ fn worker<T: Tuple>(
             let ev = nic.post_send(
                 ctx,
                 dst,
-                OpTag::Data { rel: REL_S, part: round }.encode(),
+                WireTag::Data {
+                    rel: REL_S,
+                    part: round,
+                }
+                .encode(),
                 payload,
             );
             let c = nic.recv(ctx).expect("ring transfer");
@@ -182,7 +192,7 @@ fn worker<T: Tuple>(
     }
     meter.flush(ctx);
     st.result.lock().merge(local);
-    rt.sync(ctx);
+    rt.sync_named(ctx, "build_probe", mach);
 }
 
 #[cfg(test)]

@@ -16,7 +16,9 @@
 //!
 //! All operators run on the deterministic simulation kernel, verify their
 //! results against generator oracles, and report the same [`PhaseTimes`]
-//! breakdown as the main join.
+//! breakdown as the main join. They share the join's promoted phase
+//! runtime and wire codec ([`rsj_cluster::Runtime`],
+//! [`rsj_cluster::WireTag`]) rather than carrying private copies.
 //!
 //! [`PhaseTimes`]: rsj_cluster::PhaseTimes
 
@@ -24,11 +26,9 @@
 
 mod aggregation;
 mod cyclo_join;
-mod runtime;
 mod sort_merge;
-mod wire;
 
 pub use aggregation::{run_aggregation, AggregateResult, AggregationConfig, AggregationOutcome};
 pub use cyclo_join::{run_cyclo_join, CycloJoinConfig, CycloJoinOutcome};
-pub use runtime::{run_cluster, Runtime};
+pub use rsj_cluster::{run_cluster, Runtime};
 pub use sort_merge::{run_sort_merge_join, SortMergeConfig, SortMergeOutcome};

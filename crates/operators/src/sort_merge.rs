@@ -22,8 +22,8 @@ use rsj_rdma::{BufferPool, HostId, SendWindow};
 use rsj_sim::SimCtx;
 use rsj_workload::{decode_into, JoinResult, Relation, Tuple};
 
-use crate::runtime::{run_cluster, Runtime};
-use crate::wire::{ranges, OpTag, REL_R, REL_S};
+use rsj_cluster::wire::{REL_R, REL_S};
+use rsj_cluster::{ranges, run_cluster, Runtime, WireTag};
 
 /// Configuration of a distributed sort-merge join.
 #[derive(Clone, Debug)]
@@ -117,29 +117,35 @@ pub fn run_sort_merge_join<T: Tuple>(
     );
     let pools: Arc<Vec<Arc<BufferPool>>> = Arc::new(
         (0..m)
-            .map(|_| BufferPool::new(workers * cfg.send_depth * np * 2, cfg.rdma_buf_size, cfg.cluster.cost.nic))
+            .map(|_| {
+                BufferPool::new(
+                    workers * cfg.send_depth * np * 2,
+                    cfg.rdma_buf_size,
+                    cfg.cluster.cost.nic,
+                )
+            })
             .collect(),
     );
 
-    let fabric_cfg = cfg.fabric_override.unwrap_or_else(|| cfg
-        .cluster
-        .interconnect
-        .fabric_config()
-        .expect("sort-merge join needs a networked cluster"));
+    let fabric_cfg = cfg.fabric_override.unwrap_or_else(|| {
+        cfg.cluster
+            .interconnect
+            .fabric_config()
+            .expect("sort-merge join needs a networked cluster")
+    });
     let nic_costs = cfg.cluster.cost.nic;
     let cfg = Arc::new(cfg);
     let states = Arc::clone(&mach_state);
-    let marks = run_cluster(m, cores, fabric_cfg, nic_costs, move |ctx, rt, mach, core| {
-        worker(ctx, rt, &cfg, &states, &pools, mach, core)
-    });
+    let run = run_cluster(
+        m,
+        cores,
+        fabric_cfg,
+        nic_costs,
+        move |ctx, rt, mach, core| worker(ctx, rt, &cfg, &states, &pools, mach, core),
+    );
 
-    assert_eq!(marks.len(), 5, "expected 4 phase boundaries");
-    let phases = PhaseTimes {
-        histogram: marks[1] - marks[0],
-        network_partition: marks[2] - marks[1],
-        local_partition: marks[3] - marks[2],
-        build_probe: marks[4] - marks[3],
-    };
+    assert_eq!(run.marks.len(), 5, "expected 4 phase boundaries");
+    let phases = PhaseTimes::from_events(&run.events);
     let mut result = JoinResult::default();
     for st in mach_state.iter() {
         result.merge(*st.result.lock());
@@ -200,11 +206,17 @@ fn worker<T: Tuple>(
             .collect();
         let mut evs = Vec::new();
         for dst in (0..m).filter(|&d| d != mach) {
-            evs.push(nic.post_send(ctx, HostId(dst), OpTag::Histogram.encode(), encoded.clone()));
+            evs.push(nic.post_send(
+                ctx,
+                HostId(dst),
+                WireTag::Histogram.encode(),
+                encoded.clone(),
+            ));
         }
         for _ in 0..m.saturating_sub(1) {
             let c = nic.recv(ctx).expect("histogram exchange");
-            assert_eq!(OpTag::decode(c.tag), OpTag::Histogram);
+            let tag = WireTag::decode(c.tag).unwrap_or_else(|e| panic!("histogram exchange: {e}"));
+            assert_eq!(tag, WireTag::Histogram);
             nic.repost_recv(ctx);
         }
         for ev in evs {
@@ -214,7 +226,7 @@ fn worker<T: Tuple>(
         *st.owned.lock() = (0..np).filter(|&p| assignment[p] == mach).collect();
         *st.assignment.lock() = assignment;
     }
-    rt.sync(ctx);
+    rt.sync_named(ctx, "histogram", mach);
 
     // ---- Phase 2: network partitioning pass.
     if core == 0 {
@@ -223,13 +235,13 @@ fn worker<T: Tuple>(
         let mut eos = 0;
         while eos < expected {
             let c = nic.recv(ctx).expect("network pass");
-            match OpTag::decode(c.tag) {
-                OpTag::Eos => eos += 1,
-                OpTag::Data { rel, part } => {
+            match WireTag::decode(c.tag).unwrap_or_else(|e| panic!("network pass: {e}")) {
+                WireTag::Eos => eos += 1,
+                WireTag::Data { rel, part } => {
                     meter.charge_bytes(ctx, c.payload.len(), cost.memcpy_rate);
                     st.staging[rel].lock()[part].extend_from_slice(&c.payload);
                 }
-                OpTag::Histogram => panic!("late histogram message"),
+                other => panic!("unexpected {other:?} during network pass"),
             }
             nic.repost_recv(ctx);
         }
@@ -239,8 +251,10 @@ fn worker<T: Tuple>(
         let assignment = st.assignment.lock().clone();
         let pool = &pools[mach];
         type Slot = Option<(Vec<u8>, SendWindow)>;
-        let mut bufs: [Vec<Slot>; 2] =
-            [(0..np).map(|_| None).collect(), (0..np).map(|_| None).collect()];
+        let mut bufs: [Vec<Slot>; 2] = [
+            (0..np).map(|_| None).collect(),
+            (0..np).map(|_| None).collect(),
+        ];
         let mut local: [Vec<Vec<T>>; 2] = [
             (0..np).map(|_| Vec::new()).collect(),
             (0..np).map(|_| Vec::new()).collect(),
@@ -264,8 +278,12 @@ fn worker<T: Tuple>(
                         meter.flush(ctx);
                         window.admit(ctx);
                         let payload = std::mem::take(buf);
-                        let ev =
-                            nic.post_send(ctx, HostId(dst), OpTag::Data { rel, part: p }.encode(), payload);
+                        let ev = nic.post_send(
+                            ctx,
+                            HostId(dst),
+                            WireTag::Data { rel, part: p }.encode(),
+                            payload,
+                        );
                         window.record(ev);
                     }
                 }
@@ -283,7 +301,7 @@ fn worker<T: Tuple>(
                         let ev = nic.post_send(
                             ctx,
                             HostId(dst),
-                            OpTag::Data { rel, part: p }.encode(),
+                            WireTag::Data { rel, part: p }.encode(),
                             payload,
                         );
                         window.record(ev);
@@ -296,14 +314,14 @@ fn worker<T: Tuple>(
         meter.flush(ctx);
         let mut evs = Vec::new();
         for dst in (0..m).filter(|&d| d != mach) {
-            evs.push(nic.post_send(ctx, HostId(dst), OpTag::Eos.encode(), Vec::new()));
+            evs.push(nic.post_send(ctx, HostId(dst), WireTag::Eos.encode(), Vec::new()));
         }
         for ev in evs {
             ev.wait(ctx);
         }
         *st.local_out[w].lock() = local;
     }
-    rt.sync(ctx);
+    rt.sync_named(ctx, "network_partition", mach);
 
     // ---- Phase 3: sort every assigned partition of both relations.
     // Tasks via atomic counter; sorted outputs parked back into staging
@@ -334,7 +352,7 @@ fn worker<T: Tuple>(
         meter.flush(ctx);
     }
     meter.flush(ctx);
-    rt.sync(ctx);
+    rt.sync_named(ctx, "local_partition", mach);
 
     // ---- Phase 4: merge-join each sorted partition pair.
     st.next_task.store(0, Ordering::SeqCst);
@@ -359,7 +377,7 @@ fn worker<T: Tuple>(
     }
     meter.flush(ctx);
     st.result.lock().merge(local);
-    rt.sync(ctx);
+    rt.sync_named(ctx, "build_probe", mach);
 }
 
 #[cfg(test)]

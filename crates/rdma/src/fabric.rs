@@ -40,13 +40,25 @@ pub struct Completion {
 }
 
 enum MsgKind {
-    TwoSided { tag: u32 },
-    OneSided { mr: usize, offset: usize },
+    TwoSided {
+        tag: u32,
+    },
+    OneSided {
+        mr: usize,
+        offset: usize,
+    },
     /// Tiny request asking the *target* NIC to stream `len` bytes of its
     /// MR back to the initiator (RDMA READ, no remote CPU).
-    ReadRequest { mr: usize, offset: usize, len: usize, reply: Arc<ReadState> },
+    ReadRequest {
+        mr: usize,
+        offset: usize,
+        len: usize,
+        reply: Arc<ReadState>,
+    },
     /// The data leg of an RDMA READ, travelling back to the initiator.
-    ReadResponse { reply: Arc<ReadState> },
+    ReadResponse {
+        reply: Arc<ReadState>,
+    },
 }
 
 /// Shared state of one outstanding RDMA READ.
@@ -124,7 +136,13 @@ impl Nic {
     /// Post a two-sided SEND of `payload` to `dst`. Returns the send
     /// completion event: the buffer behind `payload` is logically reusable
     /// once it fires. Charges only the WQE post overhead to the caller.
-    pub fn post_send(&self, ctx: &SimCtx, dst: HostId, tag: u32, payload: Vec<u8>) -> Arc<SimEvent> {
+    pub fn post_send(
+        &self,
+        ctx: &SimCtx,
+        dst: HostId,
+        tag: u32,
+        payload: Vec<u8>,
+    ) -> Arc<SimEvent> {
         self.post(ctx, dst, MsgKind::TwoSided { tag }, payload, None)
     }
 
@@ -153,7 +171,10 @@ impl Nic {
         offset: usize,
         len: usize,
     ) -> ReadHandle {
-        assert!(offset + len <= remote.len, "one-sided read beyond remote region");
+        assert!(
+            offset + len <= remote.len,
+            "one-sided read beyond remote region"
+        );
         let state = Arc::new(ReadState {
             done: SimEvent::new(),
             data: Mutex::new(None),
@@ -382,11 +403,18 @@ impl Fabric {
                         MsgKind::OneSided { mr, offset } => {
                             nic.mrs.get(mr).dma_write(offset, &msg.payload);
                         }
-                        MsgKind::ReadRequest { mr, offset, len, reply } => {
+                        MsgKind::ReadRequest {
+                            mr,
+                            offset,
+                            len,
+                            reply,
+                        } => {
                             // The *responder's* NIC streams the data back:
                             // enqueue the response on this host's egress.
-                            let data =
-                                nic.mrs.get(mr).with_data(|d| d[offset..offset + len].to_vec());
+                            let data = nic
+                                .mrs
+                                .get(mr)
+                                .with_data(|d| d[offset..offset + len].to_vec());
                             {
                                 let mut stats = nic.stats.lock();
                                 stats.tx_msgs += 1;

@@ -21,7 +21,9 @@ fn time_accounting_is_exact_under_contention() {
             let mut x = t + 1;
             for _ in 0..5_000 {
                 // Deterministic pseudo-random step.
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let d = 1 + (x >> 33) % 100;
                 ctx.advance(SimDuration::from_nanos(d));
                 sum += d;

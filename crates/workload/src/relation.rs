@@ -57,9 +57,7 @@ impl<T: Tuple> Relation<T> {
 /// Split `n` items into `machines` nearly-equal contiguous ranges.
 fn even_ranges(n: u64, machines: usize) -> Vec<std::ops::Range<u64>> {
     let m = machines as u64;
-    (0..m)
-        .map(|i| (i * n / m)..((i + 1) * n / m))
-        .collect()
+    (0..m).map(|i| (i * n / m)..((i + 1) * n / m)).collect()
 }
 
 /// Generate the inner relation: keys are a pseudo-random permutation of
@@ -169,7 +167,10 @@ mod tests {
         let r = generate_inner::<Tuple16>(100, 4, 2);
         for m in 0..4 {
             let rids: Vec<u64> = r.chunk(m).iter().map(|t| t.rid()).collect();
-            assert_eq!(rids, ((m as u64 * 25)..((m as u64 + 1) * 25)).collect::<Vec<_>>());
+            assert_eq!(
+                rids,
+                ((m as u64 * 25)..((m as u64 + 1) * 25)).collect::<Vec<_>>()
+            );
         }
     }
 
@@ -179,9 +180,7 @@ mod tests {
         let keys: HashSet<u64> = s.iter_all().map(|t| t.key()).collect();
         assert_eq!(keys.len(), 500, "all inner keys must appear");
         assert_eq!(oracle.matches, 2000);
-        let sum: u64 = s
-            .iter_all()
-            .fold(0u64, |a, t| a.wrapping_add(t.key()));
+        let sum: u64 = s.iter_all().fold(0u64, |a, t| a.wrapping_add(t.key()));
         assert_eq!(sum, oracle.s_key_sum);
     }
 

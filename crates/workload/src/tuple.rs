@@ -93,8 +93,18 @@ impl_tuple!(
     0,
     "The paper's narrow 16-byte `<key, rid>` tuple (column-store workload)."
 );
-impl_tuple!(Tuple32, 32, 16, "A 32-byte tuple with a 16-byte payload (§6.7).");
-impl_tuple!(Tuple64, 64, 48, "A 64-byte tuple with a 48-byte payload (§6.7).");
+impl_tuple!(
+    Tuple32,
+    32,
+    16,
+    "A 32-byte tuple with a 16-byte payload (§6.7)."
+);
+impl_tuple!(
+    Tuple64,
+    64,
+    48,
+    "A 64-byte tuple with a 48-byte payload (§6.7)."
+);
 
 /// Decode a byte buffer containing a whole number of serialized tuples.
 ///

@@ -53,8 +53,8 @@ impl Zipf {
     /// Draw one rank in `{1, …, n}` (1 is the most frequent).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         loop {
-            let u: f64 = self.h_integral_n
-                + rng.gen::<f64>() * (self.h_integral_x1 - self.h_integral_n);
+            let u: f64 =
+                self.h_integral_n + rng.gen::<f64>() * (self.h_integral_x1 - self.h_integral_n);
             let x = h_integral_inverse(u, self.theta);
             let k64 = (x + 0.5).floor();
             let k = (k64 as u64).clamp(1, self.n);

@@ -30,7 +30,10 @@ fn main() {
     let out = run_distributed_join(cfg, r, s);
     oracle.verify(&out.result);
 
-    println!("\nresult: {} matches (verified against the generator oracle)", out.result.matches);
+    println!(
+        "\nresult: {} matches (verified against the generator oracle)",
+        out.result.matches
+    );
     println!("phase breakdown (virtual time on the simulated cluster):");
     for (name, d) in out.phases.rows() {
         println!("  {name:>18}  {d}");

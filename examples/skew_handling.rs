@@ -47,10 +47,7 @@ fn main() {
                 label,
                 format!("{}", out.phases.total()),
                 format!("{}", out.phases.network_partition),
-                format!(
-                    "{}",
-                    out.phases.local_partition + out.phases.build_probe
-                ),
+                format!("{}", out.phases.local_partition + out.phases.build_probe),
             );
         }
     }
@@ -65,7 +62,8 @@ fn main() {
         cfg.inter_machine_work_sharing = true;
         cfg.parallel_local_pass = true;
         let r = generate_inner::<Tuple16>(500_000, machines, 3);
-        let (s, oracle) = generate_outer::<Tuple16>(8_000_000, 500_000, machines, Skew::Zipf(1.20), 4);
+        let (s, oracle) =
+            generate_outer::<Tuple16>(8_000_000, 500_000, machines, Skew::Zipf(1.20), 4);
         let out = run_distributed_join(cfg, r, s);
         oracle.verify(&out.result);
         out

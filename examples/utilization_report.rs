@@ -34,7 +34,11 @@ fn main() {
     ] {
         let out = run(transport);
         let total = out.phases.total().as_secs_f64();
-        println!("{label}: total {} | network pass {}", out.phases.total(), out.phases.network_partition);
+        println!(
+            "{label}: total {} | network pass {}",
+            out.phases.total(),
+            out.phases.network_partition
+        );
         println!(
             "  {:>8}  {:>12} {:>12} {:>12}",
             "machine", "cpu busy (s)", "stalled (s)", "utilization"

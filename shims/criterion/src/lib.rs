@@ -1,0 +1,250 @@
+//! Offline shim for `criterion`.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! minimal harness with criterion's macro/API surface: `criterion_group!`
+//! / `criterion_main!`, benchmark groups, throughput annotation and
+//! `Bencher::iter`. It times each benchmark with `std::time::Instant`
+//! (median of `sample_size` samples, each sample running as many
+//! iterations as fit in `measurement_time / sample_size`) and prints one
+//! line per benchmark. No statistics, plots or baselines — enough to run
+//! `cargo bench` offline and eyeball kernel throughput.
+
+use std::time::{Duration, Instant};
+
+/// Top-level bench driver; holds the run configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation: turns per-iteration time into a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterised benchmark (`name/parameter`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Run `f` as a benchmark named `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            per_iter: Duration::ZERO,
+        };
+        run_bench(
+            self.criterion,
+            &format!("{}/{}", self.name, id.full),
+            self.throughput,
+            &mut || {
+                f(&mut bencher);
+                bencher.per_iter
+            },
+        );
+    }
+
+    /// Run `f(bencher, input)` as a benchmark named `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            per_iter: Duration::ZERO,
+        };
+        run_bench(
+            self.criterion,
+            &format!("{}/{}", self.name, id.full),
+            self.throughput,
+            &mut || {
+                f(&mut bencher, input);
+                bencher.per_iter
+            },
+        );
+    }
+
+    /// End the group (printing happens per-benchmark; this is a no-op).
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId { full: name.into() }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the payload.
+pub struct Bencher {
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, amortised over enough iterations to be measurable.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate the cost of one iteration.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(10).as_nanos() / one.as_nanos()).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.per_iter = start.elapsed() / iters as u32;
+    }
+}
+
+fn run_bench(
+    criterion: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    sample: &mut dyn FnMut() -> Duration,
+) {
+    let mut times: Vec<Duration> = Vec::with_capacity(criterion.sample_size);
+    let budget = criterion.measurement_time;
+    let started = Instant::now();
+    for _ in 0..criterion.sample_size {
+        times.push(sample());
+        if started.elapsed() > budget {
+            break;
+        }
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(b) => format!(
+            "  {:>10.3} GiB/s",
+            b as f64 / median.as_secs_f64() / (1u64 << 30) as f64
+        ),
+        Throughput::Elements(n) => {
+            format!("  {:>10.3} Melem/s", n as f64 / median.as_secs_f64() / 1e6)
+        }
+    });
+    println!(
+        "bench {label:<40} {:>12.1?} / iter{}",
+        median,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Define a bench group function from a config and target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                let mut c: $crate::Criterion = $cfg;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` running the given bench groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Bytes(8 << 10));
+        g.bench_function("sum", |b| {
+            b.iter(|| (0u64..1024).sum::<u64>());
+        });
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &k| {
+            b.iter(|| (0u64..1024).map(|x| x * k).sum::<u64>());
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = quick;
+        config = Criterion::default()
+            .sample_size(2)
+            .measurement_time(std::time::Duration::from_millis(50));
+        targets = payload
+    }
+
+    #[test]
+    fn harness_runs_groups() {
+        quick();
+    }
+}

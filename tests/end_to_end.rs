@@ -175,11 +175,7 @@ fn model_tracks_simulation_across_machine_counts() {
         oracle.verify(&out.result);
         let sim_total = out.phases.total().as_secs_f64();
 
-        let input = rsj::model::ModelInput::from_cluster(
-            &spec,
-            (n * 16) as f64,
-            (n * 16) as f64,
-        );
+        let input = rsj::model::ModelInput::from_cluster(&spec, (n * 16) as f64, (n * 16) as f64);
         let model_total = rsj::model::predict(&input).total().as_secs_f64();
         let err = (sim_total - model_total).abs() / model_total;
         assert!(
@@ -219,8 +215,7 @@ fn dynamic_assignment_beats_round_robin_under_skew() {
     let machines = 4;
     let run = |policy: AssignmentPolicy| {
         let r = generate_inner::<Tuple16>(4_000, machines, 600);
-        let (s, oracle) =
-            generate_outer::<Tuple16>(120_000, 4_000, machines, Skew::Zipf(1.2), 601);
+        let (s, oracle) = generate_outer::<Tuple16>(120_000, 4_000, machines, Skew::Zipf(1.2), 601);
         let mut cfg = dist_cfg(machines, 3);
         cfg.assignment = policy;
         let out = run_distributed_join(cfg, r, s);
