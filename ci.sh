@@ -4,6 +4,14 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
+# Debug-profile tests run with the verbs-contract validator in Panic mode
+# (rsj-rdma's default `verify` feature), so this is the validator-enabled
+# pass: any RDMA protocol misuse aborts the suite.
 cargo test -q
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
+# Project rules (no real threads/clocks in simulated code, no raw Mr
+# access outside crates/rdma, no bare unwrap in library code).
+cargo run -q -p rsj-lint
+# The validator must also compile out cleanly (hard safety checks stay).
+cargo check -q -p rsj-rdma --no-default-features

@@ -183,12 +183,12 @@ pub fn fig5b(scale: Scale) {
     let il = net_times
         .iter()
         .find(|(l, _)| l.contains("interleaved") && !l.contains("non"))
-        .unwrap()
+        .expect("interleaved row present in net_times")
         .1;
     let nil = net_times
         .iter()
         .find(|(l, _)| l.contains("non-interleaved"))
-        .unwrap()
+        .expect("non-interleaved row present in net_times")
         .1;
     println!(
         "Interleaving reduced the network pass by {:.0}% (paper: ~35%).",
@@ -757,8 +757,15 @@ pub fn operators(scale: Scale) {
     let w = crate::workload(scale, 1024, 1024, machines, Skew::None);
     let mut sm_cfg = rsj_operators::SortMergeConfig::new(ClusterSpec::fdr_cluster(machines));
     sm_cfg.rdma_buf_size = scale.scale_buf(sm_cfg.rdma_buf_size);
-    sm_cfg.fabric_override =
-        Some(scale.scale_fabric(sm_cfg.cluster.interconnect.fabric_config().unwrap()));
+    sm_cfg.fabric_override = Some(
+        scale.scale_fabric(
+            sm_cfg
+                .cluster
+                .interconnect
+                .fabric_config()
+                .expect("fdr cluster is networked"),
+        ),
+    );
     sm_cfg.cluster.cost.nic = scale.scale_nic(sm_cfg.cluster.cost.nic);
     let sm = rsj_operators::run_sort_merge_join(sm_cfg, w.r, w.s);
     w.oracle.verify(&sm.result);
@@ -775,8 +782,15 @@ pub fn operators(scale: Scale) {
     // Cyclo-join baseline.
     let w = crate::workload(scale, 1024, 1024, machines, Skew::None);
     let mut cy_cfg = rsj_operators::CycloJoinConfig::new(ClusterSpec::fdr_cluster(machines));
-    cy_cfg.fabric_override =
-        Some(scale.scale_fabric(cy_cfg.cluster.interconnect.fabric_config().unwrap()));
+    cy_cfg.fabric_override = Some(
+        scale.scale_fabric(
+            cy_cfg
+                .cluster
+                .interconnect
+                .fabric_config()
+                .expect("fdr cluster is networked"),
+        ),
+    );
     cy_cfg.cluster.cost.nic = scale.scale_nic(cy_cfg.cluster.cost.nic);
     let cyclo = rsj_operators::run_cyclo_join(cy_cfg, w.r, w.s);
     w.oracle.verify(&cyclo.result);

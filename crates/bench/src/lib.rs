@@ -14,8 +14,6 @@
 //! paper-scale prediction exactly — a property covered by an integration
 //! test. Reports show paper-equivalent seconds.
 
-#![warn(missing_docs)]
-
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -222,9 +220,9 @@ pub fn measure_stream_bandwidth(cfg: FabricConfig, msg_bytes: usize, count: usiz
     (msg_bytes * count) as f64 / finish.get()
 }
 
-/// Minimal shared cell (avoids pulling parking_lot into the public API).
+/// Minimal shared cell (keeps `parking_lot` out of the public API).
 mod parking_lot_stub {
-    use std::sync::Mutex;
+    use parking_lot::Mutex;
 
     /// A tiny `Arc`-friendly cell.
     pub struct Cell<T>(Mutex<T>);
@@ -237,12 +235,12 @@ mod parking_lot_stub {
 
         /// Store.
         pub fn set(&self, v: T) {
-            *self.0.lock().unwrap() = v;
+            *self.0.lock() = v;
         }
 
         /// Load.
         pub fn get(&self) -> T {
-            *self.0.lock().unwrap()
+            *self.0.lock()
         }
     }
 }

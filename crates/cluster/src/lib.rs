@@ -17,8 +17,6 @@
 //! * [`wire`] — the unified 32-bit wire-tag codec shared by the join and
 //!   the §7 operators.
 
-#![warn(missing_docs)]
-
 mod cost;
 mod meter;
 mod phases;

@@ -179,6 +179,10 @@ impl Runtime {
             }
         }
         sim.run();
+        // The simulation has quiesced: audit the verbs-contract end state
+        // (undrained completions, unreposted receive slots, leaked pool
+        // buffers) before reporting results.
+        self.fabric.validator().check_teardown();
         let st = self.state.lock();
         ClusterRun {
             marks: st.marks.clone(),

@@ -104,7 +104,7 @@ pub fn run_distributed_join<T: Tuple>(
     // to end, exactly as the former raw-mark differences did.
     debug_assert_eq!(
         phases.total(),
-        *run.marks.last().unwrap() - SimTime::ZERO,
+        *run.marks.last().expect("marks start non-empty") - SimTime::ZERO,
         "per-phase durations must sum to the end-to-end time"
     );
 

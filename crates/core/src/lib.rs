@@ -26,8 +26,6 @@
 //! println!("join took {} (virtual)", out.phases.total());
 //! ```
 
-#![warn(missing_docs)]
-
 mod config;
 mod driver;
 mod histogram;

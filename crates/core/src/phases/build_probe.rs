@@ -33,12 +33,12 @@ struct ResultEmitter {
 }
 
 impl ResultEmitter {
-    fn new(cfg: &DistJoinConfig, mach: usize) -> ResultEmitter {
+    fn new(cfg: &DistJoinConfig, mach: usize, nic: &Nic) -> ResultEmitter {
         ResultEmitter {
             mode: cfg.materialize,
             is_coordinator: mach == 0,
             buf: Vec::new(),
-            window: SendWindow::new(cfg.send_depth),
+            window: SendWindow::validated(cfg.send_depth, Arc::clone(nic.validator())),
             cap: cfg.rdma_buf_size,
             bytes: 0,
         }
@@ -137,7 +137,7 @@ pub(crate) fn phase_build_probe<T: Tuple>(
     let cost = &cfg.cluster.cost;
     let mut local = JoinResult::default();
     let nic = sh.fabric.nic(HostId(mach));
-    let mut emitter = ResultEmitter::new(cfg, mach);
+    let mut emitter = ResultEmitter::new(cfg, mach, &nic);
 
     // Coordinator sink: machine 0's first core absorbs shipped results
     // instead of probing (its other cores keep working).

@@ -58,6 +58,7 @@ pub(crate) fn phase_local<T: Tuple>(
                 ReceiveMode::OneSided => {
                     for src in (0..m).filter(|&s| s != mach) {
                         if let Some(mr) = st.recv_mrs.lock().get(&(rel, p, src)) {
+                            // lint: allow-mr-access(assembly consumes one-sided regions after the network-pass barrier)
                             let bytes = mr.take_data();
                             decode_into(&bytes, &mut rel_parts[rel]);
                         }
@@ -151,6 +152,7 @@ fn phase_local_parallel<T: Tuple>(
                 ReceiveMode::OneSided => {
                     for src in (0..m).filter(|&s| s != mach) {
                         if let Some(mr) = st.recv_mrs.lock().get(&(rel, p, src)) {
+                            // lint: allow-mr-access(assembly consumes one-sided regions after the network-pass barrier)
                             let bytes = mr.take_data();
                             decode_into(&bytes, &mut rel_parts[rel]);
                         }
@@ -205,7 +207,11 @@ fn phase_local_parallel<T: Tuple>(
             break;
         }
         let (i, rel, k, range) = st.lp_tasks.lock()[t].clone();
-        let assembled = Arc::clone(st.lp_assembled.lock()[i].as_ref().expect("assembled"));
+        let assembled = Arc::clone(
+            st.lp_assembled.lock()[i]
+                .as_ref()
+                .expect("fragment assembled by stage 1 before barrier"),
+        );
         let slice = &assembled[rel][range];
         let parted = partition(slice, b1, b2);
         meter.charge_bytes(ctx, slice.len() * T::SIZE, rate);
@@ -235,6 +241,7 @@ fn phase_local_parallel<T: Tuple>(
             )));
         }
         let [sub_r, sub_s] = merged;
+        // lint: allow-unwrap(both slots filled by the RELS loop above)
         let (sub_r, sub_s) = (sub_r.unwrap(), sub_s.unwrap());
         for j in 0..(1usize << b2) {
             if !sub_r.part(j).is_empty() || !sub_s.part(j).is_empty() {

@@ -225,7 +225,10 @@ impl<T: Tuple> ClusterShared<T> {
                     cfg.cluster.cost.nic,
                 )
             })
-            .collect();
+            .collect::<Vec<_>>();
+        for pool in &pools {
+            fabric.validator().register_pool(pool);
+        }
         let tcp_windows = (0..m)
             .map(|_| {
                 (0..m)

@@ -112,11 +112,12 @@ fn sender_loop<T: Tuple>(
                 if slot.is_none() {
                     *slot = Some(SendBuf {
                         buf: pool.take(ctx),
-                        window: SendWindow::new(cfg.send_depth),
+                        window: SendWindow::validated(cfg.send_depth, Arc::clone(nic.validator())),
                         written: 0,
                         taken: 1,
                     });
                 }
+                // lint: allow-unwrap(slot was just filled if it was None)
                 let sb = slot.as_mut().unwrap();
                 t.write_to(&mut sb.buf);
                 if sb.buf.len() + T::SIZE > buf_cap {

@@ -13,8 +13,6 @@
 //! * [`run_no_partitioning_join`] — the hardware-oblivious baseline of
 //!   Blanas et al. [6].
 
-#![warn(missing_docs)]
-
 mod hash_table;
 mod no_partitioning;
 mod radix;

@@ -68,7 +68,7 @@ pub fn merge_sorted_runs<T: Tuple>(mut runs: Vec<Vec<T>>) -> Vec<T> {
         }
         runs = next;
     }
-    runs.pop().unwrap()
+    runs.pop().expect("merge loop leaves exactly one run")
 }
 
 fn merge_two<T: Tuple>(a: Vec<T>, b: Vec<T>) -> Vec<T> {

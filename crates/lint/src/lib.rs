@@ -1,0 +1,384 @@
+//! # rsj-lint — project-specific static checks for the workspace
+//!
+//! A deliberately simple, dependency-free, line-based scanner over
+//! `crates/` that enforces rules clippy cannot express, because they are
+//! about *this* project's architecture:
+//!
+//! | rule | what it forbids |
+//! |------|-----------------|
+//! | `std-thread` | `std::thread::spawn` in simulated code — workers must be [`rsj-sim`] tasks so virtual time stays deterministic (`crates/sim/src/kernel.rs`, which implements the simulator itself, is exempt) |
+//! | `std-sync` | `std::sync::{Mutex, Barrier, Condvar}` — blocking on an OS primitive invisibly to the simulation kernel deadlocks or distorts virtual time; use `parking_lot` for plain data locks and `rsj-sim` primitives for anything that waits |
+//! | `wall-clock` | `std::time::Instant` / `SystemTime` anywhere — reading the host clock breaks run-to-run determinism, the property every experiment and test relies on |
+//! | `mr-access` | direct `Mr` byte access (`take_data` / `with_data` / `dma_write`) outside `rsj-rdma` — operators must go through the verbs API so the runtime validator sees every access |
+//! | `unwrap` | `.unwrap()` (or an `.expect` with a non-descriptive message) in non-test library code — failures in phase code must say what invariant broke |
+//!
+//! Any rule can be waived on a specific line with a justification marker,
+//! on the same line or the line directly above:
+//!
+//! ```text
+//! // lint: allow-unwrap(histogram exchange counted exactly m-1 messages)
+//! let h = hists.pop().unwrap();
+//! ```
+//!
+//! An empty reason does not count. Run with `cargo run -p rsj-lint`; the
+//! binary exits nonzero if any finding survives, so `ci.sh` fails on new
+//! violations.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a specific line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (`std-thread`, `std-sync`, `wall-clock`,
+    /// `mr-access`, `unwrap`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The simulator kernel implements virtual time on top of real OS threads
+/// and synchronization, so the thread/sync rules do not apply to it.
+const KERNEL: &str = "crates/sim/src/kernel.rs";
+
+/// Minimum length for an `.expect("...")` message to count as descriptive.
+const MIN_EXPECT_LEN: usize = 10;
+
+/// Does `line` (or the preceding line) carry a
+/// `// lint: allow-<rule>(<reason>)` marker with a non-empty reason?
+fn marker_allows(rule: &str, line: &str, prev: Option<&str>) -> bool {
+    let needle = format!("lint: allow-{rule}(");
+    for candidate in [Some(line), prev].into_iter().flatten() {
+        if let Some(pos) = candidate.find(&needle) {
+            let rest = &candidate[pos + needle.len()..];
+            if let Some(close) = rest.find(')') {
+                if !rest[..close].trim().is_empty() {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The code portion of a line: everything before a `//` comment. Keeps
+/// doc comments and rule explanations from tripping the patterns they
+/// describe. (String literals containing `//` are rare enough in this
+/// workspace that a marker handles them.)
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Extract the first string literal from `rest` (text following
+/// `.expect(`), if it closes on the same line.
+fn first_string_literal(rest: &str) -> Option<&str> {
+    let start = rest.find('"')?;
+    let body = &rest[start + 1..];
+    let mut end = None;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '\\' if !escaped => escaped = true,
+            '"' if !escaped => {
+                end = Some(i);
+                break;
+            }
+            _ => escaped = false,
+        }
+    }
+    Some(&body[..end?])
+}
+
+/// Lint one file's contents. `relpath` is the workspace-relative path
+/// (forward slashes), which decides rule applicability.
+pub fn lint_file(relpath: &str, content: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if relpath.starts_with("crates/lint/") {
+        // The lint's own sources and fixtures would trip every rule.
+        return findings;
+    }
+    let in_rdma = relpath.starts_with("crates/rdma/");
+    let is_kernel = relpath == KERNEL;
+    // Integration tests and benches exercise the system from outside; the
+    // library-code rules (unwrap, mr-access, std-sync) do not apply, but
+    // determinism rules (wall-clock, std-thread) still do.
+    let is_test_code_file = {
+        let p = relpath;
+        p.contains("/tests/") || p.contains("/benches/") || p.contains("/examples/")
+    };
+
+    let mut in_test_module = false;
+    let mut prev_line: Option<&str> = None;
+    for (idx, line) in content.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            // Everything from the unit-test module on is test code. (The
+            // workspace convention puts `mod tests` last in each file.)
+            in_test_module = true;
+        }
+        let code = code_part(line);
+        let test_code = in_test_module || is_test_code_file;
+
+        let mut check = |rule: &'static str, hit: bool, message: String| {
+            if hit && !marker_allows(rule, line, prev_line) {
+                findings.push(Finding {
+                    file: relpath.to_string(),
+                    line: lineno,
+                    rule,
+                    message,
+                });
+            }
+        };
+
+        // Determinism rules: everywhere, including tests.
+        check(
+            "std-thread",
+            !is_kernel && (code.contains("std::thread::spawn") || code.contains("thread::spawn(")),
+            "OS thread creation in simulated code; spawn an rsj-sim task instead".to_string(),
+        );
+        check(
+            "wall-clock",
+            code.contains("std::time::Instant")
+                || code.contains("std::time::SystemTime")
+                || code.contains("Instant::now(")
+                || code.contains("SystemTime::now("),
+            "wall-clock read breaks deterministic simulation; use SimCtx::now()".to_string(),
+        );
+
+        // Library-code rules: skip tests and benches.
+        if !test_code {
+            check(
+                "std-sync",
+                !is_kernel
+                    && [
+                        "std::sync::Mutex",
+                        "std::sync::Barrier",
+                        "std::sync::Condvar",
+                    ]
+                    .iter()
+                    .any(|p| code.contains(p)),
+                "OS sync primitive invisible to the simulation kernel; use parking_lot::Mutex \
+                 for data, rsj-sim primitives for waiting"
+                    .to_string(),
+            );
+            check(
+                "mr-access",
+                !in_rdma
+                    && [".take_data(", ".with_data(", ".dma_write("]
+                        .iter()
+                        .any(|p| code.contains(p)),
+                "direct Mr byte access outside rsj-rdma bypasses the verbs contract validator"
+                    .to_string(),
+            );
+            check(
+                "unwrap",
+                code.contains(".unwrap()"),
+                "unwrap() in library code; state the broken invariant with expect(), or add a \
+                 lint marker with the reason it cannot fail"
+                    .to_string(),
+            );
+            if let Some(pos) = code.find(".expect(") {
+                if let Some(msg) = first_string_literal(&code[pos + ".expect(".len()..]) {
+                    check(
+                        "unwrap",
+                        msg.len() < MIN_EXPECT_LEN,
+                        format!("non-descriptive expect message {msg:?}; say what invariant broke"),
+                    );
+                }
+            }
+        }
+        prev_line = Some(line);
+    }
+    findings
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for stable output.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every `.rs` file under `<root>/crates`. `root` is the workspace
+/// root (the directory holding the workspace `Cargo.toml`).
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    rs_files(&root.join("crates"), &mut files)?;
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = fs::read_to_string(&path)?;
+        findings.extend(lint_file(&rel, &content));
+    }
+    Ok(findings)
+}
+
+/// Walk up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn catches_std_thread_spawn() {
+        let src = "fn f() {\n    std::thread::spawn(|| {});\n}\n";
+        let f = lint_file("crates/core/src/driver.rs", src);
+        assert_eq!(rules(&f), ["std-thread"]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn kernel_is_exempt_from_thread_and_sync_rules() {
+        let src = "use std::sync::Mutex;\nstd::thread::spawn(|| {});\n";
+        assert!(lint_file("crates/sim/src/kernel.rs", src).is_empty());
+        assert_eq!(
+            rules(&lint_file("crates/sim/src/lib.rs", src)),
+            ["std-sync", "std-thread"]
+        );
+    }
+
+    #[test]
+    fn catches_std_sync_primitives_outside_tests() {
+        for ty in ["Mutex", "Barrier", "Condvar"] {
+            let src = format!("use std::sync::{ty};\n");
+            let f = lint_file("crates/joins/src/lib.rs", &src);
+            assert_eq!(rules(&f), ["std-sync"], "{ty}");
+        }
+        // Non-blocking std::sync items stay allowed.
+        let ok = "use std::sync::Arc;\nuse std::sync::atomic::AtomicUsize;\n";
+        assert!(lint_file("crates/joins/src/lib.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn catches_wall_clock_everywhere_even_in_tests() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::Instant::now(); }\n}\n";
+        let f = lint_file("crates/model/src/lib.rs", src);
+        assert_eq!(rules(&f), ["wall-clock"]);
+        let bench = "fn b() { let t0 = Instant::now(); }\n";
+        assert_eq!(
+            rules(&lint_file("crates/bench/benches/kernels.rs", bench)),
+            ["wall-clock"]
+        );
+        // Duration is not a clock read.
+        assert!(lint_file(
+            "crates/bench/benches/kernels.rs",
+            "use std::time::Duration;\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn catches_mr_byte_access_outside_rdma() {
+        let src = "fn f(mr: &Mr) { let _ = mr.take_data(); }\n";
+        assert_eq!(
+            rules(&lint_file("crates/core/src/phases/local.rs", src)),
+            ["mr-access"]
+        );
+        // Inside rsj-rdma the access is the implementation, not a bypass.
+        assert!(lint_file("crates/rdma/src/mr.rs", src).is_empty());
+    }
+
+    #[test]
+    fn catches_unwrap_and_short_expect_in_library_code() {
+        let src = "fn f() {\n    let x = y.unwrap();\n    let z = w.expect(\"oops\");\n}\n";
+        let f = lint_file("crates/cluster/src/wire.rs", src);
+        assert_eq!(rules(&f), ["unwrap", "unwrap"]);
+        assert!(f[1].message.contains("non-descriptive"));
+        let ok = "fn f() { let z = w.expect(\"histogram phase incomplete\"); }\n";
+        assert!(lint_file("crates/cluster/src/wire.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn unwrap_is_allowed_in_test_modules_and_test_files() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(lint_file("crates/cluster/src/wire.rs", src).is_empty());
+        assert!(lint_file("crates/rdma/tests/validator.rs", "fn t() { x.unwrap(); }\n").is_empty());
+    }
+
+    #[test]
+    fn marker_with_reason_waives_a_rule() {
+        let same_line = "let x = y.unwrap(); // lint: allow-unwrap(checked len above)\n";
+        assert!(lint_file("crates/core/src/lib.rs", same_line).is_empty());
+        let prev_line = "// lint: allow-unwrap(poll loop guarantees Some)\nlet x = y.unwrap();\n";
+        assert!(lint_file("crates/core/src/lib.rs", prev_line).is_empty());
+        // An empty reason does not count...
+        let empty = "let x = y.unwrap(); // lint: allow-unwrap()\n";
+        assert_eq!(
+            rules(&lint_file("crates/core/src/lib.rs", empty)),
+            ["unwrap"]
+        );
+        // ...and a marker for one rule does not waive another.
+        let wrong = "std::thread::spawn(f); // lint: allow-unwrap(whatever)\n";
+        assert_eq!(
+            rules(&lint_file("crates/core/src/lib.rs", wrong)),
+            ["std-thread"]
+        );
+    }
+
+    #[test]
+    fn comments_and_doc_text_do_not_trip_code_rules() {
+        let src = "//! Never call std::thread::spawn in simulated code.\n\
+                   // a worker must not use std::sync::Mutex\n\
+                   /// or .unwrap() either\n";
+        assert!(lint_file("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lint_ignores_its_own_sources() {
+        let src = "std::thread::spawn(|| x.unwrap());\n";
+        assert!(lint_file("crates/lint/src/fixtures.rs", src).is_empty());
+    }
+}

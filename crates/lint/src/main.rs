@@ -1,0 +1,40 @@
+//! `cargo run -p rsj-lint` — scan the workspace's `crates/` tree and exit
+//! nonzero if any project rule is violated. See the library docs for the
+//! rule table and the waiver-marker syntax.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rsj_lint::{find_workspace_root, lint_workspace};
+
+fn main() -> ExitCode {
+    let cwd = std::env::current_dir().unwrap_or_else(|e| {
+        eprintln!("rsj-lint: cannot read current directory: {e}");
+        std::process::exit(2);
+    });
+    let Some(root) = find_workspace_root(&cwd) else {
+        eprintln!(
+            "rsj-lint: no workspace Cargo.toml found above {}",
+            cwd.display()
+        );
+        return ExitCode::from(2);
+    };
+    match lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("rsj-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("rsj-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            let crates_dir: PathBuf = root.join("crates");
+            eprintln!("rsj-lint: failed to scan {}: {e}", crates_dir.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -15,8 +15,6 @@
 //! [`predict`] returns a [`PhaseTimes`] directly comparable to the
 //! simulator's measured output — the comparison *is* Figure 9.
 
-#![warn(missing_docs)]
-
 use rsj_cluster::{ClusterSpec, CostModel, PhaseTimes};
 use rsj_sim::SimDuration;
 

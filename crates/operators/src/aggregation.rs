@@ -19,7 +19,7 @@ use rsj_sim::SimCtx;
 use rsj_workload::{decode_into, Relation, Tuple};
 
 use rsj_cluster::wire::REL_S;
-use rsj_cluster::{ranges, run_cluster, Runtime, WireTag};
+use rsj_cluster::{ranges, Runtime, WireTag};
 
 /// Configuration of a distributed aggregation.
 #[derive(Clone, Debug)]
@@ -127,13 +127,11 @@ pub fn run_aggregation<T: Tuple>(cfg: AggregationConfig, s: Relation<T>) -> Aggr
     let nic_costs = cfg.cluster.cost.nic;
     let cfg = Arc::new(cfg);
     let st2 = Arc::clone(&states);
-    let run = run_cluster(
-        m,
-        cores,
-        fabric_cfg,
-        nic_costs,
-        move |ctx, rt, mach, core| worker(ctx, rt, &cfg, &st2, &pools, mach, core),
-    );
+    let rt = Runtime::new(m, cores, fabric_cfg, nic_costs);
+    for pool in pools.iter() {
+        rt.fabric.validator().register_pool(pool);
+    }
+    let run = rt.run(move |ctx, rt, mach, core| worker(ctx, rt, &cfg, &st2, &pools, mach, core));
 
     assert_eq!(run.marks.len(), 4, "expected 3 phase boundaries");
     // No local refinement pass: `local_partition` stays zero in the fold.
@@ -213,8 +211,12 @@ fn worker<T: Tuple>(
             } else {
                 let slot = &mut bufs[p];
                 if slot.is_none() {
-                    *slot = Some((pool.take(ctx), SendWindow::new(cfg.send_depth)));
+                    *slot = Some((
+                        pool.take(ctx),
+                        SendWindow::validated(cfg.send_depth, Arc::clone(nic.validator())),
+                    ));
                 }
+                // lint: allow-unwrap(slot was just filled if it was None)
                 let (buf, window) = slot.as_mut().unwrap();
                 t.write_to(buf);
                 if buf.len() + T::SIZE > cfg.rdma_buf_size {

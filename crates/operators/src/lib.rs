@@ -22,8 +22,6 @@
 //!
 //! [`PhaseTimes`]: rsj_cluster::PhaseTimes
 
-#![warn(missing_docs)]
-
 mod aggregation;
 mod cyclo_join;
 mod sort_merge;

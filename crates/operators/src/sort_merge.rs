@@ -23,7 +23,7 @@ use rsj_sim::SimCtx;
 use rsj_workload::{decode_into, JoinResult, Relation, Tuple};
 
 use rsj_cluster::wire::{REL_R, REL_S};
-use rsj_cluster::{ranges, run_cluster, Runtime, WireTag};
+use rsj_cluster::{ranges, Runtime, WireTag};
 
 /// Configuration of a distributed sort-merge join.
 #[derive(Clone, Debug)]
@@ -136,13 +136,11 @@ pub fn run_sort_merge_join<T: Tuple>(
     let nic_costs = cfg.cluster.cost.nic;
     let cfg = Arc::new(cfg);
     let states = Arc::clone(&mach_state);
-    let run = run_cluster(
-        m,
-        cores,
-        fabric_cfg,
-        nic_costs,
-        move |ctx, rt, mach, core| worker(ctx, rt, &cfg, &states, &pools, mach, core),
-    );
+    let rt = Runtime::new(m, cores, fabric_cfg, nic_costs);
+    for pool in pools.iter() {
+        rt.fabric.validator().register_pool(pool);
+    }
+    let run = rt.run(move |ctx, rt, mach, core| worker(ctx, rt, &cfg, &states, &pools, mach, core));
 
     assert_eq!(run.marks.len(), 5, "expected 4 phase boundaries");
     let phases = PhaseTimes::from_events(&run.events);
@@ -270,8 +268,12 @@ fn worker<T: Tuple>(
                 } else {
                     let slot = &mut bufs[rel][p];
                     if slot.is_none() {
-                        *slot = Some((pool.take(ctx), SendWindow::new(cfg.send_depth)));
+                        *slot = Some((
+                            pool.take(ctx),
+                            SendWindow::validated(cfg.send_depth, Arc::clone(nic.validator())),
+                        ));
                     }
+                    // lint: allow-unwrap(slot was just filled if it was None)
                     let (buf, window) = slot.as_mut().unwrap();
                     t.write_to(buf);
                     if buf.len() + T::SIZE > cfg.rdma_buf_size {

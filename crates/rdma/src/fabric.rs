@@ -27,6 +27,7 @@ use rsj_sim::{SimChannel, SimCtx, SimDuration, SimEvent, SimSemaphore, SimTime, 
 
 use crate::config::{FabricConfig, HostId, NicCosts};
 use crate::mr::{MrTable, RemoteMr};
+use crate::validate::Validator;
 
 /// A completed two-sided receive, as seen by the consuming thread.
 pub struct Completion {
@@ -130,6 +131,7 @@ pub struct Nic {
     /// This host's registered memory regions (one-sided write targets).
     pub mrs: MrTable,
     stats: Mutex<NicStats>,
+    validator: Arc<Validator>,
 }
 
 impl Nic {
@@ -171,10 +173,16 @@ impl Nic {
         offset: usize,
         len: usize,
     ) -> ReadHandle {
-        assert!(
-            offset + len <= remote.len,
-            "one-sided read beyond remote region"
-        );
+        if !self.validator.check_read(&remote, offset, len) {
+            // Record mode: the faulting read is dropped; hand back an
+            // already-completed handle of zeroes so the caller can't hang.
+            let state = Arc::new(ReadState {
+                done: SimEvent::new(),
+                data: Mutex::new(Some(vec![0u8; len])),
+            });
+            state.done.set(ctx);
+            return ReadHandle { state };
+        }
         let state = Arc::new(ReadState {
             done: SimEvent::new(),
             data: Mutex::new(None),
@@ -211,10 +219,12 @@ impl Nic {
         offset: usize,
         payload: Vec<u8>,
     ) -> Arc<SimEvent> {
-        assert!(
-            offset + payload.len() <= remote.len,
-            "one-sided write beyond remote region"
-        );
+        if !self.validator.check_write(&remote, offset, payload.len()) {
+            // Record mode: drop the faulting write, return a fired event.
+            let ev = SimEvent::new();
+            ev.set(ctx);
+            return ev;
+        }
         self.post(
             ctx,
             remote.host,
@@ -265,11 +275,16 @@ impl Nic {
     /// out (§4.2.2: "the receive buffers can be reused once the copy
     /// operation terminated successfully").
     pub fn recv(&self, ctx: &SimCtx) -> Option<Completion> {
-        self.recv_cq.recv(ctx)
+        let c = self.recv_cq.recv(ctx);
+        if c.is_some() {
+            self.validator.on_rx_consumed(self.host);
+        }
+        c
     }
 
     /// Return one receive-buffer slot to the shared receive queue.
     pub fn repost_recv(&self, ctx: &SimCtx) {
+        self.validator.on_recv_reposted(self.host);
         self.srq.release(ctx);
     }
 
@@ -281,6 +296,11 @@ impl Nic {
     /// This NIC's host id.
     pub fn host(&self) -> HostId {
         self.host
+    }
+
+    /// The fabric-wide verbs-contract validator (shared by every NIC).
+    pub fn validator(&self) -> &Arc<Validator> {
+        &self.validator
     }
 }
 
@@ -294,12 +314,14 @@ pub struct Fabric {
     rx_queues: Vec<Arc<SimChannel<Message>>>,
     live_tx: Arc<AtomicUsize>,
     launched: std::sync::atomic::AtomicBool,
+    validator: Arc<Validator>,
 }
 
 impl Fabric {
     /// Build a fabric of `hosts` machines.
     pub fn new(cfg: FabricConfig, costs: NicCosts, hosts: usize) -> Arc<Fabric> {
         assert!(hosts >= 1, "fabric needs at least one host");
+        let validator = Validator::new();
         let nics = (0..hosts)
             .map(|h| {
                 Arc::new(Nic {
@@ -308,8 +330,9 @@ impl Fabric {
                     tx: SimChannel::new(),
                     recv_cq: SimChannel::new(),
                     srq: SimSemaphore::new(cfg.srq_slots),
-                    mrs: MrTable::new(HostId(h), costs),
+                    mrs: MrTable::new(HostId(h), costs, Arc::clone(&validator)),
                     stats: Mutex::new(NicStats::default()),
+                    validator: Arc::clone(&validator),
                 })
             })
             .collect();
@@ -320,7 +343,13 @@ impl Fabric {
             rx_queues,
             live_tx: Arc::new(AtomicUsize::new(hosts)),
             launched: std::sync::atomic::AtomicBool::new(false),
+            validator,
         })
+    }
+
+    /// The fabric-wide verbs-contract validator.
+    pub fn validator(&self) -> &Arc<Validator> {
+        &self.validator
     }
 
     /// Number of hosts.
@@ -389,8 +418,16 @@ impl Fabric {
                     match msg.kind {
                         MsgKind::TwoSided { tag } => {
                             // Consume a posted receive buffer; blocks (RNR)
-                            // if the application is not reposting.
+                            // if the application is not reposting. If every
+                            // slot is application-held, that's a contract
+                            // violation (§4.2.2), not backpressure.
+                            if nic.srq.available() == 0 {
+                                fabric
+                                    .validator
+                                    .srq_blocked(HostId(h), fabric.cfg.srq_slots);
+                            }
                             nic.srq.acquire(ctx);
+                            fabric.validator.on_rx_delivered(HostId(h));
                             nic.recv_cq.send(
                                 ctx,
                                 Completion {
@@ -401,7 +438,11 @@ impl Fabric {
                             );
                         }
                         MsgKind::OneSided { mr, offset } => {
-                            nic.mrs.get(mr).dma_write(offset, &msg.payload);
+                            // A `None` lookup was already reported as
+                            // use-before-register; drop the write.
+                            if let Some(region) = nic.mrs.get(mr) {
+                                region.dma_write(offset, &msg.payload);
+                            }
                         }
                         MsgKind::ReadRequest {
                             mr,
@@ -411,10 +452,10 @@ impl Fabric {
                         } => {
                             // The *responder's* NIC streams the data back:
                             // enqueue the response on this host's egress.
-                            let data = nic
-                                .mrs
-                                .get(mr)
-                                .with_data(|d| d[offset..offset + len].to_vec());
+                            let data = match nic.mrs.get(mr) {
+                                Some(region) => region.dma_read(offset, len),
+                                None => vec![0u8; len],
+                            };
                             {
                                 let mut stats = nic.stats.lock();
                                 stats.tx_msgs += 1;

@@ -20,14 +20,14 @@
 //! See `DESIGN.md` §1 for why this substitution preserves the paper's
 //! experimental behaviour.
 
-#![warn(missing_docs)]
-
 mod config;
 mod fabric;
 mod mr;
 mod pool;
+pub mod validate;
 
 pub use config::{FabricConfig, HostId, NicCosts};
 pub use fabric::{Completion, Fabric, Nic, NicStats, ReadHandle, Spawner};
 pub use mr::{Mr, MrTable, RemoteMr};
 pub use pool::{BufferPool, SendWindow};
+pub use validate::{ValidateMode, Validator, Violation};

@@ -13,6 +13,7 @@ use parking_lot::Mutex;
 use rsj_sim::{SimCtx, SimDuration};
 
 use crate::config::{HostId, NicCosts};
+use crate::validate::{Validator, Violation};
 
 /// A handle naming a remote (or local) memory region for one-sided access —
 /// the moral equivalent of an `(addr, rkey)` pair exchanged out of band.
@@ -30,7 +31,12 @@ pub struct RemoteMr {
 pub struct Mr {
     host: HostId,
     index: usize,
+    /// Registered length, fixed at registration time. Cached outside the
+    /// data mutex so `remote_handle`/`len` are lock-free — they are called
+    /// on every one-sided post.
+    region_len: usize,
     data: Mutex<Vec<u8>>,
+    validator: Arc<Validator>,
 }
 
 impl Mr {
@@ -39,37 +45,67 @@ impl Mr {
         RemoteMr {
             host: self.host,
             index: self.index,
-            len: self.data.lock().len(),
+            len: self.region_len,
         }
     }
 
-    /// Region length in bytes.
+    /// Registered region length in bytes (immutable after registration).
     pub fn len(&self) -> usize {
-        self.data.lock().len()
+        self.region_len
     }
 
-    /// Whether the region has zero length.
+    /// Whether the region was registered with zero length.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.region_len == 0
     }
 
     /// DMA write into the region (performed by the simulated HCA's ingress
     /// engine — costs the *owner's CPU* nothing).
     ///
-    /// # Panics
-    /// Panics if `offset + src.len()` exceeds the region: real hardware
-    /// would raise a protection fault and kill the QP.
+    /// An out-of-bounds write — including a write into a region whose
+    /// memory the owner reclaimed with [`Mr::take_data`] — is a verbs
+    /// contract violation: real hardware would raise a protection fault
+    /// and kill the QP. The validator panics in test builds and drops the
+    /// write in [`crate::ValidateMode::Record`] mode.
     pub(crate) fn dma_write(&self, offset: usize, src: &[u8]) {
         let mut data = self.data.lock();
-        let end = offset
+        let in_bounds = offset
             .checked_add(src.len())
-            .expect("RDMA write offset overflow");
-        assert!(
-            end <= data.len(),
-            "RDMA write out of bounds: [{offset}, {end}) into region of {} bytes",
-            data.len()
-        );
-        data[offset..end].copy_from_slice(src);
+            .is_some_and(|end| end <= data.len());
+        if !in_bounds {
+            let region_len = data.len();
+            drop(data);
+            self.validator.report(Violation::OutOfBoundsWrite {
+                host: self.host,
+                index: self.index,
+                offset,
+                len: src.len(),
+                region_len,
+            });
+            return;
+        }
+        data[offset..offset + src.len()].copy_from_slice(src);
+    }
+
+    /// DMA read out of the region (the responder leg of an RDMA READ).
+    /// An out-of-bounds read is reported like a write fault; in
+    /// [`crate::ValidateMode::Record`] mode it yields zeroes.
+    pub(crate) fn dma_read(&self, offset: usize, len: usize) -> Vec<u8> {
+        let data = self.data.lock();
+        let in_bounds = offset.checked_add(len).is_some_and(|end| end <= data.len());
+        if !in_bounds {
+            let region_len = data.len();
+            drop(data);
+            self.validator.report(Violation::OutOfBoundsRead {
+                host: self.host,
+                index: self.index,
+                offset,
+                len,
+                region_len,
+            });
+            return vec![0u8; len];
+        }
+        data[offset..offset + len].to_vec()
     }
 
     /// Read the region contents by reference (local access by the owner).
@@ -77,8 +113,10 @@ impl Mr {
         f(&self.data.lock())
     }
 
-    /// Take the region contents out, leaving it empty. Used when the join
-    /// assembles received partitions after the network pass; avoids a copy.
+    /// Take the region contents out, leaving the backing memory empty
+    /// (the registration, and thus [`Mr::len`], is unchanged). Used when
+    /// the join assembles received partitions after the network pass;
+    /// avoids a copy. Any later one-sided access to the region faults.
     pub fn take_data(&self) -> Vec<u8> {
         std::mem::take(&mut *self.data.lock())
     }
@@ -90,15 +128,17 @@ pub struct MrTable {
     costs: NicCosts,
     regions: Mutex<Vec<Arc<Mr>>>,
     registered_bytes: Mutex<u64>,
+    validator: Arc<Validator>,
 }
 
 impl MrTable {
-    pub(crate) fn new(host: HostId, costs: NicCosts) -> MrTable {
+    pub(crate) fn new(host: HostId, costs: NicCosts, validator: Arc<Validator>) -> MrTable {
         MrTable {
             host,
             costs,
             regions: Mutex::new(Vec::new()),
             registered_bytes: Mutex::new(0),
+            validator,
         }
     }
 
@@ -107,24 +147,32 @@ impl MrTable {
     pub fn register(&self, ctx: &SimCtx, len: usize) -> Arc<Mr> {
         ctx.advance(SimDuration::from_secs_f64(self.costs.register_seconds(len)));
         let mut regions = self.regions.lock();
+        let index = regions.len();
         let mr = Arc::new(Mr {
             host: self.host,
-            index: regions.len(),
+            index,
+            region_len: len,
             data: Mutex::new(vec![0u8; len]),
+            validator: Arc::clone(&self.validator),
         });
         regions.push(Arc::clone(&mr));
         *self.registered_bytes.lock() += len as u64;
+        self.validator.mr_registered(self.host, index, len);
         mr
     }
 
-    /// Look up a region by index (ingress-engine path for one-sided writes).
-    pub(crate) fn get(&self, index: usize) -> Arc<Mr> {
-        Arc::clone(
-            self.regions
-                .lock()
-                .get(index)
-                .expect("one-sided write to unregistered MR"),
-        )
+    /// Look up a region by index (ingress-engine path for one-sided
+    /// access). A miss is a use-before-register contract violation; in
+    /// [`crate::ValidateMode::Record`] mode the access is dropped.
+    pub(crate) fn get(&self, index: usize) -> Option<Arc<Mr>> {
+        let region = self.regions.lock().get(index).map(Arc::clone);
+        if region.is_none() {
+            self.validator.report(Violation::UseBeforeRegister {
+                host: self.host,
+                index,
+            });
+        }
+        region
     }
 
     /// Total bytes ever registered on this host — the "pinned memory"
@@ -139,11 +187,15 @@ mod tests {
     use super::*;
     use rsj_sim::Simulation;
 
+    fn table(host: HostId) -> MrTable {
+        MrTable::new(host, NicCosts::default(), Validator::new())
+    }
+
     #[test]
     fn registration_charges_virtual_time_and_tracks_bytes() {
         let sim = Simulation::new();
         sim.spawn("reg", |ctx| {
-            let table = MrTable::new(HostId(0), NicCosts::default());
+            let table = table(HostId(0));
             let before = ctx.now();
             let mr = table.register(ctx, 1 << 20);
             let charged = (ctx.now() - before).as_secs_f64();
@@ -159,7 +211,7 @@ mod tests {
     fn dma_write_and_take_roundtrip() {
         let sim = Simulation::new();
         sim.spawn("rw", |ctx| {
-            let table = MrTable::new(HostId(3), NicCosts::default());
+            let table = table(HostId(3));
             let mr = table.register(ctx, 16);
             mr.dma_write(4, &[1, 2, 3, 4]);
             mr.with_data(|d| {
@@ -171,7 +223,11 @@ mod tests {
             assert_eq!(handle.len, 16);
             let data = mr.take_data();
             assert_eq!(data.len(), 16);
-            assert!(mr.is_empty());
+            // The registration is immutable: the handle and `len` still
+            // report the registered size even though the memory is gone.
+            assert_eq!(mr.len(), 16);
+            assert!(!mr.is_empty());
+            assert_eq!(mr.remote_handle(), handle);
         });
         sim.run();
     }
@@ -181,9 +237,22 @@ mod tests {
     fn out_of_bounds_write_faults() {
         let sim = Simulation::new();
         sim.spawn("oob", |ctx| {
-            let table = MrTable::new(HostId(0), NicCosts::default());
+            let table = table(HostId(0));
             let mr = table.register(ctx, 8);
             mr.dma_write(6, &[0; 4]);
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn write_into_taken_region_faults() {
+        let sim = Simulation::new();
+        sim.spawn("taken", |ctx| {
+            let table = table(HostId(0));
+            let mr = table.register(ctx, 8);
+            let _ = mr.take_data();
+            mr.dma_write(0, &[1, 2]);
         });
         sim.run();
     }

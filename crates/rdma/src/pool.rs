@@ -18,6 +18,7 @@ use parking_lot::Mutex;
 use rsj_sim::{SimCtx, SimDuration, SimEvent};
 
 use crate::config::NicCosts;
+use crate::validate::{Validator, Violation};
 
 /// A pool of fixed-size, pre-registered RDMA buffers.
 pub struct BufferPool {
@@ -34,6 +35,9 @@ struct PoolState {
     /// host memory it never uses.
     stock: usize,
     fly_registrations: u64,
+    /// Buffers taken and not yet returned — audited at teardown by the
+    /// validator's pool-leak check.
+    outstanding: usize,
 }
 
 impl BufferPool {
@@ -51,6 +55,7 @@ impl BufferPool {
                 free: Vec::new(),
                 stock: count,
                 fly_registrations: 0,
+                outstanding: 0,
             }),
         })
     }
@@ -65,6 +70,7 @@ impl BufferPool {
     pub fn take(&self, ctx: &SimCtx) -> Vec<u8> {
         {
             let mut st = self.inner.lock();
+            st.outstanding += 1;
             if let Some(buf) = st.free.pop() {
                 return buf;
             }
@@ -83,7 +89,9 @@ impl BufferPool {
     /// Return a buffer to the pool (cleared, capacity kept).
     pub fn put(&self, mut buf: Vec<u8>) {
         buf.clear();
-        self.inner.lock().free.push(buf);
+        let mut st = self.inner.lock();
+        st.outstanding = st.outstanding.saturating_sub(1);
+        st.free.push(buf);
     }
 
     /// Buffers currently available (free list plus unmaterialized stock).
@@ -96,6 +104,12 @@ impl BufferPool {
     /// fly — should be zero in a well-configured run.
     pub fn fly_registrations(&self) -> u64 {
         self.inner.lock().fly_registrations
+    }
+
+    /// Buffers currently taken and not returned (leaked if nonzero once
+    /// the operator that owns the pool has finished).
+    pub fn outstanding(&self) -> usize {
+        self.inner.lock().outstanding
     }
 }
 
@@ -112,6 +126,9 @@ pub struct SendWindow {
     /// Total virtual seconds spent blocked in `admit` — the "thread had to
     /// wait for the network" time the model's Eq. 4 predicts.
     stall_seconds: f64,
+    /// When set, buffer-discipline violations (re-post without admit,
+    /// drop with sends still in flight) are reported here.
+    validator: Option<Arc<Validator>>,
 }
 
 impl SendWindow {
@@ -122,7 +139,17 @@ impl SendWindow {
             slots: vec![None; depth],
             next: 0,
             stall_seconds: 0.0,
+            validator: None,
         }
+    }
+
+    /// Like [`SendWindow::new`], but wired to the fabric's verbs-contract
+    /// validator: re-posting a slot without `admit` and dropping the
+    /// window with sends still in flight become reported [`Violation`]s.
+    pub fn validated(depth: usize, validator: Arc<Validator>) -> SendWindow {
+        let mut w = SendWindow::new(depth);
+        w.validator = Some(validator);
+        w
     }
 
     /// Block until a slot is free (i.e. the send posted `depth` calls ago
@@ -138,9 +165,18 @@ impl SendWindow {
     }
 
     /// Record a posted send's completion event in the slot reserved by the
-    /// preceding [`SendWindow::admit`].
+    /// preceding [`SendWindow::admit`]. Recording into an occupied slot —
+    /// re-posting a buffer whose previous work request was never waited
+    /// for — breaks the §4.2.1 double-buffering discipline and is
+    /// reported as a [`Violation::RepostBeforeCompletion`].
     pub fn record(&mut self, ev: Arc<SimEvent>) {
-        debug_assert!(self.slots[self.next].is_none(), "record without admit");
+        if let Some(prev) = self.slots[self.next].take() {
+            let in_flight = !prev.is_set();
+            match &self.validator {
+                Some(v) => v.report(Violation::RepostBeforeCompletion { in_flight }),
+                None => debug_assert!(false, "record without admit"),
+            }
+        }
         self.slots[self.next] = Some(ev);
         self.next = (self.next + 1) % self.slots.len();
     }
@@ -162,6 +198,24 @@ impl SendWindow {
     /// Virtual seconds this window spent waiting on the network.
     pub fn stall_seconds(&self) -> f64 {
         self.stall_seconds
+    }
+}
+
+impl Drop for SendWindow {
+    fn drop(&mut self) {
+        let Some(v) = &self.validator else { return };
+        if std::thread::panicking() {
+            return;
+        }
+        let outstanding = self
+            .slots
+            .iter()
+            .flatten()
+            .filter(|ev| !ev.is_set())
+            .count();
+        if outstanding > 0 {
+            v.report(Violation::WindowNotDrained { outstanding });
+        }
     }
 }
 

@@ -1,0 +1,540 @@
+//! The runtime verbs-contract validator.
+//!
+//! RDMA dataplanes fail in stereotyped ways — Rödiger et al. and the
+//! Storm system both report API-contract violations as the dominant bug
+//! class: posting against an unregistered region, writing past a region's
+//! bounds, reusing a buffer whose work request has not completed, starving
+//! the shared receive queue, leaking pooled buffers. The simulator models
+//! the *cost* of the verbs contract (§3.2.1 registration, §4.2.1
+//! double-buffering, §4.2.2 receive reposting); this module machine-checks
+//! the contract itself.
+//!
+//! Every [`crate::Fabric`] owns one [`Validator`]. The memory-region
+//! table, the NICs, [`crate::BufferPool`] and [`crate::SendWindow`] report
+//! lifecycle transitions to it; a detected violation either panics
+//! immediately ([`ValidateMode::Panic`], the default under
+//! `debug_assertions`, i.e. in every test build) or is counted, recorded
+//! and logged ([`ValidateMode::Record`], the release default).
+//!
+//! Compiled under the `verify` feature (on by default). Without the
+//! feature the lifecycle bookkeeping is compiled out entirely; the hard
+//! memory-safety checks (out-of-bounds one-sided access, unregistered MR
+//! lookup) remain and fault unconditionally, exactly like the protection
+//! fault real hardware would raise.
+
+use std::fmt;
+
+use crate::config::HostId;
+
+/// What the validator does when a contract violation is detected.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ValidateMode {
+    /// Panic at the first violation (default when `debug_assertions` are
+    /// on — tests and debug builds).
+    Panic,
+    /// Record, count and log violations without interrupting the run
+    /// (default in release builds).
+    Record,
+}
+
+/// A detected violation of the RDMA verbs contract, with enough context
+/// to locate the offending post.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// A one-sided work request named an MR index that was never
+    /// registered on the target host (§3.2.1: regions must be registered
+    /// before the HCA may touch them).
+    UseBeforeRegister {
+        /// Target host.
+        host: HostId,
+        /// The unregistered MR index.
+        index: usize,
+    },
+    /// An RDMA WRITE landed (or would land) outside the region bounds —
+    /// real hardware raises a protection fault and kills the QP.
+    OutOfBoundsWrite {
+        /// Region owner.
+        host: HostId,
+        /// Region index.
+        index: usize,
+        /// Write offset into the region.
+        offset: usize,
+        /// Write length in bytes.
+        len: usize,
+        /// Current region length in bytes.
+        region_len: usize,
+    },
+    /// An RDMA READ reached outside the region bounds (including reads
+    /// from a region whose memory the owner already reclaimed).
+    OutOfBoundsRead {
+        /// Region owner.
+        host: HostId,
+        /// Region index.
+        index: usize,
+        /// Read offset into the region.
+        offset: usize,
+        /// Read length in bytes.
+        len: usize,
+        /// Current region length in bytes.
+        region_len: usize,
+    },
+    /// A [`crate::RemoteMr`] handle's length disagrees with the length
+    /// registered for that region — a stale or forged `(addr, rkey)` pair.
+    StaleRemoteHandle {
+        /// Region owner.
+        host: HostId,
+        /// Region index.
+        index: usize,
+        /// Length claimed by the handle.
+        claimed: usize,
+        /// Length actually registered.
+        registered: usize,
+    },
+    /// A send buffer was posted into a [`crate::SendWindow`] slot without
+    /// a preceding `admit` — i.e. re-posted while the previous work
+    /// request on that slot may still be in flight, breaking the §4.2.1
+    /// double-buffering discipline. `in_flight` distinguishes the
+    /// dangerous case (previous WR genuinely incomplete) from a mere
+    /// protocol misuse (it had completed, but nobody checked).
+    RepostBeforeCompletion {
+        /// Whether the displaced work request was still in flight.
+        in_flight: bool,
+    },
+    /// Arriving traffic blocked on an empty shared receive queue while
+    /// the application held every slot without reposting (§4.2.2: receive
+    /// buffers must be reposted once copied out) — the analogue of an RNR
+    /// NAK storm.
+    SrqExhausted {
+        /// Starved host.
+        host: HostId,
+        /// Slots held by the application (consumed, not reposted).
+        held: usize,
+        /// Total SRQ slots.
+        slots: usize,
+    },
+    /// Completions were still sitting in a receive queue at teardown —
+    /// the application never drained them.
+    CompletionsNotDrained {
+        /// Host whose completion queue was abandoned.
+        host: HostId,
+        /// Completions delivered but never consumed.
+        pending: u64,
+    },
+    /// Receive buffers consumed from the SRQ were never reposted by
+    /// teardown.
+    RecvNotReposted {
+        /// Host whose SRQ slots leaked.
+        host: HostId,
+        /// Consumed-but-not-reposted slot count.
+        held: u64,
+    },
+    /// Pre-registered pool buffers were still outstanding at teardown —
+    /// a buffer leak that silently shrinks the pool for the next operator.
+    PoolLeak {
+        /// Buffers taken but never returned.
+        outstanding: usize,
+    },
+    /// A [`crate::SendWindow`] was dropped while work requests it tracked
+    /// were still in flight — completions that will never be drained.
+    WindowNotDrained {
+        /// In-flight work requests at drop time.
+        outstanding: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UseBeforeRegister { host, index } => write!(
+                f,
+                "one-sided access to unregistered MR {index} on host {}",
+                host.0
+            ),
+            Violation::OutOfBoundsWrite {
+                host,
+                index,
+                offset,
+                len,
+                region_len,
+            } => write!(
+                f,
+                "RDMA write out of bounds: [{offset}, {}) into region of {region_len} bytes \
+                 (host {}, mr {index})",
+                offset.saturating_add(*len),
+                host.0
+            ),
+            Violation::OutOfBoundsRead {
+                host,
+                index,
+                offset,
+                len,
+                region_len,
+            } => write!(
+                f,
+                "RDMA read out of bounds: [{offset}, {}) from region of {region_len} bytes \
+                 (host {}, mr {index})",
+                offset.saturating_add(*len),
+                host.0
+            ),
+            Violation::StaleRemoteHandle {
+                host,
+                index,
+                claimed,
+                registered,
+            } => write!(
+                f,
+                "stale remote handle for (host {}, mr {index}): claims {claimed} bytes, \
+                 {registered} registered",
+                host.0
+            ),
+            Violation::RepostBeforeCompletion { in_flight } => write!(
+                f,
+                "buffer re-posted without admit; previous work request {}",
+                if *in_flight {
+                    "still in flight"
+                } else {
+                    "had completed (unchecked)"
+                }
+            ),
+            Violation::SrqExhausted { host, held, slots } => write!(
+                f,
+                "SRQ exhausted on host {}: application holds {held} of {slots} receive slots \
+                 without reposting",
+                host.0
+            ),
+            Violation::CompletionsNotDrained { host, pending } => write!(
+                f,
+                "{pending} completion(s) never drained from host {}'s receive queue",
+                host.0
+            ),
+            Violation::RecvNotReposted { host, held } => write!(
+                f,
+                "{held} receive buffer(s) consumed on host {} but never reposted",
+                host.0
+            ),
+            Violation::PoolLeak { outstanding } => {
+                write!(
+                    f,
+                    "pool leak: {outstanding} buffer(s) taken but never returned"
+                )
+            }
+            Violation::WindowNotDrained { outstanding } => write!(
+                f,
+                "send window dropped with {outstanding} work request(s) still in flight"
+            ),
+        }
+    }
+}
+
+#[cfg(feature = "verify")]
+pub use imp::Validator;
+#[cfg(not(feature = "verify"))]
+pub use stub::Validator;
+
+#[cfg(feature = "verify")]
+mod imp {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Weak};
+
+    use parking_lot::Mutex;
+
+    use super::{ValidateMode, Violation};
+    use crate::config::HostId;
+    use crate::pool::BufferPool;
+    use crate::RemoteMr;
+
+    /// Per-host receive-path flow counters.
+    #[derive(Default)]
+    struct HostFlow {
+        /// Two-sided completions placed in the receive queue.
+        delivered: u64,
+        /// Completions consumed by the application.
+        consumed: u64,
+        /// Receive-buffer slots reposted to the SRQ.
+        reposted: u64,
+        /// SRQ exhaustion already reported for this host.
+        srq_reported: bool,
+    }
+
+    /// The verbs-contract state machine: tracks every memory region,
+    /// receive slot, pooled buffer and windowed work request of one
+    /// fabric through its lifecycle and reports [`Violation`]s.
+    pub struct Validator {
+        mode: Mutex<ValidateMode>,
+        /// Registered regions: `(host, index) → registered length`.
+        mrs: Mutex<HashMap<(usize, usize), usize>>,
+        flows: Mutex<HashMap<usize, HostFlow>>,
+        pools: Mutex<Vec<Weak<BufferPool>>>,
+        violations: Mutex<Vec<Violation>>,
+        count: AtomicU64,
+    }
+
+    impl Validator {
+        /// A fresh validator. Panics on violations in debug/test builds,
+        /// records them in release builds.
+        pub fn new() -> Arc<Validator> {
+            Arc::new(Validator {
+                mode: Mutex::new(if cfg!(debug_assertions) {
+                    ValidateMode::Panic
+                } else {
+                    ValidateMode::Record
+                }),
+                mrs: Mutex::new(HashMap::new()),
+                flows: Mutex::new(HashMap::new()),
+                pools: Mutex::new(Vec::new()),
+                violations: Mutex::new(Vec::new()),
+                count: AtomicU64::new(0),
+            })
+        }
+
+        /// Override the violation response (tests use
+        /// [`ValidateMode::Record`] to assert on negative paths).
+        pub fn set_mode(&self, mode: ValidateMode) {
+            *self.mode.lock() = mode;
+        }
+
+        /// The current violation response.
+        pub fn mode(&self) -> ValidateMode {
+            *self.mode.lock()
+        }
+
+        /// Report a violation: record + count it, then panic or log
+        /// according to the mode.
+        pub fn report(&self, v: Violation) {
+            self.count.fetch_add(1, Ordering::SeqCst);
+            self.violations.lock().push(v.clone());
+            match self.mode() {
+                ValidateMode::Panic => panic!("verbs contract violation: {v}"),
+                ValidateMode::Record => eprintln!("rsj-verify: {v}"),
+            }
+        }
+
+        /// All violations recorded so far.
+        pub fn violations(&self) -> Vec<Violation> {
+            self.violations.lock().clone()
+        }
+
+        /// Number of violations detected so far.
+        pub fn violation_count(&self) -> u64 {
+            self.count.load(Ordering::SeqCst)
+        }
+
+        /// A region was registered (called by [`crate::MrTable`]).
+        pub(crate) fn mr_registered(&self, host: HostId, index: usize, len: usize) {
+            self.mrs.lock().insert((host.0, index), len);
+        }
+
+        /// Validate a one-sided WRITE against the registered region table
+        /// before it is posted. Returns `false` (Record mode) if the post
+        /// must be dropped.
+        pub(crate) fn check_write(&self, remote: &RemoteMr, offset: usize, len: usize) -> bool {
+            self.check_one_sided(remote, offset, len, false)
+        }
+
+        /// Validate a one-sided READ before it is posted.
+        pub(crate) fn check_read(&self, remote: &RemoteMr, offset: usize, len: usize) -> bool {
+            self.check_one_sided(remote, offset, len, true)
+        }
+
+        fn check_one_sided(
+            &self,
+            remote: &RemoteMr,
+            offset: usize,
+            len: usize,
+            is_read: bool,
+        ) -> bool {
+            let registered = self.mrs.lock().get(&(remote.host.0, remote.index)).copied();
+            let Some(region_len) = registered else {
+                self.report(Violation::UseBeforeRegister {
+                    host: remote.host,
+                    index: remote.index,
+                });
+                return false;
+            };
+            if remote.len != region_len {
+                self.report(Violation::StaleRemoteHandle {
+                    host: remote.host,
+                    index: remote.index,
+                    claimed: remote.len,
+                    registered: region_len,
+                });
+                return false;
+            }
+            let in_bounds = offset.checked_add(len).is_some_and(|end| end <= region_len);
+            if !in_bounds {
+                let v = if is_read {
+                    Violation::OutOfBoundsRead {
+                        host: remote.host,
+                        index: remote.index,
+                        offset,
+                        len,
+                        region_len,
+                    }
+                } else {
+                    Violation::OutOfBoundsWrite {
+                        host: remote.host,
+                        index: remote.index,
+                        offset,
+                        len,
+                        region_len,
+                    }
+                };
+                self.report(v);
+                return false;
+            }
+            true
+        }
+
+        /// A two-sided completion entered `host`'s receive queue.
+        pub(crate) fn on_rx_delivered(&self, host: HostId) {
+            self.flows.lock().entry(host.0).or_default().delivered += 1;
+        }
+
+        /// The application consumed a completion on `host`.
+        pub(crate) fn on_rx_consumed(&self, host: HostId) {
+            self.flows.lock().entry(host.0).or_default().consumed += 1;
+        }
+
+        /// The application reposted a receive buffer on `host`.
+        pub(crate) fn on_recv_reposted(&self, host: HostId) {
+            self.flows.lock().entry(host.0).or_default().reposted += 1;
+        }
+
+        /// The ingress engine found `host`'s SRQ empty. A violation only
+        /// if the *application* holds every slot (consumed without
+        /// reposting); a full-but-undrained CQ is ordinary backpressure.
+        pub(crate) fn srq_blocked(&self, host: HostId, slots: usize) {
+            let held = {
+                let mut flows = self.flows.lock();
+                let f = flows.entry(host.0).or_default();
+                let held = f.consumed.saturating_sub(f.reposted) as usize;
+                if held < slots || f.srq_reported {
+                    return;
+                }
+                f.srq_reported = true;
+                held
+            };
+            self.report(Violation::SrqExhausted { host, held, slots });
+        }
+
+        /// Track a buffer pool for the teardown leak check.
+        pub fn register_pool(&self, pool: &Arc<BufferPool>) {
+            self.pools.lock().push(Arc::downgrade(pool));
+        }
+
+        /// Teardown audit, called after the simulation has quiesced:
+        /// undrained completion queues, unreposted receive slots, and
+        /// leaked pool buffers all become violations.
+        pub fn check_teardown(&self) {
+            let flow_violations: Vec<Violation> = {
+                let flows = self.flows.lock();
+                let mut vs = Vec::new();
+                for (&host, f) in flows.iter() {
+                    let pending = f.delivered.saturating_sub(f.consumed);
+                    if pending > 0 {
+                        vs.push(Violation::CompletionsNotDrained {
+                            host: HostId(host),
+                            pending,
+                        });
+                    }
+                    let held = f.consumed.saturating_sub(f.reposted);
+                    if held > 0 {
+                        vs.push(Violation::RecvNotReposted {
+                            host: HostId(host),
+                            held,
+                        });
+                    }
+                }
+                vs
+            };
+            for v in flow_violations {
+                self.report(v);
+            }
+            let pools: Vec<Arc<BufferPool>> =
+                self.pools.lock().iter().filter_map(Weak::upgrade).collect();
+            for pool in pools {
+                let outstanding = pool.outstanding();
+                if outstanding > 0 {
+                    self.report(Violation::PoolLeak { outstanding });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "verify"))]
+mod stub {
+    use std::sync::Arc;
+
+    use super::{ValidateMode, Violation};
+    use crate::config::HostId;
+    use crate::pool::BufferPool;
+    use crate::RemoteMr;
+
+    /// Verification is compiled out (`verify` feature disabled): no
+    /// lifecycle bookkeeping. The hard memory-safety checks remain and
+    /// fault unconditionally, like the protection fault real hardware
+    /// raises.
+    pub struct Validator;
+
+    impl Validator {
+        /// A no-op validator.
+        pub fn new() -> Arc<Validator> {
+            Arc::new(Validator)
+        }
+
+        /// No-op without the `verify` feature.
+        pub fn set_mode(&self, _mode: ValidateMode) {}
+
+        /// Always [`ValidateMode::Panic`]: detectable violations fault.
+        pub fn mode(&self) -> ValidateMode {
+            ValidateMode::Panic
+        }
+
+        /// Hard violations still fault without the `verify` feature.
+        pub fn report(&self, v: Violation) {
+            panic!("verbs contract violation: {v}");
+        }
+
+        /// Always empty without the `verify` feature.
+        pub fn violations(&self) -> Vec<Violation> {
+            Vec::new()
+        }
+
+        /// Always zero without the `verify` feature.
+        pub fn violation_count(&self) -> u64 {
+            0
+        }
+
+        pub(crate) fn mr_registered(&self, _host: HostId, _index: usize, _len: usize) {}
+
+        pub(crate) fn check_write(&self, remote: &RemoteMr, offset: usize, len: usize) -> bool {
+            assert!(
+                offset.checked_add(len).is_some_and(|e| e <= remote.len),
+                "one-sided write out of bounds of remote region"
+            );
+            true
+        }
+
+        pub(crate) fn check_read(&self, remote: &RemoteMr, offset: usize, len: usize) -> bool {
+            assert!(
+                offset.checked_add(len).is_some_and(|e| e <= remote.len),
+                "one-sided read out of bounds of remote region"
+            );
+            true
+        }
+
+        pub(crate) fn on_rx_delivered(&self, _host: HostId) {}
+        pub(crate) fn on_rx_consumed(&self, _host: HostId) {}
+        pub(crate) fn on_recv_reposted(&self, _host: HostId) {}
+        pub(crate) fn srq_blocked(&self, _host: HostId, _slots: usize) {}
+
+        /// No-op without the `verify` feature.
+        pub fn register_pool(&self, _pool: &Arc<BufferPool>) {}
+
+        /// No-op without the `verify` feature.
+        pub fn check_teardown(&self) {}
+    }
+}

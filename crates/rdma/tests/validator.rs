@@ -1,0 +1,354 @@
+//! Negative-path tests of the verbs-contract validator: each stereotyped
+//! RDMA misuse must be detected, and legal schedules must never trip it.
+//!
+//! Detection tests run the validator in [`ValidateMode::Record`] so the
+//! violation can be asserted on after the fact; one test keeps the default
+//! panic response to pin down the failure message a test author would see.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use rsj_rdma::{
+    BufferPool, Fabric, FabricConfig, HostId, NicCosts, RemoteMr, SendWindow, ValidateMode,
+    Validator, Violation,
+};
+use rsj_sim::{SimDuration, SimEvent, Simulation};
+
+/// A two-host fabric in `Record` mode, ready for misuse.
+#[cfg(feature = "verify")]
+fn recording_fabric(cfg: FabricConfig) -> (Simulation, Arc<Fabric>) {
+    let sim = Simulation::new();
+    let fabric = Fabric::new(cfg, NicCosts::default(), 2);
+    fabric.validator().set_mode(ValidateMode::Record);
+    fabric.launch(&sim);
+    (sim, fabric)
+}
+
+#[cfg(feature = "verify")]
+#[test]
+fn oob_write_is_detected_and_dropped() {
+    let (sim, fabric) = recording_fabric(FabricConfig::fdr());
+    {
+        let fabric = Arc::clone(&fabric);
+        sim.spawn("offender", move |ctx| {
+            let remote = fabric.nic(HostId(1)).mrs.register(ctx, 64).remote_handle();
+            // Straddles the end of the 64-byte region.
+            let ev = fabric
+                .nic(HostId(0))
+                .post_write(ctx, remote, 60, vec![0xab; 16]);
+            // Record mode drops the faulting write but must not hang the
+            // poster: the completion comes back pre-fired.
+            assert!(ev.is_set(), "dropped write must complete immediately");
+            fabric.shutdown(ctx);
+        });
+    }
+    sim.run();
+    let vs = fabric.validator().violations();
+    assert!(
+        vs.iter().any(|v| matches!(
+            v,
+            Violation::OutOfBoundsWrite {
+                offset: 60,
+                len: 16,
+                region_len: 64,
+                ..
+            }
+        )),
+        "expected an out-of-bounds write violation, got {vs:?}"
+    );
+}
+
+#[test]
+#[should_panic(expected = "out of bounds")]
+fn oob_write_panics_by_default() {
+    // Default mode in test builds is Panic: the misuse faults at the post,
+    // like the protection fault real hardware would raise.
+    let sim = Simulation::new();
+    let fabric = Fabric::new(FabricConfig::fdr(), NicCosts::default(), 2);
+    fabric.launch(&sim);
+    {
+        let fabric = Arc::clone(&fabric);
+        sim.spawn("offender", move |ctx| {
+            let remote = fabric.nic(HostId(1)).mrs.register(ctx, 64).remote_handle();
+            fabric
+                .nic(HostId(0))
+                .post_write(ctx, remote, 64, vec![0; 1]);
+        });
+    }
+    sim.run();
+}
+
+#[cfg(feature = "verify")]
+#[test]
+fn oob_read_is_detected_and_zero_filled() {
+    let (sim, fabric) = recording_fabric(FabricConfig::fdr());
+    {
+        let fabric = Arc::clone(&fabric);
+        sim.spawn("offender", move |ctx| {
+            let remote = fabric.nic(HostId(1)).mrs.register(ctx, 32).remote_handle();
+            let data = fabric
+                .nic(HostId(0))
+                .post_read(ctx, remote, 16, 32)
+                .wait(ctx);
+            // The faulting read is dropped; the handle yields zeroes so
+            // the initiator cannot deadlock on a completion that will
+            // never arrive.
+            assert_eq!(data, vec![0u8; 32]);
+            fabric.shutdown(ctx);
+        });
+    }
+    sim.run();
+    let vs = fabric.validator().violations();
+    assert!(
+        vs.iter()
+            .any(|v| matches!(v, Violation::OutOfBoundsRead { region_len: 32, .. })),
+        "expected an out-of-bounds read violation, got {vs:?}"
+    );
+}
+
+#[cfg(feature = "verify")]
+#[test]
+fn use_before_register_is_detected() {
+    let (sim, fabric) = recording_fabric(FabricConfig::fdr());
+    {
+        let fabric = Arc::clone(&fabric);
+        sim.spawn("offender", move |ctx| {
+            // A forged (addr, rkey) pair: host 1 never registered MR 7.
+            let forged = RemoteMr {
+                host: HostId(1),
+                index: 7,
+                len: 64,
+            };
+            fabric.nic(HostId(0)).post_write(ctx, forged, 0, vec![0; 8]);
+            fabric.shutdown(ctx);
+        });
+    }
+    sim.run();
+    let vs = fabric.validator().violations();
+    assert!(
+        vs.iter().any(|v| matches!(
+            v,
+            Violation::UseBeforeRegister {
+                host: HostId(1),
+                index: 7
+            }
+        )),
+        "expected a use-before-register violation, got {vs:?}"
+    );
+}
+
+#[cfg(feature = "verify")]
+#[test]
+fn stale_remote_handle_is_detected() {
+    let (sim, fabric) = recording_fabric(FabricConfig::fdr());
+    {
+        let fabric = Arc::clone(&fabric);
+        sim.spawn("offender", move |ctx| {
+            let real = fabric.nic(HostId(1)).mrs.register(ctx, 64).remote_handle();
+            // Same region, but the handle claims twice the length — as if
+            // exchanged before a re-registration.
+            let stale = RemoteMr { len: 128, ..real };
+            fabric.nic(HostId(0)).post_write(ctx, stale, 0, vec![0; 8]);
+            fabric.shutdown(ctx);
+        });
+    }
+    sim.run();
+    let vs = fabric.validator().violations();
+    assert!(
+        vs.iter().any(|v| matches!(
+            v,
+            Violation::StaleRemoteHandle {
+                claimed: 128,
+                registered: 64,
+                ..
+            }
+        )),
+        "expected a stale-handle violation, got {vs:?}"
+    );
+}
+
+#[cfg(feature = "verify")]
+#[test]
+fn repost_before_completion_is_detected() {
+    // A SendWindow misused without `admit`: the second `record` displaces
+    // a work request that was never waited for.
+    let validator = Validator::new();
+    validator.set_mode(ValidateMode::Record);
+    let mut window = SendWindow::validated(1, Arc::clone(&validator));
+    window.record(SimEvent::new());
+    window.record(SimEvent::new());
+    let vs = validator.violations();
+    assert!(
+        vs.iter()
+            .any(|v| matches!(v, Violation::RepostBeforeCompletion { in_flight: true })),
+        "expected a repost-before-completion violation, got {vs:?}"
+    );
+    // Dropping the window with the second send still in flight is a
+    // second, distinct violation.
+    drop(window);
+    let vs = validator.violations();
+    assert!(
+        vs.iter()
+            .any(|v| matches!(v, Violation::WindowNotDrained { outstanding: 1 })),
+        "expected a window-not-drained violation, got {vs:?}"
+    );
+}
+
+#[cfg(feature = "verify")]
+#[test]
+fn pool_leak_is_detected_at_teardown() {
+    let validator = Validator::new();
+    validator.set_mode(ValidateMode::Record);
+    let pool = BufferPool::new(4, 1024, NicCosts::default());
+    validator.register_pool(&pool);
+    let sim = Simulation::new();
+    {
+        let pool = Arc::clone(&pool);
+        sim.spawn("leaker", move |ctx| {
+            let kept = pool.take(ctx);
+            let returned = pool.take(ctx);
+            pool.put(returned);
+            // `kept` goes out of scope without `pool.put` — the leak.
+            drop(kept);
+        });
+    }
+    sim.run();
+    validator.check_teardown();
+    let vs = validator.violations();
+    assert!(
+        vs.iter()
+            .any(|v| matches!(v, Violation::PoolLeak { outstanding: 1 })),
+        "expected a pool-leak violation, got {vs:?}"
+    );
+}
+
+#[cfg(feature = "verify")]
+#[test]
+fn srq_exhaustion_without_repost_is_detected() {
+    // A receiver that consumes in batches but sits on the receive buffers
+    // before reposting: while it holds all `srq_slots` slots, arriving
+    // traffic finds the SRQ empty and the wire stalls — the RNR-NAK
+    // analogue the §4.2.2 reposting discipline exists to prevent.
+    let mut cfg = FabricConfig::fdr();
+    cfg.srq_slots = 4;
+    let (sim, fabric) = recording_fabric(cfg);
+    const COUNT: usize = 64;
+    {
+        let fabric = Arc::clone(&fabric);
+        sim.spawn("sender", move |ctx| {
+            let nic = fabric.nic(HostId(0));
+            let evs: Vec<_> = (0..COUNT)
+                .map(|i| nic.post_send(ctx, HostId(1), i as u32, vec![0u8; 256]))
+                .collect();
+            for ev in evs {
+                ev.wait(ctx);
+            }
+            fabric.shutdown(ctx);
+        });
+    }
+    {
+        let fabric = Arc::clone(&fabric);
+        sim.spawn("hoarder", move |ctx| {
+            let nic = fabric.nic(HostId(1));
+            let mut consumed_without_repost = 0usize;
+            let mut got = 0usize;
+            while let Some(_c) = nic.recv(ctx) {
+                got += 1;
+                consumed_without_repost += 1;
+                if consumed_without_repost == 4 {
+                    // Hold every slot for a while: ingress attempts during
+                    // this window find the SRQ empty with nothing pending
+                    // from the CQ side.
+                    ctx.advance(SimDuration::from_millis(1));
+                    for _ in 0..4 {
+                        nic.repost_recv(ctx);
+                    }
+                    consumed_without_repost = 0;
+                }
+            }
+            for _ in 0..consumed_without_repost {
+                nic.repost_recv(ctx);
+            }
+            assert_eq!(got, COUNT);
+        });
+    }
+    sim.run();
+    let vs = fabric.validator().violations();
+    assert!(
+        vs.iter()
+            .any(|v| matches!(v, Violation::SrqExhausted { slots: 4, .. })),
+        "expected an SRQ-exhaustion violation, got {vs:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Legal schedules never trip the validator: an arbitrary two-sided
+    /// exchange plus one-sided writes, all following the contract
+    /// (register first, stay in bounds, repost every receive, drain the
+    /// window), runs violation-free — in Panic mode, so any false
+    /// positive aborts the test, and the teardown audit passes too.
+    #[test]
+    fn prop_legal_schedules_never_trip_validator(
+        msgs in 1usize..24,
+        msg_size in 64usize..2048,
+        writes in 0usize..12,
+        region_pow in 8u32..14,
+    ) {
+        let region = 1usize << region_pow;
+        let sim = Simulation::new();
+        let fabric = Fabric::new(FabricConfig::qdr(), NicCosts::default(), 2);
+        fabric.launch(&sim);
+        let handle = Arc::new(Mutex::new(None::<RemoteMr>));
+        {
+            // The target registers its one-sided landing region up front.
+            let fabric = Arc::clone(&fabric);
+            let handle = Arc::clone(&handle);
+            sim.spawn("target", move |ctx| {
+                let nic = fabric.nic(HostId(1));
+                *handle.lock() = Some(nic.mrs.register(ctx, region).remote_handle());
+                let mut got = 0;
+                while let Some(_c) = nic.recv(ctx) {
+                    got += 1;
+                    nic.repost_recv(ctx);
+                }
+                assert_eq!(got, msgs);
+            });
+        }
+        {
+            let fabric = Arc::clone(&fabric);
+            let handle = Arc::clone(&handle);
+            sim.spawn("initiator", move |ctx| {
+                let nic = fabric.nic(HostId(0));
+                let remote = loop {
+                    if let Some(r) = *handle.lock() {
+                        break r;
+                    }
+                    ctx.advance(SimDuration::from_micros(10));
+                };
+                let mut window = SendWindow::validated(2, Arc::clone(nic.validator()));
+                for i in 0..msgs {
+                    window.admit(ctx);
+                    let ev = nic.post_send(ctx, HostId(1), i as u32, vec![0u8; msg_size]);
+                    window.record(ev);
+                }
+                let chunk = (region / writes.max(1)).max(1).min(msg_size);
+                for w in 0..writes {
+                    let offset = (w * chunk) % (region - chunk + 1);
+                    nic.post_write(ctx, remote, offset, vec![w as u8; chunk])
+                        .wait(ctx);
+                }
+                window.drain(ctx);
+                fabric.shutdown(ctx);
+            });
+        }
+        sim.run();
+        prop_assert_eq!(fabric.validator().violation_count(), 0);
+        // The teardown audit (undrained CQs, unreposted receives, leaked
+        // pool buffers) must also pass cleanly.
+        fabric.validator().check_teardown();
+        prop_assert_eq!(fabric.validator().violation_count(), 0);
+    }
+}

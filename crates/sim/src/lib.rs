@@ -30,8 +30,6 @@
 //! assert_eq!(sim.run().as_nanos(), 9_000_000);
 //! ```
 
-#![warn(missing_docs)]
-
 mod kernel;
 mod sync;
 mod time;

@@ -11,8 +11,6 @@
 //! Every generator also emits an [`ExpectedResult`] oracle so the joins'
 //! outputs are *verified*, not assumed.
 
-#![warn(missing_docs)]
-
 mod oracle;
 mod relation;
 mod tuple;

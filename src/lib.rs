@@ -36,8 +36,6 @@
 //! println!("total {} | phases {:?}", out.phases.total(), out.phases.rows());
 //! ```
 
-#![warn(missing_docs)]
-
 pub use rsj_cluster as cluster;
 pub use rsj_core as core;
 pub use rsj_joins as joins;
