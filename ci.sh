@@ -15,3 +15,9 @@ cargo clippy --workspace -- -D warnings
 cargo run -q -p rsj-lint
 # The validator must also compile out cleanly (hard safety checks stay).
 cargo check -q -p rsj-rdma --no-default-features
+# Wall-clock perf gate: a short harness run must succeed end to end (it
+# measures the validator-overhead bound, warning on a breach; full runs
+# enforce it), and the committed BENCH_PERF.json trajectory must exist
+# and parse.
+cargo run --release -q -p rsj-bench --bin perf -- --short --label ci --out target/ci_bench_perf.json
+cargo run --release -q -p rsj-bench --bin perf -- --check

@@ -18,9 +18,17 @@ pub struct Meter {
 }
 
 impl Meter {
-    /// Default settlement quantum: 20 µs of virtual time. Fine enough that
-    /// network interleaving decisions happen at realistic granularity, and
-    /// coarse enough to keep scheduler traffic low.
+    /// Default settlement quantum: 20 µs of virtual time.
+    ///
+    /// Each settlement is a real kernel dispatch — usually a cross-worker
+    /// OS context switch — so the quantum sets the sweep's wall-clock
+    /// floor, and a coarser value is tempting. It is not safe: between
+    /// settlements a worker's clock lags by up to one quantum, and that
+    /// lag is observable wherever workers meet shared state mid-charge
+    /// (buffer-pool draws, TCP window acquisition in the partitioning
+    /// pass). Raising the quantum to 200 µs measurably shifted the
+    /// network-pass results (~1 %), so 20 µs is part of the committed
+    /// determinism contract, not a tunable.
     pub const DEFAULT_QUANTUM_NS: f64 = 20_000.0;
 
     /// A meter with the default quantum.

@@ -123,6 +123,11 @@ pub struct DistJoinConfig {
     pub parallel_local_pass: bool,
     /// Result materialization (§4.3 / §7).
     pub materialize: MaterializeMode,
+    /// Override the fabric's verbs-contract validator response for this
+    /// run (`None` keeps the build-profile default: panic in debug,
+    /// record in release). The perf harness prices the release-mode
+    /// checks by running the same join with `Record` and `Off`.
+    pub validate_mode: Option<rsj_rdma::ValidateMode>,
 }
 
 impl DistJoinConfig {
@@ -147,6 +152,7 @@ impl DistJoinConfig {
             work_sharing_min_bytes: 16 * 1024,
             parallel_local_pass: false,
             materialize: MaterializeMode::CountOnly,
+            validate_mode: None,
         }
     }
 

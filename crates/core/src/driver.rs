@@ -83,6 +83,9 @@ pub fn run_distributed_join<T: Tuple>(
     let cores = cfg.cluster.cores_per_machine;
 
     let rt = Runtime::new(m, cores, cfg.fabric_config(), cfg.cluster.cost.nic);
+    if let Some(mode) = cfg.validate_mode {
+        rt.fabric.validator().set_mode(mode);
+    }
     let shared = Arc::new(ClusterShared::new(cfg, Arc::clone(&rt.fabric), &r, &s));
 
     let sh = Arc::clone(&shared);

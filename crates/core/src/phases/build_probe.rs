@@ -10,7 +10,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use rsj_cluster::{Meter, WireTag};
-use rsj_joins::ChainedTable;
+use rsj_joins::BucketTable;
 use rsj_rdma::{HostId, Nic, SendWindow};
 use rsj_sim::SimCtx;
 use rsj_workload::{JoinResult, Tuple};
@@ -191,9 +191,9 @@ pub(crate) fn phase_build_probe<T: Tuple>(
                 let est_footprint = r_part.len() * (T::SIZE + 8);
                 let n_tables = est_footprint.div_ceil(2 * cfg.cache_budget_bytes).max(1);
                 let chunk = r_part.len().div_ceil(n_tables).max(1);
-                let tables: Vec<ChainedTable<T>> = r_part
+                let tables: Vec<BucketTable<T>> = r_part
                     .chunks(chunk.max(1))
-                    .map(ChainedTable::build)
+                    .map(|c| BucketTable::build(c))
                     .collect();
                 meter.charge_bytes(ctx, r_part.len() * T::SIZE, cost.build_rate);
                 let tables = Arc::new(tables);
@@ -346,7 +346,7 @@ fn probe_chunk<T: Tuple>(
     ctx: &SimCtx,
     meter: &mut Meter,
     cost: &rsj_cluster::CostModel,
-    tables: &[ChainedTable<T>],
+    tables: &[BucketTable<T>],
     s_part: &[T],
     local: &mut JoinResult,
     emitter: &mut ResultEmitter,

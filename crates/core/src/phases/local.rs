@@ -9,7 +9,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use rsj_cluster::Meter;
-use rsj_joins::{partition, Partitioned};
+use rsj_joins::{Partitioned, Partitioner};
 use rsj_sim::SimCtx;
 use rsj_workload::{decode_into, Tuple};
 
@@ -35,6 +35,7 @@ pub(crate) fn phase_local<T: Tuple>(
         return phase_local_parallel(ctx, sh, mach, core, meter, &info);
     }
 
+    let mut pt = Partitioner::new();
     loop {
         let i = st.next_local_task.fetch_add(1, Ordering::SeqCst);
         if i >= info.owned.len() {
@@ -78,8 +79,8 @@ pub(crate) fn phase_local<T: Tuple>(
         }
         let [r_p, s_p] = rel_parts;
         meter.charge_bytes(ctx, (r_p.len() + s_p.len()) * T::SIZE, rate);
-        let sub_r = Arc::new(partition(&r_p, b1, b2));
-        let sub_s = Arc::new(partition(&s_p, b1, b2));
+        let sub_r = Arc::new(pt.partition(&r_p, b1, b2));
+        let sub_s = Arc::new(pt.partition(&s_p, b1, b2));
         for j in 0..(1usize << b2) {
             if !sub_r.part(j).is_empty() || !sub_s.part(j).is_empty() {
                 let t = BpTask::BuildProbe {
@@ -201,6 +202,7 @@ fn phase_local_parallel<T: Tuple>(
     // Stage 2: every core drains slice tasks; a skewed partition's slices
     // are interleaved with everything else.
     let n_tasks = st.lp_tasks.lock().len();
+    let mut pt = Partitioner::new();
     loop {
         let t = st.next_lp_task.fetch_add(1, Ordering::SeqCst);
         if t >= n_tasks {
@@ -213,7 +215,7 @@ fn phase_local_parallel<T: Tuple>(
                 .expect("fragment assembled by stage 1 before barrier"),
         );
         let slice = &assembled[rel][range];
-        let parted = partition(slice, b1, b2);
+        let parted = pt.partition(slice, b1, b2);
         meter.charge_bytes(ctx, slice.len() * T::SIZE, rate);
         st.lp_outputs.lock()[i][rel][k] = Some(parted);
         meter.flush(ctx);

@@ -24,7 +24,7 @@ use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rsj_joins::{ChainedTable, NumaQueues, Partitioned};
+use rsj_joins::{BucketTable, NumaQueues, Partitioned};
 use rsj_rdma::{BufferPool, Fabric, RemoteMr};
 use rsj_sim::{SimBarrier, SimSemaphore};
 use rsj_workload::{JoinResult, Relation, Tuple};
@@ -47,7 +47,7 @@ pub(crate) enum BpTask<T> {
     },
     /// Probe `s.part(j)[lo..hi]` against pre-built tables (skew split).
     ProbeChunk {
-        tables: Arc<Vec<ChainedTable<T>>>,
+        tables: Arc<Vec<BucketTable<T>>>,
         s: Arc<Partitioned<T>>,
         j: usize,
         lo: usize,

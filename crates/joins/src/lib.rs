@@ -20,10 +20,11 @@ mod single_machine;
 mod sort;
 mod task_queue;
 
-pub use hash_table::ChainedTable;
+pub use hash_table::{BucketTable, ChainedTable};
 pub use no_partitioning::{run_no_partitioning_join, NoPartitioningConfig, NoPartitioningOutcome};
 pub use radix::{
-    choose_radix_bits, concat_partitioned, histogram, partition, partition_of, Partitioned,
+    choose_radix_bits, concat_partitioned, histogram, histogram_into, partition, partition_of,
+    Partitioned, Partitioner,
 };
 pub use single_machine::{run_single_machine_join, SingleJoinOutcome, SingleMachineConfig};
 pub use sort::{merge_join, merge_sorted_runs, sort_by_key};

@@ -16,7 +16,7 @@ use rsj_cluster::{CostModel, Meter, PhaseTimes};
 use rsj_sim::{SimBarrier, SimTime, Simulation};
 use rsj_workload::{JoinResult, Tuple};
 
-use crate::ChainedTable;
+use crate::BucketTable;
 
 /// Configuration of a no-partitioning join run.
 #[derive(Clone, Debug)]
@@ -67,7 +67,7 @@ pub fn run_no_partitioning_join<T: Tuple>(
         r: Vec<T>,
         s: Vec<T>,
         barrier: Arc<SimBarrier>,
-        table: Mutex<Option<Arc<ChainedTable<T>>>>,
+        table: Mutex<Option<Arc<BucketTable<T>>>>,
         result: Mutex<JoinResult>,
         marks: Mutex<Vec<SimTime>>,
     }
@@ -95,7 +95,7 @@ pub fn run_no_partitioning_join<T: Tuple>(
             meter.charge_bytes(ctx, my_r * T::SIZE, build_rate);
             meter.flush(ctx);
             if sh.barrier.wait(ctx) {
-                *sh.table.lock() = Some(Arc::new(ChainedTable::build(&sh.r)));
+                *sh.table.lock() = Some(Arc::new(BucketTable::build(&sh.r)));
                 sh.marks.lock().push(ctx.now());
             }
             ctx.yield_now();

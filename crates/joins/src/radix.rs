@@ -5,6 +5,18 @@
 //! created *simultaneously* (2^bᵢ) never exceeds the TLB entry / cache line
 //! budget (Manegold et al.). These kernels are shared by the single-machine
 //! baseline and the distributed join's local passes.
+//!
+//! ## Software write-combining (SWWC)
+//!
+//! The default scatter path stages tuples in per-partition cache-line-sized
+//! buffers and flushes each line to the output in one bulk copy — the §3.1
+//! optimisation that keeps one TLB entry and one open cache line per
+//! partition hot instead of scattering single tuples across 2^b cold
+//! destinations. A [`Partitioner`] owns the staging buffers (plus the
+//! histogram and cursor arrays) so callers that loop over many partitions
+//! reuse one allocation set instead of paying `malloc` per pass; it also
+//! offers a fused pass ([`Partitioner::partition_with_hist`]) that skips
+//! the histogram scan when the counts are already known.
 
 use rsj_workload::Tuple;
 
@@ -16,12 +28,22 @@ pub fn partition_of(key: u64, lo_bit: u32, bits: u32) -> usize {
     ((key >> lo_bit) & ((1u64 << bits) - 1)) as usize
 }
 
-/// Count tuples per partition for one pass.
-pub fn histogram<T: Tuple>(tuples: &[T], lo_bit: u32, bits: u32) -> Vec<u64> {
-    let mut hist = vec![0u64; 1usize << bits];
+/// Count tuples per partition for one pass, writing into `hist` (which is
+/// cleared and resized to `2^bits`). The allocation-free form used by
+/// callers that loop; see [`histogram`] for the one-shot convenience.
+pub fn histogram_into<T: Tuple>(tuples: &[T], lo_bit: u32, bits: u32, hist: &mut Vec<u64>) {
+    hist.clear();
+    hist.resize(1usize << bits, 0);
     for t in tuples {
         hist[partition_of(t.key(), lo_bit, bits)] += 1;
     }
+}
+
+/// Count tuples per partition for one pass.
+pub fn histogram<T: Tuple>(tuples: &[T], lo_bit: u32, bits: u32) -> Vec<u64> {
+    // lint: allow-hot-alloc(one-shot convenience wrapper; looping callers use histogram_into)
+    let mut hist = Vec::new();
+    histogram_into(tuples, lo_bit, bits, &mut hist);
     hist
 }
 
@@ -46,9 +68,10 @@ impl<T: Tuple> Partitioned<T> {
         &self.data[self.offsets[p]..self.offsets[p + 1]]
     }
 
-    /// Sizes of all partitions, in tuples.
-    pub fn sizes(&self) -> Vec<usize> {
-        self.offsets.windows(2).map(|w| w[1] - w[0]).collect()
+    /// Sizes of all partitions, in tuples — a borrowed iterator, so looping
+    /// callers never pay a per-call `Vec` allocation.
+    pub fn sizes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.offsets.windows(2).map(|w| w[1] - w[0])
     }
 }
 
@@ -104,28 +127,165 @@ pub fn concat_partitioned<T: Tuple>(slices: &[Partitioned<T>], parts: usize) -> 
     Partitioned { data, offsets }
 }
 
-/// One full partitioning pass: histogram, prefix sum, scatter.
-pub fn partition<T: Tuple>(input: &[T], lo_bit: u32, bits: u32) -> Partitioned<T> {
-    let hist = histogram(input, lo_bit, bits);
-    let parts = hist.len();
-    let mut offsets = Vec::with_capacity(parts + 1);
-    let mut acc = 0usize;
-    offsets.push(0);
-    for &h in &hist {
-        acc += h as usize;
-        offsets.push(acc);
+/// Target size of one software write-combining staging buffer. One cache
+/// line is the paper's choice (§3.1): the line being filled stays in L1
+/// and is written out with a single full-line store burst.
+const SWWC_LINE_BYTES: usize = 64;
+
+/// Partition counts below which staging overhead exceeds its benefit —
+/// with few destinations the plain scatter's write set is already
+/// cache-resident, so the extra stage-then-copy is pure cost.
+const SWWC_MIN_PARTS: usize = 16;
+
+/// Reusable radix partitioning state: histogram, scatter cursors, and the
+/// SWWC staging buffers. Build one per worker and call
+/// [`Partitioner::partition`] in a loop; all scratch allocations are
+/// retained and reused across calls.
+pub struct Partitioner<T> {
+    hist: Vec<u64>,
+    cursors: Vec<usize>,
+    /// `parts * lane` staging tuples (one cache line per partition).
+    stage: Vec<T>,
+    /// Per-partition staging fill counts (`< lane`, so `u8` suffices).
+    fill: Vec<u8>,
+}
+
+impl<T: Tuple> Default for Partitioner<T> {
+    fn default() -> Self {
+        Self::new()
     }
-    debug_assert_eq!(acc, input.len());
-    let mut cursor: Vec<usize> = offsets[..parts].to_vec();
-    // Scatter. T is small and Copy, so a write-once pass over an
-    // uninitialized buffer is not worth the unsafety; zero-fill, overwrite.
-    let mut data: Vec<T> = vec![T::new(0, 0); input.len()];
+}
+
+impl<T: Tuple> Partitioner<T> {
+    /// Tuples per staging line (≥ 1 even for oversized tuple types).
+    #[inline]
+    fn lane() -> usize {
+        (SWWC_LINE_BYTES / T::SIZE).max(1)
+    }
+
+    /// A partitioner with empty scratch buffers; they grow on first use and
+    /// are reused afterwards.
+    pub fn new() -> Partitioner<T> {
+        Partitioner {
+            hist: Vec::new(),
+            cursors: Vec::new(),
+            stage: Vec::new(),
+            fill: Vec::new(),
+        }
+    }
+
+    /// One full partitioning pass: histogram, prefix sum, SWWC scatter.
+    pub fn partition(&mut self, input: &[T], lo_bit: u32, bits: u32) -> Partitioned<T> {
+        let mut hist = std::mem::take(&mut self.hist);
+        histogram_into(input, lo_bit, bits, &mut hist);
+        let out = self.scatter_pass(input, lo_bit, bits, &hist);
+        self.hist = hist;
+        out
+    }
+
+    /// Fused pass for callers that already counted: skips the histogram
+    /// scan and goes straight to prefix sum + scatter. `hist` must hold
+    /// exactly `2^bits` counts summing to `input.len()`.
+    pub fn partition_with_hist(
+        &mut self,
+        input: &[T],
+        lo_bit: u32,
+        bits: u32,
+        hist: &[u64],
+    ) -> Partitioned<T> {
+        assert_eq!(hist.len(), 1usize << bits, "histogram width mismatch");
+        self.scatter_pass(input, lo_bit, bits, hist)
+    }
+
+    /// Prefix-sum `hist` into offsets, then scatter `input` into a fresh
+    /// output buffer (returned; scratch state stays owned by `self`).
+    fn scatter_pass(
+        &mut self,
+        input: &[T],
+        lo_bit: u32,
+        bits: u32,
+        hist: &[u64],
+    ) -> Partitioned<T> {
+        let parts = hist.len();
+        let mut offsets = Vec::with_capacity(parts + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &h in hist {
+            acc += h as usize;
+            offsets.push(acc);
+        }
+        debug_assert_eq!(acc, input.len());
+        self.cursors.clear();
+        self.cursors.extend_from_slice(&offsets[..parts]);
+        // T is small and Copy, so a write-once pass over an uninitialized
+        // buffer is not worth the unsafety; zero-fill, overwrite. This is
+        // the returned output, not scratch, so it cannot live in `self`.
+        // lint: allow-hot-alloc(output buffer moves into the returned Partitioned)
+        let mut data: Vec<T> = vec![T::new(0, 0); input.len()];
+        if parts >= SWWC_MIN_PARTS && input.len() >= parts * Self::lane() {
+            self.scatter_swwc(input, lo_bit, bits, &mut data);
+        } else {
+            scatter_direct(input, lo_bit, bits, &mut data, &mut self.cursors);
+        }
+        Partitioned { data, offsets }
+    }
+
+    /// §3.1 software write-combining scatter: collect tuples in a
+    /// cache-line staging buffer per partition and flush full lines (and
+    /// the tail remainders) with bulk copies.
+    fn scatter_swwc(&mut self, input: &[T], lo_bit: u32, bits: u32, data: &mut [T]) {
+        let parts = 1usize << bits;
+        let lane = Self::lane();
+        self.stage.clear();
+        self.stage.resize(parts * lane, T::new(0, 0));
+        self.fill.clear();
+        self.fill.resize(parts, 0);
+        for t in input {
+            let p = partition_of(t.key(), lo_bit, bits);
+            let f = self.fill[p] as usize;
+            self.stage[p * lane + f] = *t;
+            if f + 1 == lane {
+                let cur = self.cursors[p];
+                data[cur..cur + lane].copy_from_slice(&self.stage[p * lane..(p + 1) * lane]);
+                self.cursors[p] = cur + lane;
+                self.fill[p] = 0;
+            } else {
+                self.fill[p] = (f + 1) as u8;
+            }
+        }
+        // Flush partial lines.
+        for p in 0..parts {
+            let f = self.fill[p] as usize;
+            if f > 0 {
+                let cur = self.cursors[p];
+                data[cur..cur + f].copy_from_slice(&self.stage[p * lane..p * lane + f]);
+                self.cursors[p] = cur + f;
+            }
+        }
+    }
+}
+
+/// Plain one-tuple-at-a-time scatter, used when the partition fan-out is
+/// too small for staging to pay off.
+fn scatter_direct<T: Tuple>(
+    input: &[T],
+    lo_bit: u32,
+    bits: u32,
+    data: &mut [T],
+    cursors: &mut [usize],
+) {
     for t in input {
         let p = partition_of(t.key(), lo_bit, bits);
-        data[cursor[p]] = *t;
-        cursor[p] += 1;
+        data[cursors[p]] = *t;
+        cursors[p] += 1;
     }
-    Partitioned { data, offsets }
+}
+
+/// One full partitioning pass: histogram, prefix sum, scatter. One-shot
+/// convenience over [`Partitioner`]; callers that loop should hold a
+/// `Partitioner` to reuse its scratch buffers.
+pub fn partition<T: Tuple>(input: &[T], lo_bit: u32, bits: u32) -> Partitioned<T> {
+    Partitioner::new().partition(input, lo_bit, bits)
 }
 
 #[cfg(test)]
@@ -166,6 +326,18 @@ mod tests {
     }
 
     #[test]
+    fn histogram_into_reuses_buffer() {
+        let tuples: Vec<Tuple16> = (0..64u64).map(|k| Tuple16::new(k, k)).collect();
+        let mut hist = Vec::new();
+        histogram_into(&tuples, 0, 3, &mut hist);
+        assert_eq!(hist.iter().sum::<u64>(), 64);
+        // A second pass over different bits fully overwrites the counts.
+        histogram_into(&tuples[..32], 0, 5, &mut hist);
+        assert_eq!(hist.len(), 32);
+        assert_eq!(hist.iter().sum::<u64>(), 32);
+    }
+
+    #[test]
     fn partition_groups_by_radix_and_preserves_multiset() {
         let tuples: Vec<Tuple16> = (0..512u64).map(|i| Tuple16::new(i * 7 + 3, i)).collect();
         let parted = partition(&tuples, 0, 5);
@@ -181,6 +353,56 @@ mod tests {
         orig.sort_unstable();
         got.sort_unstable();
         assert_eq!(orig, got);
+        // sizes() agrees with the offsets.
+        assert_eq!(parted.sizes().sum::<usize>(), tuples.len());
+    }
+
+    /// The SWWC scatter and the direct scatter must produce *identical*
+    /// output (not merely equivalent): tuple order within a partition is
+    /// input order for both.
+    #[test]
+    fn swwc_scatter_matches_direct_scatter_exactly() {
+        let tuples: Vec<Tuple16> = (0..2_000u64)
+            .map(|i| Tuple16::new(i.wrapping_mul(0x9E37_79B9).rotate_left(17), i))
+            .collect();
+        for bits in [5u32, 6, 8] {
+            let via_swwc = Partitioner::new().partition(&tuples, 0, bits);
+            let mut cursors: Vec<usize> = via_swwc.offsets[..via_swwc.parts()].to_vec();
+            let mut direct = vec![Tuple16::new(0, 0); tuples.len()];
+            scatter_direct(&tuples, 0, bits, &mut direct, &mut cursors);
+            assert!(
+                via_swwc.parts() >= SWWC_MIN_PARTS,
+                "test must exercise the SWWC path"
+            );
+            assert_eq!(via_swwc.data, direct, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn partition_with_hist_skips_recount() {
+        let tuples: Vec<Tuple16> = (0..777u64).map(|i| Tuple16::new(i * 31 + 7, i)).collect();
+        let mut pt = Partitioner::new();
+        let whole = pt.partition(&tuples, 1, 6);
+        let hist = histogram(&tuples, 1, 6);
+        let fused = pt.partition_with_hist(&tuples, 1, 6, &hist);
+        assert_eq!(whole.offsets, fused.offsets);
+        assert_eq!(whole.data, fused.data);
+    }
+
+    #[test]
+    fn partitioner_reuse_across_widths() {
+        let tuples: Vec<Tuple16> = (0..600u64).map(|i| Tuple16::new(i * 3 + 1, i)).collect();
+        let mut pt = Partitioner::new();
+        for bits in [2u32, 7, 3, 9] {
+            let parted = pt.partition(&tuples, 0, bits);
+            assert_eq!(parted.parts(), 1usize << bits);
+            assert_eq!(parted.data.len(), tuples.len());
+            for p in 0..parted.parts() {
+                for t in parted.part(p) {
+                    assert_eq!(partition_of(t.key(), 0, bits), p);
+                }
+            }
+        }
     }
 
     #[test]
@@ -250,6 +472,41 @@ mod tests {
                 for t in parted.part(p) {
                     prop_assert_eq!(partition_of(t.key(), 0, bits), p);
                 }
+            }
+        }
+
+        /// Satellite: `choose_radix_bits` invariants over its supported
+        /// input envelope — per-pass TLB caps, ≥ one first-pass partition
+        /// per core, and final partitions within 2× the cache budget
+        /// whenever the 24-bit total cap is not binding.
+        #[test]
+        fn prop_choose_radix_bits_invariants(
+            n_tuples in 1u64..(1u64 << 31),
+            tuple_size_log in 3u32..6,    // 8, 16, 32 bytes
+            cores in 1usize..1024,
+            target_log in 14u32..17,      // 16, 32, 64 KiB
+        ) {
+            let tuple_size = 1usize << tuple_size_log;
+            let target = 1usize << target_log;
+            let (b1, b2) = choose_radix_bits(n_tuples, tuple_size, cores, target);
+            prop_assert!(b1 >= 1 && b2 >= 1);
+            prop_assert!(b1 <= 12 && b2 <= 12, "per-pass TLB budget");
+            prop_assert!(b1 + b2 <= 24, "total fan-out cap");
+            prop_assert!(
+                1usize << b1 >= cores,
+                "Eq. 14: at least one first-pass partition per core (b1={b1}, cores={cores})"
+            );
+            // Cache-budget bound: average final partition ≤ 2× target,
+            // unless the 24-bit cap (or the 12/12 per-pass caps) clipped
+            // the total — then the function is at its fan-out ceiling.
+            let total_bytes = n_tuples * tuple_size as u64;
+            let at_cap = b1 + b2 == 24 || (b1 == 12 && b2 == 12);
+            if !at_cap {
+                let avg_part = total_bytes / (1u64 << (b1 + b2));
+                prop_assert!(
+                    avg_part <= 2 * target as u64,
+                    "avg partition {avg_part} B exceeds 2x target {target} B (b1={b1}, b2={b2})"
+                );
             }
         }
     }

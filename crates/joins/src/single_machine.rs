@@ -15,9 +15,9 @@ use rsj_cluster::{CostModel, Meter, PhaseTimes};
 use rsj_sim::{SimBarrier, SimTime, Simulation};
 use rsj_workload::{JoinResult, Tuple};
 
-use crate::radix::{partition, Partitioned};
+use crate::radix::{histogram_into, Partitioned, Partitioner};
 use crate::task_queue::NumaQueues;
-use crate::ChainedTable;
+use crate::BucketTable;
 
 /// Configuration of a single-machine join run.
 #[derive(Clone, Debug)]
@@ -126,8 +126,14 @@ fn worker<T: Tuple>(ctx: &rsj_sim::SimCtx, sh: &Shared<T>, t: usize) {
     let s_range = ranges(sh.s.len(), cfg.cores)[t].clone();
     let my_r = &sh.r[r_range];
     let my_s = &sh.s[s_range];
+    let mut pt = Partitioner::new();
+    let mut r_hist = Vec::new();
+    let mut s_hist = Vec::new();
 
-    // --- Phase 1: histogram computation over both relations.
+    // --- Phase 1: histogram computation over both relations. The counts
+    // feed the first pass's fused scatter, so the scan is not repeated.
+    histogram_into(my_r, 0, b1, &mut r_hist);
+    histogram_into(my_s, 0, b1, &mut s_hist);
     meter.charge_bytes(
         ctx,
         (my_r.len() + my_s.len()) * T::SIZE,
@@ -136,9 +142,10 @@ fn worker<T: Tuple>(ctx: &rsj_sim::SimCtx, sh: &Shared<T>, t: usize) {
     meter.flush(ctx);
     sync(ctx, sh);
 
-    // --- Phase 2: first partitioning pass (thread-private outputs).
-    let parted_r = partition(my_r, 0, b1);
-    let parted_s = partition(my_s, 0, b1);
+    // --- Phase 2: first partitioning pass (thread-private outputs),
+    // reusing the phase-1 histograms (fused histogram+scatter).
+    let parted_r = pt.partition_with_hist(my_r, 0, b1, &r_hist);
+    let parted_s = pt.partition_with_hist(my_s, 0, b1, &s_hist);
     meter.charge_bytes(
         ctx,
         (my_r.len() + my_s.len()) * T::SIZE,
@@ -156,12 +163,14 @@ fn worker<T: Tuple>(ctx: &rsj_sim::SimCtx, sh: &Shared<T>, t: usize) {
     ctx.yield_now(); // let the leader's pushes land before popping
 
     // --- Phase 3: second (local) partitioning pass.
+    let mut r_p: Vec<T> = Vec::new();
+    let mut s_p: Vec<T> = Vec::new();
     while let Some(p) = sh.pass2_tasks.pop(socket) {
         // Assemble partition p from every thread's first-pass output
         // (pointer-level assembly in the original; the copy here is a
         // simulator artifact and is not charged).
-        let mut r_p: Vec<T> = Vec::new();
-        let mut s_p: Vec<T> = Vec::new();
+        r_p.clear();
+        s_p.clear();
         for slot in &sh.pass1 {
             let guard = slot.lock();
             let (pr, ps) = guard.as_ref().expect("pass1 output missing");
@@ -173,8 +182,8 @@ fn worker<T: Tuple>(ctx: &rsj_sim::SimCtx, sh: &Shared<T>, t: usize) {
             (r_p.len() + s_p.len()) * T::SIZE,
             cfg.cost.partition_rate,
         );
-        let sub_r = Arc::new(partition(&r_p, b1, b2));
-        let sub_s = Arc::new(partition(&s_p, b1, b2));
+        let sub_r = Arc::new(pt.partition(&r_p, b1, b2));
+        let sub_s = Arc::new(pt.partition(&s_p, b1, b2));
         for j in 0..(1usize << b2) {
             if !sub_r.part(j).is_empty() || !sub_s.part(j).is_empty() {
                 sh.bp_tasks
@@ -186,12 +195,14 @@ fn worker<T: Tuple>(ctx: &rsj_sim::SimCtx, sh: &Shared<T>, t: usize) {
     meter.flush(ctx);
     sync(ctx, sh);
 
-    // --- Phase 4: build-probe over cache-sized partitions.
+    // --- Phase 4: build-probe over cache-sized partitions. One reusable
+    // table per worker: rebuilds recycle the previous build's buffers.
     let mut local = JoinResult::default();
+    let mut table = BucketTable::default();
     while let Some((sub_r, sub_s, j)) = sh.bp_tasks.pop(socket) {
         let r_part = sub_r.part(j);
         let s_part = sub_s.part(j);
-        let table = ChainedTable::build(r_part);
+        table.rebuild(r_part);
         meter.charge_bytes(ctx, r_part.len() * T::SIZE, cfg.cost.build_rate);
         local.merge(table.probe_all(s_part));
         meter.charge_bytes(ctx, s_part.len() * T::SIZE, cfg.cost.probe_rate);

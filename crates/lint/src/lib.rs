@@ -11,6 +11,7 @@
 //! | `wall-clock` | `std::time::Instant` / `SystemTime` anywhere — reading the host clock breaks run-to-run determinism, the property every experiment and test relies on |
 //! | `mr-access` | direct `Mr` byte access (`take_data` / `with_data` / `dma_write`) outside `rsj-rdma` — operators must go through the verbs API so the runtime validator sees every access |
 //! | `unwrap` | `.unwrap()` (or an `.expect` with a non-descriptive message) in non-test library code — failures in phase code must say what invariant broke |
+//! | `hot-alloc` | `vec!` / `Vec::new` inside `crates/joins` functions named `*_kernel`, `histogram*` or `scatter*` — those are the per-partition hot loops; allocate scratch once in the owning `Partitioner`/table and reuse it |
 //!
 //! Any rule can be waived on a specific line with a justification marker,
 //! on the same line or the line directly above:
@@ -36,7 +37,7 @@ pub struct Finding {
     /// 1-based line number.
     pub line: usize,
     /// Rule identifier (`std-thread`, `std-sync`, `wall-clock`,
-    /// `mr-access`, `unwrap`).
+    /// `mr-access`, `unwrap`, `hot-alloc`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -87,6 +88,95 @@ fn code_part(line: &str) -> &str {
     }
 }
 
+/// `code` with the contents of string and char literals blanked to
+/// spaces (quotes kept), so the structural scanners — brace-depth
+/// tracking and `fn`-name detection — cannot be derailed by a `{`, `}`,
+/// `;` or `fn ` inside `"..."` or `'{'`. Handles escapes (including
+/// `'\u{..}'`); raw strings and literals spanning lines are out of scope
+/// for this line-based scanner.
+fn mask_literals(code: &str) -> String {
+    let mut out = String::with_capacity(code.len());
+    let mut chars = code.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                out.push('"');
+                let mut escaped = false;
+                for c in chars.by_ref() {
+                    if escaped {
+                        escaped = false;
+                        out.push(' ');
+                    } else if c == '\\' {
+                        escaped = true;
+                        out.push(' ');
+                    } else if c == '"' {
+                        out.push('"');
+                        break;
+                    } else {
+                        out.push(' ');
+                    }
+                }
+            }
+            '\'' => {
+                // Char literal (`'x'`, `'\n'`, `'\u{1F600}'`) vs lifetime
+                // (`'a`, `'static`): a literal's second character is either
+                // a backslash or is followed directly by the closing quote.
+                let mut rest = chars.clone();
+                let is_literal = match rest.next() {
+                    Some('\\') => true,
+                    Some(_) => rest.next() == Some('\''),
+                    None => false,
+                };
+                out.push('\'');
+                if is_literal {
+                    let mut escaped = false;
+                    for c in chars.by_ref() {
+                        if escaped {
+                            escaped = false;
+                            out.push(' ');
+                        } else if c == '\\' {
+                            escaped = true;
+                            out.push(' ');
+                        } else if c == '\'' {
+                            out.push('\'');
+                            break;
+                        } else {
+                            out.push(' ');
+                        }
+                    }
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// The name of a function declared on this line (`fn <name>`), if any.
+fn declared_fn_name(code: &str) -> Option<&str> {
+    let pos = code.find("fn ")?;
+    // Reject identifier-suffix matches like `often `.
+    if pos > 0
+        && code[..pos]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+    {
+        return None;
+    }
+    let rest = code[pos + 3..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    (end > 0).then(|| &rest[..end])
+}
+
+/// Is this function name one of the designated hot kernels
+/// (`*_kernel`, `histogram*`, `scatter*`)?
+fn is_hot_kernel_name(name: &str) -> bool {
+    name.ends_with("_kernel") || name.starts_with("histogram") || name.starts_with("scatter")
+}
+
 /// Extract the first string literal from `rest` (text following
 /// `.expect(`), if it closes on the same line.
 fn first_string_literal(rest: &str) -> Option<&str> {
@@ -125,8 +215,15 @@ pub fn lint_file(relpath: &str, content: &str) -> Vec<Finding> {
         p.contains("/tests/") || p.contains("/benches/") || p.contains("/examples/")
     };
 
+    let in_joins = relpath.starts_with("crates/joins/");
+
     let mut in_test_module = false;
     let mut prev_line: Option<&str> = None;
+    // Brace-depth tracker for the `hot-alloc` rule: inside a designated
+    // hot-kernel function (`*_kernel`/`histogram*`/`scatter*`) until the
+    // body's braces re-balance.
+    let mut depth: i64 = 0;
+    let mut hot_fn: Option<(i64, bool)> = None; // (entry depth, body opened)
     for (idx, line) in content.lines().enumerate() {
         let lineno = idx + 1;
         if line.trim_start().starts_with("#[cfg(test)]") {
@@ -135,7 +232,36 @@ pub fn lint_file(relpath: &str, content: &str) -> Vec<Finding> {
             in_test_module = true;
         }
         let code = code_part(line);
+        // Structure (brace depth, fn-name detection) is tracked on a
+        // literal-masked view, so a `{` inside a string or char literal
+        // cannot mis-scope the hot-fn tracker for the rest of the file.
+        let masked = mask_literals(code);
         let test_code = in_test_module || is_test_code_file;
+
+        if in_joins && !test_code && hot_fn.is_none() {
+            if let Some(name) = declared_fn_name(&masked) {
+                if is_hot_kernel_name(name) {
+                    hot_fn = Some((depth, false));
+                }
+            }
+        }
+        let in_hot_fn =
+            hot_fn.is_some_and(|(_, opened)| opened) || (hot_fn.is_some() && masked.contains('{'));
+        for c in masked.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some((entry, opened)) = &mut hot_fn {
+            if depth > *entry {
+                *opened = true;
+            } else if *opened || masked.contains(';') {
+                // Body closed (or a bodyless signature): leave the fn.
+                hot_fn = None;
+            }
+        }
 
         let mut check = |rule: &'static str, hit: bool, message: String| {
             if hit && !marker_allows(rule, line, prev_line) {
@@ -161,6 +287,17 @@ pub fn lint_file(relpath: &str, content: &str) -> Vec<Finding> {
                 || code.contains("Instant::now(")
                 || code.contains("SystemTime::now("),
             "wall-clock read breaks deterministic simulation; use SimCtx::now()".to_string(),
+        );
+
+        // Hot-kernel allocation rule: the partitioning and probe loops
+        // run once per tuple per pass; an allocation there is a
+        // per-call cost the SWWC design exists to avoid.
+        check(
+            "hot-alloc",
+            in_hot_fn && (code.contains("vec!") || code.contains("Vec::new")),
+            "allocation inside a hot kernel; move the buffer into the owning struct \
+             (e.g. Partitioner scratch) and reuse it across calls"
+                .to_string(),
         );
 
         // Library-code rules: skip tests and benches.
@@ -366,6 +503,73 @@ mod tests {
             rules(&lint_file("crates/core/src/lib.rs", wrong)),
             ["std-thread"]
         );
+    }
+
+    #[test]
+    fn hot_alloc_flags_allocation_in_joins_kernels() {
+        let src =
+            "fn scatter_pass(n: usize) {\n    let buf = Vec::new();\n    let v = vec![0; n];\n}\n";
+        let f = lint_file("crates/joins/src/radix.rs", src);
+        assert_eq!(rules(&f), ["hot-alloc", "hot-alloc"]);
+        assert_eq!((f[0].line, f[1].line), (2, 3));
+        // Multi-line signatures still enter the function body.
+        let multi = "fn histogram_into(\n    tuples: &[u64],\n) {\n    let h = Vec::new();\n}\n";
+        assert_eq!(
+            rules(&lint_file("crates/joins/src/radix.rs", multi)),
+            ["hot-alloc"]
+        );
+        // `*_kernel` names count too.
+        let kernel = "fn probe_kernel() {\n    let v = vec![1];\n}\n";
+        assert_eq!(
+            rules(&lint_file("crates/joins/src/hash_table.rs", kernel)),
+            ["hot-alloc"]
+        );
+    }
+
+    #[test]
+    fn hot_alloc_is_scoped_to_hot_functions_in_joins() {
+        // Allocation outside the hot function is fine.
+        let src = "fn scatter_one() {\n    flush();\n}\nfn setup() {\n    let v = Vec::new();\n}\n";
+        assert!(lint_file("crates/joins/src/radix.rs", src).is_empty());
+        // Same code outside crates/joins is out of scope.
+        let hot = "fn histogram() {\n    let v = Vec::new();\n}\n";
+        assert!(lint_file("crates/core/src/phases/local.rs", hot).is_empty());
+        // Test modules are exempt.
+        let test = "#[cfg(test)]\nmod tests {\n    fn scatter_case() { let v = vec![1]; }\n}\n";
+        assert!(lint_file("crates/joins/src/radix.rs", test).is_empty());
+        // A waiver with a reason applies, same as every other rule.
+        let waived = "fn histogram() {\n    // lint: allow-hot-alloc(one-shot wrapper)\n    let v = Vec::new();\n}\n";
+        assert!(lint_file("crates/joins/src/radix.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn braces_inside_literals_do_not_confuse_hot_fn_scoping() {
+        // An unbalanced `{` in a string inside a hot kernel must not leave
+        // the tracker stuck on, flagging allocations in later functions.
+        let open = "fn scatter_pass() {\n    let s = \"{\";\n    flush();\n}\n\
+                    fn setup() {\n    let v = Vec::new();\n}\n";
+        assert!(lint_file("crates/joins/src/radix.rs", open).is_empty());
+        // An unbalanced `}` in a char literal must not end the hot fn early.
+        let close = "fn histogram() {\n    let c = '}';\n    let v = Vec::new();\n}\n";
+        let f = lint_file("crates/joins/src/radix.rs", close);
+        assert_eq!(rules(&f), ["hot-alloc"]);
+        assert_eq!(f[0].line, 3);
+        // `'\u{..}'` escapes contain braces too.
+        let esc = "fn histogram() {\n    let c = '\\u{7B}';\n    let v = vec![0];\n}\n";
+        assert_eq!(
+            rules(&lint_file("crates/joins/src/radix.rs", esc)),
+            ["hot-alloc"]
+        );
+        // Lifetimes are not char literals; the signature still opens a body.
+        let lt = "fn scatter_into<'a>(out: &'a mut [u64]) {\n    let v = Vec::new();\n}\n";
+        assert_eq!(
+            rules(&lint_file("crates/joins/src/radix.rs", lt)),
+            ["hot-alloc"]
+        );
+        // A `fn` keyword inside a string is not a declaration.
+        let fake = "fn helper() {\n    let s = \"fn scatter_x() {\";\n}\n\
+                    fn other() {\n    let v = Vec::new();\n}\n";
+        assert!(lint_file("crates/joins/src/radix.rs", fake).is_empty());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rsj_cluster::{ClusterSpec, Meter, PhaseTimes};
-use rsj_joins::ChainedTable;
+use rsj_joins::BucketTable;
 use rsj_rdma::HostId;
 use rsj_sim::SimCtx;
 use rsj_workload::{decode_all, JoinResult, Relation, Tuple};
@@ -56,7 +56,7 @@ pub struct CycloJoinOutcome {
 
 struct MachState<T> {
     r_chunk: Vec<T>,
-    table: Mutex<Option<Arc<ChainedTable<T>>>>,
+    table: Mutex<Option<Arc<BucketTable<T>>>>,
     /// The outer fragment currently resident on this machine; replaced by
     /// core 0 after every rotation, read by all cores after the barrier.
     fragment: Mutex<Arc<Vec<T>>>,
@@ -142,7 +142,7 @@ fn worker<T: Tuple>(
     meter.charge_bytes(ctx, share * T::SIZE, build_rate);
     meter.flush(ctx);
     if core == 0 {
-        *st.table.lock() = Some(Arc::new(ChainedTable::build(&st.r_chunk)));
+        *st.table.lock() = Some(Arc::new(BucketTable::build(&st.r_chunk)));
     }
     rt.sync_named(ctx, "local_partition", mach);
 

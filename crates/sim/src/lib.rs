@@ -34,6 +34,6 @@ mod kernel;
 mod sync;
 mod time;
 
-pub use kernel::{SimCtx, Simulation, TaskId};
+pub use kernel::{Dispatch, SimCtx, Simulation, TaskId};
 pub use sync::{SimBarrier, SimChannel, SimEvent, SimSemaphore};
 pub use time::{SimDuration, SimTime};

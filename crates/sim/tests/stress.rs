@@ -145,6 +145,93 @@ fn semaphore_mutual_exclusion_in_virtual_time() {
     }
 }
 
+/// Build one mixed workload — meter-style advance bursts, barrier rounds,
+/// a channel pipeline, and a semaphore — on either the fast-path kernel or
+/// the heap-only reference kernel, and return `(end, dispatch trace)`.
+///
+/// The workload deliberately hits every scheduling shape the fast path
+/// touches: long runs of uncontended advances (self-continuation +
+/// coalescing), same-instant ties (near-bucket FIFO order), park/unpark
+/// (barrier and channel wakes), and zero-length yields.
+#[cfg(feature = "ref-kernel")]
+fn traced_mixed_workload(reference: bool, seed: u64) -> (u64, Vec<rsj_sim::Dispatch>) {
+    let sim = if reference {
+        Simulation::new_reference()
+    } else {
+        Simulation::new()
+    };
+    sim.record_trace();
+    let n = 5usize;
+    let barrier = SimBarrier::new(n);
+    let sem = SimSemaphore::new(2);
+    let ch = SimChannel::new();
+    for t in 0..n as u64 {
+        let barrier = Arc::clone(&barrier);
+        let sem = Arc::clone(&sem);
+        let ch = Arc::clone(&ch);
+        sim.spawn(format!("w{t}"), move |ctx| {
+            let mut x = seed ^ (t + 1);
+            for round in 0..8u64 {
+                // Burst of fine-grained charges (the meter-flush shape that
+                // dominates the experiment sweeps).
+                for _ in 0..40 {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ctx.advance(SimDuration::from_nanos((x >> 33) % 23));
+                }
+                sem.acquire(ctx);
+                ctx.advance(SimDuration::from_nanos(50));
+                sem.release(ctx);
+                if t == 0 {
+                    ch.send(ctx, round);
+                }
+                barrier.wait(ctx);
+            }
+            if t == 0 {
+                ch.close(ctx);
+            }
+        });
+    }
+    {
+        let ch = Arc::clone(&ch);
+        sim.spawn("drain", move |ctx| while ch.recv(ctx).is_some() {});
+    }
+    let (end, trace) = sim.run_traced();
+    (end.as_nanos(), trace)
+}
+
+/// The self-continuation fast path, charge coalescing, and the two-level
+/// near/far queue must be pure wall-clock optimisations: the `(time, seq,
+/// task)` dispatch trace has to be bit-for-bit identical to the heap-only
+/// reference scheduler's.
+///
+/// The `ref-kernel` gate is always on in test builds — rsj-sim's self
+/// dev-dependency enables it — so this runs under both the workspace-wide
+/// `cargo test` and a bare `cargo test -p rsj-sim`.
+#[cfg(feature = "ref-kernel")]
+#[test]
+fn fast_path_dispatch_trace_equals_reference() {
+    for seed in [1u64, 0xDEAD_BEEF, 0x5EED_CAFE_F00D] {
+        let fast = traced_mixed_workload(false, seed);
+        let reference = traced_mixed_workload(true, seed);
+        assert_eq!(
+            fast.0, reference.0,
+            "final virtual time diverged (seed {seed})"
+        );
+        assert_eq!(
+            fast.1.len(),
+            reference.1.len(),
+            "dispatch counts diverged (seed {seed})"
+        );
+        assert_eq!(
+            fast.1, reference.1,
+            "dispatch traces diverged (seed {seed})"
+        );
+        assert!(fast.1.len() > 1_000, "workload too small to be meaningful");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
