@@ -21,3 +21,7 @@ cargo check -q -p rsj-rdma --no-default-features
 # and parse.
 cargo run --release -q -p rsj-bench --bin perf -- --short --label ci --out target/ci_bench_perf.json
 cargo run --release -q -p rsj-bench --bin perf -- --check
+# Seeded chaos sweep: every operator under a deterministic fault schedule
+# must complete byte-correct or abort with a structured error, and replay
+# identically. The watchdog timeout turns any hang into a hard CI failure.
+timeout 600 cargo run --release -q -p rsj-bench --bin chaos -- --seeds 6

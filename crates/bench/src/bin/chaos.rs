@@ -1,0 +1,217 @@
+//! Seeded chaos harness (DESIGN.md §8): sweep deterministic fault
+//! schedules across every distributed operator and check the recovery
+//! contract — each run completes byte-correct or aborts with a
+//! structured error, and replaying a seed reproduces the identical
+//! outcome. A hang is the one forbidden outcome; ci.sh runs this binary
+//! under a global watchdog timeout so a wedged schedule fails the build
+//! instead of stalling it.
+//!
+//! ```text
+//! chaos --chaos-seed 42            # one seed, all operators
+//! chaos --seeds 32 --machines 4    # sweep seeds 0..32 on 4 machines
+//! ```
+
+use rsj_cluster::ClusterSpec;
+use rsj_core::{try_run_distributed_join, DistJoinConfig, JoinError};
+use rsj_operators::{
+    try_run_aggregation, try_run_cyclo_join, try_run_sort_merge_join, AggregationConfig,
+    CycloJoinConfig, SortMergeConfig,
+};
+use rsj_rdma::FaultPlan;
+use rsj_workload::{generate_inner, generate_outer, Skew, Tuple16};
+
+struct Opts {
+    seed: Option<u64>,
+    seeds: u64,
+    machines: usize,
+    operator: String,
+}
+
+impl Opts {
+    fn parse(args: Vec<String>) -> Opts {
+        let mut o = Opts {
+            seed: None,
+            seeds: 16,
+            machines: 3,
+            operator: "all".to_string(),
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let need = |i: usize| {
+                args.get(i + 1)
+                    .cloned()
+                    .unwrap_or_else(|| die(&format!("{} needs a value", args[i])))
+            };
+            match args[i].as_str() {
+                "--chaos-seed" => {
+                    o.seed = Some(parse_u64(&need(i)));
+                    i += 1;
+                }
+                "--seeds" => {
+                    o.seeds = parse_u64(&need(i));
+                    i += 1;
+                }
+                "--machines" => {
+                    o.machines = parse_u64(&need(i)) as usize;
+                    i += 1;
+                }
+                "--operator" => {
+                    o.operator = need(i);
+                    i += 1;
+                }
+                other => die(&format!("unknown flag {other}")),
+            }
+            i += 1;
+        }
+        if o.machines < 2 {
+            die("--machines must be at least 2 (faults need a peer to notice)");
+        }
+        o
+    }
+}
+
+fn parse_u64(s: &str) -> u64 {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("not a number: {s}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: chaos [--chaos-seed N] [--seeds K] [--machines M] \
+         [--operator hash|sortmerge|aggregation|cyclo|all]"
+    );
+    std::process::exit(2)
+}
+
+/// Outcome fingerprint: completed runs collapse to verified counters so
+/// two runs of one seed can be compared for replay identity.
+type Fingerprint = Result<(u64, u64), JoinError>;
+type Runner = fn(usize, FaultPlan) -> Fingerprint;
+
+fn hash_join(machines: usize, plan: FaultPlan) -> Fingerprint {
+    let r = generate_inner::<Tuple16>(30_000, machines, 9001);
+    let (s, oracle) = generate_outer::<Tuple16>(90_000, 30_000, machines, Skew::Zipf(1.05), 9002);
+    let mut cfg = DistJoinConfig::new(ClusterSpec::fdr_cluster(machines));
+    cfg.cluster.cores_per_machine = 2;
+    cfg.radix_bits = (4, 3);
+    cfg.rdma_buf_size = 1024;
+    cfg.fault_plan = Some(plan);
+    try_run_distributed_join(cfg, r, s).map(|out| {
+        oracle.verify(&out.result);
+        (out.result.matches, out.result.s_key_sum)
+    })
+}
+
+fn sort_merge(machines: usize, plan: FaultPlan) -> Fingerprint {
+    let r = generate_inner::<Tuple16>(20_000, machines, 9003);
+    let (s, oracle) = generate_outer::<Tuple16>(60_000, 20_000, machines, Skew::None, 9004);
+    let mut spec = ClusterSpec::fdr_cluster(machines);
+    spec.cores_per_machine = 3;
+    let mut cfg = SortMergeConfig::new(spec);
+    cfg.radix_bits = 4;
+    cfg.rdma_buf_size = 1024;
+    cfg.fault_plan = Some(plan);
+    try_run_sort_merge_join(cfg, r, s).map(|out| {
+        oracle.verify(&out.result);
+        (out.result.matches, out.result.s_key_sum)
+    })
+}
+
+fn aggregation(machines: usize, plan: FaultPlan) -> Fingerprint {
+    let (s, _) = generate_outer::<Tuple16>(60_000, 2_000, machines, Skew::Zipf(1.1), 9005);
+    let mut spec = ClusterSpec::fdr_cluster(machines);
+    spec.cores_per_machine = 3;
+    let mut cfg = AggregationConfig::new(spec);
+    cfg.radix_bits = 4;
+    cfg.rdma_buf_size = 1024;
+    cfg.fault_plan = Some(plan);
+    try_run_aggregation(cfg, s).map(|out| (out.result.groups, out.result.rid_sum))
+}
+
+fn cyclo(machines: usize, plan: FaultPlan) -> Fingerprint {
+    let r = generate_inner::<Tuple16>(5_000, machines, 9006);
+    let (s, oracle) = generate_outer::<Tuple16>(60_000, 5_000, machines, Skew::None, 9007);
+    let mut spec = ClusterSpec::fdr_cluster(machines);
+    spec.cores_per_machine = 2;
+    let mut cfg = CycloJoinConfig::new(spec);
+    cfg.fault_plan = Some(plan);
+    try_run_cyclo_join(cfg, r, s).map(|out| {
+        oracle.verify(&out.result);
+        (out.result.matches, out.result.s_key_sum)
+    })
+}
+
+fn main() {
+    let opts = Opts::parse(std::env::args().skip(1).collect());
+    let all: Vec<(&str, Runner)> = vec![
+        ("hash", hash_join),
+        ("sortmerge", sort_merge),
+        ("aggregation", aggregation),
+        ("cyclo", cyclo),
+    ];
+    let ops: Vec<_> = match opts.operator.as_str() {
+        "all" => all,
+        name => {
+            let hit: Vec<_> = all.into_iter().filter(|(n, _)| *n == name).collect();
+            if hit.is_empty() {
+                die(&format!("unknown operator {name}"));
+            }
+            hit
+        }
+    };
+    let seeds: Vec<u64> = match opts.seed {
+        Some(s) => vec![s],
+        None => (0..opts.seeds).collect(),
+    };
+
+    let mut completed = 0u64;
+    let mut aborted = 0u64;
+    let mut broken = 0u64;
+    for &seed in &seeds {
+        let plan = FaultPlan::chaos(seed, opts.machines);
+        let mut armed = Vec::new();
+        if !plan.link_flaps.is_empty() {
+            armed.push("flap");
+        }
+        if !plan.nic_stalls.is_empty() {
+            armed.push("stall");
+        }
+        if !plan.crashes.is_empty() {
+            armed.push("crash");
+        }
+        for (name, run) in &ops {
+            let first = run(opts.machines, plan.clone());
+            let again = run(opts.machines, plan.clone());
+            let replayed = first == again;
+            if !replayed {
+                broken += 1;
+            }
+            let verdict = match &first {
+                Ok((a, b)) => {
+                    completed += 1;
+                    format!("ok ({a}, {b})")
+                }
+                Err(e) => {
+                    aborted += 1;
+                    format!("abort: {e}")
+                }
+            };
+            println!(
+                "seed {seed:>4} {name:<12} drop {:>2}‰ [{}] -> {verdict}{}",
+                plan.drop_per_mille,
+                armed.join("+"),
+                if replayed { "" } else { "  REPLAY MISMATCH" }
+            );
+        }
+    }
+    println!(
+        "chaos: {} run(s): {completed} completed byte-correct, {aborted} aborted clean, \
+         {broken} replay mismatch(es)",
+        completed + aborted
+    );
+    if broken > 0 {
+        eprintln!("error: some seeds did not replay deterministically");
+        std::process::exit(1);
+    }
+}

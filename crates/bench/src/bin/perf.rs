@@ -37,7 +37,7 @@ use rsj_bench::{run_scaled_join, Scale};
 use rsj_cluster::ClusterSpec;
 use rsj_core::DistJoinConfig;
 use rsj_joins::{BucketTable, Partitioner};
-use rsj_rdma::ValidateMode;
+use rsj_rdma::{FaultPlan, ValidateMode};
 use rsj_sim::{SimChannel, SimDuration, Simulation};
 use rsj_workload::{Skew, Tuple, Tuple16};
 use serde::{Serialize, Value};
@@ -48,6 +48,15 @@ use serde::{Serialize, Value};
 /// breach; `--short` CI runs only warn, because two small min-of-N
 /// samples on a loaded container are too noisy to gate on.
 const VALIDATOR_OVERHEAD_BOUND: f64 = 0.10;
+
+/// The fault-plane satellite's acceptance bound (DESIGN.md §8): arming
+/// the fault plane with a plan that injects nothing — which turns on
+/// every error-path branch, the runtime watchdog and the crash timers —
+/// must cost less than this fraction of the plan-free mid-size join.
+/// The plan-free leg is the shape every ordinary run takes (the fault
+/// checks compile to a handful of plain branches), and its wall time is
+/// tracked in the trajectory alongside `join/mid-cluster`.
+const FAULT_PLANE_OVERHEAD_BOUND: f64 = 0.02;
 
 /// Trajectory schema tag; `--check` rejects anything else.
 const SCHEMA: &str = "rsj-bench-perf/v1";
@@ -110,6 +119,29 @@ fn main() {
         }
         benches.push(rec);
         benches.push(off);
+        let (bare, armed) = bench_faultplane_overhead(it.join_scale, it.validator_reps);
+        let overhead = armed.wall_ms / bare.wall_ms - 1.0;
+        println!(
+            "fault plane: armed {:.0} ms vs off {:.0} ms -> {:+.1}% overhead (bound {:.0}%)",
+            armed.wall_ms,
+            bare.wall_ms,
+            overhead * 100.0,
+            FAULT_PLANE_OVERHEAD_BOUND * 100.0
+        );
+        if overhead >= FAULT_PLANE_OVERHEAD_BOUND {
+            let msg = format!(
+                "armed fault plane costs {:.1}% of the mid-size join, over the {:.0}% budget",
+                overhead * 100.0,
+                FAULT_PLANE_OVERHEAD_BOUND * 100.0
+            );
+            if opts.short {
+                eprintln!("warning: {msg} (not enforced in --short mode)");
+            } else {
+                panic!("{msg}");
+            }
+        }
+        benches.push(bare);
+        benches.push(armed);
     }
     if !opts.short {
         benches.push(bench_sweep(
@@ -406,6 +438,39 @@ fn bench_validator_overhead(scale: u64, reps: usize) -> (BenchRecord, BenchRecor
     let rec = run(ValidateMode::Record, "validator/record");
     let off = run(ValidateMode::Off, "validator/off");
     (rec, off)
+}
+
+/// The chaos-off pair (DESIGN.md §8): the mid-size join with no fault
+/// plan — the shape every ordinary run takes — against the same join
+/// with [`FaultPlan::fault_free`] installed, which arms the watchdog,
+/// the crash timers and every per-message fault branch without injecting
+/// anything. Min-of-N each; the gap prices the armed-but-idle fault
+/// plane against the `FAULT_PLANE_OVERHEAD_BOUND` budget.
+fn bench_faultplane_overhead(scale: u64, reps: usize) -> (BenchRecord, BenchRecord) {
+    let scale = Scale::new(scale);
+    let run = |plan: Option<FaultPlan>, name: &'static str| {
+        let mut best = f64::INFINITY;
+        let mut virt = 0.0;
+        for _ in 0..reps {
+            let plan = plan.clone();
+            let (out, ms) = wall_ms(|| {
+                run_scaled_join(
+                    scale,
+                    ClusterSpec::qdr_cluster(4),
+                    2048,
+                    2048,
+                    Skew::None,
+                    |cfg: &mut DistJoinConfig| cfg.fault_plan = plan,
+                )
+            });
+            best = best.min(ms);
+            virt = scale.paper_seconds(out.phases.total());
+        }
+        BenchRecord::new(name, best).virtual_s(virt)
+    };
+    let bare = run(None, "faultplane/off");
+    let armed = run(Some(FaultPlan::fault_free()), "faultplane/armed");
+    (bare, armed)
 }
 
 /// Time the full `experiments all` regeneration sweep as a subprocess —

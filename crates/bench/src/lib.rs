@@ -197,7 +197,8 @@ pub fn measure_stream_bandwidth(cfg: FabricConfig, msg_bytes: usize, count: usiz
                 .map(|_| nic.post_send(ctx, HostId(1), 0, vec![0u8; msg_bytes]))
                 .collect();
             for ev in evs {
-                ev.wait(ctx);
+                // lint: allow-unwrap(no fault plan installed) lint: allow-fabric-panic(no fault plan installed)
+                ev.wait(ctx).expect("fault-free stream send failed");
             }
             fabric.shutdown(ctx);
         });
@@ -208,7 +209,7 @@ pub fn measure_stream_bandwidth(cfg: FabricConfig, msg_bytes: usize, count: usiz
         sim.spawn("bw-receiver", move |ctx| {
             let nic = fabric.nic(HostId(1));
             let mut got = 0usize;
-            while let Some(c) = nic.recv(ctx) {
+            while let Ok(Some(c)) = nic.recv(ctx) {
                 got += c.payload.len();
                 nic.repost_recv(ctx);
             }

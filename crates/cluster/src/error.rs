@@ -1,0 +1,155 @@
+//! Structured failure reporting for distributed operator runs.
+//!
+//! A join under the fault plane (DESIGN.md §8) must never hang: it either
+//! completes byte-correct despite transient faults, or aborts with a
+//! [`JoinError`] naming the machine and phase that failed. The variants
+//! mirror the three layers faults can surface from — the fabric (typed
+//! [`FabricError`] completions), the wire codec ([`TagError`] on a
+//! malformed immediate), and the runtime itself (a barrier timeout with
+//! the straggling machines identified).
+
+use std::fmt;
+
+use rsj_rdma::FabricError;
+
+use crate::wire::TagError;
+
+/// Why a distributed operator run aborted instead of completing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JoinError {
+    /// A fabric operation completed with an error status.
+    Fabric {
+        /// Machine whose worker observed the error.
+        machine: usize,
+        /// Phase the worker was executing.
+        phase: &'static str,
+        /// The underlying completion error.
+        source: FabricError,
+    },
+    /// A received message carried an immediate that does not decode to a
+    /// [`crate::wire::WireTag`].
+    Decode {
+        /// Machine whose worker received the malformed tag.
+        machine: usize,
+        /// Phase the worker was executing.
+        phase: &'static str,
+        /// The decode failure, carrying the raw immediate.
+        source: TagError,
+    },
+    /// The runtime watchdog saw no cluster-wide progress for its full
+    /// timeout window: some machines never reached the phase barrier.
+    BarrierTimeout {
+        /// Phase whose barrier timed out.
+        phase: &'static str,
+        /// Machines with the fewest barrier arrivals — the stragglers
+        /// holding everyone else up.
+        stragglers: Vec<usize>,
+    },
+    /// The run was aborted by another worker's failure; this worker only
+    /// observed the poisoned synchronization primitive.
+    Aborted {
+        /// Phase the observing worker was executing.
+        phase: &'static str,
+    },
+}
+
+impl JoinError {
+    /// Wrap a fabric completion error with machine/phase context.
+    pub fn fabric(machine: usize, phase: &'static str, source: FabricError) -> JoinError {
+        JoinError::Fabric {
+            machine,
+            phase,
+            source,
+        }
+    }
+
+    /// Wrap a wire-tag decode failure with machine/phase context.
+    pub fn decode(machine: usize, phase: &'static str, source: TagError) -> JoinError {
+        JoinError::Decode {
+            machine,
+            phase,
+            source,
+        }
+    }
+
+    /// The phase the failure was attributed to.
+    pub fn phase(&self) -> &'static str {
+        match self {
+            JoinError::Fabric { phase, .. }
+            | JoinError::Decode { phase, .. }
+            | JoinError::BarrierTimeout { phase, .. }
+            | JoinError::Aborted { phase } => phase,
+        }
+    }
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::Fabric {
+                machine,
+                phase,
+                source,
+            } => write!(f, "machine {machine}, phase {phase}: {source}"),
+            JoinError::Decode {
+                machine,
+                phase,
+                source,
+            } => write!(f, "machine {machine}, phase {phase}: {source}"),
+            JoinError::BarrierTimeout { phase, stragglers } => write!(
+                f,
+                "barrier timeout in phase {phase}: no progress from machine(s) {stragglers:?}"
+            ),
+            JoinError::Aborted { phase } => {
+                write!(
+                    f,
+                    "run aborted by a peer failure (observed in phase {phase})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for JoinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JoinError::Fabric { source, .. } => Some(source),
+            JoinError::Decode { source, .. } => Some(source),
+            JoinError::BarrierTimeout { .. } | JoinError::Aborted { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_rdma::{HostId, WcStatus};
+
+    #[test]
+    fn display_names_machine_and_phase() {
+        let e = JoinError::fabric(
+            3,
+            "network_partition",
+            FabricError::QpError {
+                src: HostId(3),
+                dst: HostId(1),
+                status: WcStatus::RetryExceeded,
+            },
+        );
+        let s = e.to_string();
+        assert!(s.contains("machine 3"), "{s}");
+        assert!(s.contains("network_partition"), "{s}");
+        assert_eq!(e.phase(), "network_partition");
+    }
+
+    #[test]
+    fn barrier_timeout_lists_stragglers() {
+        let e = JoinError::BarrierTimeout {
+            phase: "build_probe",
+            stragglers: vec![2, 5],
+        };
+        let s = e.to_string();
+        assert!(s.contains("[2, 5]"), "{s}");
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

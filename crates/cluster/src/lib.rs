@@ -18,6 +18,7 @@
 //!   the §7 operators.
 
 mod cost;
+pub mod error;
 mod meter;
 mod phases;
 pub mod runtime;
@@ -25,8 +26,9 @@ mod topology;
 pub mod wire;
 
 pub use cost::CostModel;
+pub use error::JoinError;
 pub use meter::Meter;
 pub use phases::PhaseTimes;
-pub use runtime::{run_cluster, ClusterRun, PhaseEvent, Runtime};
+pub use runtime::{run_cluster, try_run_cluster, ClusterRun, PhaseEvent, Runtime};
 pub use topology::{ClusterSpec, Interconnect};
 pub use wire::{ranges, TagError, WireTag};

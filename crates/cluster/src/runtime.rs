@@ -13,13 +13,21 @@
 //! * [`PhaseTimes::from_events`] folds the named events of the main join
 //!   back into the per-phase breakdown every experiment reports.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rsj_rdma::{Fabric, FabricConfig, NicCosts};
-use rsj_sim::{SimBarrier, SimCtx, SimDuration, SimTime, Simulation};
+use rsj_rdma::{Fabric, FabricConfig, FaultPlan, NicCosts};
+use rsj_sim::{SimBarrier, SimCtx, SimDuration, SimEvent, SimSemaphore, SimTime, Simulation};
 
+use crate::error::JoinError;
 use crate::phases::PhaseTimes;
+
+/// Watchdog poll interval (virtual time).
+const WATCHDOG_TICK: SimDuration = SimDuration::from_millis(10);
+/// Consecutive zero-progress ticks before the watchdog declares a hang
+/// (1 virtual second — far beyond any retry backoff budget).
+const WATCHDOG_IDLE_TICKS: u32 = 100;
 
 /// One machine's share of one named phase: the phase started for everyone
 /// at `start` (the previous barrier's release) and this machine's slowest
@@ -63,6 +71,18 @@ pub struct Runtime {
     state: Mutex<RunState>,
     machines: usize,
     cores: usize,
+    /// First failure reported by any worker (first error wins; later
+    /// failures are consequences of the abort it triggered).
+    failure: Mutex<Option<JoinError>>,
+    /// Per-machine barrier-arrival counters, for straggler detection.
+    arrivals: Vec<AtomicU64>,
+    /// Name of the most recently entered phase barrier, for attributing
+    /// watchdog timeouts.
+    phase_label: Mutex<&'static str>,
+    /// Machine-local barriers registered for poisoning on failure.
+    poison_barriers: Mutex<Vec<Arc<SimBarrier>>>,
+    /// Flow-control semaphores registered for poisoning on failure.
+    poison_semaphores: Mutex<Vec<Arc<SimSemaphore>>>,
 }
 
 /// What a finished [`Runtime::run`] reports.
@@ -83,9 +103,22 @@ impl Runtime {
         fabric_cfg: FabricConfig,
         nic: NicCosts,
     ) -> Arc<Runtime> {
+        Runtime::new_with_plan(machines, cores, fabric_cfg, nic, None)
+    }
+
+    /// Like [`Runtime::new`], but optionally arms the fabric's
+    /// deterministic fault plane with `plan`. With `None` the runtime is
+    /// event-for-event identical to [`Runtime::new`].
+    pub fn new_with_plan(
+        machines: usize,
+        cores: usize,
+        fabric_cfg: FabricConfig,
+        nic: NicCosts,
+        plan: Option<FaultPlan>,
+    ) -> Arc<Runtime> {
         assert!(machines >= 1 && cores >= 1);
         Arc::new(Runtime {
-            fabric: Fabric::new(fabric_cfg, nic, machines),
+            fabric: Fabric::new_with_plan(fabric_cfg, nic, machines, plan),
             barrier: SimBarrier::new(machines * cores),
             state: Mutex::new(RunState {
                 marks: vec![SimTime::ZERO],
@@ -94,6 +127,11 @@ impl Runtime {
             }),
             machines,
             cores,
+            failure: Mutex::new(None),
+            arrivals: (0..machines).map(|_| AtomicU64::new(0)).collect(),
+            phase_label: Mutex::new("startup"),
+            poison_barriers: Mutex::new(Vec::new()),
+            poison_semaphores: Mutex::new(Vec::new()),
         })
     }
 
@@ -111,11 +149,28 @@ impl Runtime {
     /// [`PhaseEvent`] per machine plus a global mark. Returns `true` on
     /// exactly one core (the leader).
     pub fn sync_named(&self, ctx: &SimCtx, name: &'static str, machine: usize) -> bool {
+        self.try_sync_named(ctx, name, machine).unwrap_or(false)
+    }
+
+    /// Failure-aware [`Runtime::sync_named`]: returns a [`JoinError`]
+    /// instead of blocking forever when the run was aborted while this
+    /// worker waited at the barrier.
+    pub fn try_sync_named(
+        &self,
+        ctx: &SimCtx,
+        name: &'static str,
+        machine: usize,
+    ) -> Result<bool, JoinError> {
         {
             let mut st = self.state.lock();
             st.pending[machine] = st.pending[machine].max(ctx.now());
         }
-        let leader = self.barrier.wait(ctx);
+        *self.phase_label.lock() = name;
+        self.arrivals[machine].fetch_add(1, Ordering::Relaxed);
+        let leader = match self.barrier.wait_checked(ctx) {
+            Ok(leader) => leader,
+            Err(_) => return Err(self.abort_error(name)),
+        };
         if leader {
             let now = ctx.now();
             let mut st = self.state.lock();
@@ -132,13 +187,23 @@ impl Runtime {
             }
             st.marks.push(now);
         }
-        leader
+        Ok(leader)
     }
 
     /// End an anonymous phase: cluster-wide barrier plus a global mark,
     /// without per-machine events. Returns `true` on the leader.
     pub fn sync(&self, ctx: &SimCtx) -> bool {
-        let leader = self.barrier.wait(ctx);
+        self.try_sync(ctx, 0).unwrap_or(false)
+    }
+
+    /// Failure-aware [`Runtime::sync`]; `machine` attributes the arrival
+    /// for straggler detection.
+    pub fn try_sync(&self, ctx: &SimCtx, machine: usize) -> Result<bool, JoinError> {
+        self.arrivals[machine].fetch_add(1, Ordering::Relaxed);
+        let leader = match self.barrier.wait_checked(ctx) {
+            Ok(leader) => leader,
+            Err(_) => return Err(self.abort_error(*self.phase_label.lock())),
+        };
         if leader {
             let mut st = self.state.lock();
             let now = ctx.now();
@@ -146,48 +211,196 @@ impl Runtime {
             // A mark is also a phase boundary for event bookkeeping.
             st.pending.fill(SimTime::ZERO);
         }
-        leader
+        Ok(leader)
     }
 
-    /// Cluster-wide barrier without any bookkeeping.
+    /// Cluster-wide barrier without any bookkeeping. Returns `false`
+    /// (non-leader) if the run was aborted.
     pub fn sync_quiet(&self, ctx: &SimCtx) -> bool {
-        self.barrier.wait(ctx)
+        self.barrier.wait_checked(ctx).unwrap_or(false)
+    }
+
+    /// Failure-aware [`Runtime::sync_quiet`]: no marks or events are
+    /// recorded, but a poisoned barrier surfaces as
+    /// [`JoinError::Aborted`] instead of a silent non-leader return.
+    pub fn try_sync_quiet(&self, ctx: &SimCtx) -> Result<bool, JoinError> {
+        self.barrier
+            .wait_checked(ctx)
+            .map_err(|_| self.abort_error(*self.phase_label.lock()))
+    }
+
+    /// The error a worker should propagate after observing a poisoned
+    /// barrier: the peer failure is already recorded, so the observer
+    /// reports a secondary [`JoinError::Aborted`].
+    fn abort_error(&self, phase: &'static str) -> JoinError {
+        JoinError::Aborted { phase }
+    }
+
+    /// Report a worker failure and abort the run: the first error is
+    /// recorded as *the* cause, the fabric flushes all in-flight work with
+    /// error completions, and every registered synchronization primitive
+    /// is poisoned so no parked worker can hang. Idempotent.
+    pub fn fail(&self, ctx: &SimCtx, err: JoinError) {
+        {
+            let mut f = self.failure.lock();
+            if f.is_none() {
+                *f = Some(err);
+            }
+        }
+        self.fabric.abort(ctx);
+        self.barrier.poison(ctx);
+        for b in self.poison_barriers.lock().iter() {
+            b.poison(ctx);
+        }
+        for s in self.poison_semaphores.lock().iter() {
+            s.poison(ctx);
+        }
+    }
+
+    /// Whether any worker has failed (and the run is aborting).
+    pub fn failed(&self) -> bool {
+        self.failure.lock().is_some()
+    }
+
+    /// The recorded first failure, if any.
+    pub fn failure(&self) -> Option<JoinError> {
+        self.failure.lock().clone()
+    }
+
+    /// Register a machine-local barrier so [`Runtime::fail`] can poison it
+    /// (any worker parked there wakes instead of hanging the abort).
+    pub fn register_barrier(&self, barrier: Arc<SimBarrier>) {
+        self.poison_barriers.lock().push(barrier);
+    }
+
+    /// Register a flow-control semaphore for poisoning on failure.
+    pub fn register_semaphore(&self, sem: Arc<SimSemaphore>) {
+        self.poison_semaphores.lock().push(sem);
+    }
+
+    /// Everything that should move when the cluster is healthy: fabric
+    /// activity, barrier arrivals, completed phases.
+    fn progress_snapshot(&self) -> u64 {
+        let arrivals: u64 = self
+            .arrivals
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum();
+        let marks = self.state.lock().marks.len() as u64;
+        self.fabric.progress_ticks() + arrivals + marks
+    }
+
+    /// Machines with the fewest barrier arrivals — the ones everyone else
+    /// is waiting for when the watchdog fires.
+    fn stragglers(&self) -> Vec<usize> {
+        let counts: Vec<u64> = self
+            .arrivals
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+        let min = counts.iter().copied().min().unwrap_or(0);
+        counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == min)
+            .map(|(m, _)| m)
+            .collect()
     }
 
     /// Run `worker(ctx, runtime, machine, core)` on every simulated core,
     /// shutting the fabric down after the last worker finishes. Returns
-    /// the recorded marks and events.
+    /// the recorded marks and events. Panics if the run aborts (use
+    /// [`Runtime::try_run`] for fallible workers).
     pub fn run<F>(self: &Arc<Self>, worker: F) -> ClusterRun
     where
         F: Fn(&SimCtx, &Runtime, usize, usize) + Send + Sync + 'static,
     {
+        self.try_run(move |ctx, rt, mach, core| {
+            worker(ctx, rt, mach, core);
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("cluster run failed: {e}"))
+    }
+
+    /// Run a fallible `worker` on every simulated core. A worker's `Err`
+    /// aborts the whole run ([`Runtime::fail`]); the first error becomes
+    /// the result. When a fault plan is installed, a watchdog task guards
+    /// against hangs: a full window of zero cluster-wide progress aborts
+    /// the run with [`JoinError::BarrierTimeout`] naming the stragglers.
+    pub fn try_run<F>(self: &Arc<Self>, worker: F) -> Result<ClusterRun, JoinError>
+    where
+        F: Fn(&SimCtx, &Runtime, usize, usize) -> Result<(), JoinError> + Send + Sync + 'static,
+    {
         let worker = Arc::new(worker);
         let sim = Simulation::new();
         self.fabric.launch(&sim);
+        let live = Arc::new(AtomicUsize::new(self.machines * self.cores));
+        let all_exited = SimEvent::new();
         for mach in 0..self.machines {
             for core in 0..self.cores {
                 let rt = Arc::clone(self);
                 let worker = Arc::clone(&worker);
+                let live = Arc::clone(&live);
+                let all_exited = Arc::clone(&all_exited);
                 sim.spawn(format!("m{mach}-c{core}"), move |ctx| {
-                    worker(ctx, &rt, mach, core);
+                    if let Err(e) = worker(ctx, &rt, mach, core) {
+                        rt.fail(ctx, e);
+                    }
                     // The last worker through the final barrier stops the
-                    // fabric engines.
+                    // fabric engines. On an aborted run the barrier is
+                    // poisoned and the fabric already flushed.
                     if rt.sync_quiet(ctx) {
                         rt.fabric.shutdown(ctx);
+                    }
+                    if live.fetch_sub(1, Ordering::SeqCst) == 1 {
+                        all_exited.set(ctx);
                     }
                 });
             }
         }
+        // With a fault plan armed, a hang is a bug the suite must surface:
+        // watch cluster-wide progress and abort after a full idle window.
+        // (Never spawned on fault-free runs, so their event schedule is
+        // untouched.)
+        if self.fabric.has_fault_plan() {
+            let rt = Arc::clone(self);
+            let all_exited = Arc::clone(&all_exited);
+            sim.spawn("watchdog", move |ctx| {
+                let mut last = u64::MAX;
+                let mut idle = 0u32;
+                while !all_exited.is_set() {
+                    ctx.sleep_until(ctx.now() + WATCHDOG_TICK);
+                    let progress = rt.progress_snapshot();
+                    if progress != last {
+                        last = progress;
+                        idle = 0;
+                        continue;
+                    }
+                    idle += 1;
+                    if idle >= WATCHDOG_IDLE_TICKS {
+                        let err = JoinError::BarrierTimeout {
+                            phase: *rt.phase_label.lock(),
+                            stragglers: rt.stragglers(),
+                        };
+                        rt.fail(ctx, err);
+                        break;
+                    }
+                }
+            });
+        }
         sim.run();
+        if let Some(err) = self.failure() {
+            return Err(err);
+        }
         // The simulation has quiesced: audit the verbs-contract end state
         // (undrained completions, unreposted receive slots, leaked pool
         // buffers) before reporting results.
         self.fabric.validator().check_teardown();
         let st = self.state.lock();
-        ClusterRun {
+        Ok(ClusterRun {
             marks: st.marks.clone(),
             events: st.events.clone(),
-        }
+        })
     }
 }
 
@@ -204,6 +417,23 @@ where
     F: Fn(&SimCtx, &Runtime, usize, usize) + Send + Sync + 'static,
 {
     Runtime::new(machines, cores, fabric_cfg, nic).run(worker)
+}
+
+/// Fallible variant of [`run_cluster`], with an optional fault plan: the
+/// first worker error (or watchdog timeout) aborts the run and is
+/// returned as a structured [`JoinError`].
+pub fn try_run_cluster<F>(
+    machines: usize,
+    cores: usize,
+    fabric_cfg: FabricConfig,
+    nic: NicCosts,
+    plan: Option<FaultPlan>,
+    worker: F,
+) -> Result<ClusterRun, JoinError>
+where
+    F: Fn(&SimCtx, &Runtime, usize, usize) -> Result<(), JoinError> + Send + Sync + 'static,
+{
+    Runtime::new_with_plan(machines, cores, fabric_cfg, nic, plan).try_run(worker)
 }
 
 impl PhaseTimes {
@@ -327,10 +557,10 @@ mod tests {
                 let nic = rt.fabric.nic(HostId(mach));
                 let dst = HostId(1 - mach);
                 let ev = nic.post_send(ctx, dst, 5, vec![0u8; 4096]);
-                let c = nic.recv(ctx).expect("peer message");
+                let c = nic.recv(ctx).unwrap().expect("peer message");
                 assert_eq!(c.tag, 5);
                 nic.repost_recv(ctx);
-                ev.wait(ctx);
+                ev.wait(ctx).unwrap();
                 rt.sync(ctx);
             },
         );

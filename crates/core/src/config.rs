@@ -128,6 +128,12 @@ pub struct DistJoinConfig {
     /// record in release). The perf harness prices the release-mode
     /// checks by running the same join with `Record` and `Off`.
     pub validate_mode: Option<rsj_rdma::ValidateMode>,
+    /// Deterministic fault schedule for the fabric (DESIGN.md §8). `None`
+    /// — the default — leaves the fault plane entirely out of the event
+    /// schedule: the run is event-for-event identical to a build without
+    /// it. `Some(plan)` injects the plan's drops, delays, link flaps, NIC
+    /// stalls and host crashes, replayed identically for the same seed.
+    pub fault_plan: Option<rsj_rdma::FaultPlan>,
 }
 
 impl DistJoinConfig {
@@ -153,6 +159,7 @@ impl DistJoinConfig {
             parallel_local_pass: false,
             materialize: MaterializeMode::CountOnly,
             validate_mode: None,
+            fault_plan: None,
         }
     }
 

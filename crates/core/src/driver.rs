@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use rsj_cluster::{Meter, PhaseTimes, Runtime};
+use rsj_cluster::{JoinError, Meter, PhaseTimes, Runtime};
 use rsj_rdma::HostId;
 use rsj_sim::{SimCtx, SimTime};
 use rsj_workload::{JoinResult, Relation, Tuple};
@@ -71,25 +71,55 @@ pub struct DistJoinOutcome {
 /// Execute the distributed join on relations already loaded across the
 /// cluster (chunk `m` of each relation resides on machine `m`). Returns
 /// the verified result, the per-phase breakdown and per-machine stats.
+///
+/// # Panics
+/// Panics if the run aborts — which cannot happen without a
+/// [`DistJoinConfig::fault_plan`]; use [`try_run_distributed_join`] for
+/// fault-injected runs.
 pub fn run_distributed_join<T: Tuple>(
     cfg: DistJoinConfig,
     r: Relation<T>,
     s: Relation<T>,
 ) -> DistJoinOutcome {
+    try_run_distributed_join(cfg, r, s).unwrap_or_else(|e| panic!("distributed join failed: {e}"))
+}
+
+/// Fallible variant of [`run_distributed_join`]: with a
+/// [`DistJoinConfig::fault_plan`] installed, the join either completes
+/// byte-correct despite transient faults or returns the structured
+/// [`JoinError`] naming the machine and phase that failed — never hangs
+/// (the runtime watchdog converts a stuck cluster into
+/// [`JoinError::BarrierTimeout`]).
+pub fn try_run_distributed_join<T: Tuple>(
+    cfg: DistJoinConfig,
+    r: Relation<T>,
+    s: Relation<T>,
+) -> Result<DistJoinOutcome, JoinError> {
     cfg.validate();
     let m = cfg.cluster.machines;
     assert_eq!(r.machines(), m, "inner relation not loaded on this cluster");
     assert_eq!(s.machines(), m, "outer relation not loaded on this cluster");
     let cores = cfg.cluster.cores_per_machine;
 
-    let rt = Runtime::new(m, cores, cfg.fabric_config(), cfg.cluster.cost.nic);
+    let plan = cfg.fault_plan.clone();
+    let rt = Runtime::new_with_plan(m, cores, cfg.fabric_config(), cfg.cluster.cost.nic, plan);
     if let Some(mode) = cfg.validate_mode {
         rt.fabric.validator().set_mode(mode);
     }
     let shared = Arc::new(ClusterShared::new(cfg, Arc::clone(&rt.fabric), &r, &s));
+    // A failing worker poisons every machine-local barrier and TCP window
+    // so no peer stays parked on one during the abort.
+    for st in &shared.machines {
+        rt.register_barrier(Arc::clone(&st.local_barrier));
+    }
+    for row in &shared.tcp_windows {
+        for window in row {
+            rt.register_semaphore(Arc::clone(window));
+        }
+    }
 
     let sh = Arc::clone(&shared);
-    let run = rt.run(move |ctx, rt, mach, core| worker(ctx, rt, &sh, mach, core));
+    let run = rt.try_run(move |ctx, rt, mach, core| worker(ctx, rt, &sh, mach, core))?;
 
     assert_eq!(
         run.marks.len(),
@@ -139,30 +169,38 @@ pub fn run_distributed_join<T: Tuple>(
             "materialization lost result pairs"
         );
     }
-    DistJoinOutcome {
+    Ok(DistJoinOutcome {
         result,
         phases,
         machines: reports,
         materialized_bytes,
-    }
+    })
 }
 
 /// One simulated core's journey through the four phases. The runtime's
 /// named barriers record the per-machine phase events; the trailing
-/// barrier and fabric shutdown are handled by [`Runtime::run`].
-fn worker<T: Tuple>(ctx: &SimCtx, rt: &Runtime, sh: &ClusterShared<T>, mach: usize, core: usize) {
+/// barrier and fabric shutdown are handled by [`Runtime::try_run`]. A
+/// phase error aborts the whole run ([`Runtime::fail`]).
+fn worker<T: Tuple>(
+    ctx: &SimCtx,
+    rt: &Runtime,
+    sh: &ClusterShared<T>,
+    mach: usize,
+    core: usize,
+) -> Result<(), JoinError> {
     let mut meter = Meter::with_quantum_ns(sh.cfg.meter_quantum_ns);
 
-    phase_histogram(ctx, sh, mach, core, &mut meter);
-    rt.sync_named(ctx, "histogram", mach);
+    phase_histogram(ctx, sh, mach, core, &mut meter)?;
+    rt.try_sync_named(ctx, "histogram", mach)?;
 
-    phase_network(ctx, sh, mach, core, &mut meter);
-    rt.sync_named(ctx, "network_partition", mach);
+    phase_network(ctx, sh, mach, core, &mut meter)?;
+    rt.try_sync_named(ctx, "network_partition", mach)?;
 
-    phase_local(ctx, sh, mach, core, &mut meter);
-    rt.sync_named(ctx, "local_partition", mach);
+    phase_local(ctx, sh, mach, core, &mut meter)?;
+    rt.try_sync_named(ctx, "local_partition", mach)?;
 
-    phase_build_probe(ctx, sh, mach, core, &mut meter);
+    phase_build_probe(ctx, sh, mach, core, &mut meter)?;
     *sh.machines[mach].cpu_busy_seconds.lock() += meter.total_seconds();
-    rt.sync_named(ctx, "build_probe", mach);
+    rt.try_sync_named(ctx, "build_probe", mach)?;
+    Ok(())
 }

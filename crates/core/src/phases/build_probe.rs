@@ -9,7 +9,7 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use rsj_cluster::{Meter, WireTag};
+use rsj_cluster::{JoinError, Meter, WireTag};
 use rsj_joins::BucketTable;
 use rsj_rdma::{HostId, Nic, SendWindow};
 use rsj_sim::SimCtx;
@@ -17,6 +17,9 @@ use rsj_workload::{JoinResult, Tuple};
 
 use crate::config::{DistJoinConfig, MaterializeMode};
 use crate::phases::{task_bytes, BpTask, ClusterShared};
+
+/// Phase name used in error attribution and watchdog reports.
+const PHASE: &str = "build_probe";
 
 /// §4.3 result materialization: matches are serialized as
 /// `<r.rid, s.rid>` pairs (16 bytes) into output buffers. In coordinator
@@ -26,10 +29,16 @@ use crate::phases::{task_bytes, BpTask, ClusterShared};
 struct ResultEmitter {
     mode: MaterializeMode,
     is_coordinator: bool,
+    mach: usize,
     buf: Vec<u8>,
     window: SendWindow,
     cap: usize,
     bytes: u64,
+    /// First fabric error seen while shipping result buffers. [`emit`] is
+    /// driven from the probe callback, which cannot propagate `?`; the
+    /// error is stashed here and surfaced by the phase loop after the
+    /// current task ([`take_err`]). Once set, no further sends are posted.
+    err: Option<JoinError>,
 }
 
 impl ResultEmitter {
@@ -37,10 +46,20 @@ impl ResultEmitter {
         ResultEmitter {
             mode: cfg.materialize,
             is_coordinator: mach == 0,
+            mach,
             buf: Vec::new(),
             window: SendWindow::validated(cfg.send_depth, Arc::clone(nic.validator())),
             cap: cfg.rdma_buf_size,
             bytes: 0,
+            err: None,
+        }
+    }
+
+    /// Surface (and clear) a stashed send failure.
+    fn take_err(&mut self) -> Result<(), JoinError> {
+        match self.err.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
@@ -67,9 +86,19 @@ impl ResultEmitter {
         if self.buf.is_empty() {
             return;
         }
+        if self.err.is_some() {
+            // The fabric path already failed; drop further output on the
+            // floor — the run is aborting.
+            self.buf.clear();
+            return;
+        }
         if self.mode == MaterializeMode::ToCoordinator && !self.is_coordinator {
             meter.flush(ctx);
-            self.window.admit(ctx);
+            if let Err(e) = self.window.admit(ctx) {
+                self.err = Some(JoinError::fabric(self.mach, PHASE, e));
+                self.buf.clear();
+                return;
+            }
             let payload = std::mem::take(&mut self.buf);
             let ev = nic.post_send(ctx, HostId(0), WireTag::Result.encode(), payload);
             self.window.record(ev);
@@ -81,19 +110,23 @@ impl ResultEmitter {
     }
 
     /// Final flush + EOS + drain; returns the bytes that stayed local.
-    fn finish(&mut self, ctx: &SimCtx, meter: &mut Meter, nic: &Nic) -> u64 {
+    fn finish(&mut self, ctx: &SimCtx, meter: &mut Meter, nic: &Nic) -> Result<u64, JoinError> {
         if self.mode == MaterializeMode::CountOnly {
-            return 0;
+            return Ok(0);
         }
         self.flush(ctx, meter, nic);
+        self.take_err()?;
         if self.mode == MaterializeMode::ToCoordinator && !self.is_coordinator {
             meter.flush(ctx);
             nic.post_send(ctx, HostId(0), WireTag::Eos.encode(), Vec::new())
-                .wait(ctx);
-            self.window.drain(ctx);
-            0
+                .wait(ctx)
+                .map_err(|e| JoinError::fabric(self.mach, PHASE, e))?;
+            self.window
+                .drain(ctx)
+                .map_err(|e| JoinError::fabric(self.mach, PHASE, e))?;
+            Ok(0)
         } else {
-            self.bytes
+            Ok(self.bytes)
         }
     }
 }
@@ -101,15 +134,22 @@ impl ResultEmitter {
 /// Coordinator-side result sink: machine 0's core 0 absorbs materialized
 /// result buffers during the build-probe phase in
 /// [`MaterializeMode::ToCoordinator`] runs.
-fn result_sink<T: Tuple>(ctx: &SimCtx, sh: &ClusterShared<T>, meter: &mut Meter) {
+fn result_sink<T: Tuple>(
+    ctx: &SimCtx,
+    sh: &ClusterShared<T>,
+    meter: &mut Meter,
+) -> Result<(), JoinError> {
     let m = sh.cfg.cluster.machines;
     let nic = sh.fabric.nic(HostId(0));
     let expected_eos = (m - 1) * sh.cfg.cluster.cores_per_machine;
     let mut eos = 0;
     let mut bytes = 0u64;
     while eos < expected_eos {
-        let c = nic.recv(ctx).expect("fabric closed during result sink");
-        match WireTag::decode(c.tag).unwrap_or_else(|e| panic!("result sink: {e}")) {
+        let c = nic
+            .recv(ctx)
+            .map_err(|e| JoinError::fabric(0, PHASE, e))?
+            .ok_or(JoinError::Aborted { phase: PHASE })?;
+        match WireTag::decode(c.tag).map_err(|e| JoinError::decode(0, PHASE, e))? {
             WireTag::Eos => eos += 1,
             WireTag::Result => {
                 // Copy out of the receive buffer into result storage.
@@ -122,6 +162,7 @@ fn result_sink<T: Tuple>(ctx: &SimCtx, sh: &ClusterShared<T>, meter: &mut Meter)
     }
     meter.flush(ctx);
     *sh.coord_result_bytes.lock() += bytes;
+    Ok(())
 }
 
 pub(crate) fn phase_build_probe<T: Tuple>(
@@ -130,7 +171,7 @@ pub(crate) fn phase_build_probe<T: Tuple>(
     mach: usize,
     core: usize,
     meter: &mut Meter,
-) {
+) -> Result<(), JoinError> {
     let cfg = &sh.cfg;
     let st = &sh.machines[mach];
     let info = Arc::clone(st.info.lock().as_ref().expect("histogram phase incomplete"));
@@ -160,7 +201,7 @@ pub(crate) fn phase_build_probe<T: Tuple>(
                 if !cfg.inter_machine_work_sharing {
                     break;
                 }
-                match steal_task(ctx, sh, mach, meter) {
+                match steal_task(ctx, sh, mach, meter)? {
                     Some(t) => t,
                     None => {
                         // Nothing stealable right now. If any worker is
@@ -170,6 +211,11 @@ pub(crate) fn phase_build_probe<T: Tuple>(
                             && sh.machines.iter().all(|m| m.bp_tasks.is_empty())
                         {
                             break;
+                        }
+                        // An aborting run must not keep polling: peers may
+                        // never drain their queues.
+                        if sh.fabric.aborted() {
+                            return Err(JoinError::Aborted { phase: PHASE });
                         }
                         // Poll at the granularity of the smallest stealable
                         // unit so the phase end is not overshot.
@@ -249,13 +295,15 @@ pub(crate) fn phase_build_probe<T: Tuple>(
         }
         sh.bp_busy.fetch_sub(1, Ordering::SeqCst);
         meter.flush(ctx);
+        emitter.take_err()?;
     }
-    let local_bytes = emitter.finish(ctx, meter, &nic);
+    let local_bytes = emitter.finish(ctx, meter, &nic)?;
     if local_bytes > 0 {
         *st.result_bytes_local.lock() += local_bytes;
     }
     meter.flush(ctx);
     st.result.lock().merge(local);
+    Ok(())
 }
 
 /// Work-sharing extension: pull one build-probe fragment from another
@@ -273,7 +321,7 @@ fn steal_task<T: Tuple>(
     sh: &ClusterShared<T>,
     mach: usize,
     meter: &mut Meter,
-) -> Option<BpTask<T>> {
+) -> Result<Option<BpTask<T>>, JoinError> {
     let m = sh.cfg.cluster.machines;
     let cores = sh.cfg.cluster.cores_per_machine as f64;
     let probe_rate = sh.cfg.cluster.cost.probe_rate;
@@ -325,7 +373,7 @@ fn steal_task<T: Tuple>(
                     // The payload content is immaterial (the fragment is
                     // shared in simulator memory); the READ charges the
                     // honest wire time of moving it.
-                    let _bytes = sh
+                    let read = sh
                         .fabric
                         .nic(HostId(mach))
                         .post_read(ctx, remote, 0, len)
@@ -333,12 +381,13 @@ fn steal_task<T: Tuple>(
                     vstate
                         .steal_outstanding_bytes
                         .fetch_sub(len, Ordering::SeqCst);
+                    read.map_err(|e| JoinError::fabric(mach, PHASE, e))?;
                 }
             }
-            return Some(task);
+            return Ok(Some(task));
         }
     }
-    None
+    Ok(None)
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -7,15 +7,18 @@
 
 use std::sync::Arc;
 
-use rsj_cluster::{ranges, Meter, WireTag};
+use rsj_cluster::{ranges, JoinError, Meter, WireTag};
 use rsj_joins::partition_of;
 use rsj_rdma::HostId;
 use rsj_sim::SimCtx;
 use rsj_workload::Tuple;
 
 use crate::histogram::{assign_partitions, Histogram, REL_R, REL_S};
-use crate::phases::{sender_index, ClusterShared, GlobalInfo, RELS};
+use crate::phases::{barrier_wait, sender_index, ClusterShared, GlobalInfo, RELS};
 use crate::ReceiveMode;
+
+/// Phase name used in error attribution and watchdog reports.
+const PHASE: &str = "histogram";
 
 pub(crate) fn phase_histogram<T: Tuple>(
     ctx: &SimCtx,
@@ -23,7 +26,7 @@ pub(crate) fn phase_histogram<T: Tuple>(
     mach: usize,
     core: usize,
     meter: &mut Meter,
-) {
+) -> Result<(), JoinError> {
     let cfg = &sh.cfg;
     let st = &sh.machines[mach];
     let b1 = cfg.radix_bits.0;
@@ -48,7 +51,7 @@ pub(crate) fn phase_histogram<T: Tuple>(
         *st.worker_hists[w].lock() = Some(hist);
         meter.flush(ctx);
     }
-    st.local_barrier.wait(ctx);
+    barrier_wait(&st.local_barrier, ctx, PHASE)?;
 
     // Core 0 exchanges the machine histogram and computes global state.
     if core == 0 {
@@ -71,14 +74,16 @@ pub(crate) fn phase_histogram<T: Tuple>(
         for _ in 0..m.saturating_sub(1) {
             let c = nic
                 .recv(ctx)
-                .expect("fabric closed during histogram exchange");
-            let tag = WireTag::decode(c.tag).unwrap_or_else(|e| panic!("histogram exchange: {e}"));
+                .map_err(|e| JoinError::fabric(mach, PHASE, e))?
+                .ok_or(JoinError::Aborted { phase: PHASE })?;
+            let tag = WireTag::decode(c.tag).map_err(|e| JoinError::decode(mach, PHASE, e))?;
             assert_eq!(tag, WireTag::Histogram, "unexpected phase-1 message");
             machine_hists[c.src.0] = Histogram::decode(&c.payload);
             nic.repost_recv(ctx);
         }
         for ev in evs {
-            ev.wait(ctx);
+            ev.wait(ctx)
+                .map_err(|e| JoinError::fabric(mach, PHASE, e))?;
         }
 
         let mut global = Histogram::zeros(np1);
@@ -136,4 +141,5 @@ pub(crate) fn phase_histogram<T: Tuple>(
             s_split_threshold,
         }));
     }
+    Ok(())
 }

@@ -8,14 +8,17 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use rsj_cluster::Meter;
+use rsj_cluster::{JoinError, Meter};
 use rsj_joins::{Partitioned, Partitioner};
 use rsj_sim::SimCtx;
 use rsj_workload::{decode_into, Tuple};
 
 use crate::histogram::{REL_R, REL_S};
-use crate::phases::{task_bytes, BpTask, ClusterShared, GlobalInfo, RELS};
+use crate::phases::{barrier_wait, task_bytes, BpTask, ClusterShared, GlobalInfo, RELS};
 use crate::ReceiveMode;
+
+/// Phase name used in error attribution and watchdog reports.
+const PHASE: &str = "local_partition";
 
 pub(crate) fn phase_local<T: Tuple>(
     ctx: &SimCtx,
@@ -23,7 +26,7 @@ pub(crate) fn phase_local<T: Tuple>(
     mach: usize,
     core: usize,
     meter: &mut Meter,
-) {
+) -> Result<(), JoinError> {
     let cfg = &sh.cfg;
     let st = &sh.machines[mach];
     let info = Arc::clone(st.info.lock().as_ref().expect("histogram phase incomplete"));
@@ -96,6 +99,7 @@ pub(crate) fn phase_local<T: Tuple>(
         meter.flush(ctx);
     }
     meter.flush(ctx);
+    Ok(())
 }
 
 /// Parallel local pass (extension; see
@@ -115,7 +119,7 @@ fn phase_local_parallel<T: Tuple>(
     core: usize,
     meter: &mut Meter,
     info: &GlobalInfo,
-) {
+) -> Result<(), JoinError> {
     let cfg = &sh.cfg;
     let st = &sh.machines[mach];
     let (b1, b2) = cfg.radix_bits;
@@ -129,7 +133,7 @@ fn phase_local_parallel<T: Tuple>(
         *st.lp_assembled.lock() = (0..owned.len()).map(|_| None).collect();
         *st.lp_outputs.lock() = (0..owned.len()).map(|_| [Vec::new(), Vec::new()]).collect();
     }
-    st.local_barrier.wait(ctx);
+    barrier_wait(&st.local_barrier, ctx, PHASE)?;
 
     // Stage 1: assemble owned partitions (uncharged pointer assembly, as
     // in the sequential path).
@@ -172,7 +176,7 @@ fn phase_local_parallel<T: Tuple>(
     // Leader of this barrier builds the slice task list from the
     // assembled sizes, aiming for several tasks per core so a giant
     // partition spreads across the whole machine.
-    if st.local_barrier.wait(ctx) {
+    if barrier_wait(&st.local_barrier, ctx, PHASE)? {
         let assembled = st.lp_assembled.lock();
         let total_tuples: usize = assembled
             .iter()
@@ -221,7 +225,7 @@ fn phase_local_parallel<T: Tuple>(
         meter.flush(ctx);
     }
     meter.flush(ctx);
-    st.local_barrier.wait(ctx);
+    barrier_wait(&st.local_barrier, ctx, PHASE)?;
 
     // Stage 3: concatenate slice outputs per fragment and enqueue
     // build-probe tasks (uncharged assembly, same convention as the
@@ -258,4 +262,5 @@ fn phase_local_parallel<T: Tuple>(
             }
         }
     }
+    Ok(())
 }

@@ -24,9 +24,10 @@ use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use rsj_cluster::JoinError;
 use rsj_joins::{BucketTable, NumaQueues, Partitioned};
-use rsj_rdma::{BufferPool, Fabric, RemoteMr};
-use rsj_sim::{SimBarrier, SimSemaphore};
+use rsj_rdma::{BufferPool, Fabric, HostId, RemoteMr};
+use rsj_sim::{SimBarrier, SimCtx, SimSemaphore};
 use rsj_workload::{JoinResult, Relation, Tuple};
 
 use crate::config::{DistJoinConfig, ReceiveMode};
@@ -226,8 +227,8 @@ impl<T: Tuple> ClusterShared<T> {
                 )
             })
             .collect::<Vec<_>>();
-        for pool in &pools {
-            fabric.validator().register_pool(pool);
+        for (i, pool) in pools.iter().enumerate() {
+            fabric.validator().register_pool(HostId(i), pool);
         }
         let tcp_windows = (0..m)
             .map(|_| {
@@ -248,6 +249,21 @@ impl<T: Tuple> ClusterShared<T> {
             coord_result_bytes: Mutex::new(0),
         }
     }
+}
+
+/// Poison-aware machine-local barrier wait. A peer failure poisons every
+/// registered barrier ([`rsj_cluster::Runtime::fail`]); a worker parked
+/// here wakes with [`JoinError::Aborted`] instead of hanging the abort.
+/// Returns the leader flag on the healthy path, exactly like
+/// [`SimBarrier::wait`].
+pub(crate) fn barrier_wait(
+    barrier: &SimBarrier,
+    ctx: &SimCtx,
+    phase: &'static str,
+) -> Result<bool, JoinError> {
+    barrier
+        .wait_checked(ctx)
+        .map_err(|_| JoinError::Aborted { phase })
 }
 
 /// The partitioning-worker index of `core`, or `None` if this core is the

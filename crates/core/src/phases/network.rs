@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use rsj_cluster::{ranges, Meter, WireTag};
+use rsj_cluster::{ranges, JoinError, Meter, WireTag};
 use rsj_joins::partition_of;
 use rsj_rdma::{HostId, Nic, SendWindow};
 use rsj_sim::SimCtx;
@@ -19,6 +19,9 @@ use rsj_workload::Tuple;
 use crate::histogram::{REL_R, REL_S};
 use crate::phases::{sender_index, ClusterShared, LocalOut, RELS};
 use crate::{ReceiveMode, TransportMode};
+
+/// Phase name used in error attribution and watchdog reports.
+const PHASE: &str = "network_partition";
 
 struct SendBuf {
     buf: Vec<u8>,
@@ -39,7 +42,7 @@ pub(crate) fn phase_network<T: Tuple>(
     mach: usize,
     core: usize,
     meter: &mut Meter,
-) {
+) -> Result<(), JoinError> {
     let cfg = &sh.cfg;
     match sender_index(cfg, core) {
         None => receiver_loop::<T>(ctx, sh, mach, meter),
@@ -53,7 +56,7 @@ fn sender_loop<T: Tuple>(
     mach: usize,
     w: usize,
     meter: &mut Meter,
-) {
+) -> Result<(), JoinError> {
     let cfg = &sh.cfg;
     let st = &sh.machines[mach];
     let info = Arc::clone(st.info.lock().as_ref().expect("histogram phase incomplete"));
@@ -124,7 +127,7 @@ fn sender_loop<T: Tuple>(
                     let base = base_offsets.as_ref().map_or(0, |b| b[rel][p]);
                     flush_buf::<T>(
                         ctx, sh, mach, meter, &nic, sb, rel, p, dst, base, &mut stall, false,
-                    );
+                    )?;
                 }
             }
         }
@@ -139,9 +142,11 @@ fn sender_loop<T: Tuple>(
                     let base = base_offsets.as_ref().map_or(0, |b| b[rel][p]);
                     flush_buf::<T>(
                         ctx, sh, mach, meter, &nic, sb, rel, p, dst, base, &mut stall, true,
-                    );
+                    )?;
                 }
-                sb.window.drain(ctx);
+                sb.window
+                    .drain(ctx)
+                    .map_err(|e| JoinError::fabric(mach, PHASE, e))?;
                 // admit() + drain() stalls were accumulated by the window.
                 stall += sb.window.stall_seconds();
                 // All sends confirmed: the stream's buffers return to the
@@ -168,7 +173,8 @@ fn sender_loop<T: Tuple>(
             evs.push(nic.post_send(ctx, HostId(dst), WireTag::Eos.encode(), Vec::new()));
         }
         for ev in evs {
-            ev.wait(ctx);
+            ev.wait(ctx)
+                .map_err(|e| JoinError::fabric(mach, PHASE, e))?;
         }
     }
     *st.stall_seconds.lock() += stall;
@@ -176,6 +182,7 @@ fn sender_loop<T: Tuple>(
     // Hand the private local buffers to the machine state for assembly.
     let mut out = st.local_out[w].lock();
     *out = local;
+    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -192,7 +199,7 @@ fn flush_buf<T: Tuple>(
     base: usize,
     stall: &mut f64,
     is_final: bool,
-) {
+) -> Result<(), JoinError> {
     let cfg = &sh.cfg;
     let payload_len = sb.buf.len();
     debug_assert!(payload_len > 0);
@@ -205,7 +212,9 @@ fn flush_buf<T: Tuple>(
             meter.flush(ctx);
             let window = Arc::clone(&sh.tcp_windows[mach][dst]);
             let t0 = ctx.now();
-            window.acquire(ctx);
+            window
+                .acquire_checked(ctx)
+                .map_err(|_| JoinError::Aborted { phase: PHASE })?;
             *stall += (ctx.now() - t0).as_secs_f64();
             let payload = std::mem::take(&mut sb.buf);
             nic.post_send_windowed(
@@ -223,7 +232,9 @@ fn flush_buf<T: Tuple>(
             if interleaved {
                 // Stall time is tracked by the window itself and folded
                 // into the report after the final drain.
-                sb.window.admit(ctx);
+                sb.window
+                    .admit(ctx)
+                    .map_err(|e| JoinError::fabric(mach, PHASE, e))?;
             }
             let payload = std::mem::take(&mut sb.buf);
             let ev = match cfg.receive {
@@ -249,7 +260,8 @@ fn flush_buf<T: Tuple>(
             } else {
                 // Non-interleaved ablation: wait for the wire immediately.
                 let t0 = ctx.now();
-                ev.wait(ctx);
+                ev.wait(ctx)
+                    .map_err(|e| JoinError::fabric(mach, PHASE, e))?;
                 *stall += (ctx.now() - t0).as_secs_f64();
             }
             if !is_final {
@@ -264,9 +276,15 @@ fn flush_buf<T: Tuple>(
             }
         }
     }
+    Ok(())
 }
 
-fn receiver_loop<T: Tuple>(ctx: &SimCtx, sh: &ClusterShared<T>, mach: usize, meter: &mut Meter) {
+fn receiver_loop<T: Tuple>(
+    ctx: &SimCtx,
+    sh: &ClusterShared<T>,
+    mach: usize,
+    meter: &mut Meter,
+) -> Result<(), JoinError> {
     let cfg = &sh.cfg;
     let st = &sh.machines[mach];
     let info = Arc::clone(st.info.lock().as_ref().expect("histogram phase incomplete"));
@@ -275,8 +293,11 @@ fn receiver_loop<T: Tuple>(ctx: &SimCtx, sh: &ClusterShared<T>, mach: usize, met
     let expected_eos = (m - 1) * cfg.partitioning_workers();
     let mut eos = 0usize;
     while eos < expected_eos {
-        let c = nic.recv(ctx).expect("fabric closed during network pass");
-        match WireTag::decode(c.tag).unwrap_or_else(|e| panic!("network pass: {e}")) {
+        let c = nic
+            .recv(ctx)
+            .map_err(|e| JoinError::fabric(mach, PHASE, e))?
+            .ok_or(JoinError::Aborted { phase: PHASE })?;
+        match WireTag::decode(c.tag).map_err(|e| JoinError::decode(mach, PHASE, e))? {
             WireTag::Eos => eos += 1,
             WireTag::Data { rel, part } => {
                 assert_eq!(
@@ -298,4 +319,5 @@ fn receiver_loop<T: Tuple>(ctx: &SimCtx, sh: &ClusterShared<T>, mach: usize, met
         nic.repost_recv(ctx);
     }
     meter.flush(ctx);
+    Ok(())
 }

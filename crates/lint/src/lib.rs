@@ -12,6 +12,7 @@
 //! | `mr-access` | direct `Mr` byte access (`take_data` / `with_data` / `dma_write`) outside `rsj-rdma` — operators must go through the verbs API so the runtime validator sees every access |
 //! | `unwrap` | `.unwrap()` (or an `.expect` with a non-descriptive message) in non-test library code — failures in phase code must say what invariant broke |
 //! | `hot-alloc` | `vec!` / `Vec::new` inside `crates/joins` functions named `*_kernel`, `histogram*` or `scatter*` — those are the per-partition hot loops; allocate scratch once in the owning `Partitioner`/table and reuse it |
+//! | `fabric-panic` | `.unwrap()` / `.expect(` on the fabric's fallible post/poll results (`wait`/`recv`/`admit`/`drain`) in non-test library code — fault-plane errors (DESIGN.md §8) must propagate as `JoinError` so the run aborts cleanly |
 //!
 //! Any rule can be waived on a specific line with a justification marker,
 //! on the same line or the line directly above:
@@ -341,6 +342,29 @@ pub fn lint_file(relpath: &str, content: &str) -> Vec<Finding> {
                     );
                 }
             }
+            // Fault-plane rule: the fabric's post/poll APIs return typed
+            // errors so phase code can abort cleanly (DESIGN.md §8);
+            // panicking on them in library code reintroduces the
+            // crash-the-whole-simulation failure mode the fault plane
+            // exists to remove.
+            check(
+                "fabric-panic",
+                [
+                    "wait(ctx).unwrap()",
+                    "wait(ctx).expect(",
+                    "recv(ctx).unwrap()",
+                    "recv(ctx).expect(",
+                    "admit(ctx).unwrap()",
+                    "admit(ctx).expect(",
+                    "drain(ctx).unwrap()",
+                    "drain(ctx).expect(",
+                ]
+                .iter()
+                .any(|p| code.contains(p)),
+                "panic on a fallible fabric post/poll result in library code; propagate the \
+                 error as a JoinError so the run aborts cleanly instead of crashing"
+                    .to_string(),
+            );
         }
         prev_line = Some(line);
     }
@@ -483,6 +507,26 @@ mod tests {
         let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
         assert!(lint_file("crates/cluster/src/wire.rs", src).is_empty());
         assert!(lint_file("crates/rdma/tests/validator.rs", "fn t() { x.unwrap(); }\n").is_empty());
+    }
+
+    #[test]
+    fn catches_panics_on_fabric_results_in_library_code() {
+        // Even a descriptive expect is banned on fabric post/poll
+        // results: library code must propagate the typed error.
+        let src = "fn f() {\n    let c = nic.recv(ctx).expect(\"peer sent the histogram\");\n}\n";
+        assert_eq!(
+            rules(&lint_file("crates/core/src/x.rs", src)),
+            ["fabric-panic"]
+        );
+        let src = "fn f() {\n    window.drain(ctx).unwrap();\n}\n";
+        // The generic unwrap rule fires too; the fabric rule names the fix.
+        assert!(rules(&lint_file("crates/operators/src/x.rs", src)).contains(&"fabric-panic"));
+        // Propagation is clean.
+        let ok = "fn f() -> Result<(), JoinError> {\n    window.drain(ctx).map_err(fab)?;\n    Ok(())\n}\n";
+        assert!(lint_file("crates/operators/src/x.rs", ok).is_empty());
+        // Tests stay free to unwrap.
+        let test = "fn t() { nic.recv(ctx).unwrap(); }\n";
+        assert!(lint_file("crates/rdma/tests/x.rs", test).is_empty());
     }
 
     #[test]

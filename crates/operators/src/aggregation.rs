@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rsj_cluster::{ClusterSpec, Meter, PhaseTimes};
+use rsj_cluster::{ClusterSpec, JoinError, Meter, PhaseTimes};
 use rsj_joins::partition_of;
 use rsj_rdma::{BufferPool, HostId, SendWindow};
 use rsj_sim::SimCtx;
@@ -34,6 +34,9 @@ pub struct AggregationConfig {
     pub send_depth: usize,
     /// Fabric parameter override (used by scaled experiment runs).
     pub fabric_override: Option<rsj_rdma::FabricConfig>,
+    /// Deterministic fault schedule (DESIGN.md §8); `None` keeps the run
+    /// event-for-event identical to a build without the fault plane.
+    pub fault_plan: Option<rsj_rdma::FaultPlan>,
 }
 
 impl AggregationConfig {
@@ -45,6 +48,7 @@ impl AggregationConfig {
             rdma_buf_size: 64 * 1024,
             send_depth: 2,
             fabric_override: None,
+            fault_plan: None,
         }
     }
 }
@@ -83,7 +87,22 @@ struct MachState<T> {
 }
 
 /// Run the distributed aggregation over `s`.
+///
+/// # Panics
+/// Panics if the run aborts — impossible without an
+/// [`AggregationConfig::fault_plan`]; use [`try_run_aggregation`] for
+/// fault-injected runs.
 pub fn run_aggregation<T: Tuple>(cfg: AggregationConfig, s: Relation<T>) -> AggregationOutcome {
+    try_run_aggregation(cfg, s).unwrap_or_else(|e| panic!("aggregation failed: {e}"))
+}
+
+/// Fallible variant of [`run_aggregation`]: with a fault plan installed
+/// the aggregation completes byte-correct or returns a structured
+/// [`JoinError`] — never hangs.
+pub fn try_run_aggregation<T: Tuple>(
+    cfg: AggregationConfig,
+    s: Relation<T>,
+) -> Result<AggregationOutcome, JoinError> {
     let m = cfg.cluster.machines;
     assert_eq!(s.machines(), m);
     let cores = cfg.cluster.cores_per_machine;
@@ -125,13 +144,15 @@ pub fn run_aggregation<T: Tuple>(cfg: AggregationConfig, s: Relation<T>) -> Aggr
             .expect("aggregation needs a networked cluster")
     });
     let nic_costs = cfg.cluster.cost.nic;
+    let plan = cfg.fault_plan.clone();
     let cfg = Arc::new(cfg);
     let st2 = Arc::clone(&states);
-    let rt = Runtime::new(m, cores, fabric_cfg, nic_costs);
-    for pool in pools.iter() {
-        rt.fabric.validator().register_pool(pool);
+    let rt = Runtime::new_with_plan(m, cores, fabric_cfg, nic_costs, plan);
+    for (i, pool) in pools.iter().enumerate() {
+        rt.fabric.validator().register_pool(HostId(i), pool);
     }
-    let run = rt.run(move |ctx, rt, mach, core| worker(ctx, rt, &cfg, &st2, &pools, mach, core));
+    let run =
+        rt.try_run(move |ctx, rt, mach, core| worker(ctx, rt, &cfg, &st2, &pools, mach, core))?;
 
     assert_eq!(run.marks.len(), 4, "expected 3 phase boundaries");
     // No local refinement pass: `local_partition` stays zero in the fold.
@@ -143,7 +164,7 @@ pub fn run_aggregation<T: Tuple>(cfg: AggregationConfig, s: Relation<T>) -> Aggr
         result.key_weighted_count = result.key_weighted_count.wrapping_add(r.key_weighted_count);
         result.rid_sum = result.rid_sum.wrapping_add(r.rid_sum);
     }
-    AggregationOutcome { result, phases }
+    Ok(AggregationOutcome { result, phases })
 }
 
 fn worker<T: Tuple>(
@@ -154,7 +175,7 @@ fn worker<T: Tuple>(
     pools: &[Arc<BufferPool>],
     mach: usize,
     core: usize,
-) {
+) -> Result<(), JoinError> {
     let st = &states[mach];
     let m = rt.machines();
     let np = 1usize << cfg.radix_bits;
@@ -162,6 +183,8 @@ fn worker<T: Tuple>(
     let cost = &cfg.cluster.cost;
     let mut meter = Meter::new();
     let nic = rt.fabric.nic(HostId(mach));
+    let fab =
+        |phase: &'static str| move |e: rsj_rdma::FabricError| JoinError::fabric(mach, phase, e);
 
     // ---- Phase 1: histogram scan + assignment (statically round-robin;
     // the scan also warms the same accounting as the join's).
@@ -176,15 +199,22 @@ fn worker<T: Tuple>(
         *st.owned.lock() = (0..np).filter(|&p| assignment[p] == mach).collect();
         *st.assignment.lock() = assignment;
     }
-    rt.sync_named(ctx, "histogram", mach);
+    rt.try_sync_named(ctx, "histogram", mach)?;
 
     // ---- Phase 2: network partitioning pass on the group key.
     if core == 0 {
         let expected = (m - 1) * workers;
         let mut eos = 0;
         while eos < expected {
-            let c = nic.recv(ctx).expect("network pass");
-            match WireTag::decode(c.tag).unwrap_or_else(|e| panic!("network pass: {e}")) {
+            let c = nic
+                .recv(ctx)
+                .map_err(fab("network_partition"))?
+                .ok_or(JoinError::Aborted {
+                    phase: "network_partition",
+                })?;
+            match WireTag::decode(c.tag)
+                .map_err(|e| JoinError::decode(mach, "network_partition", e))?
+            {
                 WireTag::Eos => eos += 1,
                 WireTag::Data { part, .. } => {
                     meter.charge_bytes(ctx, c.payload.len(), cost.memcpy_rate);
@@ -221,7 +251,7 @@ fn worker<T: Tuple>(
                 t.write_to(buf);
                 if buf.len() + T::SIZE > cfg.rdma_buf_size {
                     meter.flush(ctx);
-                    window.admit(ctx);
+                    window.admit(ctx).map_err(fab("network_partition"))?;
                     let payload = std::mem::take(buf);
                     let ev = nic.post_send(
                         ctx,
@@ -241,7 +271,7 @@ fn worker<T: Tuple>(
             if let Some((buf, window)) = slot.as_mut() {
                 if !buf.is_empty() {
                     meter.flush(ctx);
-                    window.admit(ctx);
+                    window.admit(ctx).map_err(fab("network_partition"))?;
                     let payload = std::mem::take(buf);
                     let ev = nic.post_send(
                         ctx,
@@ -255,7 +285,7 @@ fn worker<T: Tuple>(
                     );
                     window.record(ev);
                 }
-                window.drain(ctx);
+                window.drain(ctx).map_err(fab("network_partition"))?;
                 pool.put(Vec::new());
             }
         }
@@ -265,11 +295,11 @@ fn worker<T: Tuple>(
             evs.push(nic.post_send(ctx, HostId(dst), WireTag::Eos.encode(), Vec::new()));
         }
         for ev in evs {
-            ev.wait(ctx);
+            ev.wait(ctx).map_err(fab("network_partition"))?;
         }
         *st.local_out[w].lock() = local;
     }
-    rt.sync_named(ctx, "network_partition", mach);
+    rt.try_sync_named(ctx, "network_partition", mach)?;
 
     // ---- Phase 3: local hash aggregation per owned partition.
     let owned = st.owned.lock().clone();
@@ -311,7 +341,8 @@ fn worker<T: Tuple>(
         r.key_weighted_count = r.key_weighted_count.wrapping_add(local.key_weighted_count);
         r.rid_sum = r.rid_sum.wrapping_add(local.rid_sum);
     }
-    rt.sync_named(ctx, "build_probe", mach);
+    rt.try_sync_named(ctx, "build_probe", mach)?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -12,14 +12,17 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rsj_cluster::{ClusterSpec, Meter, PhaseTimes};
+use rsj_cluster::{ClusterSpec, JoinError, Meter, PhaseTimes};
 use rsj_joins::BucketTable;
 use rsj_rdma::HostId;
 use rsj_sim::SimCtx;
 use rsj_workload::{decode_all, JoinResult, Relation, Tuple};
 
 use rsj_cluster::wire::REL_S;
-use rsj_cluster::{ranges, run_cluster, Runtime, WireTag};
+use rsj_cluster::{ranges, Runtime, WireTag};
+
+/// Phase name of the rotation rounds, for error attribution.
+const PHASE_ROTATE: &str = "build_probe";
 
 /// Configuration of a cyclo-join run.
 #[derive(Clone, Debug)]
@@ -31,6 +34,9 @@ pub struct CycloJoinConfig {
     pub cache_miss_derating: f64,
     /// Fabric parameter override (used by scaled experiment runs).
     pub fabric_override: Option<rsj_rdma::FabricConfig>,
+    /// Deterministic fault schedule (DESIGN.md §8); `None` keeps the run
+    /// event-for-event identical to a build without the fault plane.
+    pub fault_plan: Option<rsj_rdma::FaultPlan>,
 }
 
 impl CycloJoinConfig {
@@ -40,6 +46,7 @@ impl CycloJoinConfig {
             cluster,
             cache_miss_derating: 2.0,
             fabric_override: None,
+            fault_plan: None,
         }
     }
 }
@@ -64,11 +71,27 @@ struct MachState<T> {
 }
 
 /// Run the cyclo-join: `r` stays stationary, `s` rotates around the ring.
+///
+/// # Panics
+/// Panics if the run aborts — impossible without a
+/// [`CycloJoinConfig::fault_plan`]; use [`try_run_cyclo_join`] for
+/// fault-injected runs.
 pub fn run_cyclo_join<T: Tuple>(
     cfg: CycloJoinConfig,
     r: Relation<T>,
     s: Relation<T>,
 ) -> CycloJoinOutcome {
+    try_run_cyclo_join(cfg, r, s).unwrap_or_else(|e| panic!("cyclo-join failed: {e}"))
+}
+
+/// Fallible variant of [`run_cyclo_join`]: with a fault plan installed the
+/// join completes byte-correct or returns a structured [`JoinError`] —
+/// never hangs.
+pub fn try_run_cyclo_join<T: Tuple>(
+    cfg: CycloJoinConfig,
+    r: Relation<T>,
+    s: Relation<T>,
+) -> Result<CycloJoinOutcome, JoinError> {
     let m = cfg.cluster.machines;
     assert_eq!(r.machines(), m);
     assert_eq!(s.machines(), m);
@@ -93,15 +116,11 @@ pub fn run_cyclo_join<T: Tuple>(
             .expect("cyclo-join needs a networked ring")
     });
     let nic_costs = cfg.cluster.cost.nic;
+    let plan = cfg.fault_plan.clone();
     let cfg = Arc::new(cfg);
     let st2 = Arc::clone(&states);
-    let run = run_cluster(
-        m,
-        cores,
-        fabric_cfg,
-        nic_costs,
-        move |ctx, rt, mach, core| worker(ctx, rt, &cfg, &st2, mach, core),
-    );
+    let rt = Runtime::new_with_plan(m, cores, fabric_cfg, nic_costs, plan);
+    let run = rt.try_run(move |ctx, rt, mach, core| worker(ctx, rt, &cfg, &st2, mach, core))?;
 
     assert_eq!(
         run.marks.len(),
@@ -115,7 +134,7 @@ pub fn run_cyclo_join<T: Tuple>(
     for st in states.iter() {
         result.merge(*st.result.lock());
     }
-    CycloJoinOutcome { result, phases }
+    Ok(CycloJoinOutcome { result, phases })
 }
 
 fn worker<T: Tuple>(
@@ -125,7 +144,7 @@ fn worker<T: Tuple>(
     states: &[MachState<T>],
     mach: usize,
     core: usize,
-) {
+) -> Result<(), JoinError> {
     let st = &states[mach];
     let m = rt.machines();
     let cores = rt.cores();
@@ -144,7 +163,7 @@ fn worker<T: Tuple>(
     if core == 0 {
         *st.table.lock() = Some(Arc::new(BucketTable::build(&st.r_chunk)));
     }
-    rt.sync_named(ctx, "local_partition", mach);
+    rt.try_sync_named(ctx, "local_partition", mach)?;
 
     // ---- Phase 2: NM probe rounds; between rounds, core 0 ships the
     // resident fragment to the right neighbour and installs the one
@@ -158,7 +177,7 @@ fn worker<T: Tuple>(
         local.merge(table.probe_all(my));
         meter.charge_bytes(ctx, my.len() * T::SIZE, probe_rate);
         meter.flush(ctx);
-        rt.sync_quiet(ctx);
+        rt.try_sync_quiet(ctx)?;
         if round + 1 == m {
             break;
         }
@@ -178,21 +197,36 @@ fn worker<T: Tuple>(
                 .encode(),
                 payload,
             );
-            let c = nic.recv(ctx).expect("ring transfer");
+            let c = nic
+                .recv(ctx)
+                .map_err(|e| JoinError::fabric(mach, PHASE_ROTATE, e))?
+                .ok_or(JoinError::Aborted {
+                    phase: PHASE_ROTATE,
+                })?;
+            // Defensive decode: a malformed immediate aborts the run with
+            // a typed error instead of corrupting the ring state.
+            let tag =
+                WireTag::decode(c.tag).map_err(|e| JoinError::decode(mach, PHASE_ROTATE, e))?;
+            assert!(
+                matches!(tag, WireTag::Data { .. }),
+                "unexpected {tag:?} on the ring"
+            );
             nic.repost_recv(ctx);
             // Receive-side copy out of the RDMA buffer.
             meter.charge_bytes(ctx, c.payload.len(), cost.memcpy_rate);
             meter.flush(ctx);
             let incoming: Vec<T> = decode_all(&c.payload);
-            ev.wait(ctx);
+            ev.wait(ctx)
+                .map_err(|e| JoinError::fabric(mach, PHASE_ROTATE, e))?;
             *st.fragment.lock() = Arc::new(incoming);
         }
         // The barrier publishes the new fragment to every core.
-        rt.sync_quiet(ctx);
+        rt.try_sync_quiet(ctx)?;
     }
     meter.flush(ctx);
     st.result.lock().merge(local);
-    rt.sync_named(ctx, "build_probe", mach);
+    rt.try_sync_named(ctx, "build_probe", mach)?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -26,7 +26,11 @@ mod aggregation;
 mod cyclo_join;
 mod sort_merge;
 
-pub use aggregation::{run_aggregation, AggregateResult, AggregationConfig, AggregationOutcome};
-pub use cyclo_join::{run_cyclo_join, CycloJoinConfig, CycloJoinOutcome};
-pub use rsj_cluster::{run_cluster, Runtime};
-pub use sort_merge::{run_sort_merge_join, SortMergeConfig, SortMergeOutcome};
+pub use aggregation::{
+    run_aggregation, try_run_aggregation, AggregateResult, AggregationConfig, AggregationOutcome,
+};
+pub use cyclo_join::{run_cyclo_join, try_run_cyclo_join, CycloJoinConfig, CycloJoinOutcome};
+pub use rsj_cluster::{run_cluster, JoinError, Runtime};
+pub use sort_merge::{
+    run_sort_merge_join, try_run_sort_merge_join, SortMergeConfig, SortMergeOutcome,
+};

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rsj_cluster::{ClusterSpec, Meter, PhaseTimes};
+use rsj_cluster::{ClusterSpec, JoinError, Meter, PhaseTimes};
 use rsj_joins::{merge_join, partition_of, sort_by_key};
 use rsj_rdma::{BufferPool, HostId, SendWindow};
 use rsj_sim::SimCtx;
@@ -38,6 +38,9 @@ pub struct SortMergeConfig {
     pub send_depth: usize,
     /// Fabric parameter override (used by scaled experiment runs).
     pub fabric_override: Option<rsj_rdma::FabricConfig>,
+    /// Deterministic fault schedule (DESIGN.md §8); `None` keeps the run
+    /// event-for-event identical to a build without the fault plane.
+    pub fault_plan: Option<rsj_rdma::FaultPlan>,
 }
 
 impl SortMergeConfig {
@@ -49,6 +52,7 @@ impl SortMergeConfig {
             rdma_buf_size: 64 * 1024,
             send_depth: 2,
             fabric_override: None,
+            fault_plan: None,
         }
     }
 }
@@ -77,11 +81,27 @@ struct MachState<T> {
 }
 
 /// Run the distributed sort-merge join (two-sided interleaved RDMA).
+///
+/// # Panics
+/// Panics if the run aborts — impossible without a
+/// [`SortMergeConfig::fault_plan`]; use [`try_run_sort_merge_join`] for
+/// fault-injected runs.
 pub fn run_sort_merge_join<T: Tuple>(
     cfg: SortMergeConfig,
     r: Relation<T>,
     s: Relation<T>,
 ) -> SortMergeOutcome {
+    try_run_sort_merge_join(cfg, r, s).unwrap_or_else(|e| panic!("sort-merge join failed: {e}"))
+}
+
+/// Fallible variant of [`run_sort_merge_join`]: with a fault plan
+/// installed the join completes byte-correct or returns a structured
+/// [`JoinError`] — never hangs.
+pub fn try_run_sort_merge_join<T: Tuple>(
+    cfg: SortMergeConfig,
+    r: Relation<T>,
+    s: Relation<T>,
+) -> Result<SortMergeOutcome, JoinError> {
     let m = cfg.cluster.machines;
     assert_eq!(r.machines(), m);
     assert_eq!(s.machines(), m);
@@ -134,13 +154,15 @@ pub fn run_sort_merge_join<T: Tuple>(
             .expect("sort-merge join needs a networked cluster")
     });
     let nic_costs = cfg.cluster.cost.nic;
+    let plan = cfg.fault_plan.clone();
     let cfg = Arc::new(cfg);
     let states = Arc::clone(&mach_state);
-    let rt = Runtime::new(m, cores, fabric_cfg, nic_costs);
-    for pool in pools.iter() {
-        rt.fabric.validator().register_pool(pool);
+    let rt = Runtime::new_with_plan(m, cores, fabric_cfg, nic_costs, plan);
+    for (i, pool) in pools.iter().enumerate() {
+        rt.fabric.validator().register_pool(HostId(i), pool);
     }
-    let run = rt.run(move |ctx, rt, mach, core| worker(ctx, rt, &cfg, &states, &pools, mach, core));
+    let run =
+        rt.try_run(move |ctx, rt, mach, core| worker(ctx, rt, &cfg, &states, &pools, mach, core))?;
 
     assert_eq!(run.marks.len(), 5, "expected 4 phase boundaries");
     let phases = PhaseTimes::from_events(&run.events);
@@ -148,7 +170,7 @@ pub fn run_sort_merge_join<T: Tuple>(
     for st in mach_state.iter() {
         result.merge(*st.result.lock());
     }
-    SortMergeOutcome { result, phases }
+    Ok(SortMergeOutcome { result, phases })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -160,7 +182,7 @@ fn worker<T: Tuple>(
     pools: &[Arc<BufferPool>],
     mach: usize,
     core: usize,
-) {
+) -> Result<(), JoinError> {
     let st = &states[mach];
     let m = rt.machines();
     let np = 1usize << cfg.radix_bits;
@@ -168,6 +190,8 @@ fn worker<T: Tuple>(
     let cost = &cfg.cluster.cost;
     let mut meter = Meter::new();
     let nic = rt.fabric.nic(HostId(mach));
+    let fab =
+        |phase: &'static str| move |e: rsj_rdma::FabricError| JoinError::fabric(mach, phase, e);
 
     // ---- Phase 1: histogram + exchange (core 0 coordinates).
     if core > 0 {
@@ -191,7 +215,7 @@ fn worker<T: Tuple>(
         }
         meter.flush(ctx);
     }
-    rt.sync_quiet(ctx);
+    rt.try_sync_quiet(ctx)?;
     if core == 0 {
         // Exchange machine histograms; everyone derives the same
         // round-robin assignment (totals only matter for sizing, which the
@@ -212,19 +236,23 @@ fn worker<T: Tuple>(
             ));
         }
         for _ in 0..m.saturating_sub(1) {
-            let c = nic.recv(ctx).expect("histogram exchange");
-            let tag = WireTag::decode(c.tag).unwrap_or_else(|e| panic!("histogram exchange: {e}"));
+            let c = nic
+                .recv(ctx)
+                .map_err(fab("histogram"))?
+                .ok_or(JoinError::Aborted { phase: "histogram" })?;
+            let tag =
+                WireTag::decode(c.tag).map_err(|e| JoinError::decode(mach, "histogram", e))?;
             assert_eq!(tag, WireTag::Histogram);
             nic.repost_recv(ctx);
         }
         for ev in evs {
-            ev.wait(ctx);
+            ev.wait(ctx).map_err(fab("histogram"))?;
         }
         let assignment: Vec<usize> = (0..np).map(|p| p % m).collect();
         *st.owned.lock() = (0..np).filter(|&p| assignment[p] == mach).collect();
         *st.assignment.lock() = assignment;
     }
-    rt.sync_named(ctx, "histogram", mach);
+    rt.try_sync_named(ctx, "histogram", mach)?;
 
     // ---- Phase 2: network partitioning pass.
     if core == 0 {
@@ -232,8 +260,15 @@ fn worker<T: Tuple>(
         let expected = (m - 1) * workers;
         let mut eos = 0;
         while eos < expected {
-            let c = nic.recv(ctx).expect("network pass");
-            match WireTag::decode(c.tag).unwrap_or_else(|e| panic!("network pass: {e}")) {
+            let c = nic
+                .recv(ctx)
+                .map_err(fab("network_partition"))?
+                .ok_or(JoinError::Aborted {
+                    phase: "network_partition",
+                })?;
+            match WireTag::decode(c.tag)
+                .map_err(|e| JoinError::decode(mach, "network_partition", e))?
+            {
                 WireTag::Eos => eos += 1,
                 WireTag::Data { rel, part } => {
                     meter.charge_bytes(ctx, c.payload.len(), cost.memcpy_rate);
@@ -278,7 +313,7 @@ fn worker<T: Tuple>(
                     t.write_to(buf);
                     if buf.len() + T::SIZE > cfg.rdma_buf_size {
                         meter.flush(ctx);
-                        window.admit(ctx);
+                        window.admit(ctx).map_err(fab("network_partition"))?;
                         let payload = std::mem::take(buf);
                         let ev = nic.post_send(
                             ctx,
@@ -297,7 +332,7 @@ fn worker<T: Tuple>(
                 if let Some((buf, window)) = bufs[rel][p].as_mut() {
                     if !buf.is_empty() {
                         meter.flush(ctx);
-                        window.admit(ctx);
+                        window.admit(ctx).map_err(fab("network_partition"))?;
                         let payload = std::mem::take(buf);
                         let dst = assignment[p];
                         let ev = nic.post_send(
@@ -308,7 +343,7 @@ fn worker<T: Tuple>(
                         );
                         window.record(ev);
                     }
-                    window.drain(ctx);
+                    window.drain(ctx).map_err(fab("network_partition"))?;
                     pool.put(Vec::new());
                 }
             }
@@ -319,11 +354,11 @@ fn worker<T: Tuple>(
             evs.push(nic.post_send(ctx, HostId(dst), WireTag::Eos.encode(), Vec::new()));
         }
         for ev in evs {
-            ev.wait(ctx);
+            ev.wait(ctx).map_err(fab("network_partition"))?;
         }
         *st.local_out[w].lock() = local;
     }
-    rt.sync_named(ctx, "network_partition", mach);
+    rt.try_sync_named(ctx, "network_partition", mach)?;
 
     // ---- Phase 3: sort every assigned partition of both relations.
     // Tasks via atomic counter; sorted outputs parked back into staging
@@ -354,11 +389,11 @@ fn worker<T: Tuple>(
         meter.flush(ctx);
     }
     meter.flush(ctx);
-    rt.sync_named(ctx, "local_partition", mach);
+    rt.try_sync_named(ctx, "local_partition", mach)?;
 
     // ---- Phase 4: merge-join each sorted partition pair.
     st.next_task.store(0, Ordering::SeqCst);
-    rt.sync_quiet(ctx);
+    rt.try_sync_quiet(ctx)?;
     let mut local = JoinResult::default();
     loop {
         let i = st.next_task.fetch_add(1, Ordering::SeqCst);
@@ -379,7 +414,8 @@ fn worker<T: Tuple>(
     }
     meter.flush(ctx);
     st.result.lock().merge(local);
-    rt.sync_named(ctx, "build_probe", mach);
+    rt.try_sync_named(ctx, "build_probe", mach)?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -18,6 +18,20 @@
 //! only pay [`NicCosts::post_overhead`] to post a work request. Waiting for
 //! a completion costs virtual time only if the completion has not fired
 //! yet, which is exactly the interleaving trade-off of §4.2.1.
+//!
+//! ## Fault plane
+//!
+//! A [`FaultPlan`] installed at construction arms deterministic fault
+//! injection (DESIGN.md §8): the egress engine consults the plan per
+//! transmission and models IB RC retransmission — a dropped attempt is
+//! retried after exponential RNR-style backoff, paid in virtual time at
+//! the head of the egress queue (go-back-N, so per-source FIFO order is
+//! preserved). A message that exhausts the retry counter completes with
+//! [`WcStatus::RetryExceeded`] and moves its queue pair to the error
+//! state; later posts on that pair flush immediately. Crashed hosts flush
+//! everything they touch. With no plan installed none of these branches
+//! are taken and the event schedule is identical to the pre-fault-plane
+//! fabric.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -26,10 +40,12 @@ use parking_lot::Mutex;
 use rsj_sim::{SimChannel, SimCtx, SimDuration, SimEvent, SimSemaphore, SimTime, Simulation};
 
 use crate::config::{FabricConfig, HostId, NicCosts};
+use crate::fault::{FabricError, FaultPlan, FaultState, WcCell, WcStatus};
 use crate::mr::{MrTable, RemoteMr};
 use crate::validate::Validator;
 
 /// A completed two-sided receive, as seen by the consuming thread.
+#[derive(Debug, PartialEq, Eq)]
 pub struct Completion {
     /// Sending host.
     pub src: HostId,
@@ -62,26 +78,93 @@ enum MsgKind {
     },
 }
 
+/// Completion event + work-completion status of one posted send.
+struct SendState {
+    ev: Arc<SimEvent>,
+    wc: WcCell,
+}
+
+/// Poster-side handle to one outstanding send/write work request.
+///
+/// The buffer behind the posted payload is logically reusable once the
+/// completion fires; [`SendHandle::wait`] additionally surfaces the
+/// completion *status* — a flushed or retry-exhausted work request returns
+/// a typed [`FabricError`] instead of silent success.
+pub struct SendHandle {
+    state: Arc<SendState>,
+    src: HostId,
+    dst: HostId,
+    faults: Arc<FaultState>,
+}
+
+impl SendHandle {
+    /// Block until the work request completes, then surface its status.
+    pub fn wait(&self, ctx: &SimCtx) -> Result<(), FabricError> {
+        self.state.ev.wait(ctx);
+        match self.state.wc.get() {
+            None | Some(WcStatus::Success) => Ok(()),
+            Some(status) => Err(self.faults.error_for(self.src, self.dst, status)),
+        }
+    }
+
+    /// Whether the completion (success or error) has fired.
+    pub fn is_done(&self) -> bool {
+        self.state.ev.is_set()
+    }
+
+    /// The completion status, if the work request has completed.
+    pub fn status(&self) -> Option<WcStatus> {
+        if !self.is_done() {
+            return None;
+        }
+        Some(self.state.wc.get().unwrap_or(WcStatus::Success))
+    }
+
+    /// A detached handle around a bare event, for unit tests of window
+    /// bookkeeping.
+    #[doc(hidden)]
+    pub fn for_test(ev: Arc<SimEvent>) -> SendHandle {
+        SendHandle {
+            state: Arc::new(SendState {
+                ev,
+                wc: WcCell::new(),
+            }),
+            src: HostId(0),
+            dst: HostId(0),
+            faults: FaultState::new(None, 1),
+        }
+    }
+}
+
 /// Shared state of one outstanding RDMA READ.
 pub struct ReadState {
     done: Arc<SimEvent>,
+    wc: WcCell,
     data: Mutex<Option<Vec<u8>>>,
 }
 
 /// Initiator-side handle to an outstanding RDMA READ.
 pub struct ReadHandle {
     state: Arc<ReadState>,
+    src: HostId,
+    dst: HostId,
+    faults: Arc<FaultState>,
 }
 
 impl ReadHandle {
-    /// Block until the read data has been placed locally, then take it.
-    pub fn wait(self, ctx: &SimCtx) -> Vec<u8> {
+    /// Block until the read completes, then take the data — or the typed
+    /// error if the read was flushed or retries were exhausted.
+    pub fn wait(self, ctx: &SimCtx) -> Result<Vec<u8>, FabricError> {
         self.state.done.wait(ctx);
-        self.state
-            .data
-            .lock()
-            .take()
-            .expect("read completed without data")
+        match self.state.wc.get() {
+            None | Some(WcStatus::Success) => Ok(self
+                .state
+                .data
+                .lock()
+                .take()
+                .expect("read completed without data")),
+            Some(status) => Err(self.faults.error_for(self.src, self.dst, status)),
+        }
     }
 
     /// Whether the read has completed.
@@ -98,8 +181,9 @@ struct Message {
     /// Earliest instant the ingress engine may start draining this message
     /// (egress completion + propagation latency); set by the egress engine.
     arrival: SimTime,
-    /// Fired when the sender may reuse the buffer (send completion / ack).
-    completion: Option<Arc<SimEvent>>,
+    /// Fired when the sender may reuse the buffer (send completion / ack),
+    /// with the completion status alongside.
+    completion: Option<Arc<SendState>>,
     /// Released on delivery; backs TCP-style windowed flow control.
     window: Option<Arc<SimSemaphore>>,
 }
@@ -119,6 +203,10 @@ pub struct NicStats {
     pub tx_busy_ns: u64,
     /// Nanoseconds the ingress link was busy.
     pub rx_busy_ns: u64,
+    /// Retransmissions performed by the egress engine (fault plane).
+    pub retransmits: u64,
+    /// Work requests completed with an error status.
+    pub wc_errors: u64,
 }
 
 /// One host's network interface: the verbs-facing API of the fabric.
@@ -132,25 +220,23 @@ pub struct Nic {
     pub mrs: MrTable,
     stats: Mutex<NicStats>,
     validator: Arc<Validator>,
+    faults: Arc<FaultState>,
 }
 
 impl Nic {
     /// Post a two-sided SEND of `payload` to `dst`. Returns the send
-    /// completion event: the buffer behind `payload` is logically reusable
-    /// once it fires. Charges only the WQE post overhead to the caller.
-    pub fn post_send(
-        &self,
-        ctx: &SimCtx,
-        dst: HostId,
-        tag: u32,
-        payload: Vec<u8>,
-    ) -> Arc<SimEvent> {
+    /// handle: the buffer behind `payload` is logically reusable once its
+    /// completion fires. Charges only the WQE post overhead to the caller.
+    /// Posting against a queue pair in the error state (or during an
+    /// abort) returns an immediately-flushed handle.
+    pub fn post_send(&self, ctx: &SimCtx, dst: HostId, tag: u32, payload: Vec<u8>) -> SendHandle {
         self.post(ctx, dst, MsgKind::TwoSided { tag }, payload, None)
     }
 
     /// Like [`Nic::post_send`] but ties the message to a flow-control
     /// window: the given semaphore is released when the message is
-    /// delivered. The caller must have acquired a permit beforehand.
+    /// delivered (or flushed). The caller must have acquired a permit
+    /// beforehand.
     pub fn post_send_windowed(
         &self,
         ctx: &SimCtx,
@@ -158,7 +244,7 @@ impl Nic {
         tag: u32,
         payload: Vec<u8>,
         window: Arc<SimSemaphore>,
-    ) -> Arc<SimEvent> {
+    ) -> SendHandle {
         self.post(ctx, dst, MsgKind::TwoSided { tag }, payload, Some(window))
     }
 
@@ -173,20 +259,34 @@ impl Nic {
         offset: usize,
         len: usize,
     ) -> ReadHandle {
+        let mk_state = |data: Option<Vec<u8>>| {
+            Arc::new(ReadState {
+                done: SimEvent::new(),
+                wc: WcCell::new(),
+                data: Mutex::new(data),
+            })
+        };
+        let handle = |state: Arc<ReadState>| ReadHandle {
+            state,
+            src: self.host,
+            dst: remote.host,
+            faults: Arc::clone(&self.faults),
+        };
         if !self.validator.check_read(&remote, offset, len) {
             // Record mode: the faulting read is dropped; hand back an
             // already-completed handle of zeroes so the caller can't hang.
-            let state = Arc::new(ReadState {
-                done: SimEvent::new(),
-                data: Mutex::new(Some(vec![0u8; len])),
-            });
+            let state = mk_state(Some(vec![0u8; len]));
             state.done.set(ctx);
-            return ReadHandle { state };
+            return handle(state);
         }
-        let state = Arc::new(ReadState {
-            done: SimEvent::new(),
-            data: Mutex::new(None),
-        });
+        if let Some(status) = self.faults.post_denied(self.host, remote.host) {
+            let state = mk_state(None);
+            state.wc.set(status);
+            state.done.set(ctx);
+            self.stats.lock().wc_errors += 1;
+            return handle(state);
+        }
+        let state = mk_state(None);
         ctx.advance(SimDuration::from_secs_f64(self.costs.post_overhead));
         self.stats.lock().tx_msgs += 1;
         self.tx.send(
@@ -206,24 +306,32 @@ impl Nic {
                 window: None,
             },
         );
-        ReadHandle { state }
+        handle(state)
     }
 
     /// Post a one-sided RDMA WRITE of `payload` into `remote` at `offset`.
-    /// No CPU is consumed on the remote host; the returned event fires when
-    /// the write is acknowledged.
+    /// No CPU is consumed on the remote host; the returned handle
+    /// completes when the write is acknowledged.
     pub fn post_write(
         &self,
         ctx: &SimCtx,
         remote: RemoteMr,
         offset: usize,
         payload: Vec<u8>,
-    ) -> Arc<SimEvent> {
+    ) -> SendHandle {
         if !self.validator.check_write(&remote, offset, payload.len()) {
-            // Record mode: drop the faulting write, return a fired event.
-            let ev = SimEvent::new();
-            ev.set(ctx);
-            return ev;
+            // Record mode: drop the faulting write, return a fired handle.
+            let state = Arc::new(SendState {
+                ev: SimEvent::new(),
+                wc: WcCell::new(),
+            });
+            state.ev.set(ctx);
+            return SendHandle {
+                state,
+                src: self.host,
+                dst: remote.host,
+                faults: Arc::clone(&self.faults),
+            };
         }
         self.post(
             ctx,
@@ -244,9 +352,21 @@ impl Nic {
         kind: MsgKind,
         payload: Vec<u8>,
         window: Option<Arc<SimSemaphore>>,
-    ) -> Arc<SimEvent> {
+    ) -> SendHandle {
+        if let Some(status) = self.faults.post_denied(self.host, dst) {
+            return self.denied_handle(ctx, dst, status, window);
+        }
         ctx.advance(SimDuration::from_secs_f64(self.costs.post_overhead));
-        let completion = SimEvent::new();
+        // The overhead charge is a yield point: an abort or crash may have
+        // landed while this worker was suspended, in which case the egress
+        // queue may already be closed — flush instead of posting.
+        if let Some(status) = self.faults.post_denied(self.host, dst) {
+            return self.denied_handle(ctx, dst, status, window);
+        }
+        let state = Arc::new(SendState {
+            ev: SimEvent::new(),
+            wc: WcCell::new(),
+        });
         {
             let mut stats = self.stats.lock();
             stats.tx_msgs += 1;
@@ -260,26 +380,77 @@ impl Nic {
                 payload,
                 kind,
                 arrival: SimTime::ZERO,
-                completion: Some(Arc::clone(&completion)),
+                completion: Some(Arc::clone(&state)),
                 window,
             },
         );
-        completion
+        SendHandle {
+            state,
+            src: self.host,
+            dst,
+            faults: Arc::clone(&self.faults),
+        }
     }
 
-    /// Block until the next two-sided message arrives. Returns `None` once
-    /// the fabric has shut down and all in-flight messages are drained.
+    /// An immediately-flushed handle for a post denied by the fault plane
+    /// (queue pair in error, crashed host, or cluster abort). The window
+    /// permit is returned so flow control cannot wedge on a dead peer.
+    fn denied_handle(
+        &self,
+        ctx: &SimCtx,
+        dst: HostId,
+        status: WcStatus,
+        window: Option<Arc<SimSemaphore>>,
+    ) -> SendHandle {
+        let state = Arc::new(SendState {
+            ev: SimEvent::new(),
+            wc: WcCell::new(),
+        });
+        state.wc.set(status);
+        state.ev.set(ctx);
+        self.stats.lock().wc_errors += 1;
+        if let Some(w) = window {
+            w.release(ctx);
+        }
+        SendHandle {
+            state,
+            src: self.host,
+            dst,
+            faults: Arc::clone(&self.faults),
+        }
+    }
+
+    /// Block until the next two-sided message arrives. Returns `Ok(None)`
+    /// once the fabric has shut down cleanly and all in-flight messages
+    /// are drained, or a typed error if this host crashed or the cluster
+    /// aborted while waiting.
     ///
     /// The caller owns a receive-buffer slot for the returned completion
     /// and must call [`Nic::repost_recv`] once it has copied the payload
     /// out (§4.2.2: "the receive buffers can be reused once the copy
     /// operation terminated successfully").
-    pub fn recv(&self, ctx: &SimCtx) -> Option<Completion> {
-        let c = self.recv_cq.recv(ctx);
-        if c.is_some() {
-            self.validator.on_rx_consumed(self.host);
+    pub fn recv(&self, ctx: &SimCtx) -> Result<Option<Completion>, FabricError> {
+        self.recv_fault_check()?;
+        match self.recv_cq.recv(ctx) {
+            Some(c) => {
+                self.validator.on_rx_consumed(self.host);
+                Ok(Some(c))
+            }
+            None => {
+                self.recv_fault_check()?;
+                Ok(None)
+            }
         }
-        c
+    }
+
+    fn recv_fault_check(&self) -> Result<(), FabricError> {
+        if self.faults.is_crashed(self.host) {
+            return Err(FabricError::HostCrashed { host: self.host });
+        }
+        if self.faults.is_aborted() {
+            return Err(FabricError::Aborted);
+        }
+        Ok(())
     }
 
     /// Return one receive-buffer slot to the shared receive queue.
@@ -305,9 +476,9 @@ impl Nic {
 }
 
 /// The whole fabric: one [`Nic`] per host plus the engine threads driving
-/// them. Create with [`Fabric::new`], launch engines with
-/// [`Fabric::launch`], and call [`Fabric::shutdown`] when traffic ends so
-/// the engine threads terminate.
+/// them. Create with [`Fabric::new`] (or [`Fabric::new_with_plan`] to arm
+/// the fault plane), launch engines with [`Fabric::launch`], and call
+/// [`Fabric::shutdown`] when traffic ends so the engine threads terminate.
 pub struct Fabric {
     cfg: FabricConfig,
     nics: Vec<Arc<Nic>>,
@@ -315,13 +486,26 @@ pub struct Fabric {
     live_tx: Arc<AtomicUsize>,
     launched: std::sync::atomic::AtomicBool,
     validator: Arc<Validator>,
+    faults: Arc<FaultState>,
 }
 
 impl Fabric {
-    /// Build a fabric of `hosts` machines.
+    /// Build a fabric of `hosts` machines with no fault plan installed.
     pub fn new(cfg: FabricConfig, costs: NicCosts, hosts: usize) -> Arc<Fabric> {
+        Fabric::new_with_plan(cfg, costs, hosts, None)
+    }
+
+    /// Build a fabric of `hosts` machines, optionally arming the
+    /// deterministic fault plane with `plan`.
+    pub fn new_with_plan(
+        cfg: FabricConfig,
+        costs: NicCosts,
+        hosts: usize,
+        plan: Option<FaultPlan>,
+    ) -> Arc<Fabric> {
         assert!(hosts >= 1, "fabric needs at least one host");
         let validator = Validator::new();
+        let faults = FaultState::new(plan, hosts);
         let nics = (0..hosts)
             .map(|h| {
                 Arc::new(Nic {
@@ -333,6 +517,7 @@ impl Fabric {
                     mrs: MrTable::new(HostId(h), costs, Arc::clone(&validator)),
                     stats: Mutex::new(NicStats::default()),
                     validator: Arc::clone(&validator),
+                    faults: Arc::clone(&faults),
                 })
             })
             .collect();
@@ -344,12 +529,39 @@ impl Fabric {
             live_tx: Arc::new(AtomicUsize::new(hosts)),
             launched: std::sync::atomic::AtomicBool::new(false),
             validator,
+            faults,
         })
     }
 
     /// The fabric-wide verbs-contract validator.
     pub fn validator(&self) -> &Arc<Validator> {
         &self.validator
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.plan()
+    }
+
+    /// Whether a fault plan is installed (arms the runtime watchdog).
+    pub fn has_fault_plan(&self) -> bool {
+        self.faults.plan().is_some()
+    }
+
+    /// Whether the fabric has been aborted.
+    pub fn aborted(&self) -> bool {
+        self.faults.is_aborted()
+    }
+
+    /// Hosts that have crashed so far (fault-plan schedule).
+    pub fn crashed_hosts(&self) -> Vec<HostId> {
+        self.faults.crashed_hosts()
+    }
+
+    /// Monotone fabric activity counter; the runtime watchdog snapshots it
+    /// to distinguish a slow cluster from a wedged one.
+    pub fn progress_ticks(&self) -> u64 {
+        self.faults.progress()
     }
 
     /// Number of hosts.
@@ -367,9 +579,57 @@ impl Fabric {
         Arc::clone(&self.nics[host.0])
     }
 
-    /// Spawn the egress and ingress engine threads for every host.
-    /// Accepts either a [`Simulation`] (before `run`) or a [`SimCtx`]
-    /// (from inside the simulation) via [`Spawner`].
+    /// Flush a message without delivering it: error completion to the
+    /// poster, window permit returned, read reply failed. This is how
+    /// aborts, crashes and retry exhaustion keep every waiter unblocked.
+    fn flush_message(&self, ctx: &SimCtx, msg: Message, status: WcStatus) {
+        match msg.kind {
+            MsgKind::ReadRequest { reply, .. } | MsgKind::ReadResponse { reply } => {
+                reply.wc.set(status);
+                reply.done.set(ctx);
+            }
+            MsgKind::TwoSided { .. } | MsgKind::OneSided { .. } => {}
+        }
+        if let Some(send) = msg.completion {
+            send.wc.set(status);
+            send.ev.set(ctx);
+            self.nics[msg.src.0].stats.lock().wc_errors += 1;
+        }
+        if let Some(w) = msg.window {
+            w.release(ctx);
+        }
+    }
+
+    /// Fail-stop `host` now: flag it, wake its parked receivers with
+    /// errors, and poison its SRQ so the ingress engine cannot wedge.
+    fn crash_host(&self, ctx: &SimCtx, host: HostId) {
+        if !self.faults.set_crashed(host) {
+            return;
+        }
+        self.validator.on_host_crashed(host);
+        self.nics[host.0].recv_cq.close(ctx);
+        self.nics[host.0].srq.poison(ctx);
+    }
+
+    /// Abort the whole fabric: every queue closes, every SRQ is poisoned,
+    /// and in-flight messages are flushed with error completions. Workers
+    /// parked on any fabric primitive wake with typed errors. Idempotent.
+    pub fn abort(&self, ctx: &SimCtx) {
+        if !self.faults.set_aborted() {
+            return;
+        }
+        self.validator.on_abort();
+        for nic in &self.nics {
+            nic.tx.close(ctx);
+            nic.srq.poison(ctx);
+            nic.recv_cq.close(ctx);
+        }
+    }
+
+    /// Spawn the egress and ingress engine threads for every host (plus
+    /// the fault-plan timers when a plan is installed). Accepts either a
+    /// [`Simulation`] (before `run`) or a [`SimCtx`] (from inside the
+    /// simulation) via [`Spawner`].
     pub fn launch(self: &Arc<Self>, spawner: &impl Spawner) {
         assert!(
             !self.launched.swap(true, Ordering::SeqCst),
@@ -380,115 +640,211 @@ impl Fabric {
             // Egress engine for host h.
             let fabric = Arc::clone(self);
             spawner.spawn_task(format!("nic-tx-{h}"), move |ctx| {
-                let tx = Arc::clone(&fabric.nics[h].tx);
-                while let Some(mut msg) = tx.recv(ctx) {
-                    let wire =
-                        SimDuration::from_secs_f64(fabric.cfg.wire_seconds(msg.payload.len(), n));
-                    fabric.nics[h].stats.lock().tx_busy_ns += wire.as_nanos();
-                    ctx.advance(wire);
-                    msg.arrival = ctx.now() + SimDuration::from_secs_f64(fabric.cfg.latency);
-                    let dst = msg.dst.0;
-                    assert!(dst < n, "send to unknown host {dst}");
-                    fabric.rx_queues[dst].send(ctx, msg);
-                }
-                // Last egress engine standing closes all ingress queues.
-                if fabric.live_tx.fetch_sub(1, Ordering::SeqCst) == 1 {
-                    for q in &fabric.rx_queues {
-                        q.close(ctx);
-                    }
-                }
+                fabric.egress_engine(ctx, h, n);
             });
 
             // Ingress engine for host h.
             let fabric = Arc::clone(self);
             spawner.spawn_task(format!("nic-rx-{h}"), move |ctx| {
-                let rx = Arc::clone(&fabric.rx_queues[h]);
-                let nic = &fabric.nics[h];
-                while let Some(msg) = rx.recv(ctx) {
-                    ctx.sleep_until(msg.arrival);
-                    let wire =
-                        SimDuration::from_secs_f64(fabric.cfg.wire_seconds(msg.payload.len(), n));
-                    nic.stats.lock().rx_busy_ns += wire.as_nanos();
-                    ctx.advance(wire);
-                    {
-                        let mut stats = nic.stats.lock();
-                        stats.rx_msgs += 1;
-                        stats.rx_bytes += msg.payload.len() as u64;
-                    }
-                    match msg.kind {
-                        MsgKind::TwoSided { tag } => {
-                            // Consume a posted receive buffer; blocks (RNR)
-                            // if the application is not reposting. If every
-                            // slot is application-held, that's a contract
-                            // violation (§4.2.2), not backpressure.
-                            if nic.srq.available() == 0 {
-                                fabric
-                                    .validator
-                                    .srq_blocked(HostId(h), fabric.cfg.srq_slots);
-                            }
-                            nic.srq.acquire(ctx);
-                            fabric.validator.on_rx_delivered(HostId(h));
-                            nic.recv_cq.send(
-                                ctx,
-                                Completion {
-                                    src: msg.src,
-                                    tag,
-                                    payload: msg.payload,
-                                },
-                            );
-                        }
-                        MsgKind::OneSided { mr, offset } => {
-                            // A `None` lookup was already reported as
-                            // use-before-register; drop the write.
-                            if let Some(region) = nic.mrs.get(mr) {
-                                region.dma_write(offset, &msg.payload);
-                            }
-                        }
-                        MsgKind::ReadRequest {
-                            mr,
-                            offset,
-                            len,
-                            reply,
-                        } => {
-                            // The *responder's* NIC streams the data back:
-                            // enqueue the response on this host's egress.
-                            let data = match nic.mrs.get(mr) {
-                                Some(region) => region.dma_read(offset, len),
-                                None => vec![0u8; len],
-                            };
-                            {
-                                let mut stats = nic.stats.lock();
-                                stats.tx_msgs += 1;
-                                stats.tx_bytes += data.len() as u64;
-                            }
-                            nic.tx.send(
-                                ctx,
-                                Message {
-                                    src: HostId(h),
-                                    dst: msg.src,
-                                    payload: data,
-                                    kind: MsgKind::ReadResponse { reply },
-                                    arrival: SimTime::ZERO,
-                                    completion: None,
-                                    window: None,
-                                },
-                            );
-                        }
-                        MsgKind::ReadResponse { reply } => {
-                            *reply.data.lock() = Some(msg.payload);
-                            reply.done.set(ctx);
-                        }
-                    }
-                    if let Some(c) = msg.completion {
-                        c.set(ctx);
-                    }
-                    if let Some(w) = msg.window {
-                        w.release(ctx);
-                    }
-                }
-                nic.recv_cq.close(ctx);
+                fabric.ingress_engine(ctx, h, n);
             });
         }
+        // Crash timers: fail-stop the scheduled hosts at their instants.
+        if let Some(plan) = self.faults.plan() {
+            for crash in plan.crashes.clone() {
+                let fabric = Arc::clone(self);
+                spawner.spawn_task(format!("fault-crash-{}", crash.host.0), move |ctx| {
+                    ctx.sleep_until(crash.at);
+                    fabric.crash_host(ctx, crash.host);
+                });
+            }
+        }
+    }
+
+    fn egress_engine(&self, ctx: &SimCtx, h: usize, n: usize) {
+        let tx = Arc::clone(&self.nics[h].tx);
+        let src = HostId(h);
+        let mut msg_seq: u64 = 0;
+        while let Some(mut msg) = tx.recv(ctx) {
+            msg_seq += 1;
+            self.faults.note_progress();
+            if self.faults.is_aborted() || self.faults.is_crashed(src) {
+                self.flush_message(ctx, msg, WcStatus::Flushed);
+                continue;
+            }
+            if let Some(plan) = self.faults.plan() {
+                if let Some(end) = plan.stall_end(src, ctx.now()) {
+                    ctx.sleep_until(end);
+                }
+                if let Some(status) = self.retransmit(ctx, plan, src, &msg, msg_seq, h) {
+                    if status == WcStatus::RetryExceeded {
+                        self.faults.set_qp_error(src, msg.dst);
+                    }
+                    self.flush_message(ctx, msg, status);
+                    continue;
+                }
+            }
+            let wire = SimDuration::from_secs_f64(self.cfg.wire_seconds(msg.payload.len(), n));
+            self.nics[h].stats.lock().tx_busy_ns += wire.as_nanos();
+            ctx.advance(wire);
+            msg.arrival = ctx.now() + SimDuration::from_secs_f64(self.cfg.latency);
+            if let Some(plan) = self.faults.plan() {
+                msg.arrival += plan.extra_delay(src, msg.dst, msg_seq);
+            }
+            let dst = msg.dst.0;
+            assert!(dst < n, "send to unknown host {dst}");
+            self.rx_queues[dst].send(ctx, msg);
+        }
+        // Last egress engine standing closes all ingress queues.
+        if self.live_tx.fetch_sub(1, Ordering::SeqCst) == 1 {
+            for q in &self.rx_queues {
+                q.close(ctx);
+            }
+        }
+    }
+
+    /// IB RC retransmission at the head of the egress queue: each dropped
+    /// attempt charges exponential backoff in virtual time, then retries.
+    /// Returns the terminal error status if the message cannot be sent.
+    fn retransmit(
+        &self,
+        ctx: &SimCtx,
+        plan: &FaultPlan,
+        src: HostId,
+        msg: &Message,
+        msg_seq: u64,
+        h: usize,
+    ) -> Option<WcStatus> {
+        let dst = msg.dst;
+        let mut attempt: u32 = 0;
+        loop {
+            let dropped = self.faults.is_crashed(dst)
+                || plan.attempt_drops(src, dst, msg_seq, attempt, ctx.now());
+            if !dropped {
+                return None;
+            }
+            attempt += 1;
+            self.faults.note_progress();
+            self.nics[h].stats.lock().retransmits += 1;
+            if attempt > plan.retry.max_retries {
+                return Some(WcStatus::RetryExceeded);
+            }
+            ctx.advance(plan.retry.backoff(attempt));
+            if self.faults.is_aborted() || self.faults.is_crashed(src) {
+                return Some(WcStatus::Flushed);
+            }
+        }
+    }
+
+    fn ingress_engine(&self, ctx: &SimCtx, h: usize, n: usize) {
+        let rx = Arc::clone(&self.rx_queues[h]);
+        let host = HostId(h);
+        while let Some(msg) = rx.recv(ctx) {
+            self.faults.note_progress();
+            if self.faults.is_aborted() || self.faults.is_crashed(host) {
+                self.flush_message(ctx, msg, WcStatus::Flushed);
+                continue;
+            }
+            let nic = &self.nics[h];
+            ctx.sleep_until(msg.arrival);
+            let wire = SimDuration::from_secs_f64(self.cfg.wire_seconds(msg.payload.len(), n));
+            nic.stats.lock().rx_busy_ns += wire.as_nanos();
+            ctx.advance(wire);
+            // The wire charge is a yield point: a crash or abort may have
+            // landed meanwhile, and the receive queue may be closed.
+            if self.faults.is_aborted() || self.faults.is_crashed(host) {
+                self.flush_message(ctx, msg, WcStatus::Flushed);
+                continue;
+            }
+            {
+                let mut stats = nic.stats.lock();
+                stats.rx_msgs += 1;
+                stats.rx_bytes += msg.payload.len() as u64;
+            }
+            let mut flushed = false;
+            match msg.kind {
+                MsgKind::TwoSided { tag } => {
+                    // Consume a posted receive buffer; blocks (RNR)
+                    // if the application is not reposting. If every
+                    // slot is application-held, that's a contract
+                    // violation (§4.2.2), not backpressure.
+                    if nic.srq.available() == 0 {
+                        self.validator.srq_blocked(HostId(h), self.cfg.srq_slots);
+                    }
+                    let acquired = nic.srq.acquire_checked(ctx).is_ok();
+                    // Another yield point — re-check before touching the CQ.
+                    if !acquired || self.faults.is_aborted() || self.faults.is_crashed(host) {
+                        flushed = true;
+                    } else {
+                        self.validator.on_rx_delivered(HostId(h));
+                        nic.recv_cq.send(
+                            ctx,
+                            Completion {
+                                src: msg.src,
+                                tag,
+                                payload: msg.payload,
+                            },
+                        );
+                    }
+                }
+                MsgKind::OneSided { mr, offset } => {
+                    // A `None` lookup was already reported as
+                    // use-before-register; drop the write.
+                    if let Some(region) = nic.mrs.get(mr) {
+                        region.dma_write(offset, &msg.payload);
+                    }
+                }
+                MsgKind::ReadRequest {
+                    mr,
+                    offset,
+                    len,
+                    reply,
+                } => {
+                    // The *responder's* NIC streams the data back:
+                    // enqueue the response on this host's egress.
+                    let data = match nic.mrs.get(mr) {
+                        Some(region) => region.dma_read(offset, len),
+                        None => vec![0u8; len],
+                    };
+                    {
+                        let mut stats = nic.stats.lock();
+                        stats.tx_msgs += 1;
+                        stats.tx_bytes += data.len() as u64;
+                    }
+                    nic.tx.send(
+                        ctx,
+                        Message {
+                            src: HostId(h),
+                            dst: msg.src,
+                            payload: data,
+                            kind: MsgKind::ReadResponse { reply },
+                            arrival: SimTime::ZERO,
+                            completion: None,
+                            window: None,
+                        },
+                    );
+                }
+                MsgKind::ReadResponse { reply } => {
+                    *reply.data.lock() = Some(msg.payload);
+                    reply.done.set(ctx);
+                }
+            }
+            if let Some(send) = msg.completion {
+                send.wc.set(if flushed {
+                    WcStatus::Flushed
+                } else {
+                    WcStatus::Success
+                });
+                send.ev.set(ctx);
+                if flushed {
+                    self.nics[msg.src.0].stats.lock().wc_errors += 1;
+                }
+            }
+            if let Some(w) = msg.window {
+                w.release(ctx);
+            }
+        }
+        self.nics[h].recv_cq.close(ctx);
     }
 
     /// Stop accepting traffic: closes every egress queue, letting the
@@ -522,6 +878,7 @@ impl Spawner for SimCtx {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{HostCrash, LinkFlap};
 
     fn two_host_fabric(cfg: FabricConfig) -> (Simulation, Arc<Fabric>) {
         let sim = Simulation::new();
@@ -544,7 +901,7 @@ mod tests {
                     events.push(nic.post_send(ctx, HostId(1), 7, vec![0u8; size]));
                 }
                 for ev in events {
-                    ev.wait(ctx);
+                    ev.wait(ctx).unwrap();
                 }
                 fabric.shutdown(ctx);
             });
@@ -555,7 +912,7 @@ mod tests {
             sim.spawn("receiver", move |ctx| {
                 let nic = fabric.nic(HostId(1));
                 let mut got = 0usize;
-                while let Some(c) = nic.recv(ctx) {
+                while let Some(c) = nic.recv(ctx).unwrap() {
                     got += c.payload.len();
                     nic.repost_recv(ctx);
                 }
@@ -610,7 +967,7 @@ mod tests {
                     .map(|_| nic.post_send(ctx, HostId(2), 0, vec![0u8; MSG]))
                     .collect();
                 for ev in evs {
-                    ev.wait(ctx);
+                    ev.wait(ctx).unwrap();
                 }
             });
         }
@@ -621,7 +978,7 @@ mod tests {
             sim.spawn("receiver", move |ctx| {
                 let nic = fabric.nic(HostId(2));
                 for _ in 0..2 * COUNT {
-                    let c = nic.recv(ctx).expect("fabric closed early");
+                    let c = nic.recv(ctx).unwrap().expect("fabric closed early");
                     assert_eq!(c.payload.len(), MSG);
                     nic.repost_recv(ctx);
                 }
@@ -666,7 +1023,7 @@ mod tests {
                 let (handle, mr) = handle_cell.lock().clone().unwrap();
                 let nic = fabric.nic(HostId(0));
                 let ev = nic.post_write(ctx, handle, 128, vec![9u8; 64]);
-                ev.wait(ctx);
+                ev.wait(ctx).unwrap();
                 mr.with_data(|d| {
                     assert!(d[128..192].iter().all(|&b| b == 9));
                     assert_eq!(d[127], 0);
@@ -691,7 +1048,7 @@ mod tests {
                 let post_cost = (ctx.now() - t0).as_secs_f64();
                 assert!(post_cost < 1e-6);
                 // ...but the completion only fires after the wire time.
-                ev.wait(ctx);
+                ev.wait(ctx).unwrap();
                 let elapsed = (ctx.now() - t0).as_secs_f64();
                 let min_wire = 64.0 * 1024.0 / fabric.config().bandwidth;
                 assert!(elapsed >= min_wire, "{elapsed} < {min_wire}");
@@ -702,7 +1059,7 @@ mod tests {
             let fabric = Arc::clone(&fabric);
             sim.spawn("receiver", move |ctx| {
                 let nic = fabric.nic(HostId(1));
-                while let Some(_c) = nic.recv(ctx) {
+                while let Some(_c) = nic.recv(ctx).unwrap() {
                     nic.repost_recv(ctx);
                 }
             });
@@ -736,7 +1093,7 @@ mod tests {
                 let remote = handle_cell.lock().unwrap();
                 let nic = fabric.nic(HostId(0));
                 let t0 = ctx.now();
-                let data = nic.post_read(ctx, remote, 64, 128).wait(ctx);
+                let data = nic.post_read(ctx, remote, 64, 128).wait(ctx).unwrap();
                 assert_eq!(data, vec![7u8; 128]);
                 // The read paid at least one round trip plus the data leg.
                 let elapsed = (ctx.now() - t0).as_secs_f64();
@@ -756,7 +1113,9 @@ mod tests {
             sim.spawn("sender", move |ctx| {
                 let nic = fabric.nic(HostId(0));
                 for i in 0..5u32 {
-                    nic.post_send(ctx, HostId(1), i, vec![0u8; 1000]).wait(ctx);
+                    nic.post_send(ctx, HostId(1), i, vec![0u8; 1000])
+                        .wait(ctx)
+                        .unwrap();
                 }
                 fabric.shutdown(ctx);
             });
@@ -766,7 +1125,7 @@ mod tests {
             sim.spawn("receiver", move |ctx| {
                 let nic = fabric.nic(HostId(1));
                 let mut tags = Vec::new();
-                while let Some(c) = nic.recv(ctx) {
+                while let Some(c) = nic.recv(ctx).unwrap() {
                     tags.push(c.tag);
                     nic.repost_recv(ctx);
                 }
@@ -780,5 +1139,179 @@ mod tests {
         assert_eq!(tx.tx_bytes, 5000);
         assert_eq!(rx.rx_msgs, 5);
         assert_eq!(rx.rx_bytes, 5000);
+    }
+
+    /// Run a fixed 0→1 stream under `plan`; returns (tags received,
+    /// completion results, finish time, sender stats).
+    fn faulted_stream(
+        plan: FaultPlan,
+        count: usize,
+    ) -> (Vec<u32>, Vec<Result<(), FabricError>>, u64, NicStats) {
+        let sim = Simulation::new();
+        let fabric = Fabric::new_with_plan(FabricConfig::fdr(), NicCosts::default(), 2, Some(plan));
+        fabric.launch(&sim);
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let tags = Arc::new(Mutex::new(Vec::new()));
+        let finish = Arc::new(Mutex::new(0u64));
+        {
+            let fabric = Arc::clone(&fabric);
+            let results = Arc::clone(&results);
+            sim.spawn("sender", move |ctx| {
+                let nic = fabric.nic(HostId(0));
+                let handles: Vec<_> = (0..count)
+                    .map(|i| nic.post_send(ctx, HostId(1), i as u32, vec![0u8; 4096]))
+                    .collect();
+                for h in handles {
+                    results.lock().push(h.wait(ctx));
+                }
+                fabric.shutdown(ctx);
+            });
+        }
+        {
+            let fabric = Arc::clone(&fabric);
+            let tags = Arc::clone(&tags);
+            let finish = Arc::clone(&finish);
+            sim.spawn("receiver", move |ctx| {
+                let nic = fabric.nic(HostId(1));
+                loop {
+                    match nic.recv(ctx) {
+                        Ok(Some(c)) => {
+                            tags.lock().push(c.tag);
+                            nic.repost_recv(ctx);
+                        }
+                        Ok(None) | Err(_) => break,
+                    }
+                }
+                *finish.lock() = ctx.now().as_nanos();
+            });
+        }
+        sim.run();
+        let stats = fabric.nic(HostId(0)).stats();
+        let tags = tags.lock().clone();
+        let results = results.lock().clone();
+        let finish = *finish.lock();
+        (tags, results, finish, stats)
+    }
+
+    #[test]
+    fn transient_drops_are_retried_and_invisible_to_the_application() {
+        let mut plan = FaultPlan::fault_free();
+        plan.seed = 7;
+        plan.drop_per_mille = 200; // 20% per-attempt loss
+        let (tags, results, _, stats) = faulted_stream(plan, 20);
+        assert_eq!(tags, (0..20).collect::<Vec<u32>>(), "in-order, complete");
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert!(stats.retransmits > 0, "faults were actually injected");
+        assert_eq!(stats.wc_errors, 0);
+    }
+
+    #[test]
+    fn link_flap_is_ridden_out_by_backoff() {
+        let mut plan = FaultPlan::fault_free();
+        // Outage shorter than the policy's total backoff budget: every
+        // message must survive via retransmission.
+        plan.link_flaps.push(LinkFlap {
+            host: HostId(1),
+            from: SimTime::from_nanos(0),
+            until: SimTime::from_nanos(200_000),
+        });
+        let (tags, results, finish, stats) = faulted_stream(plan, 10);
+        assert_eq!(tags, (0..10).collect::<Vec<u32>>());
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert!(stats.retransmits > 0);
+        assert!(finish >= 200_000, "delivery waited out the outage");
+    }
+
+    #[test]
+    fn dead_link_exhausts_the_retry_counter_and_errors_the_qp() {
+        let mut plan = FaultPlan::fault_free();
+        plan.link_flaps.push(LinkFlap {
+            host: HostId(1),
+            from: SimTime::ZERO,
+            until: SimTime::from_nanos(u64::MAX),
+        });
+        let (tags, results, _, stats) = faulted_stream(plan, 3);
+        assert!(tags.is_empty(), "nothing crosses a dead link");
+        assert!(!results.is_empty());
+        assert!(matches!(
+            results[0],
+            Err(FabricError::QpError {
+                status: WcStatus::RetryExceeded,
+                ..
+            })
+        ));
+        // Once the QP is in error, later posts flush immediately.
+        assert!(results[1..].iter().all(|r| r.is_err()));
+        assert!(stats.wc_errors >= 3);
+    }
+
+    #[test]
+    fn crashed_host_flushes_senders_and_wakes_its_receiver() {
+        let mut plan = FaultPlan::fault_free();
+        plan.crashes.push(HostCrash {
+            host: HostId(1),
+            at: SimTime::from_nanos(1_000),
+        });
+        let (tags, results, _, _) = faulted_stream(plan, 5);
+        // The receiver on the crashed host wakes with HostCrashed, so the
+        // tag list is cut short (possibly empty).
+        assert!(tags.len() < 5);
+        // The sender sees typed errors once the crash lands.
+        assert!(results.iter().any(|r| {
+            matches!(
+                r,
+                Err(FabricError::HostCrashed { host: HostId(1) })
+                    | Err(FabricError::QpError { .. })
+            )
+        }));
+    }
+
+    #[test]
+    fn faulted_runs_replay_identically_from_the_same_seed() {
+        let mk = || {
+            let mut plan = FaultPlan::fault_free();
+            plan.seed = 99;
+            plan.drop_per_mille = 150;
+            plan.delay_per_mille = 300;
+            plan.max_delay = SimDuration::from_micros(20);
+            plan
+        };
+        let a = faulted_stream(mk(), 25);
+        let b = faulted_stream(mk(), 25);
+        assert_eq!(a.0, b.0, "same delivery order");
+        assert_eq!(a.2, b.2, "same virtual finish time");
+        assert_eq!(a.3.retransmits, b.3.retransmits, "same fault trace");
+    }
+
+    #[test]
+    fn abort_unblocks_a_parked_receiver_with_a_typed_error() {
+        let sim = Simulation::new();
+        let fabric = Fabric::new_with_plan(
+            FabricConfig::fdr(),
+            NicCosts::default(),
+            2,
+            Some(FaultPlan::fault_free()),
+        );
+        fabric.launch(&sim);
+        let saw = Arc::new(Mutex::new(None));
+        {
+            let fabric = Arc::clone(&fabric);
+            let saw = Arc::clone(&saw);
+            sim.spawn("receiver", move |ctx| {
+                let nic = fabric.nic(HostId(1));
+                *saw.lock() = Some(nic.recv(ctx));
+            });
+        }
+        {
+            let fabric = Arc::clone(&fabric);
+            sim.spawn("aborter", move |ctx| {
+                ctx.advance(SimDuration::from_micros(5));
+                fabric.abort(ctx);
+            });
+        }
+        sim.run();
+        assert_eq!(saw.lock().take(), Some(Err(FabricError::Aborted)));
+        // Posts after the abort flush immediately instead of wedging.
+        assert!(fabric.aborted());
     }
 }

@@ -1,0 +1,571 @@
+//! The deterministic fault plane: seeded, schedule-driven fabric fault
+//! injection plus the IB RC error vocabulary surfaced to posters.
+//!
+//! The paper's evaluation (§6) assumes a healthy rack; real IB RC
+//! transports define the machinery for when it is not — retransmit retry
+//! counters, RNR NAK backoff, queue pairs transitioning to the error
+//! state, and completions-with-error flushed back to the poster. This
+//! module models that vocabulary *deterministically*: every fault decision
+//! is a pure function of the plan's seed, the message coordinates and the
+//! virtual clock, so replaying a seed reproduces the identical fault
+//! trace (DESIGN.md §8).
+//!
+//! A [`FaultPlan`] is installed on a fabric before launch. With no plan
+//! installed the fabric takes none of these branches and the event
+//! schedule is bit-identical to a build without the fault plane.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use rsj_sim::{SimDuration, SimTime};
+
+use crate::config::HostId;
+
+/// Completion status of a posted work request — the simulator's analogue
+/// of `ibv_wc_status`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WcStatus {
+    /// The work request completed successfully.
+    Success,
+    /// The transport retry counter was exceeded: every retransmission of
+    /// the message was lost (dead link, crashed peer, or sustained drop).
+    /// The queue pair transitions to the error state.
+    RetryExceeded,
+    /// The work request was flushed without reaching the wire: posted to a
+    /// queue pair already in the error state, caught in a cluster abort,
+    /// or owned by a crashed host.
+    Flushed,
+}
+
+const WC_PENDING: u8 = 0;
+const WC_SUCCESS: u8 = 1;
+const WC_RETRY_EXCEEDED: u8 = 2;
+const WC_FLUSHED: u8 = 3;
+
+pub(crate) fn encode_wc(status: WcStatus) -> u8 {
+    match status {
+        WcStatus::Success => WC_SUCCESS,
+        WcStatus::RetryExceeded => WC_RETRY_EXCEEDED,
+        WcStatus::Flushed => WC_FLUSHED,
+    }
+}
+
+pub(crate) fn decode_wc(bits: u8) -> Option<WcStatus> {
+    match bits {
+        WC_PENDING => None,
+        WC_SUCCESS => Some(WcStatus::Success),
+        WC_RETRY_EXCEEDED => Some(WcStatus::RetryExceeded),
+        _ => Some(WcStatus::Flushed),
+    }
+}
+
+/// A typed fabric-level failure, surfaced wherever delivery used to be
+/// infallible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FabricError {
+    /// A work request on the `src → dst` queue pair completed with an
+    /// error status; the queue pair is now in the error state.
+    QpError {
+        /// Posting host.
+        src: HostId,
+        /// Destination host.
+        dst: HostId,
+        /// The completion status that killed the queue pair.
+        status: WcStatus,
+    },
+    /// The named host crashed mid-run (fault-plan schedule).
+    HostCrashed {
+        /// The crashed host.
+        host: HostId,
+    },
+    /// The cluster aborted the run; outstanding work was flushed.
+    Aborted,
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::QpError { src, dst, status } => write!(
+                f,
+                "queue pair {} -> {} in error state ({status:?})",
+                src.0, dst.0
+            ),
+            FabricError::HostCrashed { host } => write!(f, "host {} crashed", host.0),
+            FabricError::Aborted => write!(f, "fabric aborted"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// Retransmission policy for dropped messages: IB RC's retry counter with
+/// RNR-style exponential backoff, paid in **virtual time** on the egress
+/// engine (head-of-line, preserving per-source FIFO order — go-back-N).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retransmission attempts before the completion errors out and the
+    /// queue pair enters the error state (IB's 3-bit retry counter tops
+    /// out at 7).
+    pub max_retries: u32,
+    /// Backoff before the first retransmission; doubles per attempt.
+    pub base_backoff: SimDuration,
+    /// Ceiling on a single backoff interval.
+    pub max_backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 7,
+            base_backoff: SimDuration::from_micros(10),
+            max_backoff: SimDuration::from_millis(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff charged before retransmission `attempt` (1-based):
+    /// `min(base * 2^(attempt-1), max)`.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let shift = attempt.saturating_sub(1).min(30);
+        let ns = self
+            .base_backoff
+            .as_nanos()
+            .saturating_mul(1u64 << shift)
+            .min(self.max_backoff.as_nanos());
+        SimDuration::from_nanos(ns)
+    }
+
+    /// Total virtual time spent backing off if every attempt is used —
+    /// the longest link outage a message can ride out.
+    pub fn total_backoff(&self) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for a in 1..=self.max_retries {
+            total += self.backoff(a);
+        }
+        total
+    }
+}
+
+/// A host's uplink/downlink is dead for a window of virtual time; every
+/// message touching the host during the window is dropped (and
+/// retransmitted by the sender's egress engine).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LinkFlap {
+    /// The flapping host.
+    pub host: HostId,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+}
+
+/// A NIC egress engine freezes for a span of virtual time (firmware
+/// hiccup): messages queue behind the stall and drain late.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct NicStall {
+    /// The stalled host.
+    pub host: HostId,
+    /// Instant the engine freezes.
+    pub at: SimTime,
+    /// How long it stays frozen.
+    pub duration: SimDuration,
+}
+
+/// A host fail-stops at an instant: its queues flush with errors, peers
+/// talking to it see retry-exhausted completions.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct HostCrash {
+    /// The crashing host.
+    pub host: HostId,
+    /// Crash instant.
+    pub at: SimTime,
+}
+
+/// A seeded, schedule-driven fault injection plan, owned by the fabric.
+///
+/// All stochastic decisions hash `(seed, src, dst, message sequence,
+/// attempt)` — no global RNG state — so the fault trace is a deterministic
+/// function of the plan regardless of scheduling.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the per-message drop/delay hashes.
+    pub seed: u64,
+    /// Per-attempt probability (in thousandths) that a message transmission
+    /// is dropped on the wire.
+    pub drop_per_mille: u32,
+    /// Probability (in thousandths) that a delivered message incurs extra
+    /// propagation delay.
+    pub delay_per_mille: u32,
+    /// Upper bound on the extra delay (uniform in `[0, max_delay]`).
+    pub max_delay: SimDuration,
+    /// Scheduled link outages.
+    pub link_flaps: Vec<LinkFlap>,
+    /// Scheduled NIC engine stalls.
+    pub nic_stalls: Vec<NicStall>,
+    /// Scheduled host crashes.
+    pub crashes: Vec<HostCrash>,
+    /// Retransmission policy for dropped messages.
+    pub retry: RetryPolicy,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing. Installing it arms the fault plane
+    /// (watchdog, error paths) without perturbing traffic — the baseline
+    /// of the chaos-off perf pair and of the replay tests.
+    pub fn fault_free() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            drop_per_mille: 0,
+            delay_per_mille: 0,
+            max_delay: SimDuration::ZERO,
+            link_flaps: Vec::new(),
+            nic_stalls: Vec::new(),
+            crashes: Vec::new(),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Derive a chaos schedule from a seed for a cluster of `hosts`
+    /// machines: light random drop/delay, and (depending on the seed) a
+    /// link flap, a NIC stall, or a mid-run host crash. Used by the chaos
+    /// harness; the same `(seed, hosts)` pair always yields the same plan.
+    pub fn chaos(seed: u64, hosts: usize) -> FaultPlan {
+        let mut plan = FaultPlan::fault_free();
+        plan.seed = seed;
+        let r0 = splitmix64(seed ^ 0xC0A5_0FEE);
+        let r1 = splitmix64(r0);
+        let r2 = splitmix64(r1);
+        let r3 = splitmix64(r2);
+        // Light stochastic noise: up to 2% per-attempt drop, up to 10%
+        // of messages delayed by up to 50 µs.
+        plan.drop_per_mille = (r0 % 21) as u32;
+        plan.delay_per_mille = (r1 % 101) as u32;
+        plan.max_delay = SimDuration::from_micros(50);
+        let host = |r: u64| HostId((r >> 8) as usize % hosts.max(1));
+        // One flap on a third of seeds, sized so retransmission can ride
+        // it out (well under the policy's total backoff budget).
+        if r2.is_multiple_of(3) {
+            let from = SimTime::from_nanos(200_000 + (r2 % 2_000_000));
+            plan.link_flaps.push(LinkFlap {
+                host: host(r2),
+                from,
+                until: from + SimDuration::from_micros(300),
+            });
+        }
+        // One engine stall on a quarter of seeds.
+        if r3.is_multiple_of(4) {
+            plan.nic_stalls.push(NicStall {
+                host: host(r3),
+                at: SimTime::from_nanos(100_000 + (r3 % 1_500_000)),
+                duration: SimDuration::from_micros(200),
+            });
+        }
+        // A fail-stop crash on one seed in five (only meaningful with a
+        // peer to notice, i.e. at least two hosts).
+        if hosts >= 2 && r1.is_multiple_of(5) {
+            plan.crashes.push(HostCrash {
+                host: host(r1),
+                at: SimTime::from_nanos(300_000 + (r1 % 3_000_000)),
+            });
+        }
+        plan
+    }
+
+    /// Whether the plan can ever perturb traffic.
+    pub fn injects_faults(&self) -> bool {
+        self.drop_per_mille > 0
+            || (self.delay_per_mille > 0 && self.max_delay > SimDuration::ZERO)
+            || !self.link_flaps.is_empty()
+            || !self.nic_stalls.is_empty()
+            || !self.crashes.is_empty()
+    }
+
+    /// Whether `host`'s link is down at `now` per the flap schedule.
+    pub fn link_down(&self, host: HostId, now: SimTime) -> bool {
+        self.link_flaps
+            .iter()
+            .any(|f| f.host == host && f.from <= now && now < f.until)
+    }
+
+    /// Whether transmission `attempt` (0-based) of message `msg_seq` on
+    /// `src → dst` is dropped at `now`.
+    pub fn attempt_drops(
+        &self,
+        src: HostId,
+        dst: HostId,
+        msg_seq: u64,
+        attempt: u32,
+        now: SimTime,
+    ) -> bool {
+        if self.link_down(src, now) || self.link_down(dst, now) {
+            return true;
+        }
+        if self.drop_per_mille == 0 {
+            return false;
+        }
+        let h = mix(&[
+            self.seed,
+            0xD809_94AE,
+            src.0 as u64,
+            dst.0 as u64,
+            msg_seq,
+            attempt as u64,
+        ]);
+        ((h % 1000) as u32) < self.drop_per_mille
+    }
+
+    /// Extra propagation delay injected into message `msg_seq` on
+    /// `src → dst` (zero for most messages).
+    pub fn extra_delay(&self, src: HostId, dst: HostId, msg_seq: u64) -> SimDuration {
+        if self.delay_per_mille == 0 || self.max_delay == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        let h = mix(&[self.seed, 0xDE1A_44BB, src.0 as u64, dst.0 as u64, msg_seq]);
+        if (h % 1000) as u32 >= self.delay_per_mille {
+            return SimDuration::ZERO;
+        }
+        let frac = splitmix64(h);
+        SimDuration::from_nanos(frac % (self.max_delay.as_nanos() + 1))
+    }
+
+    /// If `host`'s egress engine is inside a scheduled stall at `now`,
+    /// the instant it unfreezes.
+    pub fn stall_end(&self, host: HostId, now: SimTime) -> Option<SimTime> {
+        self.nic_stalls
+            .iter()
+            .filter(|s| s.host == host && s.at <= now && now < s.at + s.duration)
+            .map(|s| s.at + s.duration)
+            .max()
+    }
+
+    /// The scheduled crash instant of `host`, if any.
+    pub fn crash_at(&self, host: HostId) -> Option<SimTime> {
+        self.crashes
+            .iter()
+            .filter(|c| c.host == host)
+            .map(|c| c.at)
+            .min()
+    }
+}
+
+/// SplitMix64 — the classic 64-bit finalizer; dependency-free and more
+/// than random enough for fault decisions.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn mix(words: &[u64]) -> u64 {
+    let mut acc = 0x243F_6A88_85A3_08D3u64;
+    for &w in words {
+        acc = splitmix64(acc ^ w);
+    }
+    acc
+}
+
+/// Shared fault-plane state of one fabric: the installed plan plus the
+/// dynamic flags (abort, per-host crash, per-QP error) that the engines,
+/// NICs and completion handles consult.
+pub(crate) struct FaultState {
+    plan: Option<FaultPlan>,
+    hosts: usize,
+    aborted: AtomicBool,
+    crashed: Vec<AtomicBool>,
+    /// Row-major `src * hosts + dst`: queue pair in the error state.
+    qp_error: Vec<AtomicBool>,
+    /// Monotone activity counter, snapshotted by the runtime watchdog to
+    /// detect a wedged cluster.
+    progress: AtomicU64,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: Option<FaultPlan>, hosts: usize) -> Arc<FaultState> {
+        Arc::new(FaultState {
+            plan,
+            hosts,
+            aborted: AtomicBool::new(false),
+            crashed: (0..hosts).map(|_| AtomicBool::new(false)).collect(),
+            qp_error: (0..hosts * hosts).map(|_| AtomicBool::new(false)).collect(),
+            progress: AtomicU64::new(0),
+        })
+    }
+
+    pub(crate) fn plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_ref()
+    }
+
+    pub(crate) fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
+    /// First abort wins; returns whether this call switched the flag.
+    pub(crate) fn set_aborted(&self) -> bool {
+        !self.aborted.swap(true, Ordering::SeqCst)
+    }
+
+    pub(crate) fn is_crashed(&self, host: HostId) -> bool {
+        self.crashed[host.0].load(Ordering::SeqCst)
+    }
+
+    /// Returns whether this call switched the flag.
+    pub(crate) fn set_crashed(&self, host: HostId) -> bool {
+        !self.crashed[host.0].swap(true, Ordering::SeqCst)
+    }
+
+    /// Hosts flagged as crashed so far.
+    pub(crate) fn crashed_hosts(&self) -> Vec<HostId> {
+        (0..self.hosts)
+            .filter(|&h| self.crashed[h].load(Ordering::SeqCst))
+            .map(HostId)
+            .collect()
+    }
+
+    pub(crate) fn qp_in_error(&self, src: HostId, dst: HostId) -> bool {
+        self.qp_error[src.0 * self.hosts + dst.0].load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn set_qp_error(&self, src: HostId, dst: HostId) {
+        self.qp_error[src.0 * self.hosts + dst.0].store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn note_progress(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn progress(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+    }
+
+    /// Why a post on `src → dst` must fail fast, if it must (checked
+    /// before and after the post-overhead yield point).
+    pub(crate) fn post_denied(&self, src: HostId, dst: HostId) -> Option<WcStatus> {
+        self.plan.as_ref()?;
+        if self.is_aborted() || self.is_crashed(src) || self.is_crashed(dst) {
+            return Some(WcStatus::Flushed);
+        }
+        if self.qp_in_error(src, dst) {
+            return Some(WcStatus::Flushed);
+        }
+        None
+    }
+
+    /// Map an errored completion status into the most informative
+    /// [`FabricError`].
+    pub(crate) fn error_for(&self, src: HostId, dst: HostId, status: WcStatus) -> FabricError {
+        match status {
+            WcStatus::Success => unreachable!("success is not an error"),
+            WcStatus::RetryExceeded => FabricError::QpError { src, dst, status },
+            WcStatus::Flushed => {
+                if self.is_crashed(dst) {
+                    FabricError::HostCrashed { host: dst }
+                } else if self.is_crashed(src) {
+                    FabricError::HostCrashed { host: src }
+                } else if self.is_aborted() {
+                    FabricError::Aborted
+                } else {
+                    FabricError::QpError { src, dst, status }
+                }
+            }
+        }
+    }
+}
+
+/// Atomic cell holding a work completion status.
+pub(crate) struct WcCell(AtomicU8);
+
+impl WcCell {
+    pub(crate) fn new() -> WcCell {
+        WcCell(AtomicU8::new(WC_PENDING))
+    }
+
+    pub(crate) fn set(&self, status: WcStatus) {
+        self.0.store(encode_wc(status), Ordering::SeqCst);
+    }
+
+    pub(crate) fn get(&self) -> Option<WcStatus> {
+        decode_wc(self.0.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_decisions_are_deterministic() {
+        let plan = FaultPlan::chaos(42, 4);
+        let again = FaultPlan::chaos(42, 4);
+        assert_eq!(plan, again, "same seed, same schedule");
+        for seq in 0..50u64 {
+            for attempt in 0..3u32 {
+                let a = plan.attempt_drops(HostId(0), HostId(1), seq, attempt, SimTime::ZERO);
+                let b = again.attempt_drops(HostId(0), HostId(1), seq, attempt, SimTime::ZERO);
+                assert_eq!(a, b);
+            }
+            assert_eq!(
+                plan.extra_delay(HostId(2), HostId(3), seq),
+                again.extra_delay(HostId(2), HostId(3), seq)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        // Not a strict requirement seed-by-seed, but across many seeds the
+        // schedules must not all collapse to one.
+        let plans: Vec<FaultPlan> = (0..16).map(|s| FaultPlan::chaos(s, 4)).collect();
+        let distinct = plans
+            .iter()
+            .map(|p| (p.drop_per_mille, p.link_flaps.len(), p.crashes.len()))
+            .collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 4);
+    }
+
+    #[test]
+    fn fault_free_plan_injects_nothing() {
+        let plan = FaultPlan::fault_free();
+        assert!(!plan.injects_faults());
+        assert!(!plan.attempt_drops(HostId(0), HostId(1), 7, 0, SimTime::ZERO));
+        assert_eq!(plan.extra_delay(HostId(0), HostId(1), 7), SimDuration::ZERO);
+        assert_eq!(plan.stall_end(HostId(0), SimTime::ZERO), None);
+        assert_eq!(plan.crash_at(HostId(0)), None);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 7,
+            base_backoff: SimDuration::from_micros(10),
+            max_backoff: SimDuration::from_micros(100),
+        };
+        assert_eq!(p.backoff(1), SimDuration::from_micros(10));
+        assert_eq!(p.backoff(2), SimDuration::from_micros(20));
+        assert_eq!(p.backoff(3), SimDuration::from_micros(40));
+        assert_eq!(p.backoff(4), SimDuration::from_micros(80));
+        assert_eq!(p.backoff(5), SimDuration::from_micros(100), "capped");
+        assert_eq!(p.backoff(6), SimDuration::from_micros(100));
+        assert_eq!(
+            p.total_backoff(),
+            SimDuration::from_micros(10 + 20 + 40 + 80 + 300)
+        );
+    }
+
+    #[test]
+    fn link_flap_window_drops_every_attempt() {
+        let mut plan = FaultPlan::fault_free();
+        plan.link_flaps.push(LinkFlap {
+            host: HostId(1),
+            from: SimTime::from_nanos(1000),
+            until: SimTime::from_nanos(2000),
+        });
+        let inside = SimTime::from_nanos(1500);
+        let outside = SimTime::from_nanos(2000);
+        assert!(plan.attempt_drops(HostId(0), HostId(1), 0, 0, inside));
+        assert!(plan.attempt_drops(HostId(1), HostId(0), 0, 0, inside));
+        assert!(!plan.attempt_drops(HostId(0), HostId(1), 0, 0, outside));
+        assert!(!plan.attempt_drops(HostId(2), HostId(3), 0, 0, inside));
+    }
+}

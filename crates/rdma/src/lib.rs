@@ -22,12 +22,16 @@
 
 mod config;
 mod fabric;
+pub mod fault;
 mod mr;
 mod pool;
 pub mod validate;
 
 pub use config::{FabricConfig, HostId, NicCosts};
-pub use fabric::{Completion, Fabric, Nic, NicStats, ReadHandle, Spawner};
+pub use fabric::{Completion, Fabric, Nic, NicStats, ReadHandle, SendHandle, Spawner};
+pub use fault::{
+    splitmix64, FabricError, FaultPlan, HostCrash, LinkFlap, NicStall, RetryPolicy, WcStatus,
+};
 pub use mr::{Mr, MrTable, RemoteMr};
 pub use pool::{BufferPool, SendWindow};
 pub use validate::{ValidateMode, Validator, Violation};

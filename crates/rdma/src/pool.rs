@@ -15,9 +15,11 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rsj_sim::{SimCtx, SimDuration, SimEvent};
+use rsj_sim::{SimCtx, SimDuration};
 
 use crate::config::NicCosts;
+use crate::fabric::SendHandle;
+use crate::fault::FabricError;
 use crate::validate::{Validator, Violation};
 
 /// A pool of fixed-size, pre-registered RDMA buffers.
@@ -121,7 +123,7 @@ impl BufferPool {
 /// while buffer A is on the wire, and blocks only if A is *still* on the
 /// wire when B is full — i.e. only when genuinely network-bound.
 pub struct SendWindow {
-    slots: Vec<Option<Arc<SimEvent>>>,
+    slots: Vec<Option<SendHandle>>,
     next: usize,
     /// Total virtual seconds spent blocked in `admit` — the "thread had to
     /// wait for the network" time the model's Eq. 4 predicts.
@@ -136,7 +138,7 @@ impl SendWindow {
     pub fn new(depth: usize) -> SendWindow {
         assert!(depth >= 1);
         SendWindow {
-            slots: vec![None; depth],
+            slots: (0..depth).map(|_| None).collect(),
             next: 0,
             stall_seconds: 0.0,
             validator: None,
@@ -153,15 +155,20 @@ impl SendWindow {
     }
 
     /// Block until a slot is free (i.e. the send posted `depth` calls ago
-    /// has completed), accumulating stall time.
-    pub fn admit(&mut self, ctx: &SimCtx) {
-        if let Some(ev) = self.slots[self.next].take() {
-            if !ev.is_set() {
+    /// has completed), accumulating stall time. Surfaces the displaced
+    /// work request's completion status: a flushed or retry-exhausted send
+    /// becomes a typed [`FabricError`] the caller must propagate.
+    pub fn admit(&mut self, ctx: &SimCtx) -> Result<(), FabricError> {
+        if let Some(handle) = self.slots[self.next].take() {
+            if !handle.is_done() {
                 let t0 = ctx.now();
-                ev.wait(ctx);
+                let res = handle.wait(ctx);
                 self.stall_seconds += (ctx.now() - t0).as_secs_f64();
+                return res;
             }
+            return handle.wait(ctx);
         }
+        Ok(())
     }
 
     /// Record a posted send's completion event in the slot reserved by the
@@ -169,29 +176,37 @@ impl SendWindow {
     /// re-posting a buffer whose previous work request was never waited
     /// for — breaks the §4.2.1 double-buffering discipline and is
     /// reported as a [`Violation::RepostBeforeCompletion`].
-    pub fn record(&mut self, ev: Arc<SimEvent>) {
+    pub fn record(&mut self, handle: SendHandle) {
         if let Some(prev) = self.slots[self.next].take() {
-            let in_flight = !prev.is_set();
+            let in_flight = !prev.is_done();
             match &self.validator {
                 Some(v) => v.report(Violation::RepostBeforeCompletion { in_flight }),
                 None => debug_assert!(false, "record without admit"),
             }
         }
-        self.slots[self.next] = Some(ev);
+        self.slots[self.next] = Some(handle);
         self.next = (self.next + 1) % self.slots.len();
     }
 
     /// Wait for every outstanding send to complete (end of the network
-    /// partitioning pass).
-    pub fn drain(&mut self, ctx: &SimCtx) {
+    /// partitioning pass). Always drains the whole window — even when a
+    /// send errored — then reports the first error encountered, so the
+    /// window never drops work requests still in flight.
+    pub fn drain(&mut self, ctx: &SimCtx) -> Result<(), FabricError> {
+        let mut first_err = None;
         for slot in &mut self.slots {
-            if let Some(ev) = slot.take() {
-                if !ev.is_set() {
-                    let t0 = ctx.now();
-                    ev.wait(ctx);
-                    self.stall_seconds += (ctx.now() - t0).as_secs_f64();
+            if let Some(handle) = slot.take() {
+                let t0 = ctx.now();
+                let res = handle.wait(ctx);
+                self.stall_seconds += (ctx.now() - t0).as_secs_f64();
+                if first_err.is_none() {
+                    first_err = res.err();
                 }
             }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
@@ -207,13 +222,10 @@ impl Drop for SendWindow {
         if std::thread::panicking() {
             return;
         }
-        let outstanding = self
-            .slots
-            .iter()
-            .flatten()
-            .filter(|ev| !ev.is_set())
-            .count();
-        if outstanding > 0 {
+        let outstanding = self.slots.iter().flatten().filter(|h| !h.is_done()).count();
+        // An aborting run drops windows mid-unwind with flushed work
+        // requests still recorded — fault-plane fallout, not a bug.
+        if outstanding > 0 && !v.fault_residue() {
             v.report(Violation::WindowNotDrained { outstanding });
         }
     }
@@ -222,7 +234,7 @@ impl Drop for SendWindow {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rsj_sim::Simulation;
+    use rsj_sim::{SimEvent, Simulation};
 
     #[test]
     fn pool_reuses_buffers_without_cost() {
@@ -265,31 +277,31 @@ mod tests {
             let mut w = SendWindow::new(2);
             // Two already-completed sends: admit must not block.
             for _ in 0..2 {
-                w.admit(ctx);
+                w.admit(ctx).unwrap();
                 let ev = SimEvent::new();
                 ev.set(ctx);
-                w.record(ev);
+                w.record(SendHandle::for_test(ev));
             }
             assert_eq!(w.stall_seconds(), 0.0);
             // An incomplete send two slots back: admit blocks until set.
             let pending = SimEvent::new();
-            w.admit(ctx);
-            w.record(Arc::clone(&pending));
+            w.admit(ctx).unwrap();
+            w.record(SendHandle::for_test(Arc::clone(&pending)));
             let setter_target = Arc::clone(&pending);
             ctx.spawn("completer", move |ctx| {
                 ctx.advance(SimDuration::from_millis(5));
                 setter_target.set(ctx);
             });
-            w.admit(ctx); // free slot (second of depth 2): no block
+            w.admit(ctx).unwrap(); // free slot (second of depth 2): no block
             let done = SimEvent::new();
             done.set(ctx);
-            w.record(done);
-            w.admit(ctx); // must wait for `pending`
+            w.record(SendHandle::for_test(done));
+            w.admit(ctx).unwrap(); // must wait for `pending`
             let ev = SimEvent::new();
             ev.set(ctx);
-            w.record(ev);
+            w.record(SendHandle::for_test(ev));
             assert!((w.stall_seconds() - 5e-3).abs() < 1e-9);
-            w.drain(ctx);
+            w.drain(ctx).unwrap();
         });
         sim.run();
     }

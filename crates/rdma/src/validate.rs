@@ -148,6 +148,21 @@ pub enum Violation {
         /// In-flight work requests at drop time.
         outstanding: usize,
     },
+    /// Teardown residue attributable to a host that fail-stopped under the
+    /// fault plane: undrained completions, unreposted receive slots and
+    /// leaked pool buffers a crashed host could never have cleaned up.
+    /// Recorded as context — never escalated to a panic — so chaos runs
+    /// keep the audit trail without flagging spurious application bugs.
+    HostCrashed {
+        /// The crashed host.
+        host: HostId,
+        /// Completions delivered to the crashed host but never consumed.
+        undrained: u64,
+        /// Receive slots the crashed host consumed but never reposted.
+        unreposted: u64,
+        /// Pool buffers the crashed host still held.
+        leaked_buffers: usize,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -230,6 +245,17 @@ impl fmt::Display for Violation {
                 f,
                 "send window dropped with {outstanding} work request(s) still in flight"
             ),
+            Violation::HostCrashed {
+                host,
+                undrained,
+                unreposted,
+                leaked_buffers,
+            } => write!(
+                f,
+                "host {} crashed with {undrained} undrained completion(s), {unreposted} \
+                 unreposted receive slot(s), {leaked_buffers} pool buffer(s) held",
+                host.0
+            ),
         }
     }
 }
@@ -241,7 +267,7 @@ pub use stub::Validator;
 
 #[cfg(feature = "verify")]
 mod imp {
-    use std::collections::HashMap;
+    use std::collections::{HashMap, HashSet};
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::{Arc, Weak};
 
@@ -292,7 +318,15 @@ mod imp {
         /// Registered regions: `(host, index) → registered length`.
         mrs: Mutex<HashMap<(usize, usize), usize>>,
         flows: Mutex<HashMap<usize, HostFlow>>,
-        pools: Mutex<Vec<Weak<BufferPool>>>,
+        /// Tracked pools with the host that owns each one, so teardown
+        /// leaks can be attributed to a crashed host.
+        pools: Mutex<Vec<(usize, Weak<BufferPool>)>>,
+        /// Hosts the fault plane fail-stopped; their teardown residue is
+        /// context, not an application bug.
+        crashed: Mutex<HashSet<usize>>,
+        /// The cluster aborted: residue dropped while workers unwind is
+        /// fault-plane context, not an application bug.
+        aborted: std::sync::atomic::AtomicBool,
         violations: Mutex<Vec<Violation>>,
         count: AtomicU64,
     }
@@ -310,6 +344,8 @@ mod imp {
                 mrs: Mutex::new(HashMap::new()),
                 flows: Mutex::new(HashMap::new()),
                 pools: Mutex::new(Vec::new()),
+                crashed: Mutex::new(HashSet::new()),
+                aborted: std::sync::atomic::AtomicBool::new(false),
                 violations: Mutex::new(Vec::new()),
                 count: AtomicU64::new(0),
             })
@@ -345,6 +381,38 @@ mod imp {
                 ValidateMode::Panic => panic!("verbs contract violation: {v}"),
                 ValidateMode::Record | ValidateMode::Off => eprintln!("rsj-verify: {v}"),
             }
+        }
+
+        /// Record a violation as context without ever panicking — used
+        /// for fault-plane residue (e.g. [`Violation::HostCrashed`]) that
+        /// documents what a crash left behind rather than accusing the
+        /// application of a contract bug.
+        fn note(&self, v: Violation) {
+            if self.off() {
+                return;
+            }
+            self.count.fetch_add(1, Ordering::SeqCst);
+            self.violations.lock().push(v.clone());
+            eprintln!("rsj-verify: {v}");
+        }
+
+        /// The fault plane fail-stopped `host`: its teardown residue is
+        /// reported as [`Violation::HostCrashed`] context from now on.
+        pub fn on_host_crashed(&self, host: HostId) {
+            self.crashed.lock().insert(host.0);
+        }
+
+        /// The cluster aborted the run. Residue dropped while workers
+        /// unwind — e.g. a send window with flushed work requests still
+        /// recorded — is fault-plane fallout, not a contract bug.
+        pub fn on_abort(&self) {
+            self.aborted.store(true, Ordering::SeqCst);
+        }
+
+        /// Whether in-flight residue should be attributed to the fault
+        /// plane (an abort or a crashed host) rather than the application.
+        pub(crate) fn fault_residue(&self) -> bool {
+            self.aborted.load(Ordering::SeqCst) || !self.crashed.lock().is_empty()
         }
 
         /// All violations recorded so far.
@@ -470,30 +538,42 @@ mod imp {
             self.report(Violation::SrqExhausted { host, held, slots });
         }
 
-        /// Track a buffer pool for the teardown leak check.
-        pub fn register_pool(&self, pool: &Arc<BufferPool>) {
-            self.pools.lock().push(Arc::downgrade(pool));
+        /// Track a buffer pool (owned by `host`) for the teardown leak
+        /// check. The owner matters: if `host` later crashes, its leaks
+        /// are reported as crash residue, not application bugs.
+        pub fn register_pool(&self, host: HostId, pool: &Arc<BufferPool>) {
+            self.pools.lock().push((host.0, Arc::downgrade(pool)));
         }
 
         /// Teardown audit, called after the simulation has quiesced:
         /// undrained completion queues, unreposted receive slots, and
-        /// leaked pool buffers all become violations.
+        /// leaked pool buffers all become violations — except on hosts the
+        /// fault plane crashed, whose residue is rolled up into a single
+        /// non-panicking [`Violation::HostCrashed`] context record.
         pub fn check_teardown(&self) {
             if self.off() {
                 return;
             }
+            let crashed: HashSet<usize> = self.crashed.lock().clone();
+            let mut crash_residue: HashMap<usize, (u64, u64, usize)> =
+                crashed.iter().map(|&h| (h, (0, 0, 0))).collect();
             let flow_violations: Vec<Violation> = {
                 let flows = self.flows.lock();
                 let mut vs = Vec::new();
                 for (&host, f) in flows.iter() {
                     let pending = f.delivered.saturating_sub(f.consumed);
+                    let held = f.consumed.saturating_sub(f.reposted);
+                    if let Some(residue) = crash_residue.get_mut(&host) {
+                        residue.0 += pending;
+                        residue.1 += held;
+                        continue;
+                    }
                     if pending > 0 {
                         vs.push(Violation::CompletionsNotDrained {
                             host: HostId(host),
                             pending,
                         });
                     }
-                    let held = f.consumed.saturating_sub(f.reposted);
                     if held > 0 {
                         vs.push(Violation::RecvNotReposted {
                             host: HostId(host),
@@ -506,13 +586,38 @@ mod imp {
             for v in flow_violations {
                 self.report(v);
             }
-            let pools: Vec<Arc<BufferPool>> =
-                self.pools.lock().iter().filter_map(Weak::upgrade).collect();
-            for pool in pools {
+            let pools: Vec<(usize, Arc<BufferPool>)> = self
+                .pools
+                .lock()
+                .iter()
+                .filter_map(|(h, w)| w.upgrade().map(|p| (*h, p)))
+                .collect();
+            for (host, pool) in pools {
                 let outstanding = pool.outstanding();
-                if outstanding > 0 {
+                if outstanding == 0 {
+                    continue;
+                }
+                if let Some(residue) = crash_residue.get_mut(&host) {
+                    residue.2 += outstanding;
+                } else {
                     self.report(Violation::PoolLeak { outstanding });
                 }
+            }
+            let mut hosts: Vec<usize> = crash_residue.keys().copied().collect();
+            hosts.sort_unstable();
+            for host in hosts {
+                let (undrained, unreposted, leaked_buffers) = crash_residue[&host];
+                // A crash that left nothing behind (e.g. one that fired
+                // after the run drained) needs no context record.
+                if undrained == 0 && unreposted == 0 && leaked_buffers == 0 {
+                    continue;
+                }
+                self.note(Violation::HostCrashed {
+                    host: HostId(host),
+                    undrained,
+                    unreposted,
+                    leaked_buffers,
+                });
             }
         }
     }
@@ -541,6 +646,14 @@ mod stub {
 
         /// No-op without the `verify` feature.
         pub fn set_mode(&self, _mode: ValidateMode) {}
+
+        /// No-op without the `verify` feature.
+        pub fn on_abort(&self) {}
+
+        /// Never attributes residue without the `verify` feature.
+        pub(crate) fn fault_residue(&self) -> bool {
+            false
+        }
 
         /// Always [`ValidateMode::Panic`]: detectable violations fault.
         pub fn mode(&self) -> ValidateMode {
@@ -586,7 +699,10 @@ mod stub {
         pub(crate) fn srq_blocked(&self, _host: HostId, _slots: usize) {}
 
         /// No-op without the `verify` feature.
-        pub fn register_pool(&self, _pool: &Arc<BufferPool>) {}
+        pub fn register_pool(&self, _host: HostId, _pool: &Arc<BufferPool>) {}
+
+        /// No-op without the `verify` feature.
+        pub fn on_host_crashed(&self, _host: HostId) {}
 
         /// No-op without the `verify` feature.
         pub fn check_teardown(&self) {}

@@ -28,7 +28,7 @@ fn all_to_all(hosts: usize, msgs_per_pair: usize, msg_size: usize) -> Vec<(u64, 
                     }
                 }
                 for ev in evs {
-                    ev.wait(ctx);
+                    ev.wait(ctx).unwrap();
                 }
             });
         }
@@ -42,7 +42,7 @@ fn all_to_all(hosts: usize, msgs_per_pair: usize, msg_size: usize) -> Vec<(u64, 
                 let mut last_seq = vec![None::<u32>; hosts];
                 let mut bytes = 0u64;
                 for _ in 0..expect {
-                    let c = nic.recv(ctx).expect("fabric closed early");
+                    let c = nic.recv(ctx).unwrap().expect("fabric closed early");
                     // Per-source FIFO: sequence numbers strictly increase.
                     let src = c.src.0;
                     if let Some(prev) = last_seq[src] {
@@ -124,7 +124,7 @@ fn srq_exhaustion_backpressures_instead_of_dropping() {
                 .map(|i| nic.post_send(ctx, HostId(1), i as u32, vec![0u8; 512]))
                 .collect();
             for ev in evs {
-                ev.wait(ctx);
+                ev.wait(ctx).unwrap();
             }
             fabric.shutdown(ctx);
         });
@@ -137,7 +137,7 @@ fn srq_exhaustion_backpressures_instead_of_dropping() {
             // `srq_slots` messages, then block the wire.
             ctx.advance(rsj_sim::SimDuration::from_millis(5));
             let mut got = 0;
-            while let Some(c) = nic.recv(ctx) {
+            while let Ok(Some(c)) = nic.recv(ctx) {
                 assert_eq!(c.tag, got as u32, "in order despite stall");
                 got += 1;
                 nic.repost_recv(ctx);
@@ -170,7 +170,7 @@ proptest! {
                     .map(|_| nic.post_send(ctx, HostId(1), 0, vec![0u8; size]))
                     .collect();
                 for ev in evs {
-                    ev.wait(ctx);
+                    ev.wait(ctx).unwrap();
                 }
                 fabric.shutdown(ctx);
             });
@@ -180,7 +180,7 @@ proptest! {
             let finish = Arc::clone(&finish);
             sim.spawn("rx", move |ctx| {
                 let nic = fabric.nic(HostId(1));
-                while let Some(_c) = nic.recv(ctx) {
+                while let Ok(Some(_c)) = nic.recv(ctx) {
                     nic.repost_recv(ctx);
                 }
                 *finish.lock() = ctx.now().as_secs_f64();

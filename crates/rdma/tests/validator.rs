@@ -10,8 +10,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use proptest::prelude::*;
 use rsj_rdma::{
-    BufferPool, Fabric, FabricConfig, HostId, NicCosts, RemoteMr, SendWindow, ValidateMode,
-    Validator, Violation,
+    BufferPool, Fabric, FabricConfig, HostId, NicCosts, RemoteMr, SendHandle, SendWindow,
+    ValidateMode, Validator, Violation,
 };
 use rsj_sim::{SimDuration, SimEvent, Simulation};
 
@@ -39,7 +39,7 @@ fn oob_write_is_detected_and_dropped() {
                 .post_write(ctx, remote, 60, vec![0xab; 16]);
             // Record mode drops the faulting write but must not hang the
             // poster: the completion comes back pre-fired.
-            assert!(ev.is_set(), "dropped write must complete immediately");
+            assert!(ev.is_done(), "dropped write must complete immediately");
             fabric.shutdown(ctx);
         });
     }
@@ -90,7 +90,8 @@ fn oob_read_is_detected_and_zero_filled() {
             let data = fabric
                 .nic(HostId(0))
                 .post_read(ctx, remote, 16, 32)
-                .wait(ctx);
+                .wait(ctx)
+                .expect("record-mode drop must not surface a completion error");
             // The faulting read is dropped; the handle yields zeroes so
             // the initiator cannot deadlock on a completion that will
             // never arrive.
@@ -176,8 +177,8 @@ fn repost_before_completion_is_detected() {
     let validator = Validator::new();
     validator.set_mode(ValidateMode::Record);
     let mut window = SendWindow::validated(1, Arc::clone(&validator));
-    window.record(SimEvent::new());
-    window.record(SimEvent::new());
+    window.record(SendHandle::for_test(SimEvent::new()));
+    window.record(SendHandle::for_test(SimEvent::new()));
     let vs = validator.violations();
     assert!(
         vs.iter()
@@ -201,7 +202,7 @@ fn pool_leak_is_detected_at_teardown() {
     let validator = Validator::new();
     validator.set_mode(ValidateMode::Record);
     let pool = BufferPool::new(4, 1024, NicCosts::default());
-    validator.register_pool(&pool);
+    validator.register_pool(HostId(0), &pool);
     let sim = Simulation::new();
     {
         let pool = Arc::clone(&pool);
@@ -225,6 +226,45 @@ fn pool_leak_is_detected_at_teardown() {
 
 #[cfg(feature = "verify")]
 #[test]
+fn crashed_host_leak_is_context_not_pool_leak() {
+    // The same leak as above, but the owning host fail-stops before
+    // teardown: the residue must be rolled up into a `HostCrashed`
+    // context record, never reported as an application `PoolLeak`.
+    let validator = Validator::new();
+    validator.set_mode(ValidateMode::Record);
+    let pool = BufferPool::new(4, 1024, NicCosts::default());
+    validator.register_pool(HostId(2), &pool);
+    let sim = Simulation::new();
+    {
+        let pool = Arc::clone(&pool);
+        sim.spawn("crash-victim", move |ctx| {
+            let held = pool.take(ctx);
+            drop(held);
+        });
+    }
+    sim.run();
+    validator.on_host_crashed(HostId(2));
+    validator.check_teardown();
+    let vs = validator.violations();
+    assert!(
+        !vs.iter().any(|v| matches!(v, Violation::PoolLeak { .. })),
+        "crash residue misreported as an application leak: {vs:?}"
+    );
+    assert!(
+        vs.iter().any(|v| matches!(
+            v,
+            Violation::HostCrashed {
+                host: HostId(2),
+                leaked_buffers: 1,
+                ..
+            }
+        )),
+        "expected the leak rolled up as HostCrashed context, got {vs:?}"
+    );
+}
+
+#[cfg(feature = "verify")]
+#[test]
 fn srq_exhaustion_without_repost_is_detected() {
     // A receiver that consumes in batches but sits on the receive buffers
     // before reposting: while it holds all `srq_slots` slots, arriving
@@ -242,7 +282,7 @@ fn srq_exhaustion_without_repost_is_detected() {
                 .map(|i| nic.post_send(ctx, HostId(1), i as u32, vec![0u8; 256]))
                 .collect();
             for ev in evs {
-                ev.wait(ctx);
+                ev.wait(ctx).unwrap();
             }
             fabric.shutdown(ctx);
         });
@@ -253,7 +293,7 @@ fn srq_exhaustion_without_repost_is_detected() {
             let nic = fabric.nic(HostId(1));
             let mut consumed_without_repost = 0usize;
             let mut got = 0usize;
-            while let Some(_c) = nic.recv(ctx) {
+            while let Ok(Some(_c)) = nic.recv(ctx) {
                 got += 1;
                 consumed_without_repost += 1;
                 if consumed_without_repost == 4 {
@@ -310,7 +350,7 @@ proptest! {
                 let nic = fabric.nic(HostId(1));
                 *handle.lock() = Some(nic.mrs.register(ctx, region).remote_handle());
                 let mut got = 0;
-                while let Some(_c) = nic.recv(ctx) {
+                while let Ok(Some(_c)) = nic.recv(ctx) {
                     got += 1;
                     nic.repost_recv(ctx);
                 }
@@ -330,7 +370,7 @@ proptest! {
                 };
                 let mut window = SendWindow::validated(2, Arc::clone(nic.validator()));
                 for i in 0..msgs {
-                    window.admit(ctx);
+                    window.admit(ctx).unwrap();
                     let ev = nic.post_send(ctx, HostId(1), i as u32, vec![0u8; msg_size]);
                     window.record(ev);
                 }
@@ -338,9 +378,10 @@ proptest! {
                 for w in 0..writes {
                     let offset = (w * chunk) % (region - chunk + 1);
                     nic.post_write(ctx, remote, offset, vec![w as u8; chunk])
-                        .wait(ctx);
+                        .wait(ctx)
+                        .unwrap();
                 }
-                window.drain(ctx);
+                window.drain(ctx).unwrap();
                 fabric.shutdown(ctx);
             });
         }

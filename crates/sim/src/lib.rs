@@ -35,5 +35,5 @@ mod sync;
 mod time;
 
 pub use kernel::{Dispatch, SimCtx, Simulation, TaskId};
-pub use sync::{SimBarrier, SimChannel, SimEvent, SimSemaphore};
+pub use sync::{Poisoned, SimBarrier, SimChannel, SimEvent, SimSemaphore};
 pub use time::{SimDuration, SimTime};

@@ -27,7 +27,21 @@ struct BarrierState {
     arrived: usize,
     generation: u64,
     waiters: Vec<TaskId>,
+    poisoned: bool,
 }
+
+/// Error returned by the checked wait/acquire variants once the primitive
+/// has been poisoned (the cluster-abort path of the fault plane).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Poisoned;
+
+impl std::fmt::Display for Poisoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "synchronization primitive poisoned by abort")
+    }
+}
+
+impl std::error::Error for Poisoned {}
 
 impl SimBarrier {
     /// A barrier for `n` participants (`n >= 1`).
@@ -38,9 +52,60 @@ impl SimBarrier {
                 arrived: 0,
                 generation: 0,
                 waiters: Vec::with_capacity(n),
+                poisoned: false,
             }),
             n,
         })
+    }
+
+    /// Poison the barrier: every current and future waiter wakes and
+    /// observes [`Poisoned`] from [`SimBarrier::wait_checked`]. Used by the
+    /// cluster-abort path so no worker hangs on a barrier a failed peer
+    /// will never reach. Idempotent.
+    pub fn poison(&self, ctx: &SimCtx) {
+        let mut st = self.inner.lock();
+        st.poisoned = true;
+        for w in st.waiters.drain(..) {
+            ctx.unpark(w);
+        }
+    }
+
+    /// Whether the barrier has been poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.lock().poisoned
+    }
+
+    /// Like [`SimBarrier::wait`], but returns `Err(Poisoned)` instead of
+    /// blocking forever once the barrier has been poisoned (before or while
+    /// waiting). `Ok(true)` marks the generation leader.
+    pub fn wait_checked(&self, ctx: &SimCtx) -> Result<bool, Poisoned> {
+        let gen = {
+            let mut st = self.inner.lock();
+            if st.poisoned {
+                return Err(Poisoned);
+            }
+            st.arrived += 1;
+            if st.arrived == self.n {
+                st.arrived = 0;
+                st.generation += 1;
+                for w in st.waiters.drain(..) {
+                    ctx.unpark(w);
+                }
+                return Ok(true);
+            }
+            st.waiters.push(ctx.id());
+            st.generation
+        };
+        loop {
+            ctx.park();
+            let st = self.inner.lock();
+            if st.poisoned {
+                return Err(Poisoned);
+            }
+            if st.generation != gen {
+                return Ok(false);
+            }
+        }
     }
 
     /// Block until all `n` participants have called `wait` for the current
@@ -148,12 +213,22 @@ impl<T> SimChannel<T> {
 
     /// Close the channel: no further sends are allowed and all parked
     /// receivers wake (they drain the queue, then observe `None`).
+    /// Idempotent: closing an already-closed channel is a no-op, so the
+    /// abort path and the normal teardown path can race benignly.
     pub fn close(&self, ctx: &SimCtx) {
         let mut st = self.inner.lock();
+        if st.senders_done {
+            return;
+        }
         st.senders_done = true;
         for rx in st.receivers.drain(..) {
             ctx.unpark(rx);
         }
+    }
+
+    /// Whether the channel has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().senders_done
     }
 }
 
@@ -166,6 +241,7 @@ pub struct SimSemaphore {
 struct SemState {
     permits: usize,
     waiters: VecDeque<TaskId>,
+    poisoned: bool,
 }
 
 impl SimSemaphore {
@@ -175,6 +251,7 @@ impl SimSemaphore {
             inner: Mutex::new(SemState {
                 permits,
                 waiters: VecDeque::new(),
+                poisoned: false,
             }),
         })
     }
@@ -191,6 +268,36 @@ impl SimSemaphore {
                 st.waiters.push_back(ctx.id());
             }
             ctx.park();
+        }
+    }
+
+    /// Like [`SimSemaphore::acquire`], but wakes with `Err(Poisoned)` once
+    /// the semaphore is poisoned instead of waiting for a permit that a
+    /// crashed peer will never release.
+    pub fn acquire_checked(&self, ctx: &SimCtx) -> Result<(), Poisoned> {
+        loop {
+            {
+                let mut st = self.inner.lock();
+                if st.poisoned {
+                    return Err(Poisoned);
+                }
+                if st.permits > 0 {
+                    st.permits -= 1;
+                    return Ok(());
+                }
+                st.waiters.push_back(ctx.id());
+            }
+            ctx.park();
+        }
+    }
+
+    /// Poison the semaphore, waking every parked acquirer with
+    /// [`Poisoned`] (checked variant only). Idempotent.
+    pub fn poison(&self, ctx: &SimCtx) {
+        let mut st = self.inner.lock();
+        st.poisoned = true;
+        for w in st.waiters.drain(..) {
+            ctx.unpark(w);
         }
     }
 
@@ -424,6 +531,92 @@ mod tests {
         let sim = Simulation::new();
         let sem = SimSemaphore::new(0);
         sim.spawn("starved", move |ctx| sem.acquire(ctx));
+        sim.run();
+    }
+
+    #[test]
+    fn poisoned_barrier_wakes_and_rejects_waiters() {
+        let sim = Simulation::new();
+        let barrier = SimBarrier::new(3);
+        let rejected = Arc::new(AtomicUsize::new(0));
+        for i in 0..2u64 {
+            let barrier = Arc::clone(&barrier);
+            let rejected = Arc::clone(&rejected);
+            sim.spawn(format!("w{i}"), move |ctx| {
+                ctx.advance(SimDuration::from_millis(i));
+                assert_eq!(barrier.wait_checked(ctx), Err(Poisoned));
+                rejected.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        {
+            // The third participant never arrives; it poisons instead.
+            let barrier = Arc::clone(&barrier);
+            let rejected = Arc::clone(&rejected);
+            sim.spawn("poisoner", move |ctx| {
+                ctx.advance(SimDuration::from_millis(5));
+                barrier.poison(ctx);
+                // Late arrivals are rejected immediately.
+                assert_eq!(barrier.wait_checked(ctx), Err(Poisoned));
+                rejected.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        sim.run();
+        assert_eq!(rejected.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn unpoisoned_checked_wait_matches_plain_wait() {
+        let sim = Simulation::new();
+        let barrier = SimBarrier::new(2);
+        let leaders = Arc::new(AtomicUsize::new(0));
+        for i in 0..2u64 {
+            let barrier = Arc::clone(&barrier);
+            let leaders = Arc::clone(&leaders);
+            sim.spawn(format!("w{i}"), move |ctx| {
+                ctx.advance(SimDuration::from_millis(i));
+                if barrier.wait_checked(ctx).expect("not poisoned") {
+                    leaders.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn poisoned_semaphore_unblocks_checked_acquirers() {
+        let sim = Simulation::new();
+        let sem = SimSemaphore::new(0);
+        let rejected = Arc::new(AtomicUsize::new(0));
+        {
+            let sem = Arc::clone(&sem);
+            let rejected = Arc::clone(&rejected);
+            sim.spawn("starved", move |ctx| {
+                assert_eq!(sem.acquire_checked(ctx), Err(Poisoned));
+                rejected.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        {
+            let sem = Arc::clone(&sem);
+            sim.spawn("poisoner", move |ctx| {
+                ctx.advance(SimDuration::from_millis(1));
+                sem.poison(ctx);
+            });
+        }
+        sim.run();
+        assert_eq!(rejected.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn channel_close_is_idempotent() {
+        let sim = Simulation::new();
+        let ch: Arc<SimChannel<u32>> = SimChannel::new();
+        sim.spawn("closer", move |ctx| {
+            ch.close(ctx);
+            ch.close(ctx);
+            assert!(ch.is_closed());
+            assert!(ch.recv(ctx).is_none());
+        });
         sim.run();
     }
 }
