@@ -25,3 +25,7 @@ cargo run --release -q -p rsj-bench --bin perf -- --check
 # must complete byte-correct or abort with a structured error, and replay
 # identically. The watchdog timeout turns any hang into a hard CI failure.
 timeout 600 cargo run --release -q -p rsj-bench --bin chaos -- --seeds 6
+# Query-service smoke: a short mixed-operator batch through the admission
+# queue and shared fabric, every result verified against its generator
+# oracle. Same watchdog rule — a wedged schedule must fail, not stall.
+timeout 300 cargo run --release -q -p rsj-bench --bin service -- --short

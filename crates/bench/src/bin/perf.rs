@@ -33,8 +33,9 @@
 
 use std::sync::Arc;
 
+use rsj_bench::service_stress::stress_batch;
 use rsj_bench::{run_scaled_join, Scale};
-use rsj_cluster::ClusterSpec;
+use rsj_cluster::{ClusterSpec, QueryService, ServiceConfig};
 use rsj_core::DistJoinConfig;
 use rsj_joins::{BucketTable, Partitioner};
 use rsj_rdma::{FaultPlan, ValidateMode};
@@ -142,6 +143,18 @@ fn main() {
         }
         benches.push(bare);
         benches.push(armed);
+        let (serial, contended) = bench_service_pair(it.service_queries, 10, 2);
+        // Virtual makespan is deterministic, so this is safe to gate on
+        // even in --short mode: multiplexing eight queries over the rack
+        // must beat draining the same batch one at a time.
+        assert!(
+            contended.virtual_s < serial.virtual_s,
+            "contended service makespan {:?}s is not below serial {:?}s",
+            contended.virtual_s,
+            serial.virtual_s
+        );
+        benches.push(serial);
+        benches.push(contended);
     }
     if !opts.short {
         benches.push(bench_sweep(
@@ -263,6 +276,7 @@ struct Iters {
     hash_tuples: usize,
     join_scale: u64,
     validator_reps: usize,
+    service_queries: usize,
 }
 
 impl Iters {
@@ -275,6 +289,7 @@ impl Iters {
             hash_tuples: 4 << 20,
             join_scale: 2048,
             validator_reps: 3,
+            service_queries: 64,
         }
     }
 
@@ -289,6 +304,7 @@ impl Iters {
             // More reps than `full`: the short joins are small enough that
             // min-of-N needs extra samples to shake off scheduler noise.
             validator_reps: 5,
+            service_queries: 16,
         }
     }
 }
@@ -471,6 +487,35 @@ fn bench_faultplane_overhead(scale: u64, reps: usize) -> (BenchRecord, BenchReco
     let bare = run(None, "faultplane/off");
     let armed = run(Some(FaultPlan::fault_free()), "faultplane/armed");
     (bare, armed)
+}
+
+/// The query-service contention pair (DESIGN.md §9): the identical mixed
+/// stress batch drained serially (`max_concurrent = 1`) and with eight
+/// queries multiplexed over the shared fabric. Virtual makespan and tail
+/// latency quantify what contention costs; wall time tracks the service
+/// scheduler's own overhead.
+fn bench_service_pair(queries: usize, hosts: usize, cores: usize) -> (BenchRecord, BenchRecord) {
+    let run = |concurrent: usize, name: &'static str| {
+        let mut cfg = ServiceConfig::qdr_rack(hosts, cores);
+        cfg.max_concurrent = concurrent;
+        let mut batch = stress_batch(queries, 1, hosts, cores);
+        let requests = std::mem::take(&mut batch.requests);
+        let (report, ms) = wall_ms(|| QueryService::run(&cfg, requests));
+        assert_eq!(report.aborted, 0, "{name}: fault-free batch aborted");
+        assert_eq!(batch.verify_all(), queries);
+        println!(
+            "{name}: {} queries x{concurrent} -> makespan {:.3} ms, p99 latency {:.3} ms (virtual)",
+            queries,
+            report.makespan.as_secs_f64() * 1e3,
+            report.latency_p99.as_secs_f64() * 1e3
+        );
+        BenchRecord::new(name, ms)
+            .virtual_s(report.makespan.as_secs_f64())
+            .tuples_per_s(queries as f64 / (ms / 1e3))
+    };
+    let serial = run(1, "service/serial");
+    let contended = run(8, "service/contention");
+    (serial, contended)
 }
 
 /// Time the full `experiments all` regeneration sweep as a subprocess —

@@ -24,6 +24,7 @@ use rsj_sim::Simulation;
 use rsj_workload::{generate_inner, generate_outer, ExpectedResult, Relation, Skew, Tuple16};
 
 pub mod experiments;
+pub mod service_stress;
 
 /// Default scale divisor: 2048 M tuples become 2 M. Paper-equivalent
 /// times are scale-invariant (all simulated costs are linear in bytes and

@@ -7,10 +7,14 @@
 //! [`FabricError`] completions), the wire codec ([`TagError`] on a
 //! malformed immediate), and the runtime itself (a barrier timeout with
 //! the straggling machines identified).
+//!
+//! Under a query service (DESIGN.md §9) every error additionally carries
+//! the [`QueryId`] of the failing query, so a host crash that aborts
+//! several concurrent joins produces errors attributable query by query.
 
 use std::fmt;
 
-use rsj_rdma::FabricError;
+use rsj_rdma::{FabricError, QueryId};
 
 use crate::wire::TagError;
 
@@ -19,6 +23,8 @@ use crate::wire::TagError;
 pub enum JoinError {
     /// A fabric operation completed with an error status.
     Fabric {
+        /// Query the failing worker belonged to.
+        query: QueryId,
         /// Machine whose worker observed the error.
         machine: usize,
         /// Phase the worker was executing.
@@ -29,6 +35,8 @@ pub enum JoinError {
     /// A received message carried an immediate that does not decode to a
     /// [`crate::wire::WireTag`].
     Decode {
+        /// Query the failing worker belonged to.
+        query: QueryId,
         /// Machine whose worker received the malformed tag.
         machine: usize,
         /// Phase the worker was executing.
@@ -39,6 +47,8 @@ pub enum JoinError {
     /// The runtime watchdog saw no cluster-wide progress for its full
     /// timeout window: some machines never reached the phase barrier.
     BarrierTimeout {
+        /// Query whose barrier timed out.
+        query: QueryId,
         /// Phase whose barrier timed out.
         phase: &'static str,
         /// Machines with the fewest barrier arrivals — the stragglers
@@ -48,6 +58,8 @@ pub enum JoinError {
     /// The run was aborted by another worker's failure; this worker only
     /// observed the poisoned synchronization primitive.
     Aborted {
+        /// Query the observing worker belonged to.
+        query: QueryId,
         /// Phase the observing worker was executing.
         phase: &'static str,
     },
@@ -57,6 +69,7 @@ impl JoinError {
     /// Wrap a fabric completion error with machine/phase context.
     pub fn fabric(machine: usize, phase: &'static str, source: FabricError) -> JoinError {
         JoinError::Fabric {
+            query: QueryId::DIRECT,
             machine,
             phase,
             source,
@@ -66,9 +79,41 @@ impl JoinError {
     /// Wrap a wire-tag decode failure with machine/phase context.
     pub fn decode(machine: usize, phase: &'static str, source: TagError) -> JoinError {
         JoinError::Decode {
+            query: QueryId::DIRECT,
             machine,
             phase,
             source,
+        }
+    }
+
+    /// An abort observed through a poisoned synchronization primitive.
+    pub fn aborted(phase: &'static str) -> JoinError {
+        JoinError::Aborted {
+            query: QueryId::DIRECT,
+            phase,
+        }
+    }
+
+    /// Re-attribute this error to `query` (the runtime stamps every error
+    /// it records with the query it is running).
+    pub fn with_query(mut self, q: QueryId) -> JoinError {
+        match &mut self {
+            JoinError::Fabric { query, .. }
+            | JoinError::Decode { query, .. }
+            | JoinError::BarrierTimeout { query, .. }
+            | JoinError::Aborted { query, .. } => *query = q,
+        }
+        self
+    }
+
+    /// The query the failure was attributed to ([`QueryId::DIRECT`] for a
+    /// run outside any service).
+    pub fn query(&self) -> QueryId {
+        match self {
+            JoinError::Fabric { query, .. }
+            | JoinError::Decode { query, .. }
+            | JoinError::BarrierTimeout { query, .. }
+            | JoinError::Aborted { query, .. } => *query,
         }
     }
 
@@ -78,29 +123,36 @@ impl JoinError {
             JoinError::Fabric { phase, .. }
             | JoinError::Decode { phase, .. }
             | JoinError::BarrierTimeout { phase, .. }
-            | JoinError::Aborted { phase } => phase,
+            | JoinError::Aborted { phase, .. } => phase,
         }
     }
 }
 
 impl fmt::Display for JoinError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.query() != QueryId::DIRECT {
+            write!(f, "query {}: ", self.query().0)?;
+        }
         match self {
             JoinError::Fabric {
                 machine,
                 phase,
                 source,
+                ..
             } => write!(f, "machine {machine}, phase {phase}: {source}"),
             JoinError::Decode {
                 machine,
                 phase,
                 source,
+                ..
             } => write!(f, "machine {machine}, phase {phase}: {source}"),
-            JoinError::BarrierTimeout { phase, stragglers } => write!(
+            JoinError::BarrierTimeout {
+                phase, stragglers, ..
+            } => write!(
                 f,
                 "barrier timeout in phase {phase}: no progress from machine(s) {stragglers:?}"
             ),
-            JoinError::Aborted { phase } => {
+            JoinError::Aborted { phase, .. } => {
                 write!(
                     f,
                     "run aborted by a peer failure (observed in phase {phase})"
@@ -140,16 +192,29 @@ mod tests {
         assert!(s.contains("machine 3"), "{s}");
         assert!(s.contains("network_partition"), "{s}");
         assert_eq!(e.phase(), "network_partition");
+        assert_eq!(e.query(), QueryId::DIRECT);
     }
 
     #[test]
     fn barrier_timeout_lists_stragglers() {
         let e = JoinError::BarrierTimeout {
+            query: QueryId::DIRECT,
             phase: "build_probe",
             stragglers: vec![2, 5],
         };
         let s = e.to_string();
         assert!(s.contains("[2, 5]"), "{s}");
         assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn query_attribution_shows_in_display() {
+        let e = JoinError::aborted("build_probe").with_query(QueryId(7));
+        assert_eq!(e.query(), QueryId(7));
+        let s = e.to_string();
+        assert!(s.starts_with("query 7:"), "{s}");
+        // Direct errors keep the pre-service rendering.
+        let d = JoinError::aborted("build_probe");
+        assert!(!d.to_string().contains("query"), "{d}");
     }
 }

@@ -20,8 +20,10 @@
 mod cost;
 pub mod error;
 mod meter;
+pub mod phase;
 mod phases;
 pub mod runtime;
+pub mod service;
 mod topology;
 pub mod wire;
 
@@ -30,5 +32,6 @@ pub use error::JoinError;
 pub use meter::Meter;
 pub use phases::PhaseTimes;
 pub use runtime::{run_cluster, try_run_cluster, ClusterRun, PhaseEvent, Runtime};
+pub use service::{JoinRequest, QueryJob, QueryReport, QueryService, ServiceConfig, ServiceReport};
 pub use topology::{ClusterSpec, Interconnect};
 pub use wire::{ranges, TagError, WireTag};

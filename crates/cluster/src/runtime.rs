@@ -17,10 +17,13 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rsj_rdma::{Fabric, FabricConfig, FaultPlan, NicCosts};
+use rsj_rdma::{
+    BufferPool, Fabric, FabricConfig, FaultPlan, HostId, NicCosts, PoolArena, QueryId, Spawner,
+};
 use rsj_sim::{SimBarrier, SimCtx, SimDuration, SimEvent, SimSemaphore, SimTime, Simulation};
 
 use crate::error::JoinError;
+use crate::phase;
 use crate::phases::PhaseTimes;
 
 /// Watchdog poll interval (virtual time).
@@ -34,9 +37,12 @@ const WATCHDOG_IDLE_TICKS: u32 = 100;
 /// core reached the closing barrier at `end`.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct PhaseEvent {
+    /// The query this phase belongs to ([`QueryId::DIRECT`] outside a
+    /// service). Together with `name` this is the namespaced barrier key.
+    pub query: QueryId,
     /// Phase name, as passed to [`Runtime::sync_named`].
     pub name: &'static str,
-    /// Machine index.
+    /// Machine index (logical, within the query's placement).
     pub machine: usize,
     /// Phase start (global; the previous phase's barrier release).
     pub start: SimTime,
@@ -65,8 +71,19 @@ struct RunState {
 /// The shared environment handed to every worker of a distributed
 /// operator.
 pub struct Runtime {
-    /// The simulated fabric connecting the machines.
+    /// The simulated fabric connecting the machines: a dedicated root
+    /// fabric on the direct path, or a per-query view over a shared
+    /// fabric under a query service.
     pub fabric: Arc<Fabric>,
+    /// The query this runtime executes ([`QueryId::DIRECT`] outside a
+    /// service). Stamped onto every recorded error and phase event.
+    query: QueryId,
+    /// NIC cost model, for pool construction.
+    nic_costs: NicCosts,
+    /// Per-physical-host registered-memory arenas (service path only):
+    /// [`Runtime::make_pool`] carves per-query sub-pools out of these
+    /// instead of conjuring unbounded pools.
+    arenas: Option<Arc<Vec<Arc<PoolArena>>>>,
     barrier: Arc<SimBarrier>,
     state: Mutex<RunState>,
     machines: usize,
@@ -117,8 +134,55 @@ impl Runtime {
         plan: Option<FaultPlan>,
     ) -> Arc<Runtime> {
         assert!(machines >= 1 && cores >= 1);
+        Runtime::over_fabric(
+            Fabric::new_with_plan(fabric_cfg, nic, machines, plan),
+            QueryId::DIRECT,
+            nic,
+            None,
+            machines,
+            cores,
+        )
+    }
+
+    /// Build a *query-scoped* runtime over a shared root fabric: the
+    /// query's workers run on the logical machines named by `placement`
+    /// (distinct physical hosts of `root`), all fabric traffic is tagged
+    /// with `query`, and pools come out of the per-host `arenas`. This is
+    /// the query-service path; workers are spawned into an already-running
+    /// simulation with [`Runtime::spawn_workers`].
+    pub fn for_query(
+        query: QueryId,
+        root: &Arc<Fabric>,
+        placement: Vec<HostId>,
+        cores: usize,
+        nic: NicCosts,
+        arenas: Option<Arc<Vec<Arc<PoolArena>>>>,
+    ) -> Arc<Runtime> {
+        assert!(!placement.is_empty() && cores >= 1);
+        let machines = placement.len();
+        Runtime::over_fabric(
+            root.query_view(query, placement),
+            query,
+            nic,
+            arenas,
+            machines,
+            cores,
+        )
+    }
+
+    fn over_fabric(
+        fabric: Arc<Fabric>,
+        query: QueryId,
+        nic: NicCosts,
+        arenas: Option<Arc<Vec<Arc<PoolArena>>>>,
+        machines: usize,
+        cores: usize,
+    ) -> Arc<Runtime> {
         Arc::new(Runtime {
-            fabric: Fabric::new_with_plan(fabric_cfg, nic, machines, plan),
+            fabric,
+            query,
+            nic_costs: nic,
+            arenas,
             barrier: SimBarrier::new(machines * cores),
             state: Mutex::new(RunState {
                 marks: vec![SimTime::ZERO],
@@ -140,9 +204,40 @@ impl Runtime {
         self.machines
     }
 
+    /// The query this runtime executes ([`QueryId::DIRECT`] outside a
+    /// service).
+    pub fn query(&self) -> QueryId {
+        self.query
+    }
+
+    /// Build one machine's RDMA buffer pool and register it with the
+    /// verbs-contract validator under this runtime's query. On the direct
+    /// path this is a plain pre-registered pool; under a service it is a
+    /// sub-allocation of the machine's physical host arena, so concurrent
+    /// queries share (and contend for) one bounded slab of registered
+    /// memory per host.
+    pub fn make_pool(&self, machine: usize, count: usize, buf_size: usize) -> Arc<BufferPool> {
+        let host = self.fabric.nic(HostId(machine)).host();
+        let pool = match &self.arenas {
+            Some(arenas) => arenas[host.0].sub_pool(self.query, count, buf_size),
+            None => BufferPool::new(count, buf_size, self.nic_costs),
+        };
+        self.fabric
+            .validator()
+            .register_pool_scoped(self.query, host, &pool);
+        pool
+    }
+
     /// Worker cores per machine.
     pub fn cores(&self) -> usize {
         self.cores
+    }
+
+    /// Re-anchor the phase clock at `now`: a query admitted into a
+    /// running service starts its first phase at admission time, not at
+    /// t = 0, so queue wait must not leak into the first phase duration.
+    pub(crate) fn stamp_start(&self, now: SimTime) {
+        self.state.lock().marks[0] = now;
     }
 
     /// End a named phase: cluster-wide barrier, recording one
@@ -178,6 +273,7 @@ impl Runtime {
             for machine in 0..self.machines {
                 let end = st.pending[machine];
                 st.events.push(PhaseEvent {
+                    query: self.query,
                     name,
                     machine,
                     start,
@@ -233,18 +329,21 @@ impl Runtime {
     /// barrier: the peer failure is already recorded, so the observer
     /// reports a secondary [`JoinError::Aborted`].
     fn abort_error(&self, phase: &'static str) -> JoinError {
-        JoinError::Aborted { phase }
+        JoinError::aborted(phase).with_query(self.query)
     }
 
     /// Report a worker failure and abort the run: the first error is
-    /// recorded as *the* cause, the fabric flushes all in-flight work with
-    /// error completions, and every registered synchronization primitive
-    /// is poisoned so no parked worker can hang. Idempotent.
+    /// recorded as *the* cause (stamped with this runtime's query), the
+    /// fabric flushes all in-flight work with error completions, and every
+    /// registered synchronization primitive is poisoned so no parked
+    /// worker can hang. On the service path `fabric` is a query view, so
+    /// the abort fan-out is query-scoped: other queries on the shared
+    /// fabric are untouched. Idempotent.
     pub fn fail(&self, ctx: &SimCtx, err: JoinError) {
         {
             let mut f = self.failure.lock();
             if f.is_none() {
-                *f = Some(err);
+                *f = Some(err.with_query(self.query));
             }
         }
         self.fabric.abort(ctx);
@@ -379,6 +478,7 @@ impl Runtime {
                     idle += 1;
                     if idle >= WATCHDOG_IDLE_TICKS {
                         let err = JoinError::BarrierTimeout {
+                            query: rt.query,
                             phase: *rt.phase_label.lock(),
                             stragglers: rt.stragglers(),
                         };
@@ -401,6 +501,85 @@ impl Runtime {
             marks: st.marks.clone(),
             events: st.events.clone(),
         })
+    }
+
+    /// Spawn this query-scoped runtime's workers into an *already running*
+    /// simulation — the query-service execution path. Unlike
+    /// [`Runtime::try_run`] the runtime does not own the simulation:
+    /// workers run concurrently with other queries' workers over the
+    /// shared fabric. The last worker out retires the query's fabric view
+    /// (lanes unregister, per-query teardown audit runs) and invokes
+    /// `done` exactly once with the query's outcome. When a fault plan is
+    /// armed, a per-query watchdog guards against hangs using the query's
+    /// *own* lane activity, so one query's stall is never masked by
+    /// another query's traffic.
+    pub fn spawn_workers<F, D>(self: &Arc<Self>, spawner: &impl Spawner, worker: F, done: D)
+    where
+        F: Fn(&SimCtx, &Runtime, usize, usize) -> Result<(), JoinError> + Send + Sync + 'static,
+        D: FnOnce(&SimCtx, Result<ClusterRun, JoinError>) + Send + 'static,
+    {
+        let worker = Arc::new(worker);
+        let done = Arc::new(Mutex::new(Some(done)));
+        let live = Arc::new(AtomicUsize::new(self.machines * self.cores));
+        let qid = self.query.0;
+        for mach in 0..self.machines {
+            for core in 0..self.cores {
+                let rt = Arc::clone(self);
+                let worker = Arc::clone(&worker);
+                let done = Arc::clone(&done);
+                let live = Arc::clone(&live);
+                spawner.spawn_task(format!("q{qid}-m{mach}-c{core}"), move |ctx| {
+                    if let Err(e) = worker(ctx, &rt, mach, core) {
+                        rt.fail(ctx, e);
+                    }
+                    let _ = rt.sync_quiet(ctx);
+                    if live.fetch_sub(1, Ordering::SeqCst) == 1 {
+                        rt.fabric.close_view(ctx);
+                        rt.fabric.validator().check_query_teardown(rt.query);
+                        let result = match rt.failure() {
+                            Some(err) => Err(err),
+                            None => {
+                                let st = rt.state.lock();
+                                Ok(ClusterRun {
+                                    marks: st.marks.clone(),
+                                    events: st.events.clone(),
+                                })
+                            }
+                        };
+                        if let Some(done) = done.lock().take() {
+                            done(ctx, result);
+                        }
+                    }
+                });
+            }
+        }
+        if self.fabric.has_fault_plan() {
+            let rt = Arc::clone(self);
+            let live = Arc::clone(&live);
+            spawner.spawn_task(format!("q{qid}-watchdog"), move |ctx| {
+                let mut last = u64::MAX;
+                let mut idle = 0u32;
+                while live.load(Ordering::SeqCst) > 0 {
+                    ctx.sleep_until(ctx.now() + WATCHDOG_TICK);
+                    let progress = rt.progress_snapshot();
+                    if progress != last {
+                        last = progress;
+                        idle = 0;
+                        continue;
+                    }
+                    idle += 1;
+                    if idle >= WATCHDOG_IDLE_TICKS {
+                        let err = JoinError::BarrierTimeout {
+                            query: rt.query,
+                            phase: *rt.phase_label.lock(),
+                            stragglers: rt.stragglers(),
+                        };
+                        rt.fail(ctx, err);
+                        break;
+                    }
+                }
+            });
+        }
     }
 }
 
@@ -453,10 +632,10 @@ impl PhaseTimes {
                 .unwrap_or(SimDuration::ZERO)
         };
         PhaseTimes {
-            histogram: span("histogram"),
-            network_partition: span("network_partition"),
-            local_partition: span("local_partition"),
-            build_probe: span("build_probe"),
+            histogram: span(phase::HISTOGRAM),
+            network_partition: span(phase::NETWORK_PARTITION),
+            local_partition: span(phase::LOCAL_PARTITION),
+            build_probe: span(phase::BUILD_PROBE),
         }
     }
 }

@@ -1,0 +1,579 @@
+//! The multi-query service runtime: admission queue, shared-fabric
+//! multiplexing, per-query isolation (DESIGN.md §9).
+//!
+//! The paper evaluates one join at a time; a production rack serves many.
+//! [`QueryService::run`] owns a long-lived root [`Fabric`] and a bounded
+//! per-host slab of pre-registered memory ([`PoolArena`]), admits typed
+//! [`JoinRequest`]s from a FIFO queue up to a concurrency limit, and runs
+//! each admitted query on its own query-scoped [`Runtime`] — a
+//! [`Fabric::query_view`] lane over the shared wire plus a private
+//! barrier namespace — so concurrent joins contend for bandwidth and
+//! registered memory exactly like co-scheduled tenants, while completions,
+//! aborts and teardown audits stay per query.
+//!
+//! Determinism contract: the whole service runs in one discrete-event
+//! simulation, per-query fault streams derive from `(seed, QueryId)`, and
+//! admission is FIFO — so the same seed and the same admission order
+//! reproduce the identical event schedule, and permuting *disjoint*
+//! queries' admission order leaves each query's own trace unchanged.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rsj_rdma::{
+    Fabric, FabricConfig, FaultPlan, HostId, NicCosts, PoolArena, QueryId, ValidateMode,
+};
+use rsj_sim::{SimChannel, SimCtx, SimDuration, SimTime, Simulation};
+
+use crate::error::JoinError;
+use crate::phases::PhaseTimes;
+use crate::runtime::{ClusterRun, Runtime};
+
+/// One query's worth of work, as the service sees it: the operator crates
+/// implement this for each join type, keeping their inputs and outputs in
+/// interior-mutable cells so the trait stays object-safe.
+///
+/// Lifecycle: `attach` once (building per-query shared state and pools via
+/// [`Runtime::make_pool`]), then `run_worker` on every `machines() ×
+/// cores()` simulated core, then `finish` once after the workers drained
+/// (merging per-machine outputs into the job's recorded outcome).
+pub trait QueryJob: Send + Sync {
+    /// Machines this query wants (≤ the service's host count).
+    fn machines(&self) -> usize;
+    /// Worker cores per machine.
+    fn cores(&self) -> usize;
+    /// Build the query's shared state against its admitted runtime.
+    fn attach(&self, rt: &Arc<Runtime>);
+    /// One worker's run; an `Err` aborts this query (and only this query).
+    fn run_worker(
+        &self,
+        ctx: &SimCtx,
+        rt: &Runtime,
+        machine: usize,
+        core: usize,
+    ) -> Result<(), JoinError>;
+    /// Merge and record the outcome after a successful run.
+    fn finish(&self, rt: &Runtime, run: &ClusterRun);
+}
+
+/// A queued query: which job to run, and optionally where.
+pub struct JoinRequest {
+    /// Human-readable label carried into the report.
+    pub label: String,
+    /// Explicit query id (must be unique and nonzero). `None` assigns
+    /// FIFO-position ids starting at 1. Disjoint-query determinism tests
+    /// pin explicit ids so a query's `(seed, QueryId)` fault stream
+    /// survives admission-order permutations.
+    pub id: Option<u32>,
+    /// Explicit placement: which physical host backs each logical
+    /// machine. `None` rotates the query across the rack by queue
+    /// position.
+    pub placement: Option<Vec<HostId>>,
+    /// The work itself.
+    pub job: Arc<dyn QueryJob>,
+}
+
+/// Static configuration of a [`QueryService`] run.
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Physical hosts in the rack.
+    pub hosts: usize,
+    /// Worker cores per host.
+    pub cores: usize,
+    /// Wire parameters of the shared fabric.
+    pub fabric: FabricConfig,
+    /// NIC cost model.
+    pub nic: NicCosts,
+    /// Optional deterministic fault plan (host crashes, drops, …); each
+    /// query sees its own `(seed, QueryId)`-derived stream.
+    pub fault_plan: Option<FaultPlan>,
+    /// Queries running concurrently; the rest wait in the FIFO queue.
+    pub max_concurrent: usize,
+    /// Pre-registered memory slab per host, carved into per-query pools.
+    /// Queries exceeding the remaining budget fall back to on-the-fly
+    /// registrations (visible as `fly_registrations` contention).
+    pub pool_budget_bytes: u64,
+    /// Validator response override (`None` keeps the build default).
+    pub validate: Option<ValidateMode>,
+}
+
+impl ServiceConfig {
+    /// A QDR rack of `hosts` machines with sensible service defaults.
+    pub fn qdr_rack(hosts: usize, cores: usize) -> ServiceConfig {
+        ServiceConfig {
+            hosts,
+            cores,
+            fabric: FabricConfig::qdr(),
+            nic: NicCosts::default(),
+            fault_plan: None,
+            max_concurrent: 4,
+            pool_budget_bytes: 256 << 20,
+            validate: None,
+        }
+    }
+}
+
+/// One query's outcome in the service report.
+pub struct QueryReport {
+    /// The query's id.
+    pub id: QueryId,
+    /// The request's label.
+    pub label: String,
+    /// When the query left the admission queue.
+    pub admitted: SimTime,
+    /// When its last worker retired.
+    pub completed: SimTime,
+    /// Time spent waiting in the admission queue (all requests are
+    /// submitted at t = 0).
+    pub queue_wait: SimDuration,
+    /// Submission-to-completion latency.
+    pub latency: SimDuration,
+    /// Per-phase breakdown of the query's own named barriers.
+    pub phases: PhaseTimes,
+    /// `Ok` for a completed query, the typed [`JoinError`] (carrying this
+    /// query's id) for an aborted one.
+    pub result: Result<(), JoinError>,
+}
+
+/// What a whole [`QueryService::run`] reports.
+pub struct ServiceReport {
+    /// Per-query outcomes, ordered by query id.
+    pub queries: Vec<QueryReport>,
+    /// Virtual time from service start until the last query retired.
+    pub makespan: SimDuration,
+    /// Completion-latency percentiles across all queries.
+    pub latency_p50: SimDuration,
+    /// 95th-percentile completion latency.
+    pub latency_p95: SimDuration,
+    /// 99th-percentile completion latency.
+    pub latency_p99: SimDuration,
+    /// Queue-wait percentiles across all queries.
+    pub queue_wait_p50: SimDuration,
+    /// 95th-percentile queue wait.
+    pub queue_wait_p95: SimDuration,
+    /// 99th-percentile queue wait.
+    pub queue_wait_p99: SimDuration,
+    /// Fraction of the rack's total egress-wire capacity kept busy over
+    /// the makespan (Σ per-host tx busy / (hosts × makespan)).
+    pub fabric_utilization: f64,
+    /// Queries that aborted with an error.
+    pub aborted: usize,
+}
+
+impl ServiceReport {
+    /// Queries that completed successfully.
+    pub fn completed(&self) -> usize {
+        self.queries.len() - self.aborted
+    }
+}
+
+/// The admission scheduler: runs a batch of queued [`JoinRequest`]s over
+/// one shared fabric and reports per-query latency, queue wait and
+/// rack-level utilization.
+pub struct QueryService;
+
+struct Admitted {
+    id: QueryId,
+    label: String,
+    admitted: SimTime,
+}
+
+struct Finished {
+    report: QueryReport,
+}
+
+impl QueryService {
+    /// Run `requests` to completion under `cfg` and report.
+    pub fn run(cfg: &ServiceConfig, requests: Vec<JoinRequest>) -> ServiceReport {
+        assert!(cfg.hosts >= 1 && cfg.cores >= 1 && cfg.max_concurrent >= 1);
+        let fabric = Fabric::new_with_plan(cfg.fabric, cfg.nic, cfg.hosts, cfg.fault_plan.clone());
+        if let Some(mode) = cfg.validate {
+            fabric.validator().set_mode(mode);
+        }
+        let arenas: Arc<Vec<Arc<PoolArena>>> = Arc::new(
+            (0..cfg.hosts)
+                .map(|_| PoolArena::new(cfg.pool_budget_bytes, cfg.nic))
+                .collect(),
+        );
+
+        // Resolve ids and placements up front: FIFO position decides both
+        // the default id (starting at 1; 0 is the direct lane) and the
+        // default rotation over the rack.
+        let mut seen = std::collections::HashSet::new();
+        let planned: Vec<(QueryId, Vec<HostId>)> = requests
+            .iter()
+            .enumerate()
+            .map(|(k, req)| {
+                let id = req.id.unwrap_or(k as u32 + 1);
+                assert!(id != 0, "query id 0 is the direct lane");
+                assert!(seen.insert(id), "duplicate query id {id}");
+                let m = req.job.machines();
+                assert!(
+                    m >= 1 && m <= cfg.hosts,
+                    "query wants {m} machines on a {}-host rack",
+                    cfg.hosts
+                );
+                let placement = req
+                    .placement
+                    .clone()
+                    .unwrap_or_else(|| (0..m).map(|i| HostId((k + i) % cfg.hosts)).collect());
+                assert_eq!(placement.len(), m);
+                (QueryId(id), placement)
+            })
+            .collect();
+
+        let finished: Arc<Mutex<Vec<Finished>>> = Arc::new(Mutex::new(Vec::new()));
+        let end_time: Arc<Mutex<SimTime>> = Arc::new(Mutex::new(SimTime::ZERO));
+
+        let sim = Simulation::new();
+        fabric.launch(&sim);
+        {
+            let fabric = Arc::clone(&fabric);
+            let arenas = Arc::clone(&arenas);
+            let finished = Arc::clone(&finished);
+            let end_time = Arc::clone(&end_time);
+            let cfg = cfg.clone();
+            sim.spawn("service-admit", move |ctx| {
+                let done_ch: Arc<SimChannel<u32>> = SimChannel::new();
+                let total = requests.len();
+                let mut next = 0usize;
+                let mut active = 0usize;
+                let mut retired = 0usize;
+                while retired < total {
+                    while active < cfg.max_concurrent && next < total {
+                        let req = &requests[next];
+                        let (id, placement) = planned[next].clone();
+                        Self::admit(
+                            ctx, &fabric, &arenas, &cfg, req, id, placement, &done_ch, &finished,
+                        );
+                        active += 1;
+                        next += 1;
+                    }
+                    match done_ch.recv(ctx) {
+                        Some(_qid) => {
+                            active -= 1;
+                            retired += 1;
+                        }
+                        None => break,
+                    }
+                }
+                *end_time.lock() = ctx.now();
+                // The batch is drained: stop the shared fabric's engines.
+                fabric.shutdown(ctx);
+            });
+        }
+        sim.run();
+
+        // Per-query state was audited at each retirement; what remains is
+        // rack-level residue (crash context and the like).
+        fabric.validator().check_teardown();
+
+        let makespan_t = *end_time.lock();
+        let makespan = makespan_t - SimTime::ZERO;
+        let mut queries: Vec<QueryReport> = finished.lock().drain(..).map(|f| f.report).collect();
+        queries.sort_by_key(|q| q.id);
+        let aborted = queries.iter().filter(|q| q.result.is_err()).count();
+        let mut lat: Vec<SimDuration> = queries.iter().map(|q| q.latency).collect();
+        let mut qw: Vec<SimDuration> = queries.iter().map(|q| q.queue_wait).collect();
+        lat.sort_unstable();
+        qw.sort_unstable();
+        let busy_ns: u64 = (0..cfg.hosts)
+            .map(|h| fabric.nic(HostId(h)).stats().tx_busy_ns)
+            .sum();
+        let capacity_ns = cfg.hosts as u64 * makespan.as_nanos();
+        let fabric_utilization = if capacity_ns == 0 {
+            0.0
+        } else {
+            busy_ns as f64 / capacity_ns as f64
+        };
+        ServiceReport {
+            latency_p50: percentile(&lat, 50),
+            latency_p95: percentile(&lat, 95),
+            latency_p99: percentile(&lat, 99),
+            queue_wait_p50: percentile(&qw, 50),
+            queue_wait_p95: percentile(&qw, 95),
+            queue_wait_p99: percentile(&qw, 99),
+            queries,
+            makespan,
+            fabric_utilization,
+            aborted,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        ctx: &SimCtx,
+        fabric: &Arc<Fabric>,
+        arenas: &Arc<Vec<Arc<PoolArena>>>,
+        cfg: &ServiceConfig,
+        req: &JoinRequest,
+        id: QueryId,
+        placement: Vec<HostId>,
+        done_ch: &Arc<SimChannel<u32>>,
+        finished: &Arc<Mutex<Vec<Finished>>>,
+    ) {
+        let rt = Runtime::for_query(
+            id,
+            fabric,
+            placement,
+            req.job.cores(),
+            cfg.nic,
+            Some(Arc::clone(arenas)),
+        );
+        rt.stamp_start(ctx.now());
+        req.job.attach(&rt);
+        let job = Arc::clone(&req.job);
+        let admitted = Admitted {
+            id,
+            label: req.label.clone(),
+            admitted: ctx.now(),
+        };
+        let finish_rt = Arc::clone(&rt);
+        let finish_job = Arc::clone(&job);
+        let arenas = Arc::clone(arenas);
+        let done_ch = Arc::clone(done_ch);
+        let finished = Arc::clone(finished);
+        rt.spawn_workers(
+            ctx,
+            move |ctx, rt, mach, core| job.run_worker(ctx, rt, mach, core),
+            move |ctx, result| {
+                let result = match result {
+                    Ok(run) => {
+                        finish_job.finish(&finish_rt, &run);
+                        let phases = PhaseTimes::from_events(&run.events);
+                        Ok(phases)
+                    }
+                    Err(e) => Err(e),
+                };
+                for arena in arenas.iter() {
+                    arena.release(admitted.id);
+                }
+                let completed = ctx.now();
+                finished.lock().push(Finished {
+                    report: QueryReport {
+                        id: admitted.id,
+                        label: admitted.label,
+                        admitted: admitted.admitted,
+                        completed,
+                        queue_wait: admitted.admitted - SimTime::ZERO,
+                        latency: completed - SimTime::ZERO,
+                        phases: match &result {
+                            Ok(p) => *p,
+                            Err(_) => PhaseTimes::default(),
+                        },
+                        result: result.map(|_| ()),
+                    },
+                });
+                done_ch.send(ctx, admitted.id.0);
+            },
+        );
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[SimDuration], pct: u32) -> SimDuration {
+    if sorted.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let rank = (pct as usize * sorted.len()).div_ceil(100);
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Toy query: a ring exchange over `machines` one-core machines.
+    /// Every machine ships `bytes` to its right neighbour, receives from
+    /// the left, and meets at a named barrier. `fail_on` makes that
+    /// machine's worker error out instead, aborting the query.
+    struct RingJob {
+        machines: usize,
+        bytes: usize,
+        fail_on: Option<usize>,
+        rx_bytes: AtomicU64,
+        finished: AtomicU64,
+    }
+
+    impl RingJob {
+        fn new(machines: usize, bytes: usize, fail_on: Option<usize>) -> Arc<RingJob> {
+            Arc::new(RingJob {
+                machines,
+                bytes,
+                fail_on,
+                rx_bytes: AtomicU64::new(0),
+                finished: AtomicU64::new(0),
+            })
+        }
+    }
+
+    impl QueryJob for RingJob {
+        fn machines(&self) -> usize {
+            self.machines
+        }
+
+        fn cores(&self) -> usize {
+            1
+        }
+
+        fn attach(&self, _rt: &Arc<Runtime>) {}
+
+        fn run_worker(
+            &self,
+            ctx: &SimCtx,
+            rt: &Runtime,
+            mach: usize,
+            _core: usize,
+        ) -> Result<(), JoinError> {
+            if self.fail_on == Some(mach) {
+                return Err(JoinError::aborted(phase::HISTOGRAM));
+            }
+            let nic = rt.fabric.nic(HostId(mach));
+            let dst = HostId((mach + 1) % self.machines);
+            let ev = nic.post_send(ctx, dst, 7, vec![0u8; self.bytes]);
+            let c = nic
+                .recv(ctx)
+                .map_err(|e| JoinError::fabric(mach, phase::NETWORK_PARTITION, e))?
+                .ok_or(JoinError::aborted(phase::NETWORK_PARTITION))?;
+            self.rx_bytes
+                .fetch_add(c.payload.len() as u64, Ordering::Relaxed);
+            nic.repost_recv(ctx);
+            ev.wait(ctx)
+                .map_err(|e| JoinError::fabric(mach, phase::NETWORK_PARTITION, e))?;
+            rt.try_sync_named(ctx, phase::NETWORK_PARTITION, mach)?;
+            Ok(())
+        }
+
+        fn finish(&self, _rt: &Runtime, _run: &ClusterRun) {
+            self.finished.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn ring_requests(n: usize, bytes: usize) -> Vec<JoinRequest> {
+        (0..n)
+            .map(|i| JoinRequest {
+                label: format!("ring-{i}"),
+                id: None,
+                placement: None,
+                job: RingJob::new(2, bytes, None),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn service_completes_a_fifo_batch_with_bounded_concurrency() {
+        let mut cfg = ServiceConfig::qdr_rack(3, 1);
+        cfg.max_concurrent = 2;
+        let report = QueryService::run(&cfg, ring_requests(6, 64 * 1024));
+        assert_eq!(report.queries.len(), 6);
+        assert_eq!(report.aborted, 0);
+        assert_eq!(report.completed(), 6);
+        // FIFO ids 1..=6, sorted in the report.
+        let ids: Vec<u32> = report.queries.iter().map(|q| q.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5, 6]);
+        // The first two queries are admitted at t = 0; with only two
+        // concurrent slots the tail of the queue must wait.
+        assert_eq!(report.queries[0].queue_wait, SimDuration::ZERO);
+        assert!(report.queue_wait_p99 > SimDuration::ZERO);
+        assert!(report.latency_p99 >= report.latency_p50);
+        assert!(report.makespan >= report.latency_p99);
+        assert!(report.fabric_utilization > 0.0 && report.fabric_utilization <= 1.0);
+        for q in &report.queries {
+            assert!(q.result.is_ok());
+            assert!(q.completed - q.admitted > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn service_schedule_is_deterministic() {
+        let run = || {
+            let mut cfg = ServiceConfig::qdr_rack(4, 1);
+            cfg.max_concurrent = 3;
+            QueryService::run(&cfg, ring_requests(9, 32 * 1024))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.makespan, b.makespan);
+        for (qa, qb) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(qa.id, qb.id);
+            assert_eq!(qa.admitted, qb.admitted);
+            assert_eq!(qa.completed, qb.completed);
+            assert_eq!(qa.latency, qb.latency);
+        }
+    }
+
+    #[test]
+    fn failing_query_aborts_alone_and_carries_its_id() {
+        let mut cfg = ServiceConfig::qdr_rack(4, 1);
+        cfg.max_concurrent = 3;
+        let jobs: Vec<Arc<RingJob>> = vec![
+            RingJob::new(2, 4096, None),
+            RingJob::new(2, 4096, Some(1)),
+            RingJob::new(2, 4096, None),
+        ];
+        let requests = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, job)| JoinRequest {
+                label: format!("q{}", i + 1),
+                id: None,
+                placement: None,
+                job: Arc::clone(job) as Arc<dyn QueryJob>,
+            })
+            .collect();
+        let report = QueryService::run(&cfg, requests);
+        assert_eq!(report.aborted, 1);
+        let failed = &report.queries[1];
+        assert_eq!(failed.id, QueryId(2));
+        let err = failed.result.as_ref().unwrap_err();
+        assert_eq!(err.query(), QueryId(2));
+        // The healthy queries completed their exchanges byte-intact and
+        // reached finish exactly once.
+        for (i, job) in jobs.iter().enumerate() {
+            if i == 1 {
+                assert_eq!(job.finished.load(Ordering::Relaxed), 0);
+            } else {
+                assert_eq!(job.finished.load(Ordering::Relaxed), 1);
+                assert_eq!(job.rx_bytes.load(Ordering::Relaxed), 2 * 4096);
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_ids_and_placements_are_respected() {
+        let mut cfg = ServiceConfig::qdr_rack(4, 1);
+        cfg.max_concurrent = 4;
+        let requests = vec![
+            JoinRequest {
+                label: "a".into(),
+                id: Some(9),
+                placement: Some(vec![HostId(3), HostId(0)]),
+                job: RingJob::new(2, 1024, None),
+            },
+            JoinRequest {
+                label: "b".into(),
+                id: Some(4),
+                placement: None,
+                job: RingJob::new(2, 1024, None),
+            },
+        ];
+        let report = QueryService::run(&cfg, requests);
+        assert_eq!(report.aborted, 0);
+        let ids: Vec<u32> = report.queries.iter().map(|q| q.id.0).collect();
+        assert_eq!(ids, vec![4, 9]);
+        assert_eq!(report.queries[1].label, "a");
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let d = |n: u64| SimDuration::from_nanos(n);
+        let v: Vec<SimDuration> = (1..=10).map(|i| d(i * 100)).collect();
+        assert_eq!(percentile(&v, 50), d(500));
+        assert_eq!(percentile(&v, 95), d(1000));
+        assert_eq!(percentile(&v, 99), d(1000));
+        assert_eq!(percentile(&[], 50), SimDuration::ZERO);
+        assert_eq!(percentile(&v[..1], 99), d(100));
+    }
+}

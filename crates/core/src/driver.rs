@@ -15,10 +15,19 @@
 //! Each barrier records one [`rsj_cluster::PhaseEvent`] per machine;
 //! [`rsj_cluster::PhaseTimes::from_events`] folds them into the
 //! [`DistJoinOutcome`]'s per-phase breakdown.
+//!
+//! The join is packaged as a [`DistJoinJob`] — an [`rsj_cluster::QueryJob`]
+//! — so the same attach/run/finish sequence serves both entry points: the
+//! direct [`try_run_distributed_join`] (one join, its own fabric) and the
+//! multi-query [`rsj_cluster::QueryService`] (many joins multiplexed over
+//! a shared fabric). The direct path is byte-identical to the
+//! pre-service code: same construction order, same barriers, same wire
+//! schedule.
 
 use std::sync::Arc;
 
-use rsj_cluster::{JoinError, Meter, PhaseTimes, Runtime};
+use parking_lot::Mutex;
+use rsj_cluster::{phase, ClusterRun, JoinError, Meter, PhaseTimes, QueryJob, Runtime};
 use rsj_rdma::HostId;
 use rsj_sim::{SimCtx, SimTime};
 use rsj_workload::{JoinResult, Relation, Tuple};
@@ -68,6 +77,125 @@ pub struct DistJoinOutcome {
     pub materialized_bytes: u64,
 }
 
+/// The distributed radix join packaged for a query service: inputs in,
+/// [`DistJoinOutcome`] out, with the cluster-shared state built lazily at
+/// attach time against whatever runtime (direct or query-scoped) the job
+/// is admitted onto.
+pub struct DistJoinJob<T: Tuple> {
+    cfg: DistJoinConfig,
+    input: Mutex<Option<(Relation<T>, Relation<T>)>>,
+    shared: Mutex<Option<Arc<ClusterShared<T>>>>,
+    outcome: Mutex<Option<DistJoinOutcome>>,
+}
+
+impl<T: Tuple> DistJoinJob<T> {
+    /// Package a validated configuration and its loaded relations as a
+    /// job. Panics on an invalid configuration or relations not loaded
+    /// for this cluster size.
+    pub fn new(cfg: DistJoinConfig, r: Relation<T>, s: Relation<T>) -> Arc<DistJoinJob<T>> {
+        cfg.validate();
+        let m = cfg.cluster.machines;
+        assert_eq!(r.machines(), m, "inner relation not loaded on this cluster");
+        assert_eq!(s.machines(), m, "outer relation not loaded on this cluster");
+        Arc::new(DistJoinJob {
+            cfg,
+            input: Mutex::new(Some((r, s))),
+            shared: Mutex::new(None),
+            outcome: Mutex::new(None),
+        })
+    }
+
+    /// The recorded outcome of a finished run (`None` before
+    /// [`QueryJob::finish`] or if the run aborted).
+    pub fn take_outcome(&self) -> Option<DistJoinOutcome> {
+        self.outcome.lock().take()
+    }
+}
+
+impl<T: Tuple> QueryJob for DistJoinJob<T> {
+    fn machines(&self) -> usize {
+        self.cfg.cluster.machines
+    }
+
+    fn cores(&self) -> usize {
+        self.cfg.cluster.cores_per_machine
+    }
+
+    fn attach(&self, rt: &Arc<Runtime>) {
+        let (r, s) = self
+            .input
+            .lock()
+            .take()
+            .expect("DistJoinJob attached twice");
+        let shared = Arc::new(ClusterShared::new(self.cfg.clone(), rt, &r, &s));
+        // A failing worker poisons every machine-local barrier and TCP
+        // window so no peer stays parked on one during the abort.
+        for st in &shared.machines {
+            rt.register_barrier(Arc::clone(&st.local_barrier));
+        }
+        for row in &shared.tcp_windows {
+            for window in row {
+                rt.register_semaphore(Arc::clone(window));
+            }
+        }
+        *self.shared.lock() = Some(shared);
+    }
+
+    fn run_worker(
+        &self,
+        ctx: &SimCtx,
+        rt: &Runtime,
+        machine: usize,
+        core: usize,
+    ) -> Result<(), JoinError> {
+        let sh = Arc::clone(self.shared.lock().as_ref().expect("job not attached"));
+        worker(ctx, rt, &sh, machine, core)
+    }
+
+    fn finish(&self, rt: &Runtime, run: &ClusterRun) {
+        let shared = self
+            .shared
+            .lock()
+            .take()
+            .expect("finish without a preceding attach");
+        let m = self.cfg.cluster.machines;
+        let mut result = JoinResult::default();
+        let mut reports = Vec::with_capacity(m);
+        for (i, mach) in shared.machines.iter().enumerate() {
+            result.merge(*mach.result.lock());
+            let nic = rt.fabric.nic(HostId(i));
+            let stats = nic.stats();
+            reports.push(MachineReport {
+                tx_bytes: stats.tx_bytes,
+                rx_bytes: stats.rx_bytes,
+                send_stall_seconds: *mach.stall_seconds.lock(),
+                registered_bytes: nic.mrs.registered_bytes(),
+                fly_registrations: shared.pools[i].fly_registrations(),
+                cpu_busy_seconds: *mach.cpu_busy_seconds.lock(),
+            });
+        }
+        let materialized_bytes = *shared.coord_result_bytes.lock()
+            + shared
+                .machines
+                .iter()
+                .map(|mach| *mach.result_bytes_local.lock())
+                .sum::<u64>();
+        if shared.cfg.materialize != MaterializeMode::CountOnly {
+            assert_eq!(
+                materialized_bytes,
+                result.matches * 16,
+                "materialization lost result pairs"
+            );
+        }
+        *self.outcome.lock() = Some(DistJoinOutcome {
+            result,
+            phases: PhaseTimes::from_events(&run.events),
+            machines: reports,
+            materialized_bytes,
+        });
+    }
+}
+
 /// Execute the distributed join on relations already loaded across the
 /// cluster (chunk `m` of each relation resides on machine `m`). Returns
 /// the verified result, the per-phase breakdown and per-machine stats.
@@ -95,31 +223,22 @@ pub fn try_run_distributed_join<T: Tuple>(
     r: Relation<T>,
     s: Relation<T>,
 ) -> Result<DistJoinOutcome, JoinError> {
-    cfg.validate();
     let m = cfg.cluster.machines;
-    assert_eq!(r.machines(), m, "inner relation not loaded on this cluster");
-    assert_eq!(s.machines(), m, "outer relation not loaded on this cluster");
     let cores = cfg.cluster.cores_per_machine;
-
     let plan = cfg.fault_plan.clone();
-    let rt = Runtime::new_with_plan(m, cores, cfg.fabric_config(), cfg.cluster.cost.nic, plan);
-    if let Some(mode) = cfg.validate_mode {
+    let fabric_cfg = cfg.fabric_config();
+    let nic = cfg.cluster.cost.nic;
+    let validate_mode = cfg.validate_mode;
+
+    let job = DistJoinJob::new(cfg, r, s);
+    let rt = Runtime::new_with_plan(m, cores, fabric_cfg, nic, plan);
+    if let Some(mode) = validate_mode {
         rt.fabric.validator().set_mode(mode);
     }
-    let shared = Arc::new(ClusterShared::new(cfg, Arc::clone(&rt.fabric), &r, &s));
-    // A failing worker poisons every machine-local barrier and TCP window
-    // so no peer stays parked on one during the abort.
-    for st in &shared.machines {
-        rt.register_barrier(Arc::clone(&st.local_barrier));
-    }
-    for row in &shared.tcp_windows {
-        for window in row {
-            rt.register_semaphore(Arc::clone(window));
-        }
-    }
+    job.attach(&rt);
 
-    let sh = Arc::clone(&shared);
-    let run = rt.try_run(move |ctx, rt, mach, core| worker(ctx, rt, &sh, mach, core))?;
+    let wj = Arc::clone(&job);
+    let run = rt.try_run(move |ctx, rt, mach, core| wj.run_worker(ctx, rt, mach, core))?;
 
     assert_eq!(
         run.marks.len(),
@@ -132,49 +251,18 @@ pub fn try_run_distributed_join<T: Tuple>(
         "phase marks must be monotone: {:?}",
         run.marks
     );
-    let phases = PhaseTimes::from_events(&run.events);
+
+    job.finish(&rt, &run);
+    let outcome = job.take_outcome().expect("finish records the outcome");
     // Back-to-back named phases: the folded durations cover the run end
-    // to end, exactly as the former raw-mark differences did.
+    // to end, exactly as the former raw-mark differences did. (Direct
+    // path only — a service run starts at admission time, not t = 0.)
     debug_assert_eq!(
-        phases.total(),
+        outcome.phases.total(),
         *run.marks.last().expect("marks start non-empty") - SimTime::ZERO,
         "per-phase durations must sum to the end-to-end time"
     );
-
-    let mut result = JoinResult::default();
-    let mut reports = Vec::with_capacity(m);
-    for (i, mach) in shared.machines.iter().enumerate() {
-        result.merge(*mach.result.lock());
-        let nic = rt.fabric.nic(HostId(i));
-        let stats = nic.stats();
-        reports.push(MachineReport {
-            tx_bytes: stats.tx_bytes,
-            rx_bytes: stats.rx_bytes,
-            send_stall_seconds: *mach.stall_seconds.lock(),
-            registered_bytes: nic.mrs.registered_bytes(),
-            fly_registrations: shared.pools[i].fly_registrations(),
-            cpu_busy_seconds: *mach.cpu_busy_seconds.lock(),
-        });
-    }
-    let materialized_bytes = *shared.coord_result_bytes.lock()
-        + shared
-            .machines
-            .iter()
-            .map(|mach| *mach.result_bytes_local.lock())
-            .sum::<u64>();
-    if shared.cfg.materialize != MaterializeMode::CountOnly {
-        assert_eq!(
-            materialized_bytes,
-            result.matches * 16,
-            "materialization lost result pairs"
-        );
-    }
-    Ok(DistJoinOutcome {
-        result,
-        phases,
-        machines: reports,
-        materialized_bytes,
-    })
+    Ok(outcome)
 }
 
 /// One simulated core's journey through the four phases. The runtime's
@@ -191,16 +279,16 @@ fn worker<T: Tuple>(
     let mut meter = Meter::with_quantum_ns(sh.cfg.meter_quantum_ns);
 
     phase_histogram(ctx, sh, mach, core, &mut meter)?;
-    rt.try_sync_named(ctx, "histogram", mach)?;
+    rt.try_sync_named(ctx, phase::HISTOGRAM, mach)?;
 
     phase_network(ctx, sh, mach, core, &mut meter)?;
-    rt.try_sync_named(ctx, "network_partition", mach)?;
+    rt.try_sync_named(ctx, phase::NETWORK_PARTITION, mach)?;
 
     phase_local(ctx, sh, mach, core, &mut meter)?;
-    rt.try_sync_named(ctx, "local_partition", mach)?;
+    rt.try_sync_named(ctx, phase::LOCAL_PARTITION, mach)?;
 
     phase_build_probe(ctx, sh, mach, core, &mut meter)?;
     *sh.machines[mach].cpu_busy_seconds.lock() += meter.total_seconds();
-    rt.try_sync_named(ctx, "build_probe", mach)?;
+    rt.try_sync_named(ctx, phase::BUILD_PROBE, mach)?;
     Ok(())
 }

@@ -32,6 +32,8 @@ mod histogram;
 mod phases;
 
 pub use config::{AssignmentPolicy, DistJoinConfig, MaterializeMode, ReceiveMode, TransportMode};
-pub use driver::{run_distributed_join, try_run_distributed_join, DistJoinOutcome, MachineReport};
+pub use driver::{
+    run_distributed_join, try_run_distributed_join, DistJoinJob, DistJoinOutcome, MachineReport,
+};
 pub use histogram::{assign_partitions, Histogram, REL_R, REL_S};
 pub use rsj_cluster::JoinError;

@@ -148,7 +148,7 @@ fn result_sink<T: Tuple>(
         let c = nic
             .recv(ctx)
             .map_err(|e| JoinError::fabric(0, PHASE, e))?
-            .ok_or(JoinError::Aborted { phase: PHASE })?;
+            .ok_or(JoinError::aborted(PHASE))?;
         match WireTag::decode(c.tag).map_err(|e| JoinError::decode(0, PHASE, e))? {
             WireTag::Eos => eos += 1,
             WireTag::Result => {
@@ -215,7 +215,7 @@ pub(crate) fn phase_build_probe<T: Tuple>(
                         // An aborting run must not keep polling: peers may
                         // never drain their queues.
                         if sh.fabric.aborted() {
-                            return Err(JoinError::Aborted { phase: PHASE });
+                            return Err(JoinError::aborted(PHASE));
                         }
                         // Poll at the granularity of the smallest stealable
                         // unit so the phase end is not overshot.

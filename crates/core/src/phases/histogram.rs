@@ -75,7 +75,7 @@ pub(crate) fn phase_histogram<T: Tuple>(
             let c = nic
                 .recv(ctx)
                 .map_err(|e| JoinError::fabric(mach, PHASE, e))?
-                .ok_or(JoinError::Aborted { phase: PHASE })?;
+                .ok_or(JoinError::aborted(PHASE))?;
             let tag = WireTag::decode(c.tag).map_err(|e| JoinError::decode(mach, PHASE, e))?;
             assert_eq!(tag, WireTag::Histogram, "unexpected phase-1 message");
             machine_hists[c.src.0] = Histogram::decode(&c.payload);

@@ -24,9 +24,9 @@ use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rsj_cluster::JoinError;
+use rsj_cluster::{JoinError, Runtime};
 use rsj_joins::{BucketTable, NumaQueues, Partitioned};
-use rsj_rdma::{BufferPool, Fabric, HostId, RemoteMr};
+use rsj_rdma::{BufferPool, Fabric, RemoteMr};
 use rsj_sim::{SimBarrier, SimCtx, SimSemaphore};
 use rsj_workload::{JoinResult, Relation, Tuple};
 
@@ -203,13 +203,16 @@ pub(crate) struct ClusterShared<T> {
 
 impl<T: Tuple> ClusterShared<T> {
     /// Build the shared state for a validated configuration against the
-    /// runtime's fabric.
+    /// runtime's fabric. Buffer pools go through [`Runtime::make_pool`],
+    /// so under a query service they sub-allocate from the host arenas and
+    /// register with the validator under the runtime's query.
     pub(crate) fn new(
         cfg: DistJoinConfig,
-        fabric: Arc<Fabric>,
+        rt: &Runtime,
         r: &Relation<T>,
         s: &Relation<T>,
     ) -> ClusterShared<T> {
+        let fabric = Arc::clone(&rt.fabric);
         let m = cfg.cluster.machines;
         let workers = cfg.partitioning_workers();
         let np1 = 1usize << cfg.radix_bits.0;
@@ -217,19 +220,12 @@ impl<T: Tuple> ClusterShared<T> {
             .map(|i| MachineState::new(&cfg, r.chunk(i).to_vec(), s.chunk(i).to_vec()))
             .collect();
         let pools = (0..m)
-            .map(|_| {
+            .map(|i| {
                 // Up to `send_depth` buffers per (worker, relation, remote
                 // partition); R's buffers stay drawn while S is partitioned.
-                BufferPool::new(
-                    workers * cfg.send_depth * np1 * 2,
-                    cfg.rdma_buf_size,
-                    cfg.cluster.cost.nic,
-                )
+                rt.make_pool(i, workers * cfg.send_depth * np1 * 2, cfg.rdma_buf_size)
             })
             .collect::<Vec<_>>();
-        for (i, pool) in pools.iter().enumerate() {
-            fabric.validator().register_pool(HostId(i), pool);
-        }
         let tcp_windows = (0..m)
             .map(|_| {
                 (0..m)
@@ -263,7 +259,7 @@ pub(crate) fn barrier_wait(
 ) -> Result<bool, JoinError> {
     barrier
         .wait_checked(ctx)
-        .map_err(|_| JoinError::Aborted { phase })
+        .map_err(|_| JoinError::aborted(phase))
 }
 
 /// The partitioning-worker index of `core`, or `None` if this core is the

@@ -214,7 +214,7 @@ fn flush_buf<T: Tuple>(
             let t0 = ctx.now();
             window
                 .acquire_checked(ctx)
-                .map_err(|_| JoinError::Aborted { phase: PHASE })?;
+                .map_err(|_| JoinError::aborted(PHASE))?;
             *stall += (ctx.now() - t0).as_secs_f64();
             let payload = std::mem::take(&mut sb.buf);
             nic.post_send_windowed(
@@ -296,7 +296,7 @@ fn receiver_loop<T: Tuple>(
         let c = nic
             .recv(ctx)
             .map_err(|e| JoinError::fabric(mach, PHASE, e))?
-            .ok_or(JoinError::Aborted { phase: PHASE })?;
+            .ok_or(JoinError::aborted(PHASE))?;
         match WireTag::decode(c.tag).map_err(|e| JoinError::decode(mach, PHASE, e))? {
             WireTag::Eos => eos += 1,
             WireTag::Data { rel, part } => {

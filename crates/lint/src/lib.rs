@@ -13,6 +13,7 @@
 //! | `unwrap` | `.unwrap()` (or an `.expect` with a non-descriptive message) in non-test library code — failures in phase code must say what invariant broke |
 //! | `hot-alloc` | `vec!` / `Vec::new` inside `crates/joins` functions named `*_kernel`, `histogram*` or `scatter*` — those are the per-partition hot loops; allocate scratch once in the owning `Partitioner`/table and reuse it |
 //! | `fabric-panic` | `.unwrap()` / `.expect(` on the fabric's fallible post/poll results (`wait`/`recv`/`admit`/`drain`) in non-test library code — fault-plane errors (DESIGN.md §8) must propagate as `JoinError` so the run aborts cleanly |
+//! | `barrier-name` | a raw string literal as the barrier name at a `sync_named` / `try_sync_named` call site outside `crates/cluster` — barrier names are namespaced per query (`(QueryId, name)`, DESIGN.md §9) and must come from the `rsj_cluster::phase` constants so phase attribution stays canonical |
 //!
 //! Any rule can be waived on a specific line with a justification marker,
 //! on the same line or the line directly above:
@@ -207,6 +208,7 @@ pub fn lint_file(relpath: &str, content: &str) -> Vec<Finding> {
         return findings;
     }
     let in_rdma = relpath.starts_with("crates/rdma/");
+    let in_cluster = relpath.starts_with("crates/cluster/");
     let is_kernel = relpath == KERNEL;
     // Integration tests and benches exercise the system from outside; the
     // library-code rules (unwrap, mr-access, std-sync) do not apply, but
@@ -363,6 +365,21 @@ pub fn lint_file(relpath: &str, content: &str) -> Vec<Finding> {
                 .any(|p| code.contains(p)),
                 "panic on a fallible fabric post/poll result in library code; propagate the \
                  error as a JoinError so the run aborts cleanly instead of crashing"
+                    .to_string(),
+            );
+            // Barrier-namespace rule (DESIGN.md §9): barrier names form
+            // the per-query namespace `(QueryId, name)` and drive phase
+            // attribution in `PhaseTimes::from_events`; phase code
+            // outside crates/cluster must name barriers through the
+            // `rsj_cluster::phase` constants, never ad-hoc literals.
+            check(
+                "barrier-name",
+                !in_cluster
+                    && code
+                        .find("sync_named(")
+                        .is_some_and(|pos| code[pos..].contains('"')),
+                "raw barrier-name string at a sync_named call site; use the rsj_cluster::phase \
+                 constants so the (QueryId, phase) namespace stays canonical"
                     .to_string(),
             );
         }
@@ -527,6 +544,43 @@ mod tests {
         // Tests stay free to unwrap.
         let test = "fn t() { nic.recv(ctx).unwrap(); }\n";
         assert!(lint_file("crates/rdma/tests/x.rs", test).is_empty());
+    }
+
+    #[test]
+    fn catches_raw_barrier_name_literals_outside_cluster() {
+        // A literal name bypasses the phase-constant namespace.
+        let src = "fn f() -> Result<(), JoinError> {\n    rt.try_sync_named(ctx, \"histogram\", mach)?;\n    Ok(())\n}\n";
+        let f = lint_file("crates/operators/src/sort_merge.rs", src);
+        assert_eq!(rules(&f), ["barrier-name"]);
+        assert_eq!(f[0].line, 2);
+        // The infallible wrapper is covered by the same pattern.
+        let sync = "fn f() {\n    rt.sync_named(ctx, \"drain\", mach);\n}\n";
+        assert_eq!(
+            rules(&lint_file("crates/core/src/phases/network.rs", sync)),
+            ["barrier-name"]
+        );
+        // Naming the barrier through the phase constants is the fix.
+        let ok = "fn f() -> Result<(), JoinError> {\n    rt.try_sync_named(ctx, phase::HISTOGRAM, mach)?;\n    Ok(())\n}\n";
+        assert!(lint_file("crates/operators/src/sort_merge.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn barrier_name_rule_is_scoped_and_waivable() {
+        let src = "fn f() {\n    rt.sync_named(ctx, \"alpha\", mach);\n}\n";
+        // crates/cluster owns the namespace and its tests name barriers
+        // freely to exercise it.
+        assert!(lint_file("crates/cluster/src/runtime.rs", src).is_empty());
+        // Integration tests outside the crate are exempt like every other
+        // library-code rule.
+        assert!(lint_file("crates/operators/tests/service.rs", src).is_empty());
+        let test_mod = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
+        assert!(lint_file("crates/operators/src/x.rs", &test_mod).is_empty());
+        // A waiver with a reason applies.
+        let waived = "fn f() {\n    // lint: allow-barrier-name(one-off drain point, not a phase)\n    rt.sync_named(ctx, \"drain\", mach);\n}\n";
+        assert!(lint_file("crates/operators/src/x.rs", waived).is_empty());
+        // Mentioning sync_named in a comment does not trip the rule.
+        let comment = "// call sync_named(ctx, \"name\", mach) with a phase constant\n";
+        assert!(lint_file("crates/operators/src/x.rs", comment).is_empty());
     }
 
     #[test]

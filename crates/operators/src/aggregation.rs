@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rsj_cluster::{ClusterSpec, JoinError, Meter, PhaseTimes};
+use rsj_cluster::{phase, ClusterRun, ClusterSpec, JoinError, Meter, PhaseTimes, QueryJob};
 use rsj_joins::partition_of;
 use rsj_rdma::{BufferPool, HostId, SendWindow};
 use rsj_sim::SimCtx;
@@ -104,39 +104,7 @@ pub fn try_run_aggregation<T: Tuple>(
     s: Relation<T>,
 ) -> Result<AggregationOutcome, JoinError> {
     let m = cfg.cluster.machines;
-    assert_eq!(s.machines(), m);
     let cores = cfg.cluster.cores_per_machine;
-    assert!(cores >= 2);
-    let np = 1usize << cfg.radix_bits;
-    let workers = cores - 1;
-
-    let states: Arc<Vec<MachState<T>>> = Arc::new(
-        (0..m)
-            .map(|i| MachState {
-                chunk: s.chunk(i).to_vec(),
-                assignment: Mutex::new(Vec::new()),
-                local_out: (0..workers)
-                    .map(|_| Mutex::new((0..np).map(|_| Vec::new()).collect()))
-                    .collect(),
-                staging: Mutex::new((0..np).map(|_| Vec::new()).collect()),
-                owned: Mutex::new(Vec::new()),
-                next_task: AtomicUsize::new(0),
-                result: Mutex::new(AggregateResult::default()),
-            })
-            .collect(),
-    );
-    let pools: Arc<Vec<Arc<BufferPool>>> = Arc::new(
-        (0..m)
-            .map(|_| {
-                BufferPool::new(
-                    workers * cfg.send_depth * np,
-                    cfg.rdma_buf_size,
-                    cfg.cluster.cost.nic,
-                )
-            })
-            .collect(),
-    );
-
     let fabric_cfg = cfg.fabric_override.unwrap_or_else(|| {
         cfg.cluster
             .interconnect
@@ -145,26 +113,129 @@ pub fn try_run_aggregation<T: Tuple>(
     });
     let nic_costs = cfg.cluster.cost.nic;
     let plan = cfg.fault_plan.clone();
-    let cfg = Arc::new(cfg);
-    let st2 = Arc::clone(&states);
-    let rt = Runtime::new_with_plan(m, cores, fabric_cfg, nic_costs, plan);
-    for (i, pool) in pools.iter().enumerate() {
-        rt.fabric.validator().register_pool(HostId(i), pool);
-    }
-    let run =
-        rt.try_run(move |ctx, rt, mach, core| worker(ctx, rt, &cfg, &st2, &pools, mach, core))?;
 
-    assert_eq!(run.marks.len(), 4, "expected 3 phase boundaries");
-    // No local refinement pass: `local_partition` stays zero in the fold.
-    let phases = PhaseTimes::from_events(&run.events);
-    let mut result = AggregateResult::default();
-    for st in states.iter() {
-        let r = st.result.lock();
-        result.groups += r.groups;
-        result.key_weighted_count = result.key_weighted_count.wrapping_add(r.key_weighted_count);
-        result.rid_sum = result.rid_sum.wrapping_add(r.rid_sum);
+    let job = AggregationJob::new(cfg, s);
+    let rt = Runtime::new_with_plan(m, cores, fabric_cfg, nic_costs, plan);
+    job.attach(&rt);
+    let wj = Arc::clone(&job);
+    let run = rt.try_run(move |ctx, rt, mach, core| wj.run_worker(ctx, rt, mach, core))?;
+    job.finish(&rt, &run);
+    Ok(job.take_outcome().expect("finish records the outcome"))
+}
+
+/// The aggregation packaged as an [`rsj_cluster::QueryJob`], so a
+/// [`rsj_cluster::QueryService`] can admit it alongside other operators
+/// on a shared fabric. [`try_run_aggregation`] is the direct single-query
+/// path over the same attach/run/finish sequence.
+pub struct AggregationJob<T: Tuple> {
+    cfg: AggregationConfig,
+    input: Mutex<Option<Relation<T>>>,
+    #[allow(clippy::type_complexity)]
+    state: Mutex<Option<(Arc<Vec<MachState<T>>>, Arc<Vec<Arc<BufferPool>>>)>>,
+    outcome: Mutex<Option<AggregationOutcome>>,
+}
+
+impl<T: Tuple> AggregationJob<T> {
+    /// Package a configuration and its loaded relation as a job.
+    pub fn new(cfg: AggregationConfig, s: Relation<T>) -> Arc<AggregationJob<T>> {
+        assert_eq!(s.machines(), cfg.cluster.machines);
+        assert!(cfg.cluster.cores_per_machine >= 2);
+        Arc::new(AggregationJob {
+            cfg,
+            input: Mutex::new(Some(s)),
+            state: Mutex::new(None),
+            outcome: Mutex::new(None),
+        })
     }
-    Ok(AggregationOutcome { result, phases })
+
+    /// The recorded outcome of a finished run.
+    pub fn take_outcome(&self) -> Option<AggregationOutcome> {
+        self.outcome.lock().take()
+    }
+}
+
+impl<T: Tuple> QueryJob for AggregationJob<T> {
+    fn machines(&self) -> usize {
+        self.cfg.cluster.machines
+    }
+
+    fn cores(&self) -> usize {
+        self.cfg.cluster.cores_per_machine
+    }
+
+    fn attach(&self, rt: &Arc<Runtime>) {
+        let s = self
+            .input
+            .lock()
+            .take()
+            .expect("AggregationJob attached twice");
+        let m = self.cfg.cluster.machines;
+        let np = 1usize << self.cfg.radix_bits;
+        let workers = self.cfg.cluster.cores_per_machine - 1;
+        let states: Arc<Vec<MachState<T>>> = Arc::new(
+            (0..m)
+                .map(|i| MachState {
+                    chunk: s.chunk(i).to_vec(),
+                    assignment: Mutex::new(Vec::new()),
+                    local_out: (0..workers)
+                        .map(|_| Mutex::new((0..np).map(|_| Vec::new()).collect()))
+                        .collect(),
+                    staging: Mutex::new((0..np).map(|_| Vec::new()).collect()),
+                    owned: Mutex::new(Vec::new()),
+                    next_task: AtomicUsize::new(0),
+                    result: Mutex::new(AggregateResult::default()),
+                })
+                .collect(),
+        );
+        let pools: Arc<Vec<Arc<BufferPool>>> = Arc::new(
+            (0..m)
+                .map(|i| {
+                    rt.make_pool(
+                        i,
+                        workers * self.cfg.send_depth * np,
+                        self.cfg.rdma_buf_size,
+                    )
+                })
+                .collect(),
+        );
+        *self.state.lock() = Some((states, pools));
+    }
+
+    fn run_worker(
+        &self,
+        ctx: &SimCtx,
+        rt: &Runtime,
+        machine: usize,
+        core: usize,
+    ) -> Result<(), JoinError> {
+        let (states, pools) = {
+            let guard = self.state.lock();
+            let (a, b) = guard.as_ref().expect("job not attached");
+            (Arc::clone(a), Arc::clone(b))
+        };
+        worker(ctx, rt, &self.cfg, &states, &pools, machine, core)
+    }
+
+    fn finish(&self, _rt: &Runtime, run: &ClusterRun) {
+        let (states, _pools) = self
+            .state
+            .lock()
+            .take()
+            .expect("finish without a preceding attach");
+        assert_eq!(run.marks.len(), 4, "expected 3 phase boundaries");
+        // No local refinement pass: `local_partition` stays zero in the
+        // fold.
+        let phases = PhaseTimes::from_events(&run.events);
+        let mut result = AggregateResult::default();
+        for st in states.iter() {
+            let r = st.result.lock();
+            result.groups += r.groups;
+            result.key_weighted_count =
+                result.key_weighted_count.wrapping_add(r.key_weighted_count);
+            result.rid_sum = result.rid_sum.wrapping_add(r.rid_sum);
+        }
+        *self.outcome.lock() = Some(AggregationOutcome { result, phases });
+    }
 }
 
 fn worker<T: Tuple>(
@@ -199,7 +270,7 @@ fn worker<T: Tuple>(
         *st.owned.lock() = (0..np).filter(|&p| assignment[p] == mach).collect();
         *st.assignment.lock() = assignment;
     }
-    rt.try_sync_named(ctx, "histogram", mach)?;
+    rt.try_sync_named(ctx, phase::HISTOGRAM, mach)?;
 
     // ---- Phase 2: network partitioning pass on the group key.
     if core == 0 {
@@ -208,12 +279,10 @@ fn worker<T: Tuple>(
         while eos < expected {
             let c = nic
                 .recv(ctx)
-                .map_err(fab("network_partition"))?
-                .ok_or(JoinError::Aborted {
-                    phase: "network_partition",
-                })?;
+                .map_err(fab(phase::NETWORK_PARTITION))?
+                .ok_or(JoinError::aborted(phase::NETWORK_PARTITION))?;
             match WireTag::decode(c.tag)
-                .map_err(|e| JoinError::decode(mach, "network_partition", e))?
+                .map_err(|e| JoinError::decode(mach, phase::NETWORK_PARTITION, e))?
             {
                 WireTag::Eos => eos += 1,
                 WireTag::Data { part, .. } => {
@@ -251,7 +320,7 @@ fn worker<T: Tuple>(
                 t.write_to(buf);
                 if buf.len() + T::SIZE > cfg.rdma_buf_size {
                     meter.flush(ctx);
-                    window.admit(ctx).map_err(fab("network_partition"))?;
+                    window.admit(ctx).map_err(fab(phase::NETWORK_PARTITION))?;
                     let payload = std::mem::take(buf);
                     let ev = nic.post_send(
                         ctx,
@@ -271,7 +340,7 @@ fn worker<T: Tuple>(
             if let Some((buf, window)) = slot.as_mut() {
                 if !buf.is_empty() {
                     meter.flush(ctx);
-                    window.admit(ctx).map_err(fab("network_partition"))?;
+                    window.admit(ctx).map_err(fab(phase::NETWORK_PARTITION))?;
                     let payload = std::mem::take(buf);
                     let ev = nic.post_send(
                         ctx,
@@ -285,7 +354,7 @@ fn worker<T: Tuple>(
                     );
                     window.record(ev);
                 }
-                window.drain(ctx).map_err(fab("network_partition"))?;
+                window.drain(ctx).map_err(fab(phase::NETWORK_PARTITION))?;
                 pool.put(Vec::new());
             }
         }
@@ -295,11 +364,11 @@ fn worker<T: Tuple>(
             evs.push(nic.post_send(ctx, HostId(dst), WireTag::Eos.encode(), Vec::new()));
         }
         for ev in evs {
-            ev.wait(ctx).map_err(fab("network_partition"))?;
+            ev.wait(ctx).map_err(fab(phase::NETWORK_PARTITION))?;
         }
         *st.local_out[w].lock() = local;
     }
-    rt.try_sync_named(ctx, "network_partition", mach)?;
+    rt.try_sync_named(ctx, phase::NETWORK_PARTITION, mach)?;
 
     // ---- Phase 3: local hash aggregation per owned partition.
     let owned = st.owned.lock().clone();
@@ -341,7 +410,7 @@ fn worker<T: Tuple>(
         r.key_weighted_count = r.key_weighted_count.wrapping_add(local.key_weighted_count);
         r.rid_sum = r.rid_sum.wrapping_add(local.rid_sum);
     }
-    rt.try_sync_named(ctx, "build_probe", mach)?;
+    rt.try_sync_named(ctx, phase::BUILD_PROBE, mach)?;
     Ok(())
 }
 

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rsj_cluster::{ClusterSpec, JoinError, Meter, PhaseTimes};
+use rsj_cluster::{phase, ClusterRun, ClusterSpec, JoinError, Meter, PhaseTimes, QueryJob};
 use rsj_joins::BucketTable;
 use rsj_rdma::HostId;
 use rsj_sim::SimCtx;
@@ -22,7 +22,7 @@ use rsj_cluster::wire::REL_S;
 use rsj_cluster::{ranges, Runtime, WireTag};
 
 /// Phase name of the rotation rounds, for error attribution.
-const PHASE_ROTATE: &str = "build_probe";
+const PHASE_ROTATE: &str = phase::BUILD_PROBE;
 
 /// Configuration of a cyclo-join run.
 #[derive(Clone, Debug)]
@@ -93,22 +93,7 @@ pub fn try_run_cyclo_join<T: Tuple>(
     s: Relation<T>,
 ) -> Result<CycloJoinOutcome, JoinError> {
     let m = cfg.cluster.machines;
-    assert_eq!(r.machines(), m);
-    assert_eq!(s.machines(), m);
     let cores = cfg.cluster.cores_per_machine;
-    assert!(cores >= 1);
-
-    let states: Arc<Vec<MachState<T>>> = Arc::new(
-        (0..m)
-            .map(|i| MachState {
-                r_chunk: r.chunk(i).to_vec(),
-                table: Mutex::new(None),
-                fragment: Mutex::new(Arc::new(s.chunk(i).to_vec())),
-                result: Mutex::new(JoinResult::default()),
-            })
-            .collect(),
-    );
-
     let fabric_cfg = cfg.fabric_override.unwrap_or_else(|| {
         cfg.cluster
             .interconnect
@@ -117,24 +102,109 @@ pub fn try_run_cyclo_join<T: Tuple>(
     });
     let nic_costs = cfg.cluster.cost.nic;
     let plan = cfg.fault_plan.clone();
-    let cfg = Arc::new(cfg);
-    let st2 = Arc::clone(&states);
-    let rt = Runtime::new_with_plan(m, cores, fabric_cfg, nic_costs, plan);
-    let run = rt.try_run(move |ctx, rt, mach, core| worker(ctx, rt, &cfg, &st2, mach, core))?;
 
-    assert_eq!(
-        run.marks.len(),
-        3,
-        "expected build + rotate/probe boundaries"
-    );
-    // Only two named phases: the table build folds into `local_partition`,
-    // the rotation rounds into `build_probe`; the rest stay zero.
-    let phases = PhaseTimes::from_events(&run.events);
-    let mut result = JoinResult::default();
-    for st in states.iter() {
-        result.merge(*st.result.lock());
+    let job = CycloJoinJob::new(cfg, r, s);
+    let rt = Runtime::new_with_plan(m, cores, fabric_cfg, nic_costs, plan);
+    job.attach(&rt);
+    let wj = Arc::clone(&job);
+    let run = rt.try_run(move |ctx, rt, mach, core| wj.run_worker(ctx, rt, mach, core))?;
+    job.finish(&rt, &run);
+    Ok(job.take_outcome().expect("finish records the outcome"))
+}
+
+/// The cyclo-join packaged as an [`rsj_cluster::QueryJob`], so a
+/// [`rsj_cluster::QueryService`] can admit it alongside other operators
+/// on a shared fabric. [`try_run_cyclo_join`] is the direct single-query
+/// path over the same attach/run/finish sequence.
+pub struct CycloJoinJob<T: Tuple> {
+    cfg: CycloJoinConfig,
+    input: Mutex<Option<(Relation<T>, Relation<T>)>>,
+    state: Mutex<Option<Arc<Vec<MachState<T>>>>>,
+    outcome: Mutex<Option<CycloJoinOutcome>>,
+}
+
+impl<T: Tuple> CycloJoinJob<T> {
+    /// Package a configuration and its loaded relations as a job.
+    pub fn new(cfg: CycloJoinConfig, r: Relation<T>, s: Relation<T>) -> Arc<CycloJoinJob<T>> {
+        let m = cfg.cluster.machines;
+        assert_eq!(r.machines(), m);
+        assert_eq!(s.machines(), m);
+        assert!(cfg.cluster.cores_per_machine >= 1);
+        Arc::new(CycloJoinJob {
+            cfg,
+            input: Mutex::new(Some((r, s))),
+            state: Mutex::new(None),
+            outcome: Mutex::new(None),
+        })
     }
-    Ok(CycloJoinOutcome { result, phases })
+
+    /// The recorded outcome of a finished run.
+    pub fn take_outcome(&self) -> Option<CycloJoinOutcome> {
+        self.outcome.lock().take()
+    }
+}
+
+impl<T: Tuple> QueryJob for CycloJoinJob<T> {
+    fn machines(&self) -> usize {
+        self.cfg.cluster.machines
+    }
+
+    fn cores(&self) -> usize {
+        self.cfg.cluster.cores_per_machine
+    }
+
+    fn attach(&self, _rt: &Arc<Runtime>) {
+        let (r, s) = self
+            .input
+            .lock()
+            .take()
+            .expect("CycloJoinJob attached twice");
+        let m = self.cfg.cluster.machines;
+        let states: Arc<Vec<MachState<T>>> = Arc::new(
+            (0..m)
+                .map(|i| MachState {
+                    r_chunk: r.chunk(i).to_vec(),
+                    table: Mutex::new(None),
+                    fragment: Mutex::new(Arc::new(s.chunk(i).to_vec())),
+                    result: Mutex::new(JoinResult::default()),
+                })
+                .collect(),
+        );
+        *self.state.lock() = Some(states);
+    }
+
+    fn run_worker(
+        &self,
+        ctx: &SimCtx,
+        rt: &Runtime,
+        machine: usize,
+        core: usize,
+    ) -> Result<(), JoinError> {
+        let states = Arc::clone(self.state.lock().as_ref().expect("job not attached"));
+        worker(ctx, rt, &self.cfg, &states, machine, core)
+    }
+
+    fn finish(&self, _rt: &Runtime, run: &ClusterRun) {
+        let states = self
+            .state
+            .lock()
+            .take()
+            .expect("finish without a preceding attach");
+        assert_eq!(
+            run.marks.len(),
+            3,
+            "expected build + rotate/probe boundaries"
+        );
+        // Only two named phases: the table build folds into
+        // `local_partition`, the rotation rounds into `build_probe`; the
+        // rest stay zero.
+        let phases = PhaseTimes::from_events(&run.events);
+        let mut result = JoinResult::default();
+        for st in states.iter() {
+            result.merge(*st.result.lock());
+        }
+        *self.outcome.lock() = Some(CycloJoinOutcome { result, phases });
+    }
 }
 
 fn worker<T: Tuple>(
@@ -163,7 +233,7 @@ fn worker<T: Tuple>(
     if core == 0 {
         *st.table.lock() = Some(Arc::new(BucketTable::build(&st.r_chunk)));
     }
-    rt.try_sync_named(ctx, "local_partition", mach)?;
+    rt.try_sync_named(ctx, phase::LOCAL_PARTITION, mach)?;
 
     // ---- Phase 2: NM probe rounds; between rounds, core 0 ships the
     // resident fragment to the right neighbour and installs the one
@@ -200,9 +270,7 @@ fn worker<T: Tuple>(
             let c = nic
                 .recv(ctx)
                 .map_err(|e| JoinError::fabric(mach, PHASE_ROTATE, e))?
-                .ok_or(JoinError::Aborted {
-                    phase: PHASE_ROTATE,
-                })?;
+                .ok_or(JoinError::aborted(PHASE_ROTATE))?;
             // Defensive decode: a malformed immediate aborts the run with
             // a typed error instead of corrupting the ring state.
             let tag =
@@ -225,7 +293,7 @@ fn worker<T: Tuple>(
     }
     meter.flush(ctx);
     st.result.lock().merge(local);
-    rt.try_sync_named(ctx, "build_probe", mach)?;
+    rt.try_sync_named(ctx, phase::BUILD_PROBE, mach)?;
     Ok(())
 }
 

@@ -27,10 +27,13 @@ mod cyclo_join;
 mod sort_merge;
 
 pub use aggregation::{
-    run_aggregation, try_run_aggregation, AggregateResult, AggregationConfig, AggregationOutcome,
+    run_aggregation, try_run_aggregation, AggregateResult, AggregationConfig, AggregationJob,
+    AggregationOutcome,
 };
-pub use cyclo_join::{run_cyclo_join, try_run_cyclo_join, CycloJoinConfig, CycloJoinOutcome};
+pub use cyclo_join::{
+    run_cyclo_join, try_run_cyclo_join, CycloJoinConfig, CycloJoinJob, CycloJoinOutcome,
+};
 pub use rsj_cluster::{run_cluster, JoinError, Runtime};
 pub use sort_merge::{
-    run_sort_merge_join, try_run_sort_merge_join, SortMergeConfig, SortMergeOutcome,
+    run_sort_merge_join, try_run_sort_merge_join, SortMergeConfig, SortMergeJob, SortMergeOutcome,
 };

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rsj_cluster::{ClusterSpec, JoinError, Meter, PhaseTimes};
+use rsj_cluster::{phase, ClusterRun, ClusterSpec, JoinError, Meter, PhaseTimes, QueryJob};
 use rsj_joins::{merge_join, partition_of, sort_by_key};
 use rsj_rdma::{BufferPool, HostId, SendWindow};
 use rsj_sim::SimCtx;
@@ -103,50 +103,7 @@ pub fn try_run_sort_merge_join<T: Tuple>(
     s: Relation<T>,
 ) -> Result<SortMergeOutcome, JoinError> {
     let m = cfg.cluster.machines;
-    assert_eq!(r.machines(), m);
-    assert_eq!(s.machines(), m);
     let cores = cfg.cluster.cores_per_machine;
-    assert!(cores >= 2, "one core receives, the rest partition");
-    let np = 1usize << cfg.radix_bits;
-    let workers = cores - 1;
-
-    let mach_state: Arc<Vec<MachState<T>>> = Arc::new(
-        (0..m)
-            .map(|i| MachState {
-                r_chunk: r.chunk(i).to_vec(),
-                s_chunk: s.chunk(i).to_vec(),
-                hist: Mutex::new(vec![[0; 2]; np]),
-                assignment: Mutex::new(Vec::new()),
-                local_out: (0..workers)
-                    .map(|_| {
-                        Mutex::new([
-                            (0..np).map(|_| Vec::new()).collect(),
-                            (0..np).map(|_| Vec::new()).collect(),
-                        ])
-                    })
-                    .collect(),
-                staging: [
-                    Mutex::new((0..np).map(|_| Vec::new()).collect()),
-                    Mutex::new((0..np).map(|_| Vec::new()).collect()),
-                ],
-                next_task: AtomicUsize::new(0),
-                owned: Mutex::new(Vec::new()),
-                result: Mutex::new(JoinResult::default()),
-            })
-            .collect(),
-    );
-    let pools: Arc<Vec<Arc<BufferPool>>> = Arc::new(
-        (0..m)
-            .map(|_| {
-                BufferPool::new(
-                    workers * cfg.send_depth * np * 2,
-                    cfg.rdma_buf_size,
-                    cfg.cluster.cost.nic,
-                )
-            })
-            .collect(),
-    );
-
     let fabric_cfg = cfg.fabric_override.unwrap_or_else(|| {
         cfg.cluster
             .interconnect
@@ -155,22 +112,138 @@ pub fn try_run_sort_merge_join<T: Tuple>(
     });
     let nic_costs = cfg.cluster.cost.nic;
     let plan = cfg.fault_plan.clone();
-    let cfg = Arc::new(cfg);
-    let states = Arc::clone(&mach_state);
-    let rt = Runtime::new_with_plan(m, cores, fabric_cfg, nic_costs, plan);
-    for (i, pool) in pools.iter().enumerate() {
-        rt.fabric.validator().register_pool(HostId(i), pool);
-    }
-    let run =
-        rt.try_run(move |ctx, rt, mach, core| worker(ctx, rt, &cfg, &states, &pools, mach, core))?;
 
-    assert_eq!(run.marks.len(), 5, "expected 4 phase boundaries");
-    let phases = PhaseTimes::from_events(&run.events);
-    let mut result = JoinResult::default();
-    for st in mach_state.iter() {
-        result.merge(*st.result.lock());
+    let job = SortMergeJob::new(cfg, r, s);
+    let rt = Runtime::new_with_plan(m, cores, fabric_cfg, nic_costs, plan);
+    job.attach(&rt);
+    let wj = Arc::clone(&job);
+    let run = rt.try_run(move |ctx, rt, mach, core| wj.run_worker(ctx, rt, mach, core))?;
+    job.finish(&rt, &run);
+    Ok(job.take_outcome().expect("finish records the outcome"))
+}
+
+/// The sort-merge join packaged as an [`rsj_cluster::QueryJob`], so a
+/// [`rsj_cluster::QueryService`] can admit it alongside other operators
+/// on a shared fabric. [`try_run_sort_merge_join`] is the direct
+/// single-query path over the same attach/run/finish sequence.
+pub struct SortMergeJob<T: Tuple> {
+    cfg: SortMergeConfig,
+    input: Mutex<Option<(Relation<T>, Relation<T>)>>,
+    #[allow(clippy::type_complexity)]
+    state: Mutex<Option<(Arc<Vec<MachState<T>>>, Arc<Vec<Arc<BufferPool>>>)>>,
+    outcome: Mutex<Option<SortMergeOutcome>>,
+}
+
+impl<T: Tuple> SortMergeJob<T> {
+    /// Package a configuration and its loaded relations as a job.
+    pub fn new(cfg: SortMergeConfig, r: Relation<T>, s: Relation<T>) -> Arc<SortMergeJob<T>> {
+        let m = cfg.cluster.machines;
+        assert_eq!(r.machines(), m);
+        assert_eq!(s.machines(), m);
+        assert!(
+            cfg.cluster.cores_per_machine >= 2,
+            "one core receives, the rest partition"
+        );
+        Arc::new(SortMergeJob {
+            cfg,
+            input: Mutex::new(Some((r, s))),
+            state: Mutex::new(None),
+            outcome: Mutex::new(None),
+        })
     }
-    Ok(SortMergeOutcome { result, phases })
+
+    /// The recorded outcome of a finished run.
+    pub fn take_outcome(&self) -> Option<SortMergeOutcome> {
+        self.outcome.lock().take()
+    }
+}
+
+impl<T: Tuple> QueryJob for SortMergeJob<T> {
+    fn machines(&self) -> usize {
+        self.cfg.cluster.machines
+    }
+
+    fn cores(&self) -> usize {
+        self.cfg.cluster.cores_per_machine
+    }
+
+    fn attach(&self, rt: &Arc<Runtime>) {
+        let (r, s) = self
+            .input
+            .lock()
+            .take()
+            .expect("SortMergeJob attached twice");
+        let m = self.cfg.cluster.machines;
+        let np = 1usize << self.cfg.radix_bits;
+        let workers = self.cfg.cluster.cores_per_machine - 1;
+        let mach_state: Arc<Vec<MachState<T>>> = Arc::new(
+            (0..m)
+                .map(|i| MachState {
+                    r_chunk: r.chunk(i).to_vec(),
+                    s_chunk: s.chunk(i).to_vec(),
+                    hist: Mutex::new(vec![[0; 2]; np]),
+                    assignment: Mutex::new(Vec::new()),
+                    local_out: (0..workers)
+                        .map(|_| {
+                            Mutex::new([
+                                (0..np).map(|_| Vec::new()).collect(),
+                                (0..np).map(|_| Vec::new()).collect(),
+                            ])
+                        })
+                        .collect(),
+                    staging: [
+                        Mutex::new((0..np).map(|_| Vec::new()).collect()),
+                        Mutex::new((0..np).map(|_| Vec::new()).collect()),
+                    ],
+                    next_task: AtomicUsize::new(0),
+                    owned: Mutex::new(Vec::new()),
+                    result: Mutex::new(JoinResult::default()),
+                })
+                .collect(),
+        );
+        let pools: Arc<Vec<Arc<BufferPool>>> = Arc::new(
+            (0..m)
+                .map(|i| {
+                    rt.make_pool(
+                        i,
+                        workers * self.cfg.send_depth * np * 2,
+                        self.cfg.rdma_buf_size,
+                    )
+                })
+                .collect(),
+        );
+        *self.state.lock() = Some((mach_state, pools));
+    }
+
+    fn run_worker(
+        &self,
+        ctx: &SimCtx,
+        rt: &Runtime,
+        machine: usize,
+        core: usize,
+    ) -> Result<(), JoinError> {
+        let (states, pools) = {
+            let guard = self.state.lock();
+            let (a, b) = guard.as_ref().expect("job not attached");
+            (Arc::clone(a), Arc::clone(b))
+        };
+        worker(ctx, rt, &self.cfg, &states, &pools, machine, core)
+    }
+
+    fn finish(&self, _rt: &Runtime, run: &ClusterRun) {
+        let (states, _pools) = self
+            .state
+            .lock()
+            .take()
+            .expect("finish without a preceding attach");
+        assert_eq!(run.marks.len(), 5, "expected 4 phase boundaries");
+        let phases = PhaseTimes::from_events(&run.events);
+        let mut result = JoinResult::default();
+        for st in states.iter() {
+            result.merge(*st.result.lock());
+        }
+        *self.outcome.lock() = Some(SortMergeOutcome { result, phases });
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -238,21 +311,21 @@ fn worker<T: Tuple>(
         for _ in 0..m.saturating_sub(1) {
             let c = nic
                 .recv(ctx)
-                .map_err(fab("histogram"))?
-                .ok_or(JoinError::Aborted { phase: "histogram" })?;
+                .map_err(fab(phase::HISTOGRAM))?
+                .ok_or(JoinError::aborted(phase::HISTOGRAM))?;
             let tag =
-                WireTag::decode(c.tag).map_err(|e| JoinError::decode(mach, "histogram", e))?;
+                WireTag::decode(c.tag).map_err(|e| JoinError::decode(mach, phase::HISTOGRAM, e))?;
             assert_eq!(tag, WireTag::Histogram);
             nic.repost_recv(ctx);
         }
         for ev in evs {
-            ev.wait(ctx).map_err(fab("histogram"))?;
+            ev.wait(ctx).map_err(fab(phase::HISTOGRAM))?;
         }
         let assignment: Vec<usize> = (0..np).map(|p| p % m).collect();
         *st.owned.lock() = (0..np).filter(|&p| assignment[p] == mach).collect();
         *st.assignment.lock() = assignment;
     }
-    rt.try_sync_named(ctx, "histogram", mach)?;
+    rt.try_sync_named(ctx, phase::HISTOGRAM, mach)?;
 
     // ---- Phase 2: network partitioning pass.
     if core == 0 {
@@ -262,12 +335,10 @@ fn worker<T: Tuple>(
         while eos < expected {
             let c = nic
                 .recv(ctx)
-                .map_err(fab("network_partition"))?
-                .ok_or(JoinError::Aborted {
-                    phase: "network_partition",
-                })?;
+                .map_err(fab(phase::NETWORK_PARTITION))?
+                .ok_or(JoinError::aborted(phase::NETWORK_PARTITION))?;
             match WireTag::decode(c.tag)
-                .map_err(|e| JoinError::decode(mach, "network_partition", e))?
+                .map_err(|e| JoinError::decode(mach, phase::NETWORK_PARTITION, e))?
             {
                 WireTag::Eos => eos += 1,
                 WireTag::Data { rel, part } => {
@@ -313,7 +384,7 @@ fn worker<T: Tuple>(
                     t.write_to(buf);
                     if buf.len() + T::SIZE > cfg.rdma_buf_size {
                         meter.flush(ctx);
-                        window.admit(ctx).map_err(fab("network_partition"))?;
+                        window.admit(ctx).map_err(fab(phase::NETWORK_PARTITION))?;
                         let payload = std::mem::take(buf);
                         let ev = nic.post_send(
                             ctx,
@@ -332,7 +403,7 @@ fn worker<T: Tuple>(
                 if let Some((buf, window)) = bufs[rel][p].as_mut() {
                     if !buf.is_empty() {
                         meter.flush(ctx);
-                        window.admit(ctx).map_err(fab("network_partition"))?;
+                        window.admit(ctx).map_err(fab(phase::NETWORK_PARTITION))?;
                         let payload = std::mem::take(buf);
                         let dst = assignment[p];
                         let ev = nic.post_send(
@@ -343,7 +414,7 @@ fn worker<T: Tuple>(
                         );
                         window.record(ev);
                     }
-                    window.drain(ctx).map_err(fab("network_partition"))?;
+                    window.drain(ctx).map_err(fab(phase::NETWORK_PARTITION))?;
                     pool.put(Vec::new());
                 }
             }
@@ -354,11 +425,11 @@ fn worker<T: Tuple>(
             evs.push(nic.post_send(ctx, HostId(dst), WireTag::Eos.encode(), Vec::new()));
         }
         for ev in evs {
-            ev.wait(ctx).map_err(fab("network_partition"))?;
+            ev.wait(ctx).map_err(fab(phase::NETWORK_PARTITION))?;
         }
         *st.local_out[w].lock() = local;
     }
-    rt.try_sync_named(ctx, "network_partition", mach)?;
+    rt.try_sync_named(ctx, phase::NETWORK_PARTITION, mach)?;
 
     // ---- Phase 3: sort every assigned partition of both relations.
     // Tasks via atomic counter; sorted outputs parked back into staging
@@ -389,7 +460,7 @@ fn worker<T: Tuple>(
         meter.flush(ctx);
     }
     meter.flush(ctx);
-    rt.try_sync_named(ctx, "local_partition", mach)?;
+    rt.try_sync_named(ctx, phase::LOCAL_PARTITION, mach)?;
 
     // ---- Phase 4: merge-join each sorted partition pair.
     st.next_task.store(0, Ordering::SeqCst);
@@ -414,7 +485,7 @@ fn worker<T: Tuple>(
     }
     meter.flush(ctx);
     st.result.lock().merge(local);
-    rt.try_sync_named(ctx, "build_probe", mach)?;
+    rt.try_sync_named(ctx, phase::BUILD_PROBE, mach)?;
     Ok(())
 }
 

@@ -9,6 +9,22 @@
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct HostId(pub usize);
 
+/// Identifies one query multiplexed over a shared fabric.
+///
+/// Every send, receive lane, completion and pool sub-allocation is tagged
+/// with the query it belongs to, so a service runtime can run many joins
+/// concurrently over one fabric with per-query isolation: completions
+/// demux to the right query's lane, aborts fan out only to the failing
+/// query, and teardown audits are scoped per query.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct QueryId(pub u32);
+
+impl QueryId {
+    /// The root lane: traffic of a fabric used directly (outside any
+    /// query service). Reserved — admitted queries get ids starting at 1.
+    pub const DIRECT: QueryId = QueryId(0);
+}
+
 /// Wire-level parameters of the simulated switched fabric.
 ///
 /// The model (see `DESIGN.md` §1): every host has a full-duplex link to a

@@ -33,13 +33,14 @@
 //! are taken and the event schedule is identical to the pre-fault-plane
 //! fabric.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rsj_sim::{SimChannel, SimCtx, SimDuration, SimEvent, SimSemaphore, SimTime, Simulation};
 
-use crate::config::{FabricConfig, HostId, NicCosts};
+use crate::config::{FabricConfig, HostId, NicCosts, QueryId};
 use crate::fault::{FabricError, FaultPlan, FaultState, WcCell, WcStatus};
 use crate::mr::{MrTable, RemoteMr};
 use crate::validate::Validator;
@@ -92,6 +93,7 @@ struct SendState {
 /// a typed [`FabricError`] instead of silent success.
 pub struct SendHandle {
     state: Arc<SendState>,
+    query: QueryId,
     src: HostId,
     dst: HostId,
     faults: Arc<FaultState>,
@@ -103,7 +105,9 @@ impl SendHandle {
         self.state.ev.wait(ctx);
         match self.state.wc.get() {
             None | Some(WcStatus::Success) => Ok(()),
-            Some(status) => Err(self.faults.error_for(self.src, self.dst, status)),
+            Some(status) => Err(self
+                .faults
+                .error_for(self.query, self.src, self.dst, status)),
         }
     }
 
@@ -129,6 +133,7 @@ impl SendHandle {
                 ev,
                 wc: WcCell::new(),
             }),
+            query: QueryId::DIRECT,
             src: HostId(0),
             dst: HostId(0),
             faults: FaultState::new(None, 1),
@@ -146,6 +151,7 @@ pub struct ReadState {
 /// Initiator-side handle to an outstanding RDMA READ.
 pub struct ReadHandle {
     state: Arc<ReadState>,
+    query: QueryId,
     src: HostId,
     dst: HostId,
     faults: Arc<FaultState>,
@@ -163,7 +169,9 @@ impl ReadHandle {
                 .lock()
                 .take()
                 .expect("read completed without data")),
-            Some(status) => Err(self.faults.error_for(self.src, self.dst, status)),
+            Some(status) => Err(self
+                .faults
+                .error_for(self.query, self.src, self.dst, status)),
         }
     }
 
@@ -176,6 +184,10 @@ impl ReadHandle {
 struct Message {
     src: HostId,
     dst: HostId,
+    /// Which query's lane this message belongs to; the ingress engine
+    /// demuxes two-sided deliveries to the matching per-query receive
+    /// lane, and the fault plane scopes flushes/seeds by it.
+    query: QueryId,
     payload: Vec<u8>,
     kind: MsgKind,
     /// Earliest instant the ingress engine may start draining this message
@@ -210,20 +222,60 @@ pub struct NicStats {
 }
 
 /// One host's network interface: the verbs-facing API of the fabric.
+///
+/// A NIC is either the *base* NIC of a physical host (the root fabric's
+/// lane, [`QueryId::DIRECT`]) or a per-query *lane* carved out by
+/// [`Fabric::query_view`]: the latter shares the physical host's egress
+/// queue and memory-region table but owns a private receive queue and SRQ,
+/// so completions of concurrent queries never mix.
 pub struct Nic {
+    /// The *physical* host this NIC sits on.
     host: HostId,
+    /// The query lane this handle serves (`DIRECT` on base NICs).
+    query: QueryId,
+    /// Logical machine → physical host translation for view NICs: the
+    /// worker posts to logical machine ids, the wire carries physical
+    /// host ids, and arriving completions are translated back.
+    placement: Option<Arc<Vec<HostId>>>,
     costs: NicCosts,
     tx: Arc<SimChannel<Message>>,
     recv_cq: Arc<SimChannel<Completion>>,
     srq: Arc<SimSemaphore>,
-    /// This host's registered memory regions (one-sided write targets).
-    pub mrs: MrTable,
+    /// This host's registered memory regions (one-sided write targets),
+    /// shared between the base NIC and every lane on the host.
+    pub mrs: Arc<MrTable>,
     stats: Mutex<NicStats>,
+    /// Lane activity counter: posts and deliveries on this lane. Summed
+    /// by a view fabric's `progress_ticks` so a per-query watchdog can
+    /// tell a slow query from a wedged one.
+    lane_progress: AtomicU64,
     validator: Arc<Validator>,
     faults: Arc<FaultState>,
 }
 
 impl Nic {
+    /// Translate a logical machine id to the physical host behind it
+    /// (identity on base NICs).
+    fn phys(&self, dst: HostId) -> HostId {
+        match &self.placement {
+            Some(p) => p[dst.0],
+            None => dst,
+        }
+    }
+
+    /// Translate a physical source host back to this query's logical
+    /// machine id (identity on base NICs).
+    fn logical(&self, src: HostId) -> HostId {
+        match &self.placement {
+            Some(p) => HostId(
+                p.iter()
+                    .position(|&h| h == src)
+                    .expect("completion from a host outside this query's placement"),
+            ),
+            None => src,
+        }
+    }
+
     /// Post a two-sided SEND of `payload` to `dst`. Returns the send
     /// handle: the buffer behind `payload` is logically reusable once its
     /// completion fires. Charges only the WQE post overhead to the caller.
@@ -268,6 +320,7 @@ impl Nic {
         };
         let handle = |state: Arc<ReadState>| ReadHandle {
             state,
+            query: self.query,
             src: self.host,
             dst: remote.host,
             faults: Arc::clone(&self.faults),
@@ -279,7 +332,7 @@ impl Nic {
             state.done.set(ctx);
             return handle(state);
         }
-        if let Some(status) = self.faults.post_denied(self.host, remote.host) {
+        if let Some(status) = self.faults.post_denied(self.query, self.host, remote.host) {
             let state = mk_state(None);
             state.wc.set(status);
             state.done.set(ctx);
@@ -289,11 +342,13 @@ impl Nic {
         let state = mk_state(None);
         ctx.advance(SimDuration::from_secs_f64(self.costs.post_overhead));
         self.stats.lock().tx_msgs += 1;
+        self.lane_progress.fetch_add(1, Ordering::Relaxed);
         self.tx.send(
             ctx,
             Message {
                 src: self.host,
                 dst: remote.host,
+                query: self.query,
                 payload: Vec::new(),
                 kind: MsgKind::ReadRequest {
                     mr: remote.index,
@@ -328,12 +383,13 @@ impl Nic {
             state.ev.set(ctx);
             return SendHandle {
                 state,
+                query: self.query,
                 src: self.host,
                 dst: remote.host,
                 faults: Arc::clone(&self.faults),
             };
         }
-        self.post(
+        self.post_physical(
             ctx,
             remote.host,
             MsgKind::OneSided {
@@ -353,14 +409,27 @@ impl Nic {
         payload: Vec<u8>,
         window: Option<Arc<SimSemaphore>>,
     ) -> SendHandle {
-        if let Some(status) = self.faults.post_denied(self.host, dst) {
+        // Two-sided posts name a *logical* machine; the wire carries
+        // physical host ids.
+        self.post_physical(ctx, self.phys(dst), kind, payload, window)
+    }
+
+    fn post_physical(
+        &self,
+        ctx: &SimCtx,
+        dst: HostId,
+        kind: MsgKind,
+        payload: Vec<u8>,
+        window: Option<Arc<SimSemaphore>>,
+    ) -> SendHandle {
+        if let Some(status) = self.faults.post_denied(self.query, self.host, dst) {
             return self.denied_handle(ctx, dst, status, window);
         }
         ctx.advance(SimDuration::from_secs_f64(self.costs.post_overhead));
         // The overhead charge is a yield point: an abort or crash may have
         // landed while this worker was suspended, in which case the egress
         // queue may already be closed — flush instead of posting.
-        if let Some(status) = self.faults.post_denied(self.host, dst) {
+        if let Some(status) = self.faults.post_denied(self.query, self.host, dst) {
             return self.denied_handle(ctx, dst, status, window);
         }
         let state = Arc::new(SendState {
@@ -372,11 +441,13 @@ impl Nic {
             stats.tx_msgs += 1;
             stats.tx_bytes += payload.len() as u64;
         }
+        self.lane_progress.fetch_add(1, Ordering::Relaxed);
         self.tx.send(
             ctx,
             Message {
                 src: self.host,
                 dst,
+                query: self.query,
                 payload,
                 kind,
                 arrival: SimTime::ZERO,
@@ -386,6 +457,7 @@ impl Nic {
         );
         SendHandle {
             state,
+            query: self.query,
             src: self.host,
             dst,
             faults: Arc::clone(&self.faults),
@@ -414,6 +486,7 @@ impl Nic {
         }
         SendHandle {
             state,
+            query: self.query,
             src: self.host,
             dst,
             faults: Arc::clone(&self.faults),
@@ -432,8 +505,11 @@ impl Nic {
     pub fn recv(&self, ctx: &SimCtx) -> Result<Option<Completion>, FabricError> {
         self.recv_fault_check()?;
         match self.recv_cq.recv(ctx) {
-            Some(c) => {
-                self.validator.on_rx_consumed(self.host);
+            Some(mut c) => {
+                self.validator.on_rx_consumed(self.host, self.query);
+                // The wire carries physical source ids; hand the
+                // application its own logical machine numbering.
+                c.src = self.logical(c.src);
                 Ok(Some(c))
             }
             None => {
@@ -447,7 +523,7 @@ impl Nic {
         if self.faults.is_crashed(self.host) {
             return Err(FabricError::HostCrashed { host: self.host });
         }
-        if self.faults.is_aborted() {
+        if self.faults.is_aborted() || self.faults.is_query_aborted(self.query) {
             return Err(FabricError::Aborted);
         }
         Ok(())
@@ -455,7 +531,7 @@ impl Nic {
 
     /// Return one receive-buffer slot to the shared receive queue.
     pub fn repost_recv(&self, ctx: &SimCtx) {
-        self.validator.on_recv_reposted(self.host);
+        self.validator.on_recv_reposted(self.host, self.query);
         self.srq.release(ctx);
     }
 
@@ -464,9 +540,14 @@ impl Nic {
         *self.stats.lock()
     }
 
-    /// This NIC's host id.
+    /// This NIC's *physical* host id.
     pub fn host(&self) -> HostId {
         self.host
+    }
+
+    /// The query lane this NIC handle serves.
+    pub fn query(&self) -> QueryId {
+        self.query
     }
 
     /// The fabric-wide verbs-contract validator (shared by every NIC).
@@ -479,12 +560,32 @@ impl Nic {
 /// them. Create with [`Fabric::new`] (or [`Fabric::new_with_plan`] to arm
 /// the fault plane), launch engines with [`Fabric::launch`], and call
 /// [`Fabric::shutdown`] when traffic ends so the engine threads terminate.
+///
+/// A long-lived *root* fabric can additionally be multiplexed between
+/// concurrent queries: [`Fabric::query_view`] carves a per-query view
+/// whose NICs share the root's wire (egress queues, engines, MR tables)
+/// but own private receive lanes, so a query service can run many joins
+/// over one fabric with per-query completion demux, abort fan-out and
+/// teardown audits.
 pub struct Fabric {
     cfg: FabricConfig,
+    /// The lane this handle serves: [`QueryId::DIRECT`] on the root,
+    /// the admitted query's id on a view.
+    query: QueryId,
+    /// The root fabric behind a view (`None` on the root itself).
+    root: Option<Arc<Fabric>>,
+    /// Root: the base NIC of each physical host. View: the per-query
+    /// lane NIC of each *logical* machine in the query's placement.
     nics: Vec<Arc<Nic>>,
     rx_queues: Vec<Arc<SimChannel<Message>>>,
     live_tx: Arc<AtomicUsize>,
-    launched: std::sync::atomic::AtomicBool,
+    launched: AtomicBool,
+    /// Root only — per physical host, the live receive lanes keyed by
+    /// query id. The ingress engine demuxes two-sided traffic through
+    /// this; direct traffic bypasses it entirely.
+    lanes: Vec<Mutex<HashMap<u32, Arc<Nic>>>>,
+    /// A view retires exactly once (graceful close or abort).
+    view_closed: AtomicBool,
     validator: Arc<Validator>,
     faults: Arc<FaultState>,
 }
@@ -510,27 +611,135 @@ impl Fabric {
             .map(|h| {
                 Arc::new(Nic {
                     host: HostId(h),
+                    query: QueryId::DIRECT,
+                    placement: None,
                     costs,
                     tx: SimChannel::new(),
                     recv_cq: SimChannel::new(),
                     srq: SimSemaphore::new(cfg.srq_slots),
-                    mrs: MrTable::new(HostId(h), costs, Arc::clone(&validator)),
+                    mrs: Arc::new(MrTable::new(HostId(h), costs, Arc::clone(&validator))),
                     stats: Mutex::new(NicStats::default()),
+                    lane_progress: AtomicU64::new(0),
                     validator: Arc::clone(&validator),
                     faults: Arc::clone(&faults),
                 })
             })
             .collect();
         let rx_queues = (0..hosts).map(|_| SimChannel::new()).collect();
+        let lanes = (0..hosts).map(|_| Mutex::new(HashMap::new())).collect();
         Arc::new(Fabric {
             cfg,
+            query: QueryId::DIRECT,
+            root: None,
             nics,
             rx_queues,
             live_tx: Arc::new(AtomicUsize::new(hosts)),
-            launched: std::sync::atomic::AtomicBool::new(false),
+            launched: AtomicBool::new(false),
+            lanes,
+            view_closed: AtomicBool::new(false),
             validator,
             faults,
         })
+    }
+
+    /// Carve a per-query view for `query`: `placement[m]` names the
+    /// physical host backing the view's logical machine `m` (hosts must
+    /// be distinct). The view exposes the root's API — `nic(HostId(m))`
+    /// hands out machine `m`'s lane NIC, `abort` fans out only to this
+    /// query, `shutdown` is a no-op (the shared fabric stays up) — so
+    /// operator code written against a dedicated fabric runs unchanged
+    /// over a multiplexed one. Call [`Fabric::close_view`] when the
+    /// query retires so its lanes unregister and parked receivers wake.
+    pub fn query_view(self: &Arc<Self>, query: QueryId, placement: Vec<HostId>) -> Arc<Fabric> {
+        assert!(
+            self.root.is_none(),
+            "query views are carved from the root fabric, not from other views"
+        );
+        assert!(
+            query != QueryId::DIRECT,
+            "QueryId::DIRECT is the root fabric's own lane"
+        );
+        let hosts = self.hosts();
+        {
+            let mut seen = std::collections::HashSet::new();
+            for &h in &placement {
+                assert!(h.0 < hosts, "placement names unknown host {}", h.0);
+                assert!(seen.insert(h.0), "placement repeats host {}", h.0);
+            }
+        }
+        let placement = Arc::new(placement);
+        let nics: Vec<Arc<Nic>> = placement
+            .iter()
+            .map(|&phys| {
+                let base = &self.nics[phys.0];
+                Arc::new(Nic {
+                    host: phys,
+                    query,
+                    placement: Some(Arc::clone(&placement)),
+                    costs: base.costs,
+                    tx: Arc::clone(&base.tx),
+                    recv_cq: SimChannel::new(),
+                    srq: SimSemaphore::new(self.cfg.srq_slots),
+                    mrs: Arc::clone(&base.mrs),
+                    stats: Mutex::new(NicStats::default()),
+                    lane_progress: AtomicU64::new(0),
+                    validator: Arc::clone(&self.validator),
+                    faults: Arc::clone(&self.faults),
+                })
+            })
+            .collect();
+        for (m, nic) in nics.iter().enumerate() {
+            let prev = self.lanes[placement[m].0]
+                .lock()
+                .insert(query.0, Arc::clone(nic));
+            assert!(
+                prev.is_none(),
+                "query {} already has a lane on host {}",
+                query.0,
+                placement[m].0
+            );
+        }
+        Arc::new(Fabric {
+            cfg: self.cfg,
+            query,
+            root: Some(Arc::clone(self)),
+            nics,
+            rx_queues: self.rx_queues.clone(),
+            live_tx: Arc::clone(&self.live_tx),
+            // Views never launch engines; the root's are already running.
+            launched: AtomicBool::new(true),
+            lanes: Vec::new(),
+            view_closed: AtomicBool::new(false),
+            validator: Arc::clone(&self.validator),
+            faults: Arc::clone(&self.faults),
+        })
+    }
+
+    /// Retire a view: unregister its receive lanes from the root's demux
+    /// table and close its receive queues so parked receivers see
+    /// end-of-stream. Idempotent; no-op on the root fabric.
+    pub fn close_view(&self, ctx: &SimCtx) {
+        self.release_lanes(ctx, false);
+    }
+
+    fn release_lanes(&self, ctx: &SimCtx, poison: bool) {
+        let Some(root) = &self.root else { return };
+        if self.view_closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unregister *before* closing: the ingress engine must stop
+        // resolving this query's lanes before their channels close (a
+        // send to a closed SimChannel is a fault; an unresolvable lane
+        // is a clean flush).
+        for nic in &self.nics {
+            root.lanes[nic.host.0].lock().remove(&self.query.0);
+        }
+        for nic in &self.nics {
+            nic.recv_cq.close(ctx);
+            if poison {
+                nic.srq.poison(ctx);
+            }
+        }
     }
 
     /// The fabric-wide verbs-contract validator.
@@ -548,9 +757,16 @@ impl Fabric {
         self.faults.plan().is_some()
     }
 
-    /// Whether the fabric has been aborted.
+    /// Whether this fabric handle has been aborted: the whole rack on the
+    /// root, the rack *or this query* on a view.
     pub fn aborted(&self) -> bool {
-        self.faults.is_aborted()
+        self.faults.is_aborted() || self.faults.is_query_aborted(self.query)
+    }
+
+    /// The query lane this fabric handle serves ([`QueryId::DIRECT`] on
+    /// the root).
+    pub fn query(&self) -> QueryId {
+        self.query
     }
 
     /// Hosts that have crashed so far (fault-plan schedule).
@@ -559,9 +775,18 @@ impl Fabric {
     }
 
     /// Monotone fabric activity counter; the runtime watchdog snapshots it
-    /// to distinguish a slow cluster from a wedged one.
+    /// to distinguish a slow cluster from a wedged one. On a view this is
+    /// the *query's own* lane activity (posts + deliveries), so a
+    /// per-query watchdog is not fooled by other queries' traffic.
     pub fn progress_ticks(&self) -> u64 {
-        self.faults.progress()
+        if self.root.is_some() {
+            self.nics
+                .iter()
+                .map(|n| n.lane_progress.load(Ordering::Relaxed))
+                .sum()
+        } else {
+            self.faults.progress()
+        }
     }
 
     /// Number of hosts.
@@ -602,6 +827,9 @@ impl Fabric {
 
     /// Fail-stop `host` now: flag it, wake its parked receivers with
     /// errors, and poison its SRQ so the ingress engine cannot wedge.
+    /// Query lanes on the crashed host wake too; their registry entries
+    /// stay (the `is_crashed` check precedes every delivery, so nothing
+    /// can reach the closed lane channels).
     fn crash_host(&self, ctx: &SimCtx, host: HostId) {
         if !self.faults.set_crashed(host) {
             return;
@@ -609,12 +837,28 @@ impl Fabric {
         self.validator.on_host_crashed(host);
         self.nics[host.0].recv_cq.close(ctx);
         self.nics[host.0].srq.poison(ctx);
+        let lanes: Vec<Arc<Nic>> = self.lanes[host.0].lock().values().cloned().collect();
+        for lane in lanes {
+            lane.recv_cq.close(ctx);
+            lane.srq.poison(ctx);
+        }
     }
 
-    /// Abort the whole fabric: every queue closes, every SRQ is poisoned,
-    /// and in-flight messages are flushed with error completions. Workers
-    /// parked on any fabric primitive wake with typed errors. Idempotent.
+    /// Abort this fabric handle. On the root: every queue closes, every
+    /// SRQ is poisoned, and in-flight messages are flushed with error
+    /// completions — workers parked on any fabric primitive wake with
+    /// typed errors. On a view: the abort is *query-scoped* — only this
+    /// query's posts are denied, its in-flight traffic flushes, and its
+    /// lanes retire; every other query on the shared fabric is untouched.
+    /// Idempotent.
     pub fn abort(&self, ctx: &SimCtx) {
+        if self.root.is_some() {
+            if self.faults.set_query_aborted(self.query) {
+                self.validator.on_query_aborted(self.query);
+            }
+            self.release_lanes(ctx, true);
+            return;
+        }
         if !self.faults.set_aborted() {
             return;
         }
@@ -623,6 +867,15 @@ impl Fabric {
             nic.tx.close(ctx);
             nic.srq.poison(ctx);
             nic.recv_cq.close(ctx);
+        }
+        // A rack-wide abort wakes every query lane as well; entries stay
+        // registered — the global abort flag flushes everything anyway.
+        for lanes in &self.lanes {
+            let lanes: Vec<Arc<Nic>> = lanes.lock().values().cloned().collect();
+            for lane in lanes {
+                lane.recv_cq.close(ctx);
+                lane.srq.poison(ctx);
+            }
         }
     }
 
@@ -665,10 +918,26 @@ impl Fabric {
         let tx = Arc::clone(&self.nics[h].tx);
         let src = HostId(h);
         let mut msg_seq: u64 = 0;
+        // Per-query message sequence counters. The root lane keeps the
+        // original global counter (schedule-identical to a fabric with no
+        // service on top); each query advances its own stream, so its
+        // fault schedule is a pure function of `(seed, QueryId)` and
+        // admitting another query never perturbs it.
+        let mut query_seq: HashMap<u32, u64> = HashMap::new();
         while let Some(mut msg) = tx.recv(ctx) {
-            msg_seq += 1;
+            let seq = if msg.query == QueryId::DIRECT {
+                msg_seq += 1;
+                msg_seq
+            } else {
+                let s = query_seq.entry(msg.query.0).or_insert(0);
+                *s += 1;
+                *s
+            };
             self.faults.note_progress();
-            if self.faults.is_aborted() || self.faults.is_crashed(src) {
+            if self.faults.is_aborted()
+                || self.faults.is_crashed(src)
+                || self.faults.is_query_aborted(msg.query)
+            {
                 self.flush_message(ctx, msg, WcStatus::Flushed);
                 continue;
             }
@@ -676,7 +945,7 @@ impl Fabric {
                 if let Some(end) = plan.stall_end(src, ctx.now()) {
                     ctx.sleep_until(end);
                 }
-                if let Some(status) = self.retransmit(ctx, plan, src, &msg, msg_seq, h) {
+                if let Some(status) = self.retransmit(ctx, plan, src, &msg, seq, h) {
                     if status == WcStatus::RetryExceeded {
                         self.faults.set_qp_error(src, msg.dst);
                     }
@@ -689,7 +958,8 @@ impl Fabric {
             ctx.advance(wire);
             msg.arrival = ctx.now() + SimDuration::from_secs_f64(self.cfg.latency);
             if let Some(plan) = self.faults.plan() {
-                msg.arrival += plan.extra_delay(src, msg.dst, msg_seq);
+                let seed = plan.stream_seed(msg.query);
+                msg.arrival += plan.extra_delay_seeded(seed, src, msg.dst, seq);
             }
             let dst = msg.dst.0;
             assert!(dst < n, "send to unknown host {dst}");
@@ -716,10 +986,11 @@ impl Fabric {
         h: usize,
     ) -> Option<WcStatus> {
         let dst = msg.dst;
+        let seed = plan.stream_seed(msg.query);
         let mut attempt: u32 = 0;
         loop {
             let dropped = self.faults.is_crashed(dst)
-                || plan.attempt_drops(src, dst, msg_seq, attempt, ctx.now());
+                || plan.attempt_drops_seeded(seed, src, dst, msg_seq, attempt, ctx.now());
             if !dropped {
                 return None;
             }
@@ -730,7 +1001,10 @@ impl Fabric {
                 return Some(WcStatus::RetryExceeded);
             }
             ctx.advance(plan.retry.backoff(attempt));
-            if self.faults.is_aborted() || self.faults.is_crashed(src) {
+            if self.faults.is_aborted()
+                || self.faults.is_crashed(src)
+                || self.faults.is_query_aborted(msg.query)
+            {
                 return Some(WcStatus::Flushed);
             }
         }
@@ -741,7 +1015,10 @@ impl Fabric {
         let host = HostId(h);
         while let Some(msg) = rx.recv(ctx) {
             self.faults.note_progress();
-            if self.faults.is_aborted() || self.faults.is_crashed(host) {
+            if self.faults.is_aborted()
+                || self.faults.is_crashed(host)
+                || self.faults.is_query_aborted(msg.query)
+            {
                 self.flush_message(ctx, msg, WcStatus::Flushed);
                 continue;
             }
@@ -752,7 +1029,10 @@ impl Fabric {
             ctx.advance(wire);
             // The wire charge is a yield point: a crash or abort may have
             // landed meanwhile, and the receive queue may be closed.
-            if self.faults.is_aborted() || self.faults.is_crashed(host) {
+            if self.faults.is_aborted()
+                || self.faults.is_crashed(host)
+                || self.faults.is_query_aborted(msg.query)
+            {
                 self.flush_message(ctx, msg, WcStatus::Flushed);
                 continue;
             }
@@ -764,27 +1044,58 @@ impl Fabric {
             let mut flushed = false;
             match msg.kind {
                 MsgKind::TwoSided { tag } => {
-                    // Consume a posted receive buffer; blocks (RNR)
-                    // if the application is not reposting. If every
-                    // slot is application-held, that's a contract
-                    // violation (§4.2.2), not backpressure.
-                    if nic.srq.available() == 0 {
-                        self.validator.srq_blocked(HostId(h), self.cfg.srq_slots);
-                    }
-                    let acquired = nic.srq.acquire_checked(ctx).is_ok();
-                    // Another yield point — re-check before touching the CQ.
-                    if !acquired || self.faults.is_aborted() || self.faults.is_crashed(host) {
-                        flushed = true;
+                    // Resolve the receive lane: the base NIC for direct
+                    // traffic, the query's registered lane otherwise. An
+                    // unresolvable lane means the query already retired
+                    // or aborted — flush cleanly.
+                    let lane = if msg.query == QueryId::DIRECT {
+                        Some(Arc::clone(nic))
                     } else {
-                        self.validator.on_rx_delivered(HostId(h));
-                        nic.recv_cq.send(
-                            ctx,
-                            Completion {
-                                src: msg.src,
-                                tag,
-                                payload: msg.payload,
-                            },
-                        );
+                        self.lanes[h].lock().get(&msg.query.0).cloned()
+                    };
+                    match lane {
+                        None => flushed = true,
+                        Some(lane) => {
+                            // Consume a posted receive buffer; blocks (RNR)
+                            // if the application is not reposting. If every
+                            // slot is application-held, that's a contract
+                            // violation (§4.2.2), not backpressure.
+                            if lane.srq.available() == 0 {
+                                self.validator.srq_blocked(
+                                    HostId(h),
+                                    self.cfg.srq_slots,
+                                    msg.query,
+                                );
+                            }
+                            let acquired = lane.srq.acquire_checked(ctx).is_ok();
+                            // Another yield point — re-check before
+                            // touching the CQ (no further yield between
+                            // this check and the send, so the lane
+                            // channel cannot close in between).
+                            if !acquired
+                                || self.faults.is_aborted()
+                                || self.faults.is_crashed(host)
+                                || self.faults.is_query_aborted(msg.query)
+                            {
+                                flushed = true;
+                            } else {
+                                self.validator.on_rx_delivered(HostId(h), msg.query);
+                                lane.lane_progress.fetch_add(1, Ordering::Relaxed);
+                                if msg.query != QueryId::DIRECT {
+                                    let mut ls = lane.stats.lock();
+                                    ls.rx_msgs += 1;
+                                    ls.rx_bytes += msg.payload.len() as u64;
+                                }
+                                lane.recv_cq.send(
+                                    ctx,
+                                    Completion {
+                                        src: msg.src,
+                                        tag,
+                                        payload: msg.payload,
+                                    },
+                                );
+                            }
+                        }
                     }
                 }
                 MsgKind::OneSided { mr, offset } => {
@@ -816,6 +1127,7 @@ impl Fabric {
                         Message {
                             src: HostId(h),
                             dst: msg.src,
+                            query: msg.query,
                             payload: data,
                             kind: MsgKind::ReadResponse { reply },
                             arrival: SimTime::ZERO,
@@ -848,8 +1160,13 @@ impl Fabric {
     }
 
     /// Stop accepting traffic: closes every egress queue, letting the
-    /// engine threads drain in-flight messages and terminate.
+    /// engine threads drain in-flight messages and terminate. On a view
+    /// this is a no-op — one query retiring never tears down the shared
+    /// fabric (that is [`Fabric::close_view`]'s job).
     pub fn shutdown(&self, ctx: &SimCtx) {
+        if self.root.is_some() {
+            return;
+        }
         for nic in &self.nics {
             nic.tx.close(ctx);
         }
@@ -1173,14 +1490,9 @@ mod tests {
             let finish = Arc::clone(&finish);
             sim.spawn("receiver", move |ctx| {
                 let nic = fabric.nic(HostId(1));
-                loop {
-                    match nic.recv(ctx) {
-                        Ok(Some(c)) => {
-                            tags.lock().push(c.tag);
-                            nic.repost_recv(ctx);
-                        }
-                        Ok(None) | Err(_) => break,
-                    }
+                while let Ok(Some(c)) = nic.recv(ctx) {
+                    tags.lock().push(c.tag);
+                    nic.repost_recv(ctx);
                 }
                 *finish.lock() = ctx.now().as_nanos();
             });

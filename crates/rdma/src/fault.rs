@@ -14,12 +14,14 @@
 //! installed the fabric takes none of these branches and the event
 //! schedule is bit-identical to a build without the fault plane.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use rsj_sim::{SimDuration, SimTime};
 
-use crate::config::HostId;
+use crate::config::{HostId, QueryId};
 
 /// Completion status of a posted work request — the simulator's analogue
 /// of `ibv_wc_status`.
@@ -288,10 +290,39 @@ impl FaultPlan {
             .any(|f| f.host == host && f.from <= now && now < f.until)
     }
 
+    /// The seed of one query's private drop/delay stream, derived from
+    /// `(plan seed, QueryId)` via [`splitmix64`]. [`QueryId::DIRECT`] keeps
+    /// the plan seed itself, so a fabric used outside a query service sees
+    /// the exact stream it always did; admitted queries each get an
+    /// independent stream, so adding a query never perturbs another
+    /// query's fault schedule.
+    pub fn stream_seed(&self, query: QueryId) -> u64 {
+        if query == QueryId::DIRECT {
+            self.seed
+        } else {
+            splitmix64(self.seed ^ splitmix64(0x51E5_7EAD ^ query.0 as u64))
+        }
+    }
+
     /// Whether transmission `attempt` (0-based) of message `msg_seq` on
     /// `src → dst` is dropped at `now`.
     pub fn attempt_drops(
         &self,
+        src: HostId,
+        dst: HostId,
+        msg_seq: u64,
+        attempt: u32,
+        now: SimTime,
+    ) -> bool {
+        self.attempt_drops_seeded(self.seed, src, dst, msg_seq, attempt, now)
+    }
+
+    /// [`FaultPlan::attempt_drops`] against an explicit stream seed (one
+    /// query's private stream — see [`FaultPlan::stream_seed`]). Link
+    /// flaps remain host-level events shared by every stream.
+    pub fn attempt_drops_seeded(
+        &self,
+        seed: u64,
         src: HostId,
         dst: HostId,
         msg_seq: u64,
@@ -305,7 +336,7 @@ impl FaultPlan {
             return false;
         }
         let h = mix(&[
-            self.seed,
+            seed,
             0xD809_94AE,
             src.0 as u64,
             dst.0 as u64,
@@ -318,10 +349,21 @@ impl FaultPlan {
     /// Extra propagation delay injected into message `msg_seq` on
     /// `src → dst` (zero for most messages).
     pub fn extra_delay(&self, src: HostId, dst: HostId, msg_seq: u64) -> SimDuration {
+        self.extra_delay_seeded(self.seed, src, dst, msg_seq)
+    }
+
+    /// [`FaultPlan::extra_delay`] against an explicit stream seed.
+    pub fn extra_delay_seeded(
+        &self,
+        seed: u64,
+        src: HostId,
+        dst: HostId,
+        msg_seq: u64,
+    ) -> SimDuration {
         if self.delay_per_mille == 0 || self.max_delay == SimDuration::ZERO {
             return SimDuration::ZERO;
         }
-        let h = mix(&[self.seed, 0xDE1A_44BB, src.0 as u64, dst.0 as u64, msg_seq]);
+        let h = mix(&[seed, 0xDE1A_44BB, src.0 as u64, dst.0 as u64, msg_seq]);
         if (h % 1000) as u32 >= self.delay_per_mille {
             return SimDuration::ZERO;
         }
@@ -379,6 +421,12 @@ pub(crate) struct FaultState {
     /// Monotone activity counter, snapshotted by the runtime watchdog to
     /// detect a wedged cluster.
     progress: AtomicU64,
+    /// Fast-path flag: some query-scoped abort happened. Lets the hot
+    /// paths skip the set lookup with one relaxed load, so a fabric with
+    /// no multiplexed queries pays nothing.
+    query_aborted_any: AtomicBool,
+    /// Queries aborted individually (service multiplexing).
+    query_aborted: Mutex<HashSet<u32>>,
 }
 
 impl FaultState {
@@ -390,6 +438,8 @@ impl FaultState {
             crashed: (0..hosts).map(|_| AtomicBool::new(false)).collect(),
             qp_error: (0..hosts * hosts).map(|_| AtomicBool::new(false)).collect(),
             progress: AtomicU64::new(0),
+            query_aborted_any: AtomicBool::new(false),
+            query_aborted: Mutex::new(HashSet::new()),
         })
     }
 
@@ -439,9 +489,29 @@ impl FaultState {
         self.progress.load(Ordering::Relaxed)
     }
 
-    /// Why a post on `src → dst` must fail fast, if it must (checked
-    /// before and after the post-overhead yield point).
-    pub(crate) fn post_denied(&self, src: HostId, dst: HostId) -> Option<WcStatus> {
+    /// Whether `query` was individually aborted. One relaxed load on the
+    /// hot path until the first query-scoped abort actually happens.
+    pub(crate) fn is_query_aborted(&self, query: QueryId) -> bool {
+        query != QueryId::DIRECT
+            && self.query_aborted_any.load(Ordering::SeqCst)
+            && self.query_aborted.lock().contains(&query.0)
+    }
+
+    /// First abort of `query` wins; returns whether this call switched it.
+    pub(crate) fn set_query_aborted(&self, query: QueryId) -> bool {
+        let mut set = self.query_aborted.lock();
+        let first = set.insert(query.0);
+        self.query_aborted_any.store(true, Ordering::SeqCst);
+        first
+    }
+
+    /// Why a post by `query` on `src → dst` must fail fast, if it must
+    /// (checked before and after the post-overhead yield point). A
+    /// query-scoped abort denies posts even with no fault plan installed.
+    pub(crate) fn post_denied(&self, query: QueryId, src: HostId, dst: HostId) -> Option<WcStatus> {
+        if self.is_query_aborted(query) {
+            return Some(WcStatus::Flushed);
+        }
         self.plan.as_ref()?;
         if self.is_aborted() || self.is_crashed(src) || self.is_crashed(dst) {
             return Some(WcStatus::Flushed);
@@ -454,7 +524,13 @@ impl FaultState {
 
     /// Map an errored completion status into the most informative
     /// [`FabricError`].
-    pub(crate) fn error_for(&self, src: HostId, dst: HostId, status: WcStatus) -> FabricError {
+    pub(crate) fn error_for(
+        &self,
+        query: QueryId,
+        src: HostId,
+        dst: HostId,
+        status: WcStatus,
+    ) -> FabricError {
         match status {
             WcStatus::Success => unreachable!("success is not an error"),
             WcStatus::RetryExceeded => FabricError::QpError { src, dst, status },
@@ -463,7 +539,7 @@ impl FaultState {
                     FabricError::HostCrashed { host: dst }
                 } else if self.is_crashed(src) {
                     FabricError::HostCrashed { host: src }
-                } else if self.is_aborted() {
+                } else if self.is_aborted() || self.is_query_aborted(query) {
                     FabricError::Aborted
                 } else {
                     FabricError::QpError { src, dst, status }

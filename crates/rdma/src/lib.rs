@@ -27,11 +27,11 @@ mod mr;
 mod pool;
 pub mod validate;
 
-pub use config::{FabricConfig, HostId, NicCosts};
+pub use config::{FabricConfig, HostId, NicCosts, QueryId};
 pub use fabric::{Completion, Fabric, Nic, NicStats, ReadHandle, SendHandle, Spawner};
 pub use fault::{
     splitmix64, FabricError, FaultPlan, HostCrash, LinkFlap, NicStall, RetryPolicy, WcStatus,
 };
 pub use mr::{Mr, MrTable, RemoteMr};
-pub use pool::{BufferPool, SendWindow};
+pub use pool::{BufferPool, PoolArena, SendWindow};
 pub use validate::{ValidateMode, Validator, Violation};

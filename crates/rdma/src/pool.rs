@@ -12,12 +12,13 @@
 //! models the per-partition double-buffering discipline: `admit` blocks
 //! only when the oldest of the last `depth` sends has not completed.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rsj_sim::{SimCtx, SimDuration};
 
-use crate::config::NicCosts;
+use crate::config::{NicCosts, QueryId};
 use crate::fabric::SendHandle;
 use crate::fault::FabricError;
 use crate::validate::{Validator, Violation};
@@ -112,6 +113,94 @@ impl BufferPool {
     /// the operator that owns the pool has finished).
     pub fn outstanding(&self) -> usize {
         self.inner.lock().outstanding
+    }
+}
+
+/// A fixed budget of pre-registered RDMA memory on one host, carved into
+/// per-query [`BufferPool`]s by a query service.
+///
+/// The arena models the §3.2.1 reality of a long-lived service: the host
+/// pins and registers a bounded slab once at startup, and every admitted
+/// query draws its pool from that slab. A query whose request exceeds the
+/// bytes currently unclaimed gets a *smaller* pre-registered stock and
+/// falls back to on-the-fly registrations for the shortfall — the
+/// contention cost signal the paper's registration measurements
+/// (Figure 5a) price. Releasing a query returns its bytes to the budget.
+pub struct PoolArena {
+    costs: NicCosts,
+    inner: Mutex<ArenaState>,
+}
+
+struct ArenaState {
+    /// Bytes of registered memory not currently granted to any query.
+    budget_bytes: u64,
+    /// Total slab size (constant after construction).
+    total_bytes: u64,
+    /// Bytes currently granted, per query.
+    per_query: HashMap<u32, u64>,
+}
+
+impl PoolArena {
+    /// An arena of `budget_bytes` of pre-registered memory.
+    pub fn new(budget_bytes: u64, costs: NicCosts) -> Arc<PoolArena> {
+        Arc::new(PoolArena {
+            costs,
+            inner: Mutex::new(ArenaState {
+                budget_bytes,
+                total_bytes: budget_bytes,
+                per_query: HashMap::new(),
+            }),
+        })
+    }
+
+    /// Carve a [`BufferPool`] for `query` out of the arena: the pool wants
+    /// `count` buffers of `buf_size` bytes, and is granted pre-registered
+    /// stock for `min(want, budget)` of those bytes. Any shortfall is not
+    /// an error — the pool simply registers on the fly when its stock runs
+    /// out, so `fly_registrations()` exposes the contention.
+    ///
+    /// Call [`PoolArena::release`] with the same query id once the query
+    /// retires, or the bytes stay claimed forever.
+    pub fn sub_pool(&self, query: QueryId, count: usize, buf_size: usize) -> Arc<BufferPool> {
+        assert!(buf_size > 0, "zero-sized RDMA buffers are useless");
+        let want = (count as u64).saturating_mul(buf_size as u64);
+        let granted = {
+            let mut st = self.inner.lock();
+            let granted = want.min(st.budget_bytes);
+            st.budget_bytes -= granted;
+            *st.per_query.entry(query.0).or_insert(0) += granted;
+            granted
+        };
+        let granted_bufs = (granted / buf_size as u64) as usize;
+        BufferPool::new(granted_bufs, buf_size, self.costs)
+    }
+
+    /// Return every byte `query` holds to the budget.
+    pub fn release(&self, query: QueryId) {
+        let mut st = self.inner.lock();
+        if let Some(bytes) = st.per_query.remove(&query.0) {
+            st.budget_bytes += bytes;
+        }
+    }
+
+    /// Bytes currently unclaimed.
+    pub fn available_bytes(&self) -> u64 {
+        self.inner.lock().budget_bytes
+    }
+
+    /// Bytes currently granted to `query`.
+    pub fn query_bytes(&self, query: QueryId) -> u64 {
+        self.inner
+            .lock()
+            .per_query
+            .get(&query.0)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total slab size in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.lock().total_bytes
     }
 }
 
@@ -266,6 +355,35 @@ mod tests {
             let charged = (ctx.now() - t0).as_secs_f64();
             assert!((charged - costs.register_seconds(64 * 1024)).abs() < 1e-12);
             assert_eq!(pool.fly_registrations(), 1);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn arena_partitions_budget_and_shorts_overcommit() {
+        let sim = Simulation::new();
+        sim.spawn("service", |ctx| {
+            let arena = PoolArena::new(8 * 4096, NicCosts::default());
+            // First query gets its full ask.
+            let p1 = arena.sub_pool(QueryId(1), 6, 4096);
+            assert_eq!(p1.available(), 6);
+            assert_eq!(arena.query_bytes(QueryId(1)), 6 * 4096);
+            // Second query wants 6 buffers but only 2 remain in budget:
+            // stock is shorted, the rest registers on the fly.
+            let p2 = arena.sub_pool(QueryId(2), 6, 4096);
+            assert_eq!(p2.available(), 2);
+            assert_eq!(arena.available_bytes(), 0);
+            let bufs: Vec<_> = (0..3).map(|_| p2.take(ctx)).collect();
+            assert_eq!(p2.fly_registrations(), 1);
+            for b in bufs {
+                p2.put(b);
+            }
+            // Releasing the first query refills the budget.
+            arena.release(QueryId(1));
+            assert_eq!(arena.available_bytes(), 6 * 4096);
+            assert_eq!(arena.query_bytes(QueryId(1)), 0);
+            arena.release(QueryId(2));
+            assert_eq!(arena.available_bytes(), arena.total_bytes());
         });
         sim.run();
     }

@@ -274,7 +274,7 @@ mod imp {
     use parking_lot::Mutex;
 
     use super::{ValidateMode, Violation};
-    use crate::config::HostId;
+    use crate::config::{HostId, QueryId};
     use crate::pool::BufferPool;
     use crate::RemoteMr;
 
@@ -317,13 +317,19 @@ mod imp {
         mode: std::sync::atomic::AtomicU8,
         /// Registered regions: `(host, index) → registered length`.
         mrs: Mutex<HashMap<(usize, usize), usize>>,
-        flows: Mutex<HashMap<usize, HostFlow>>,
-        /// Tracked pools with the host that owns each one, so teardown
-        /// leaks can be attributed to a crashed host.
-        pools: Mutex<Vec<(usize, Weak<BufferPool>)>>,
+        /// Receive-path flow counters, scoped per `(host, query)` lane so
+        /// a query service can audit each query's teardown individually.
+        flows: Mutex<HashMap<(usize, u32), HostFlow>>,
+        /// Tracked pools with the `(host, query)` that owns each one, so
+        /// teardown leaks can be attributed to a crashed host or audited
+        /// per query.
+        pools: Mutex<Vec<(usize, u32, Weak<BufferPool>)>>,
         /// Hosts the fault plane fail-stopped; their teardown residue is
         /// context, not an application bug.
         crashed: Mutex<HashSet<usize>>,
+        /// Queries individually aborted (query-scoped fault fan-out);
+        /// their residue is fault fallout, not an application bug.
+        aborted_queries: Mutex<HashSet<u32>>,
         /// The cluster aborted: residue dropped while workers unwind is
         /// fault-plane context, not an application bug.
         aborted: std::sync::atomic::AtomicBool,
@@ -345,6 +351,7 @@ mod imp {
                 flows: Mutex::new(HashMap::new()),
                 pools: Mutex::new(Vec::new()),
                 crashed: Mutex::new(HashSet::new()),
+                aborted_queries: Mutex::new(HashSet::new()),
                 aborted: std::sync::atomic::AtomicBool::new(false),
                 violations: Mutex::new(Vec::new()),
                 count: AtomicU64::new(0),
@@ -409,10 +416,20 @@ mod imp {
             self.aborted.store(true, Ordering::SeqCst);
         }
 
+        /// One query aborted (query-scoped fault fan-out over a shared
+        /// fabric). Residue that query drops while its workers unwind is
+        /// fault fallout; other queries keep full-strength auditing.
+        pub fn on_query_aborted(&self, query: QueryId) {
+            self.aborted_queries.lock().insert(query.0);
+        }
+
         /// Whether in-flight residue should be attributed to the fault
-        /// plane (an abort or a crashed host) rather than the application.
+        /// plane (an abort, a crashed host, or a query-scoped abort)
+        /// rather than the application.
         pub(crate) fn fault_residue(&self) -> bool {
-            self.aborted.load(Ordering::SeqCst) || !self.crashed.lock().is_empty()
+            self.aborted.load(Ordering::SeqCst)
+                || !self.crashed.lock().is_empty()
+                || !self.aborted_queries.lock().is_empty()
         }
 
         /// All violations recorded so far.
@@ -494,40 +511,56 @@ mod imp {
             true
         }
 
-        /// A two-sided completion entered `host`'s receive queue.
-        pub(crate) fn on_rx_delivered(&self, host: HostId) {
+        /// A two-sided completion entered `host`'s receive queue on
+        /// `query`'s lane.
+        pub(crate) fn on_rx_delivered(&self, host: HostId, query: QueryId) {
             if self.off() {
                 return;
             }
-            self.flows.lock().entry(host.0).or_default().delivered += 1;
+            self.flows
+                .lock()
+                .entry((host.0, query.0))
+                .or_default()
+                .delivered += 1;
         }
 
-        /// The application consumed a completion on `host`.
-        pub(crate) fn on_rx_consumed(&self, host: HostId) {
+        /// The application consumed a completion on `host` (`query`'s
+        /// lane).
+        pub(crate) fn on_rx_consumed(&self, host: HostId, query: QueryId) {
             if self.off() {
                 return;
             }
-            self.flows.lock().entry(host.0).or_default().consumed += 1;
+            self.flows
+                .lock()
+                .entry((host.0, query.0))
+                .or_default()
+                .consumed += 1;
         }
 
-        /// The application reposted a receive buffer on `host`.
-        pub(crate) fn on_recv_reposted(&self, host: HostId) {
+        /// The application reposted a receive buffer on `host` (`query`'s
+        /// lane).
+        pub(crate) fn on_recv_reposted(&self, host: HostId, query: QueryId) {
             if self.off() {
                 return;
             }
-            self.flows.lock().entry(host.0).or_default().reposted += 1;
+            self.flows
+                .lock()
+                .entry((host.0, query.0))
+                .or_default()
+                .reposted += 1;
         }
 
-        /// The ingress engine found `host`'s SRQ empty. A violation only
-        /// if the *application* holds every slot (consumed without
-        /// reposting); a full-but-undrained CQ is ordinary backpressure.
-        pub(crate) fn srq_blocked(&self, host: HostId, slots: usize) {
+        /// The ingress engine found `host`'s SRQ empty on `query`'s lane.
+        /// A violation only if the *application* holds every slot
+        /// (consumed without reposting); a full-but-undrained CQ is
+        /// ordinary backpressure.
+        pub(crate) fn srq_blocked(&self, host: HostId, slots: usize, query: QueryId) {
             if self.off() {
                 return;
             }
             let held = {
                 let mut flows = self.flows.lock();
-                let f = flows.entry(host.0).or_default();
+                let f = flows.entry((host.0, query.0)).or_default();
                 let held = f.consumed.saturating_sub(f.reposted) as usize;
                 if held < slots || f.srq_reported {
                     return;
@@ -542,7 +575,89 @@ mod imp {
         /// check. The owner matters: if `host` later crashes, its leaks
         /// are reported as crash residue, not application bugs.
         pub fn register_pool(&self, host: HostId, pool: &Arc<BufferPool>) {
-            self.pools.lock().push((host.0, Arc::downgrade(pool)));
+            self.register_pool_scoped(QueryId::DIRECT, host, pool);
+        }
+
+        /// Track a buffer pool owned by `(host, query)` so the pool can
+        /// be audited by [`Validator::check_query_teardown`] when that
+        /// query retires, independent of the rest of the fabric.
+        pub fn register_pool_scoped(&self, query: QueryId, host: HostId, pool: &Arc<BufferPool>) {
+            self.pools
+                .lock()
+                .push((host.0, query.0, Arc::downgrade(pool)));
+        }
+
+        /// Per-query teardown audit: when a query retires from a shared
+        /// fabric, its lane flows and sub-pools are removed from the
+        /// tracked state and audited in isolation — undrained completions,
+        /// unreposted receive slots and leaked sub-pool buffers become
+        /// violations unless the query itself aborted or the owning host
+        /// crashed (fault fallout, not a contract bug). The shared fabric
+        /// keeps running; other queries' state is untouched.
+        pub fn check_query_teardown(&self, query: QueryId) {
+            if self.off() {
+                return;
+            }
+            let aborted = self.aborted.load(Ordering::SeqCst)
+                || self.aborted_queries.lock().contains(&query.0);
+            let crashed: HashSet<usize> = self.crashed.lock().clone();
+            let flow_violations: Vec<Violation> = {
+                let mut flows = self.flows.lock();
+                let mut keys: Vec<(usize, u32)> = flows
+                    .keys()
+                    .filter(|&&(_, q)| q == query.0)
+                    .copied()
+                    .collect();
+                keys.sort_unstable();
+                let mut vs = Vec::new();
+                for key in keys {
+                    let f = flows.remove(&key).expect("key collected from map");
+                    if aborted || crashed.contains(&key.0) {
+                        continue;
+                    }
+                    let pending = f.delivered.saturating_sub(f.consumed);
+                    let held = f.consumed.saturating_sub(f.reposted);
+                    if pending > 0 {
+                        vs.push(Violation::CompletionsNotDrained {
+                            host: HostId(key.0),
+                            pending,
+                        });
+                    }
+                    if held > 0 {
+                        vs.push(Violation::RecvNotReposted {
+                            host: HostId(key.0),
+                            held,
+                        });
+                    }
+                }
+                vs
+            };
+            for v in flow_violations {
+                self.report(v);
+            }
+            let query_pools: Vec<(usize, Weak<BufferPool>)> = {
+                let mut pools = self.pools.lock();
+                let mut taken = Vec::new();
+                pools.retain(|(h, q, w)| {
+                    if *q == query.0 {
+                        taken.push((*h, w.clone()));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                taken
+            };
+            for (host, weak) in query_pools {
+                if aborted || crashed.contains(&host) {
+                    continue;
+                }
+                let Some(pool) = weak.upgrade() else { continue };
+                let outstanding = pool.outstanding();
+                if outstanding > 0 {
+                    self.report(Violation::PoolLeak { outstanding });
+                }
+            }
         }
 
         /// Teardown audit, called after the simulation has quiesced:
@@ -559,24 +674,27 @@ mod imp {
                 crashed.iter().map(|&h| (h, (0, 0, 0))).collect();
             let flow_violations: Vec<Violation> = {
                 let flows = self.flows.lock();
+                let mut keys: Vec<(usize, u32)> = flows.keys().copied().collect();
+                keys.sort_unstable();
                 let mut vs = Vec::new();
-                for (&host, f) in flows.iter() {
+                for key in keys {
+                    let f = &flows[&key];
                     let pending = f.delivered.saturating_sub(f.consumed);
                     let held = f.consumed.saturating_sub(f.reposted);
-                    if let Some(residue) = crash_residue.get_mut(&host) {
+                    if let Some(residue) = crash_residue.get_mut(&key.0) {
                         residue.0 += pending;
                         residue.1 += held;
                         continue;
                     }
                     if pending > 0 {
                         vs.push(Violation::CompletionsNotDrained {
-                            host: HostId(host),
+                            host: HostId(key.0),
                             pending,
                         });
                     }
                     if held > 0 {
                         vs.push(Violation::RecvNotReposted {
-                            host: HostId(host),
+                            host: HostId(key.0),
                             held,
                         });
                     }
@@ -590,7 +708,7 @@ mod imp {
                 .pools
                 .lock()
                 .iter()
-                .filter_map(|(h, w)| w.upgrade().map(|p| (*h, p)))
+                .filter_map(|(h, _, w)| w.upgrade().map(|p| (*h, p)))
                 .collect();
             for (host, pool) in pools {
                 let outstanding = pool.outstanding();
@@ -628,7 +746,7 @@ mod stub {
     use std::sync::Arc;
 
     use super::{ValidateMode, Violation};
-    use crate::config::HostId;
+    use crate::config::{HostId, QueryId};
     use crate::pool::BufferPool;
     use crate::RemoteMr;
 
@@ -693,18 +811,33 @@ mod stub {
             true
         }
 
-        pub(crate) fn on_rx_delivered(&self, _host: HostId) {}
-        pub(crate) fn on_rx_consumed(&self, _host: HostId) {}
-        pub(crate) fn on_recv_reposted(&self, _host: HostId) {}
-        pub(crate) fn srq_blocked(&self, _host: HostId, _slots: usize) {}
+        pub(crate) fn on_rx_delivered(&self, _host: HostId, _query: QueryId) {}
+        pub(crate) fn on_rx_consumed(&self, _host: HostId, _query: QueryId) {}
+        pub(crate) fn on_recv_reposted(&self, _host: HostId, _query: QueryId) {}
+        pub(crate) fn srq_blocked(&self, _host: HostId, _slots: usize, _query: QueryId) {}
 
         /// No-op without the `verify` feature.
         pub fn register_pool(&self, _host: HostId, _pool: &Arc<BufferPool>) {}
 
         /// No-op without the `verify` feature.
+        pub fn register_pool_scoped(
+            &self,
+            _query: QueryId,
+            _host: HostId,
+            _pool: &Arc<BufferPool>,
+        ) {
+        }
+
+        /// No-op without the `verify` feature.
         pub fn on_host_crashed(&self, _host: HostId) {}
 
         /// No-op without the `verify` feature.
+        pub fn on_query_aborted(&self, _query: QueryId) {}
+
+        /// No-op without the `verify` feature.
         pub fn check_teardown(&self) {}
+
+        /// No-op without the `verify` feature.
+        pub fn check_query_teardown(&self, _query: QueryId) {}
     }
 }
