@@ -356,6 +356,7 @@ fn bench_handoff(rounds: u64) -> BenchRecord {
             sim.spawn("ping", move |ctx| {
                 for i in 0..rounds {
                     ping.send(ctx, i);
+                    // lint: allow-error-swallow(SimChannel payload, not a fabric Result)
                     pong.recv(ctx);
                 }
                 ping.close(ctx);

@@ -1,0 +1,479 @@
+//! A minimal, zero-dependency Rust token lexer.
+//!
+//! The rule engine needs *token-level* accuracy where the old line-based
+//! scanner had none: raw strings (`r#"…"#`), multi-line block comments
+//! (nested, per Rust), char literals vs lifetimes, and byte/raw-byte
+//! string prefixes. Each of those becomes exactly one token here, so a
+//! rule pattern can never fire on text inside a literal or a comment —
+//! the literal-masking bug class of the old scanner is gone by
+//! construction.
+//!
+//! The lexer is deliberately lossy in ways the rules do not care about:
+//! multi-character operators come out as runs of single-character
+//! [`TokKind::Punct`] tokens (`::` is two `:`), and numeric literal
+//! grammar is approximate. It never fails: unknown bytes become `Punct`
+//! tokens, and unterminated literals run to end of input.
+
+/// Classification of one token.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers `r#name`).
+    Ident,
+    /// Lifetime such as `'a` or `'static` (not a char literal).
+    Lifetime,
+    /// String literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\u{7B}'`, `b'\n'`.
+    Char,
+    /// Numeric literal (integers and floats, suffix included).
+    Num,
+    /// `// …` comment, to end of line (doc comments included).
+    LineComment,
+    /// `/* … */` comment, nested, possibly spanning lines.
+    BlockComment,
+    /// Any other single character.
+    Punct,
+}
+
+/// One lexed token: kind, exact source text, and 1-based start line.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok<'a> {
+    /// Token classification.
+    pub kind: TokKind,
+    /// The token's source text, byte-exact.
+    pub text: &'a str,
+    /// 1-based line on which the token starts.
+    pub line: usize,
+}
+
+impl<'a> Tok<'a> {
+    /// Is this token a comment (line or block)?
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Lex `src` into tokens. Whitespace is dropped; everything else —
+/// comments included — is kept so callers can split code from comments
+/// themselves.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let b = src.as_bytes();
+    let len = b.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < len {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let start_line = line;
+        // Comments.
+        if c == b'/' && i + 1 < len && b[i + 1] == b'/' {
+            while i < len && b[i] != b'\n' {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::LineComment,
+                text: &src[start..i],
+                line: start_line,
+            });
+            continue;
+        }
+        if c == b'/' && i + 1 < len && b[i + 1] == b'*' {
+            let mut depth = 1usize;
+            i += 2;
+            while i < len && depth > 0 {
+                if b[i] == b'\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == b'/' && i + 1 < len && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < len && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::BlockComment,
+                text: &src[start..i],
+                line: start_line,
+            });
+            continue;
+        }
+        // Plain string literal.
+        if c == b'"' {
+            i = scan_quoted(b, i, b'"', &mut line);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: &src[start..i],
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == b'\'' {
+            let (end, kind) = scan_char_or_lifetime(b, i, &mut line);
+            i = end;
+            toks.push(Tok {
+                kind,
+                text: &src[start..i],
+                line: start_line,
+            });
+            continue;
+        }
+        // Identifier — possibly a string prefix (`r`, `b`, `br`, `c`,
+        // `cr`) or a raw identifier (`r#name`).
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < len && is_ident_cont(b[j]) {
+                j += 1;
+            }
+            let word = &src[i..j];
+            let prefixed = matches!(word, "r" | "b" | "br" | "c" | "cr");
+            if prefixed && j < len && (b[j] == b'"' || b[j] == b'#') {
+                let raw = word != "b" && word != "c";
+                if let Some(end) = scan_prefixed_string(b, j, raw, &mut line) {
+                    i = end;
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: &src[start..i],
+                        line: start_line,
+                    });
+                    continue;
+                }
+                // `r#name`: a raw identifier, not a string.
+                if word == "r" && b[j] == b'#' && j + 1 < len && is_ident_start(b[j + 1]) {
+                    let mut k = j + 1;
+                    while k < len && is_ident_cont(b[k]) {
+                        k += 1;
+                    }
+                    i = k;
+                    toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: &src[start..i],
+                        line: start_line,
+                    });
+                    continue;
+                }
+            }
+            // Byte-char literal `b'x'`.
+            if word == "b" && j < len && b[j] == b'\'' {
+                let (end, kind) = scan_char_or_lifetime(b, j, &mut line);
+                if kind == TokKind::Char {
+                    i = end;
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: &src[start..i],
+                        line: start_line,
+                    });
+                    continue;
+                }
+            }
+            i = j;
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: word,
+                line: start_line,
+            });
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < len {
+                let d = b[j];
+                if d.is_ascii_alphanumeric() || d == b'_' {
+                    j += 1;
+                } else if d == b'.' && j + 1 < len && b[j + 1].is_ascii_digit() {
+                    // Float; `0..n` ranges keep their dots.
+                    j += 1;
+                } else if (d == b'+' || d == b'-')
+                    && matches!(b[j - 1], b'e' | b'E')
+                    && j + 1 < len
+                    && b[j + 1].is_ascii_digit()
+                {
+                    // Exponent sign.
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            i = j;
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: &src[start..i],
+                line: start_line,
+            });
+            continue;
+        }
+        // Everything else: one character of punctuation (full UTF-8
+        // character, so multi-byte symbols stay intact).
+        let ch_len = src[i..].chars().next().map_or(1, |ch| ch.len_utf8());
+        i += ch_len;
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: &src[start..i],
+            line: start_line,
+        });
+    }
+    toks
+}
+
+/// Scan a quoted literal starting at the opening quote `b[i] == quote`,
+/// honoring backslash escapes; returns the index just past the closing
+/// quote (or `len` if unterminated). Tracks newlines.
+fn scan_quoted(b: &[u8], i: usize, quote: u8, line: &mut usize) -> usize {
+    let len = b.len();
+    let mut j = i + 1;
+    let mut escaped = false;
+    while j < len {
+        let c = b[j];
+        if c == b'\n' {
+            *line += 1;
+        }
+        if escaped {
+            escaped = false;
+        } else if c == b'\\' {
+            escaped = true;
+        } else if c == quote {
+            return j + 1;
+        }
+        j += 1;
+    }
+    len
+}
+
+/// Scan a raw or byte string whose hashes/quote start at `j` (just past
+/// the prefix word). `raw` strings take `#` guards and no escapes;
+/// non-raw (`b"…"`, `c"…"`) take escapes. Returns `None` if this is not
+/// actually a string here (e.g. `r#name`).
+fn scan_prefixed_string(b: &[u8], j: usize, raw: bool, line: &mut usize) -> Option<usize> {
+    let len = b.len();
+    let mut hashes = 0usize;
+    let mut k = j;
+    if raw {
+        while k < len && b[k] == b'#' {
+            hashes += 1;
+            k += 1;
+        }
+    }
+    if k >= len || b[k] != b'"' {
+        return None;
+    }
+    if !raw {
+        return Some(scan_quoted(b, k, b'"', line));
+    }
+    // Raw: no escapes; closes on `"` followed by `hashes` hash marks.
+    k += 1;
+    while k < len {
+        if b[k] == b'\n' {
+            *line += 1;
+            k += 1;
+            continue;
+        }
+        if b[k] == b'"' {
+            let mut h = 0usize;
+            while h < hashes && k + 1 + h < len && b[k + 1 + h] == b'#' {
+                h += 1;
+            }
+            if h == hashes {
+                return Some(k + 1 + hashes);
+            }
+        }
+        k += 1;
+    }
+    Some(len)
+}
+
+/// At a `'`: decide char literal vs lifetime and scan it. Returns the end
+/// index and the kind.
+fn scan_char_or_lifetime(b: &[u8], i: usize, line: &mut usize) -> (usize, TokKind) {
+    let len = b.len();
+    if i + 1 >= len {
+        return (i + 1, TokKind::Punct);
+    }
+    let n1 = b[i + 1];
+    if n1 == b'\\' {
+        return (scan_quoted(b, i, b'\'', line), TokKind::Char);
+    }
+    if is_ident_start(n1) {
+        // `'a'` is a char; `'a`, `'static` are lifetimes. An ident run
+        // directly followed by a closing quote is a (one-char) literal.
+        let mut j = i + 1;
+        while j < len && is_ident_cont(b[j]) {
+            j += 1;
+        }
+        if j < len && b[j] == b'\'' {
+            return (j + 1, TokKind::Char);
+        }
+        return (j, TokKind::Lifetime);
+    }
+    if n1 == b'\'' {
+        // `''` — malformed; treat as empty char literal.
+        return (i + 2, TokKind::Char);
+    }
+    // `'{'`, `' '`, multi-byte chars.
+    (scan_quoted(b, i, b'\'', line), TokKind::Char)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn raw_strings_are_single_tokens() {
+        let toks = kinds(r##"let s = r#"std::thread::spawn inside"#;"##);
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let"),
+                (TokKind::Ident, "s"),
+                (TokKind::Punct, "="),
+                (TokKind::Str, r##"r#"std::thread::spawn inside"#"##),
+                (TokKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_string_hash_guards_nest_quotes() {
+        let src = "r##\"a \"# b\"##";
+        let toks = lex(src);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[0].text, src);
+    }
+
+    #[test]
+    fn byte_and_c_strings_lex_as_strings() {
+        for src in [
+            "b\"bytes\"",
+            "br#\"raw bytes\"#",
+            "c\"cstr\"",
+            "cr\"raw c\"",
+        ] {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src}");
+            assert_eq!(toks[0].kind, TokKind::Str, "{src}");
+        }
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let toks = kinds("r#fn + r#type");
+        assert_eq!(toks[0], (TokKind::Ident, "r#fn"));
+        assert_eq!(toks[2], (TokKind::Ident, "r#type"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner */ still comment */ code";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert_eq!(toks[0].text, "/* outer /* inner */ still comment */");
+        assert_eq!(toks[1].kind, TokKind::Ident);
+        assert_eq!(toks[1].text, "code");
+    }
+
+    #[test]
+    fn multiline_block_comment_tracks_lines() {
+        let src = "/* a\nb\nc */ x\ny";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].text, "x");
+        assert_eq!(toks[1].line, 3);
+        assert_eq!(toks[2].text, "y");
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = kinds("'a' 'x 'static '{' '\\u{7B}' '\\n'");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Char, "'a'"),
+                (TokKind::Lifetime, "'x"),
+                (TokKind::Lifetime, "'static"),
+                (TokKind::Char, "'{'"),
+                (TokKind::Char, "'\\u{7B}'"),
+                (TokKind::Char, "'\\n'"),
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_char_literal() {
+        let toks = kinds("b'\\n' b'x'");
+        assert_eq!(toks[0], (TokKind::Char, "b'\\n'"));
+        assert_eq!(toks[1], (TokKind::Char, "b'x'"));
+    }
+
+    #[test]
+    fn generic_lifetime_bound_is_not_a_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) {}");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+    }
+
+    #[test]
+    fn strings_with_escapes_and_embedded_quotes() {
+        let toks = kinds(r#"let s = "a \" b \\";"#);
+        assert_eq!(toks[3], (TokKind::Str, r#""a \" b \\""#));
+    }
+
+    #[test]
+    fn multiline_string_tracks_lines() {
+        let src = "\"a\nb\" x";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[1].text, "x");
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn numbers_including_floats_and_ranges() {
+        let toks = kinds("1.5e-3 0..16 0xFF 1_000u64");
+        assert_eq!(toks[0], (TokKind::Num, "1.5e-3"));
+        assert_eq!(toks[1], (TokKind::Num, "0"));
+        assert_eq!(toks[2], (TokKind::Punct, "."));
+        assert_eq!(toks[3], (TokKind::Punct, "."));
+        assert_eq!(toks[4], (TokKind::Num, "16"));
+        assert_eq!(toks[5], (TokKind::Num, "0xFF"));
+        assert_eq!(toks[6], (TokKind::Num, "1_000u64"));
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_eof_without_panic() {
+        for src in ["\"open", "r#\"open", "'", "/* open"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,8 +1,12 @@
-//! # rsj-lint — project-specific static checks for the workspace
+//! # rsj-lint — token-level static analysis for the workspace
 //!
-//! A deliberately simple, dependency-free, line-based scanner over
-//! `crates/` that enforces rules clippy cannot express, because they are
-//! about *this* project's architecture:
+//! A dependency-free Rust **token-stream** analyzer over `crates/` that
+//! enforces rules clippy cannot express, because they are about *this*
+//! project's architecture. Files are lexed (raw strings, nested block
+//! comments, char literals and lifetimes handled correctly — see
+//! `lexer.rs`), a workspace-wide pass collects cross-file context
+//! (hash-typed identifiers, the canonical phase order), then each rule
+//! runs over each file's code tokens:
 //!
 //! | rule | what it forbids |
 //! |------|-----------------|
@@ -14,35 +18,53 @@
 //! | `hot-alloc` | `vec!` / `Vec::new` inside `crates/joins` functions named `*_kernel`, `histogram*` or `scatter*` — those are the per-partition hot loops; allocate scratch once in the owning `Partitioner`/table and reuse it |
 //! | `fabric-panic` | `.unwrap()` / `.expect(` on the fabric's fallible post/poll results (`wait`/`recv`/`admit`/`drain`) in non-test library code — fault-plane errors (DESIGN.md §8) must propagate as `JoinError` so the run aborts cleanly |
 //! | `barrier-name` | a raw string literal as the barrier name at a `sync_named` / `try_sync_named` call site outside `crates/cluster` — barrier names are namespaced per query (`(QueryId, name)`, DESIGN.md §9) and must come from the `rsj_cluster::phase` constants so phase attribution stays canonical |
+//! | `nondet-iter` | iteration (`iter`/`into_iter`/`keys`/`values`/`drain`/`retain`/…) over a `std` `HashMap`/`HashSet` in result-affecting library code — the per-process random SipHash seed makes the order vary run-to-run, breaking byte-identical replay; use `BTreeMap`/`BTreeSet` or sort before iterating. Order-independent sinks (commutative folds like `.sum()`, collecting back into a map, collect-then-sort) are recognized and not flagged. Identifier typing is cross-file and name-based |
+//! | `barrier-protocol` | per operator entry point in `crates/{core,operators}`: a `phase::` barrier reachable on some control-flow paths but not others (a worker that skips it deadlocks every peer parked on the `(QueryId, name)` barrier), a plain early `return` that can skip a later barrier (only `JoinError` propagation may bypass barriers — an abort poisons them), and phase sequences that violate the canonical declaration order of `crates/cluster/src/phase.rs` |
+//! | `error-swallow` | `let _ =`, `.ok()`, or a bare statement discard on a fabric/`JoinError` result (`wait`/`recv`/`admit`/`drain`/`try_sync*`) in library code — fault-plane errors must propagate or be matched explicitly |
 //!
-//! Any rule can be waived on a specific line with a justification marker,
-//! on the same line or the line directly above:
+//! Any rule can be waived on a specific line with a justification marker
+//! (in a comment — markers inside string literals do not count), on the
+//! same line or the line directly above:
 //!
 //! ```text
 //! // lint: allow-unwrap(histogram exchange counted exactly m-1 messages)
 //! let h = hists.pop().unwrap();
 //! ```
 //!
-//! An empty reason does not count. Run with `cargo run -p rsj-lint`; the
-//! binary exits nonzero if any finding survives, so `ci.sh` fails on new
-//! violations.
+//! An empty reason does not count. Run with `cargo run -p rsj-lint`; add
+//! `--json` for a machine-readable report and
+//! `--baseline lint-baseline.json` to exit nonzero only on findings
+//! absent from the committed baseline (`--update-baseline` refreshes it
+//! after review). See [`report`] for the baseline semantics.
 
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// One rule violation at a specific line.
+mod engine;
+mod lexer;
+pub mod report;
+mod rules;
+
+pub use rules::RULES;
+
+/// One rule finding at a specific line. Waived findings are kept (with
+/// `waived = true` and the marker's reason) so reports and baselines are
+/// auditable; only unwaived findings fail a plain run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
     /// Workspace-relative path of the offending file.
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule identifier (`std-thread`, `std-sync`, `wall-clock`,
-    /// `mr-access`, `unwrap`, `hot-alloc`).
+    /// Rule identifier (one of [`RULES`]).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// Was this finding waived by a `// lint: allow-<rule>(reason)` marker?
+    pub waived: bool,
+    /// The waiver's reason, when waived.
+    pub reason: Option<String>,
 }
 
 impl fmt::Display for Finding {
@@ -51,341 +73,54 @@ impl fmt::Display for Finding {
             f,
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.message
-        )
-    }
-}
-
-/// The simulator kernel implements virtual time on top of real OS threads
-/// and synchronization, so the thread/sync rules do not apply to it.
-const KERNEL: &str = "crates/sim/src/kernel.rs";
-
-/// Minimum length for an `.expect("...")` message to count as descriptive.
-const MIN_EXPECT_LEN: usize = 10;
-
-/// Does `line` (or the preceding line) carry a
-/// `// lint: allow-<rule>(<reason>)` marker with a non-empty reason?
-fn marker_allows(rule: &str, line: &str, prev: Option<&str>) -> bool {
-    let needle = format!("lint: allow-{rule}(");
-    for candidate in [Some(line), prev].into_iter().flatten() {
-        if let Some(pos) = candidate.find(&needle) {
-            let rest = &candidate[pos + needle.len()..];
-            if let Some(close) = rest.find(')') {
-                if !rest[..close].trim().is_empty() {
-                    return true;
-                }
-            }
+        )?;
+        if let Some(reason) = &self.reason {
+            write!(f, " (waived: {reason})")?;
         }
-    }
-    false
-}
-
-/// The code portion of a line: everything before a `//` comment. Keeps
-/// doc comments and rule explanations from tripping the patterns they
-/// describe. (String literals containing `//` are rare enough in this
-/// workspace that a marker handles them.)
-fn code_part(line: &str) -> &str {
-    match line.find("//") {
-        Some(pos) => &line[..pos],
-        None => line,
+        Ok(())
     }
 }
 
-/// `code` with the contents of string and char literals blanked to
-/// spaces (quotes kept), so the structural scanners — brace-depth
-/// tracking and `fn`-name detection — cannot be derailed by a `{`, `}`,
-/// `;` or `fn ` inside `"..."` or `'{'`. Handles escapes (including
-/// `'\u{..}'`); raw strings and literals spanning lines are out of scope
-/// for this line-based scanner.
-fn mask_literals(code: &str) -> String {
-    let mut out = String::with_capacity(code.len());
-    let mut chars = code.chars().peekable();
-    while let Some(c) = chars.next() {
-        match c {
-            '"' => {
-                out.push('"');
-                let mut escaped = false;
-                for c in chars.by_ref() {
-                    if escaped {
-                        escaped = false;
-                        out.push(' ');
-                    } else if c == '\\' {
-                        escaped = true;
-                        out.push(' ');
-                    } else if c == '"' {
-                        out.push('"');
-                        break;
-                    } else {
-                        out.push(' ');
-                    }
-                }
-            }
-            '\'' => {
-                // Char literal (`'x'`, `'\n'`, `'\u{1F600}'`) vs lifetime
-                // (`'a`, `'static`): a literal's second character is either
-                // a backslash or is followed directly by the closing quote.
-                let mut rest = chars.clone();
-                let is_literal = match rest.next() {
-                    Some('\\') => true,
-                    Some(_) => rest.next() == Some('\''),
-                    None => false,
-                };
-                out.push('\'');
-                if is_literal {
-                    let mut escaped = false;
-                    for c in chars.by_ref() {
-                        if escaped {
-                            escaped = false;
-                            out.push(' ');
-                        } else if c == '\\' {
-                            escaped = true;
-                            out.push(' ');
-                        } else if c == '\'' {
-                            out.push('\'');
-                            break;
-                        } else {
-                            out.push(' ');
-                        }
-                    }
-                }
-            }
-            _ => out.push(c),
-        }
+/// Lint a set of files together. Each entry is
+/// `(workspace-relative path, contents)`; the path decides rule
+/// applicability. Cross-file context (hash-typed identifiers for
+/// `nondet-iter`, the canonical phase order for `barrier-protocol`) is
+/// collected over the whole set, so linting the full workspace is more
+/// precise than file-at-a-time. Findings come back sorted by
+/// `(file, line, rule)` and include waived ones.
+pub fn lint_files(files: &[(String, String)]) -> Vec<Finding> {
+    // The lint's own sources and fixtures would trip every rule.
+    let ctxs: Vec<engine::FileCtx<'_>> = files
+        .iter()
+        .filter(|(rel, _)| !rel.starts_with("crates/lint/"))
+        .map(|(rel, content)| engine::FileCtx::new(rel, content))
+        .collect();
+    let global = engine::Global::collect(&ctxs);
+    let mut findings = Vec::new();
+    for ctx in &ctxs {
+        let mut file_findings = Vec::new();
+        rules::check_file(ctx, &global, &mut file_findings);
+        engine::apply_waivers(ctx, &mut file_findings);
+        findings.extend(file_findings);
     }
-    out
-}
-
-/// The name of a function declared on this line (`fn <name>`), if any.
-fn declared_fn_name(code: &str) -> Option<&str> {
-    let pos = code.find("fn ")?;
-    // Reject identifier-suffix matches like `often `.
-    if pos > 0
-        && code[..pos]
-            .chars()
-            .next_back()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_')
-    {
-        return None;
-    }
-    let rest = code[pos + 3..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
-        .unwrap_or(rest.len());
-    (end > 0).then(|| &rest[..end])
-}
-
-/// Is this function name one of the designated hot kernels
-/// (`*_kernel`, `histogram*`, `scatter*`)?
-fn is_hot_kernel_name(name: &str) -> bool {
-    name.ends_with("_kernel") || name.starts_with("histogram") || name.starts_with("scatter")
-}
-
-/// Extract the first string literal from `rest` (text following
-/// `.expect(`), if it closes on the same line.
-fn first_string_literal(rest: &str) -> Option<&str> {
-    let start = rest.find('"')?;
-    let body = &rest[start + 1..];
-    let mut end = None;
-    let mut escaped = false;
-    for (i, c) in body.char_indices() {
-        match c {
-            '\\' if !escaped => escaped = true,
-            '"' if !escaped => {
-                end = Some(i);
-                break;
-            }
-            _ => escaped = false,
-        }
-    }
-    Some(&body[..end?])
+    let rule_index = |rule: &str| RULES.iter().position(|r| *r == rule).unwrap_or(RULES.len());
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, rule_index(a.rule)).cmp(&(
+            b.file.as_str(),
+            b.line,
+            rule_index(b.rule),
+        ))
+    });
+    findings
 }
 
 /// Lint one file's contents. `relpath` is the workspace-relative path
-/// (forward slashes), which decides rule applicability.
+/// (forward slashes), which decides rule applicability. Cross-file
+/// context degrades gracefully: the canonical phase order falls back to
+/// the built-in default and only hash identifiers declared in this file
+/// are known.
 pub fn lint_file(relpath: &str, content: &str) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    if relpath.starts_with("crates/lint/") {
-        // The lint's own sources and fixtures would trip every rule.
-        return findings;
-    }
-    let in_rdma = relpath.starts_with("crates/rdma/");
-    let in_cluster = relpath.starts_with("crates/cluster/");
-    let is_kernel = relpath == KERNEL;
-    // Integration tests and benches exercise the system from outside; the
-    // library-code rules (unwrap, mr-access, std-sync) do not apply, but
-    // determinism rules (wall-clock, std-thread) still do.
-    let is_test_code_file = {
-        let p = relpath;
-        p.contains("/tests/") || p.contains("/benches/") || p.contains("/examples/")
-    };
-
-    let in_joins = relpath.starts_with("crates/joins/");
-
-    let mut in_test_module = false;
-    let mut prev_line: Option<&str> = None;
-    // Brace-depth tracker for the `hot-alloc` rule: inside a designated
-    // hot-kernel function (`*_kernel`/`histogram*`/`scatter*`) until the
-    // body's braces re-balance.
-    let mut depth: i64 = 0;
-    let mut hot_fn: Option<(i64, bool)> = None; // (entry depth, body opened)
-    for (idx, line) in content.lines().enumerate() {
-        let lineno = idx + 1;
-        if line.trim_start().starts_with("#[cfg(test)]") {
-            // Everything from the unit-test module on is test code. (The
-            // workspace convention puts `mod tests` last in each file.)
-            in_test_module = true;
-        }
-        let code = code_part(line);
-        // Structure (brace depth, fn-name detection) is tracked on a
-        // literal-masked view, so a `{` inside a string or char literal
-        // cannot mis-scope the hot-fn tracker for the rest of the file.
-        let masked = mask_literals(code);
-        let test_code = in_test_module || is_test_code_file;
-
-        if in_joins && !test_code && hot_fn.is_none() {
-            if let Some(name) = declared_fn_name(&masked) {
-                if is_hot_kernel_name(name) {
-                    hot_fn = Some((depth, false));
-                }
-            }
-        }
-        let in_hot_fn =
-            hot_fn.is_some_and(|(_, opened)| opened) || (hot_fn.is_some() && masked.contains('{'));
-        for c in masked.chars() {
-            match c {
-                '{' => depth += 1,
-                '}' => depth -= 1,
-                _ => {}
-            }
-        }
-        if let Some((entry, opened)) = &mut hot_fn {
-            if depth > *entry {
-                *opened = true;
-            } else if *opened || masked.contains(';') {
-                // Body closed (or a bodyless signature): leave the fn.
-                hot_fn = None;
-            }
-        }
-
-        let mut check = |rule: &'static str, hit: bool, message: String| {
-            if hit && !marker_allows(rule, line, prev_line) {
-                findings.push(Finding {
-                    file: relpath.to_string(),
-                    line: lineno,
-                    rule,
-                    message,
-                });
-            }
-        };
-
-        // Determinism rules: everywhere, including tests.
-        check(
-            "std-thread",
-            !is_kernel && (code.contains("std::thread::spawn") || code.contains("thread::spawn(")),
-            "OS thread creation in simulated code; spawn an rsj-sim task instead".to_string(),
-        );
-        check(
-            "wall-clock",
-            code.contains("std::time::Instant")
-                || code.contains("std::time::SystemTime")
-                || code.contains("Instant::now(")
-                || code.contains("SystemTime::now("),
-            "wall-clock read breaks deterministic simulation; use SimCtx::now()".to_string(),
-        );
-
-        // Hot-kernel allocation rule: the partitioning and probe loops
-        // run once per tuple per pass; an allocation there is a
-        // per-call cost the SWWC design exists to avoid.
-        check(
-            "hot-alloc",
-            in_hot_fn && (code.contains("vec!") || code.contains("Vec::new")),
-            "allocation inside a hot kernel; move the buffer into the owning struct \
-             (e.g. Partitioner scratch) and reuse it across calls"
-                .to_string(),
-        );
-
-        // Library-code rules: skip tests and benches.
-        if !test_code {
-            check(
-                "std-sync",
-                !is_kernel
-                    && [
-                        "std::sync::Mutex",
-                        "std::sync::Barrier",
-                        "std::sync::Condvar",
-                    ]
-                    .iter()
-                    .any(|p| code.contains(p)),
-                "OS sync primitive invisible to the simulation kernel; use parking_lot::Mutex \
-                 for data, rsj-sim primitives for waiting"
-                    .to_string(),
-            );
-            check(
-                "mr-access",
-                !in_rdma
-                    && [".take_data(", ".with_data(", ".dma_write("]
-                        .iter()
-                        .any(|p| code.contains(p)),
-                "direct Mr byte access outside rsj-rdma bypasses the verbs contract validator"
-                    .to_string(),
-            );
-            check(
-                "unwrap",
-                code.contains(".unwrap()"),
-                "unwrap() in library code; state the broken invariant with expect(), or add a \
-                 lint marker with the reason it cannot fail"
-                    .to_string(),
-            );
-            if let Some(pos) = code.find(".expect(") {
-                if let Some(msg) = first_string_literal(&code[pos + ".expect(".len()..]) {
-                    check(
-                        "unwrap",
-                        msg.len() < MIN_EXPECT_LEN,
-                        format!("non-descriptive expect message {msg:?}; say what invariant broke"),
-                    );
-                }
-            }
-            // Fault-plane rule: the fabric's post/poll APIs return typed
-            // errors so phase code can abort cleanly (DESIGN.md §8);
-            // panicking on them in library code reintroduces the
-            // crash-the-whole-simulation failure mode the fault plane
-            // exists to remove.
-            check(
-                "fabric-panic",
-                [
-                    "wait(ctx).unwrap()",
-                    "wait(ctx).expect(",
-                    "recv(ctx).unwrap()",
-                    "recv(ctx).expect(",
-                    "admit(ctx).unwrap()",
-                    "admit(ctx).expect(",
-                    "drain(ctx).unwrap()",
-                    "drain(ctx).expect(",
-                ]
-                .iter()
-                .any(|p| code.contains(p)),
-                "panic on a fallible fabric post/poll result in library code; propagate the \
-                 error as a JoinError so the run aborts cleanly instead of crashing"
-                    .to_string(),
-            );
-            // Barrier-namespace rule (DESIGN.md §9): barrier names form
-            // the per-query namespace `(QueryId, name)` and drive phase
-            // attribution in `PhaseTimes::from_events`; phase code
-            // outside crates/cluster must name barriers through the
-            // `rsj_cluster::phase` constants, never ad-hoc literals.
-            check(
-                "barrier-name",
-                !in_cluster
-                    && code
-                        .find("sync_named(")
-                        .is_some_and(|pos| code[pos..].contains('"')),
-                "raw barrier-name string at a sync_named call site; use the rsj_cluster::phase \
-                 constants so the (QueryId, phase) namespace stays canonical"
-                    .to_string(),
-            );
-        }
-        prev_line = Some(line);
-    }
-    findings
+    lint_files(&[(relpath.to_string(), content.to_string())])
 }
 
 /// Recursively collect `.rs` files under `dir`, sorted for stable output.
@@ -409,19 +144,19 @@ fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 /// Lint every `.rs` file under `<root>/crates`. `root` is the workspace
 /// root (the directory holding the workspace `Cargo.toml`).
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut files = Vec::new();
-    rs_files(&root.join("crates"), &mut files)?;
-    let mut findings = Vec::new();
-    for path in files {
+    let mut paths = Vec::new();
+    rs_files(&root.join("crates"), &mut paths)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
         let content = fs::read_to_string(&path)?;
-        findings.extend(lint_file(&rel, &content));
+        files.push((rel, content));
     }
-    Ok(findings)
+    Ok(lint_files(&files))
 }
 
 /// Walk up from `start` to the directory whose `Cargo.toml` declares
@@ -445,15 +180,24 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 mod tests {
     use super::*;
 
-    fn rules(findings: &[Finding]) -> Vec<&'static str> {
-        findings.iter().map(|f| f.rule).collect()
+    /// Rule names of the unwaived findings, in order.
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings
+            .iter()
+            .filter(|f| !f.waived)
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    fn unwaived(findings: Vec<Finding>) -> Vec<Finding> {
+        findings.into_iter().filter(|f| !f.waived).collect()
     }
 
     #[test]
     fn catches_std_thread_spawn() {
         let src = "fn f() {\n    std::thread::spawn(|| {});\n}\n";
         let f = lint_file("crates/core/src/driver.rs", src);
-        assert_eq!(rules(&f), ["std-thread"]);
+        assert_eq!(rules_of(&f), ["std-thread"]);
         assert_eq!(f[0].line, 2);
     }
 
@@ -462,7 +206,7 @@ mod tests {
         let src = "use std::sync::Mutex;\nstd::thread::spawn(|| {});\n";
         assert!(lint_file("crates/sim/src/kernel.rs", src).is_empty());
         assert_eq!(
-            rules(&lint_file("crates/sim/src/lib.rs", src)),
+            rules_of(&lint_file("crates/sim/src/lib.rs", src)),
             ["std-sync", "std-thread"]
         );
     }
@@ -472,8 +216,14 @@ mod tests {
         for ty in ["Mutex", "Barrier", "Condvar"] {
             let src = format!("use std::sync::{ty};\n");
             let f = lint_file("crates/joins/src/lib.rs", &src);
-            assert_eq!(rules(&f), ["std-sync"], "{ty}");
+            assert_eq!(rules_of(&f), ["std-sync"], "{ty}");
         }
+        // Brace imports are seen too (the line scanner missed these).
+        let brace = "use std::sync::{Arc, Mutex};\n";
+        assert_eq!(
+            rules_of(&lint_file("crates/joins/src/lib.rs", brace)),
+            ["std-sync"]
+        );
         // Non-blocking std::sync items stay allowed.
         let ok = "use std::sync::Arc;\nuse std::sync::atomic::AtomicUsize;\n";
         assert!(lint_file("crates/joins/src/lib.rs", ok).is_empty());
@@ -484,10 +234,10 @@ mod tests {
         let src =
             "#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::Instant::now(); }\n}\n";
         let f = lint_file("crates/model/src/lib.rs", src);
-        assert_eq!(rules(&f), ["wall-clock"]);
+        assert_eq!(rules_of(&f), ["wall-clock"]);
         let bench = "fn b() { let t0 = Instant::now(); }\n";
         assert_eq!(
-            rules(&lint_file("crates/bench/benches/kernels.rs", bench)),
+            rules_of(&lint_file("crates/bench/benches/kernels.rs", bench)),
             ["wall-clock"]
         );
         // Duration is not a clock read.
@@ -502,7 +252,7 @@ mod tests {
     fn catches_mr_byte_access_outside_rdma() {
         let src = "fn f(mr: &Mr) { let _ = mr.take_data(); }\n";
         assert_eq!(
-            rules(&lint_file("crates/core/src/phases/local.rs", src)),
+            rules_of(&lint_file("crates/core/src/phases/local.rs", src)),
             ["mr-access"]
         );
         // Inside rsj-rdma the access is the implementation, not a bypass.
@@ -513,7 +263,7 @@ mod tests {
     fn catches_unwrap_and_short_expect_in_library_code() {
         let src = "fn f() {\n    let x = y.unwrap();\n    let z = w.expect(\"oops\");\n}\n";
         let f = lint_file("crates/cluster/src/wire.rs", src);
-        assert_eq!(rules(&f), ["unwrap", "unwrap"]);
+        assert_eq!(rules_of(&f), ["unwrap", "unwrap"]);
         assert!(f[1].message.contains("non-descriptive"));
         let ok = "fn f() { let z = w.expect(\"histogram phase incomplete\"); }\n";
         assert!(lint_file("crates/cluster/src/wire.rs", ok).is_empty());
@@ -532,12 +282,12 @@ mod tests {
         // results: library code must propagate the typed error.
         let src = "fn f() {\n    let c = nic.recv(ctx).expect(\"peer sent the histogram\");\n}\n";
         assert_eq!(
-            rules(&lint_file("crates/core/src/x.rs", src)),
+            rules_of(&lint_file("crates/core/src/x.rs", src)),
             ["fabric-panic"]
         );
         let src = "fn f() {\n    window.drain(ctx).unwrap();\n}\n";
         // The generic unwrap rule fires too; the fabric rule names the fix.
-        assert!(rules(&lint_file("crates/operators/src/x.rs", src)).contains(&"fabric-panic"));
+        assert!(rules_of(&lint_file("crates/operators/src/x.rs", src)).contains(&"fabric-panic"));
         // Propagation is clean.
         let ok = "fn f() -> Result<(), JoinError> {\n    window.drain(ctx).map_err(fab)?;\n    Ok(())\n}\n";
         assert!(lint_file("crates/operators/src/x.rs", ok).is_empty());
@@ -551,12 +301,12 @@ mod tests {
         // A literal name bypasses the phase-constant namespace.
         let src = "fn f() -> Result<(), JoinError> {\n    rt.try_sync_named(ctx, \"histogram\", mach)?;\n    Ok(())\n}\n";
         let f = lint_file("crates/operators/src/sort_merge.rs", src);
-        assert_eq!(rules(&f), ["barrier-name"]);
+        assert_eq!(rules_of(&f), ["barrier-name"]);
         assert_eq!(f[0].line, 2);
         // The infallible wrapper is covered by the same pattern.
         let sync = "fn f() {\n    rt.sync_named(ctx, \"drain\", mach);\n}\n";
         assert_eq!(
-            rules(&lint_file("crates/core/src/phases/network.rs", sync)),
+            rules_of(&lint_file("crates/core/src/phases/network.rs", sync)),
             ["barrier-name"]
         );
         // Naming the barrier through the phase constants is the fix.
@@ -575,9 +325,16 @@ mod tests {
         assert!(lint_file("crates/operators/tests/service.rs", src).is_empty());
         let test_mod = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
         assert!(lint_file("crates/operators/src/x.rs", &test_mod).is_empty());
-        // A waiver with a reason applies.
+        // A waiver with a reason applies; the finding is kept but waived.
         let waived = "fn f() {\n    // lint: allow-barrier-name(one-off drain point, not a phase)\n    rt.sync_named(ctx, \"drain\", mach);\n}\n";
-        assert!(lint_file("crates/operators/src/x.rs", waived).is_empty());
+        let f = lint_file("crates/operators/src/x.rs", waived);
+        assert!(rules_of(&f).is_empty());
+        assert_eq!(f.len(), 1);
+        assert!(f[0].waived);
+        assert_eq!(
+            f[0].reason.as_deref(),
+            Some("one-off drain point, not a phase")
+        );
         // Mentioning sync_named in a comment does not trip the rule.
         let comment = "// call sync_named(ctx, \"name\", mach) with a phase constant\n";
         assert!(lint_file("crates/operators/src/x.rs", comment).is_empty());
@@ -585,21 +342,29 @@ mod tests {
 
     #[test]
     fn marker_with_reason_waives_a_rule() {
-        let same_line = "let x = y.unwrap(); // lint: allow-unwrap(checked len above)\n";
-        assert!(lint_file("crates/core/src/lib.rs", same_line).is_empty());
-        let prev_line = "// lint: allow-unwrap(poll loop guarantees Some)\nlet x = y.unwrap();\n";
-        assert!(lint_file("crates/core/src/lib.rs", prev_line).is_empty());
+        let same_line = "fn f() { let x = y.unwrap(); } // lint: allow-unwrap(checked len above)\n";
+        assert!(unwaived(lint_file("crates/core/src/lib.rs", same_line)).is_empty());
+        let prev_line =
+            "fn f() {\n    // lint: allow-unwrap(poll loop guarantees Some)\n    let x = y.unwrap();\n}\n";
+        assert!(unwaived(lint_file("crates/core/src/lib.rs", prev_line)).is_empty());
         // An empty reason does not count...
-        let empty = "let x = y.unwrap(); // lint: allow-unwrap()\n";
+        let empty = "fn f() { let x = y.unwrap(); } // lint: allow-unwrap()\n";
         assert_eq!(
-            rules(&lint_file("crates/core/src/lib.rs", empty)),
+            rules_of(&lint_file("crates/core/src/lib.rs", empty)),
             ["unwrap"]
         );
         // ...and a marker for one rule does not waive another.
-        let wrong = "std::thread::spawn(f); // lint: allow-unwrap(whatever)\n";
+        let wrong = "fn f() { std::thread::spawn(g); } // lint: allow-unwrap(whatever)\n";
         assert_eq!(
-            rules(&lint_file("crates/core/src/lib.rs", wrong)),
+            rules_of(&lint_file("crates/core/src/lib.rs", wrong)),
             ["std-thread"]
+        );
+        // A marker inside a string literal is not a waiver.
+        let in_string =
+            "fn f() {\n    let s = \"lint: allow-unwrap(not a comment)\";\n    let x = y.unwrap();\n}\n";
+        assert_eq!(
+            rules_of(&lint_file("crates/core/src/lib.rs", in_string)),
+            ["unwrap"]
         );
     }
 
@@ -608,18 +373,18 @@ mod tests {
         let src =
             "fn scatter_pass(n: usize) {\n    let buf = Vec::new();\n    let v = vec![0; n];\n}\n";
         let f = lint_file("crates/joins/src/radix.rs", src);
-        assert_eq!(rules(&f), ["hot-alloc", "hot-alloc"]);
+        assert_eq!(rules_of(&f), ["hot-alloc", "hot-alloc"]);
         assert_eq!((f[0].line, f[1].line), (2, 3));
         // Multi-line signatures still enter the function body.
         let multi = "fn histogram_into(\n    tuples: &[u64],\n) {\n    let h = Vec::new();\n}\n";
         assert_eq!(
-            rules(&lint_file("crates/joins/src/radix.rs", multi)),
+            rules_of(&lint_file("crates/joins/src/radix.rs", multi)),
             ["hot-alloc"]
         );
         // `*_kernel` names count too.
         let kernel = "fn probe_kernel() {\n    let v = vec![1];\n}\n";
         assert_eq!(
-            rules(&lint_file("crates/joins/src/hash_table.rs", kernel)),
+            rules_of(&lint_file("crates/joins/src/hash_table.rs", kernel)),
             ["hot-alloc"]
         );
     }
@@ -637,11 +402,11 @@ mod tests {
         assert!(lint_file("crates/joins/src/radix.rs", test).is_empty());
         // A waiver with a reason applies, same as every other rule.
         let waived = "fn histogram() {\n    // lint: allow-hot-alloc(one-shot wrapper)\n    let v = Vec::new();\n}\n";
-        assert!(lint_file("crates/joins/src/radix.rs", waived).is_empty());
+        assert!(unwaived(lint_file("crates/joins/src/radix.rs", waived)).is_empty());
     }
 
     #[test]
-    fn braces_inside_literals_do_not_confuse_hot_fn_scoping() {
+    fn literals_do_not_confuse_structure_or_rules() {
         // An unbalanced `{` in a string inside a hot kernel must not leave
         // the tracker stuck on, flagging allocations in later functions.
         let open = "fn scatter_pass() {\n    let s = \"{\";\n    flush();\n}\n\
@@ -650,24 +415,33 @@ mod tests {
         // An unbalanced `}` in a char literal must not end the hot fn early.
         let close = "fn histogram() {\n    let c = '}';\n    let v = Vec::new();\n}\n";
         let f = lint_file("crates/joins/src/radix.rs", close);
-        assert_eq!(rules(&f), ["hot-alloc"]);
+        assert_eq!(rules_of(&f), ["hot-alloc"]);
         assert_eq!(f[0].line, 3);
         // `'\u{..}'` escapes contain braces too.
         let esc = "fn histogram() {\n    let c = '\\u{7B}';\n    let v = vec![0];\n}\n";
         assert_eq!(
-            rules(&lint_file("crates/joins/src/radix.rs", esc)),
+            rules_of(&lint_file("crates/joins/src/radix.rs", esc)),
             ["hot-alloc"]
         );
         // Lifetimes are not char literals; the signature still opens a body.
         let lt = "fn scatter_into<'a>(out: &'a mut [u64]) {\n    let v = Vec::new();\n}\n";
         assert_eq!(
-            rules(&lint_file("crates/joins/src/radix.rs", lt)),
+            rules_of(&lint_file("crates/joins/src/radix.rs", lt)),
             ["hot-alloc"]
         );
         // A `fn` keyword inside a string is not a declaration.
         let fake = "fn helper() {\n    let s = \"fn scatter_x() {\";\n}\n\
                     fn other() {\n    let v = Vec::new();\n}\n";
         assert!(lint_file("crates/joins/src/radix.rs", fake).is_empty());
+        // Rule patterns inside raw strings do not fire (the line scanner's
+        // masking bug): the raw string below contains `.unwrap()` and an
+        // unbalanced quote that would derail a line-based masker.
+        let raw =
+            "fn f() -> String {\n    r#\"x.unwrap() \" std::thread::spawn\"#.to_string()\n}\n";
+        assert!(lint_file("crates/core/src/lib.rs", raw).is_empty());
+        // Same for multi-line block comments, nested ones included.
+        let block = "fn f() {}\n/* x.unwrap()\n   /* std::sync::Mutex */\n   Instant::now() */\nfn g() {}\n";
+        assert!(lint_file("crates/core/src/lib.rs", block).is_empty());
     }
 
     #[test]
@@ -682,5 +456,203 @@ mod tests {
     fn lint_ignores_its_own_sources() {
         let src = "std::thread::spawn(|| x.unwrap());\n";
         assert!(lint_file("crates/lint/src/fixtures.rs", src).is_empty());
+    }
+
+    // ---- nondet-iter ----
+
+    #[test]
+    fn nondet_iter_flags_hash_iteration_in_library_code() {
+        let src = "fn f() {\n    let mut m: HashMap<u64, u64> = HashMap::new();\n    \
+                   for (k, v) in &m {\n        emit(k, v);\n    }\n}\n";
+        let f = lint_file("crates/operators/src/x.rs", src);
+        assert_eq!(rules_of(&f), ["nondet-iter"]);
+        assert_eq!(f[0].line, 3);
+        // Draining through an iterator method is the same hazard.
+        let drain = "fn f(groups: &mut HashMap<u64, u64>) {\n    \
+                     for (k, v) in groups.drain() {\n        emit(k, v);\n    }\n}\n";
+        assert_eq!(
+            rules_of(&lint_file("crates/operators/src/x.rs", drain)),
+            ["nondet-iter"]
+        );
+        // `.keys()` feeding an order-sensitive consumer.
+        let keys = "fn f(seen: &HashSet<u64>) {\n    \
+                    for k in seen.iter() {\n        emit(*k);\n    }\n}\n";
+        assert_eq!(
+            rules_of(&lint_file("crates/core/src/x.rs", keys)),
+            ["nondet-iter"]
+        );
+    }
+
+    #[test]
+    fn nondet_iter_skips_ordered_containers_and_order_free_sinks() {
+        // BTreeMap iteration is deterministic.
+        let btree =
+            "fn f(m: &BTreeMap<u64, u64>) {\n    for (k, v) in m.iter() { emit(k, v); }\n}\n";
+        assert!(lint_file("crates/operators/src/x.rs", btree).is_empty());
+        // Commutative chain-terminal folds are order-independent.
+        let sum = "fn f(m: &HashMap<u64, u64>) -> u64 {\n    m.values().sum()\n}\n";
+        assert!(lint_file("crates/operators/src/x.rs", sum).is_empty());
+        // Collect-then-sort is the sanctioned pattern.
+        let sorted = "fn f(m: &HashMap<u64, u64>) {\n    \
+                      let mut keys: Vec<u64> = m.keys().copied().collect();\n    \
+                      keys.sort_unstable();\n    for k in keys { emit(k); }\n}\n";
+        assert!(lint_file("crates/core/src/x.rs", sorted).is_empty());
+        // Collecting into another map is insertion, not ordered output.
+        let remap = "fn f(m: &HashMap<u64, u64>) -> HashMap<u64, u64> {\n    \
+                     m.iter().map(|(k, v)| (*k, v + 1)).collect::<HashMap<u64, u64>>()\n}\n";
+        assert!(lint_file("crates/core/src/x.rs", remap).is_empty());
+        // Tests and the sim kernel are out of scope.
+        let test = "#[cfg(test)]\nmod tests {\n    fn t(m: &HashMap<u64, u64>) { for k in m.keys() { emit(k); } }\n}\n";
+        assert!(lint_file("crates/operators/src/x.rs", test).is_empty());
+        // A waiver applies like every other rule.
+        let waived = "fn f(m: &HashMap<u64, u64>) {\n    \
+                      // lint: allow-nondet-iter(order folded into a commutative checksum)\n    \
+                      for (k, v) in m.iter() { fold(k, v); }\n}\n";
+        assert!(unwaived(lint_file("crates/core/src/x.rs", waived)).is_empty());
+    }
+
+    #[test]
+    fn nondet_iter_tracks_identifiers_across_files() {
+        // The field is declared hash-typed in one file and iterated in
+        // another; single-file linting cannot see that, lint_files can.
+        let decl = "pub struct Registry {\n    pub slots: HashMap<u32, u64>,\n}\n";
+        let user =
+            "fn f(r: &Registry) {\n    for v in r.slots.values() {\n        emit(*v);\n    }\n}\n";
+        let f = lint_files(&[
+            ("crates/rdma/src/registry.rs".to_string(), decl.to_string()),
+            ("crates/core/src/user.rs".to_string(), user.to_string()),
+        ]);
+        assert_eq!(rules_of(&f), ["nondet-iter"]);
+        assert_eq!(f[0].file, "crates/core/src/user.rs");
+    }
+
+    // ---- barrier-protocol ----
+
+    #[test]
+    fn barrier_protocol_flags_conditionally_reached_barriers() {
+        let src = "fn worker() -> Result<(), JoinError> {\n    \
+                   if is_head {\n        rt.try_sync_named(ctx, phase::HISTOGRAM, m)?;\n    }\n    \
+                   rt.try_sync_named(ctx, phase::BUILD_PROBE, m)?;\n    Ok(())\n}\n";
+        let f = lint_file("crates/operators/src/x.rs", src);
+        assert_eq!(rules_of(&f), ["barrier-protocol"]);
+        assert!(f[0].message.contains("HISTOGRAM"));
+        assert!(f[0].message.contains("some control-flow paths"));
+        // All barriers unconditional: clean.
+        let ok = "fn worker() -> Result<(), JoinError> {\n    \
+                  rt.try_sync_named(ctx, phase::HISTOGRAM, m)?;\n    \
+                  rt.try_sync_named(ctx, phase::BUILD_PROBE, m)?;\n    Ok(())\n}\n";
+        assert!(lint_file("crates/operators/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn barrier_protocol_flags_early_returns_that_skip_barriers() {
+        let src = "fn worker() -> Result<(), JoinError> {\n    \
+                   if input.is_empty() {\n        return Ok(());\n    }\n    \
+                   rt.try_sync_named(ctx, phase::HISTOGRAM, m)?;\n    Ok(())\n}\n";
+        let f = lint_file("crates/core/src/phases/x.rs", src);
+        assert_eq!(rules_of(&f), ["barrier-protocol"]);
+        assert!(f[0].message.contains("early `return`"));
+        // `return Err(...)` aborts the query and poisons its barriers, so
+        // skipping the rest is the designed behavior — exempt. Same for
+        // `?` propagation (no `return` token at all).
+        let err = "fn worker() -> Result<(), JoinError> {\n    \
+                   if bad {\n        return Err(JoinError::fabric(q, h, e));\n    }\n    \
+                   rt.try_sync_named(ctx, phase::HISTOGRAM, m)?;\n    Ok(())\n}\n";
+        assert!(lint_file("crates/core/src/phases/x.rs", err).is_empty());
+    }
+
+    #[test]
+    fn barrier_protocol_enforces_canonical_phase_order() {
+        let src = "fn worker() -> Result<(), JoinError> {\n    \
+                   rt.try_sync_named(ctx, phase::BUILD_PROBE, m)?;\n    \
+                   rt.try_sync_named(ctx, phase::HISTOGRAM, m)?;\n    Ok(())\n}\n";
+        let f = lint_file("crates/operators/src/x.rs", src);
+        assert_eq!(rules_of(&f), ["barrier-protocol"]);
+        assert!(f[0].message.contains("canonical phase order"));
+        // Unknown constants are flagged too.
+        let unknown = "fn worker() -> Result<(), JoinError> {\n    \
+                       rt.try_sync_named(ctx, phase::SHUFFLE, m)?;\n    Ok(())\n}\n";
+        let f = lint_file("crates/operators/src/x.rs", unknown);
+        assert_eq!(rules_of(&f), ["barrier-protocol"]);
+        assert!(f[0].message.contains("unknown phase constant"));
+        // Outside crates/{core,operators} the rule does not apply.
+        let elsewhere = "fn worker() -> Result<(), JoinError> {\n    \
+                         if x {\n        rt.try_sync_named(ctx, phase::HISTOGRAM, m)?;\n    }\n    Ok(())\n}\n";
+        assert!(lint_file("crates/workload/src/x.rs", elsewhere).is_empty());
+    }
+
+    #[test]
+    fn barrier_protocol_reads_the_canonical_order_from_phase_rs() {
+        // With phase.rs in the file set, its declaration order wins over
+        // the built-in default.
+        let phase_rs = "pub const ALPHA: &str = \"alpha\";\npub const BETA: &str = \"beta\";\n";
+        let ok = "fn worker() -> Result<(), JoinError> {\n    \
+                  rt.try_sync_named(ctx, phase::ALPHA, m)?;\n    \
+                  rt.try_sync_named(ctx, phase::BETA, m)?;\n    Ok(())\n}\n";
+        let f = lint_files(&[
+            (
+                "crates/cluster/src/phase.rs".to_string(),
+                phase_rs.to_string(),
+            ),
+            ("crates/operators/src/x.rs".to_string(), ok.to_string()),
+        ]);
+        assert!(f.is_empty());
+        let bad = "fn worker() -> Result<(), JoinError> {\n    \
+                   rt.try_sync_named(ctx, phase::BETA, m)?;\n    \
+                   rt.try_sync_named(ctx, phase::ALPHA, m)?;\n    Ok(())\n}\n";
+        let f = lint_files(&[
+            (
+                "crates/cluster/src/phase.rs".to_string(),
+                phase_rs.to_string(),
+            ),
+            ("crates/operators/src/x.rs".to_string(), bad.to_string()),
+        ]);
+        assert_eq!(rules_of(&f), ["barrier-protocol"]);
+    }
+
+    // ---- error-swallow ----
+
+    #[test]
+    fn error_swallow_flags_discarded_fabric_results() {
+        let let_discard = "fn f() {\n    let _ = window.drain(ctx);\n}\n";
+        let f = lint_file("crates/rdma/src/x.rs", let_discard);
+        assert_eq!(rules_of(&f), ["error-swallow"]);
+        assert_eq!(f[0].line, 2);
+        let ok_swallow = "fn f() {\n    nic.recv(ctx).ok();\n}\n";
+        assert_eq!(
+            rules_of(&lint_file("crates/rdma/src/x.rs", ok_swallow)),
+            ["error-swallow"]
+        );
+        let bare = "fn f() {\n    handle.wait(ctx);\n}\n";
+        assert_eq!(
+            rules_of(&lint_file("crates/rdma/src/x.rs", bare)),
+            ["error-swallow"]
+        );
+        // Barrier results are in scope too.
+        let barrier = "fn f() {\n    rt.try_sync_named(ctx, phase::HISTOGRAM, m).ok();\n}\n";
+        assert_eq!(
+            rules_of(&lint_file("crates/workload/src/x.rs", barrier)),
+            ["error-swallow"]
+        );
+    }
+
+    #[test]
+    fn error_swallow_accepts_propagation_matching_and_tests() {
+        let propagate = "fn f() -> Result<(), JoinError> {\n    \
+                         let c = window.drain(ctx).map_err(fab)?;\n    use_it(c);\n    Ok(())\n}\n";
+        assert!(lint_file("crates/rdma/src/x.rs", propagate).is_empty());
+        let matched = "fn f() {\n    match nic.recv(ctx) {\n        Ok(c) => use_it(c),\n        \
+                       Err(e) => record(e),\n    }\n}\n";
+        assert!(lint_file("crates/rdma/src/x.rs", matched).is_empty());
+        let bound = "fn f() {\n    let res = handle.wait(ctx);\n    inspect(res);\n}\n";
+        assert!(lint_file("crates/rdma/src/x.rs", bound).is_empty());
+        // Tests may discard freely.
+        let test = "fn t() { let _ = window.drain(ctx); }\n";
+        assert!(lint_file("crates/rdma/tests/x.rs", test).is_empty());
+        // A waiver applies.
+        let waived = "fn f() {\n    \
+                      // lint: allow-error-swallow(teardown path, errors already recorded)\n    \
+                      let _ = window.drain(ctx);\n}\n";
+        assert!(unwaived(lint_file("crates/rdma/src/x.rs", waived)).is_empty());
     }
 }

@@ -1,0 +1,6 @@
+// Fixture: barrier-name — raw string at a sync site. Linted as crates/operators/src/b.rs.
+
+pub fn sync_all(rt: &Runtime, ctx: &SimCtx, m: usize) -> Result<(), JoinError> {
+    rt.try_sync_named(ctx, "histogram", m)?;
+    Ok(())
+}

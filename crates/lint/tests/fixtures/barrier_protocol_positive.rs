@@ -1,0 +1,29 @@
+// Fixture: barrier-protocol positives. Linted as
+// crates/operators/src/bp_pos.rs.
+
+pub fn conditional_barrier(rt: &Runtime, ctx: &SimCtx, m: usize, head: bool) -> Result<(), JoinError> {
+    if head {
+        rt.try_sync_named(ctx, phase::HISTOGRAM, m)?;
+    }
+    rt.try_sync_named(ctx, phase::BUILD_PROBE, m)?;
+    Ok(())
+}
+
+pub fn out_of_order(rt: &Runtime, ctx: &SimCtx, m: usize) -> Result<(), JoinError> {
+    rt.try_sync_named(ctx, phase::LOCAL_PARTITION, m)?;
+    rt.try_sync_named(ctx, phase::NETWORK_PARTITION, m)?;
+    Ok(())
+}
+
+pub fn early_exit(rt: &Runtime, ctx: &SimCtx, m: usize, empty: bool) -> Result<(), JoinError> {
+    if empty {
+        return Ok(());
+    }
+    rt.try_sync_named(ctx, phase::HISTOGRAM, m)?;
+    Ok(())
+}
+
+pub fn unknown_phase(rt: &Runtime, ctx: &SimCtx, m: usize) -> Result<(), JoinError> {
+    rt.try_sync_named(ctx, phase::SHUFFLE, m)?;
+    Ok(())
+}

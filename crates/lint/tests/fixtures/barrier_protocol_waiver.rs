@@ -1,0 +1,11 @@
+// Fixture: barrier-protocol waiver — a conditionally-skipped barrier
+// with a reviewed justification. Linted as
+// crates/operators/src/bp_waiver.rs.
+
+pub fn head_only_sync(rt: &Runtime, ctx: &SimCtx, m: usize, head: bool) -> Result<(), JoinError> {
+    if head {
+        // lint: allow-barrier-protocol(head-only coordination point; peers never park on it)
+        rt.try_sync_named(ctx, phase::HISTOGRAM, m)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,19 @@
+// Fixture: error-swallow negatives — propagate, match, or bind the
+// result. Linted as crates/rdma/src/es_neg.rs.
+
+pub fn propagate(window: &SendWindow, ctx: &SimCtx) -> Result<(), FabricError> {
+    window.drain(ctx)?;
+    Ok(())
+}
+
+pub fn matched(nic: &Nic, ctx: &SimCtx) {
+    match nic.recv(ctx) {
+        Ok(c) => consume(c),
+        Err(e) => record(e),
+    }
+}
+
+pub fn bound(handle: SendHandle, ctx: &SimCtx) -> bool {
+    let res = handle.wait(ctx);
+    res.is_ok()
+}

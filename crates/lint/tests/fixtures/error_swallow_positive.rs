@@ -1,0 +1,14 @@
+// Fixture: error-swallow positives. Linted as crates/rdma/src/es_pos.rs.
+
+pub fn teardown(window: &SendWindow, nic: &Nic, ctx: &SimCtx) {
+    let _ = window.drain(ctx);
+    nic.recv(ctx).ok();
+}
+
+pub fn fire_and_forget(handle: &SendHandle, ctx: &SimCtx) {
+    handle.wait(ctx);
+}
+
+pub fn quiet_barrier(rt: &Runtime, ctx: &SimCtx, m: usize) {
+    rt.try_sync_quiet(ctx, m).ok();
+}

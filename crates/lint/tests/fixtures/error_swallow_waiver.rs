@@ -1,0 +1,6 @@
+// Fixture: error-swallow waiver. Linted as crates/rdma/src/es_waiver.rs.
+
+pub fn quiesce(window: &SendWindow, ctx: &SimCtx) {
+    // lint: allow-error-swallow(teardown path; errors were already recorded by the validator)
+    let _ = window.drain(ctx);
+}

@@ -1,0 +1,5 @@
+// Fixture: fabric-panic — panic on a fabric result. Linted as crates/operators/src/f.rs.
+
+pub fn flush(window: &SendWindow, ctx: &SimCtx) {
+    window.drain(ctx).unwrap();
+}

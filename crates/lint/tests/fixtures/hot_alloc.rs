@@ -1,0 +1,12 @@
+// Fixture: hot-alloc — allocation inside a designated hot kernel.
+// Linted as crates/joins/src/h.rs.
+
+pub fn scatter_pass(input: &[u64], out: &mut [u64]) {
+    let scratch: Vec<u64> = Vec::new();
+    drop(scratch);
+    out[0] = input[0];
+}
+
+pub fn plan_buffers() -> Vec<u64> {
+    Vec::new()
+}

@@ -1,0 +1,24 @@
+// Fixture: literal masking — rule patterns inside strings, raw strings,
+// chars, and nested block comments must never fire. Linted as
+// crates/core/src/masking.rs.
+
+pub fn doc_blob() -> &'static str {
+    r#"std::thread::spawn(|| {}); x.unwrap(); map.keys()"#
+}
+
+pub fn hash_guard_blob() -> &'static str {
+    r##"Instant::now() and "nested # quotes" and window.drain(ctx).unwrap()"##
+}
+
+/* outer comment
+   /* nested: std::sync::Mutex, let _ = window.drain(ctx); */
+   still inside: SystemTime::now()
+*/
+
+pub fn braces_in_chars() -> (char, u8) {
+    ('{', b'}')
+}
+
+pub fn byte_blob() -> &'static [u8] {
+    b"vec! inside bytes and x.unwrap()"
+}

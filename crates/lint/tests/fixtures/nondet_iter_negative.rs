@@ -1,0 +1,43 @@
+// Fixture: nondet-iter negatives — ordered containers and
+// order-independent sinks. Linted as crates/operators/src/y.rs.
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Counters {
+    pub totals: HashMap<u64, u64>,
+    pub ordered: BTreeMap<u64, u64>,
+}
+
+pub fn total(c: &Counters) -> u64 {
+    c.totals.values().sum()
+}
+
+pub fn group_count(c: &Counters) -> usize {
+    c.totals.keys().count()
+}
+
+pub fn sorted_keys(c: &Counters) -> Vec<u64> {
+    let mut keys: Vec<u64> = c.totals.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+pub fn rebucket(c: &Counters) -> HashMap<u64, u64> {
+    c.totals.iter().map(|(k, v)| (*k, v * 2)).collect::<HashMap<u64, u64>>()
+}
+
+pub fn ordered_scan(c: &Counters, out: &mut Vec<u64>) {
+    for (k, _) in c.ordered.iter() {
+        out.push(*k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub fn scan_in_test(c: &Counters, out: &mut Vec<u64>) {
+        for k in c.totals.keys() {
+            out.push(*k);
+        }
+    }
+}

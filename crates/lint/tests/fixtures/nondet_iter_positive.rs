@@ -1,0 +1,23 @@
+// Fixture: nondet-iter positives. Linted as crates/operators/src/x.rs.
+use std::collections::{HashMap, HashSet};
+
+pub struct GroupState {
+    pub groups: HashMap<u64, (u64, u64)>,
+    pub seen: HashSet<u64>,
+}
+
+pub fn fold_groups(st: &mut GroupState, out: &mut Vec<(u64, u64)>) {
+    for (key, (count, _rid)) in st.groups.drain() {
+        out.push((key, count));
+    }
+}
+
+pub fn emit_seen(st: &GroupState, out: &mut Vec<u64>) {
+    for k in &st.seen {
+        out.push(*k);
+    }
+}
+
+pub fn keys_in_map_order(st: &GroupState) -> Vec<u64> {
+    st.groups.keys().copied().collect()
+}

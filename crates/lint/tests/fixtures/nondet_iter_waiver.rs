@@ -1,0 +1,11 @@
+// Fixture: nondet-iter waiver. Linted as crates/core/src/z.rs.
+use std::collections::HashMap;
+
+pub fn checksum(map: &HashMap<u64, u64>) -> u64 {
+    let mut acc = 0u64;
+    // lint: allow-nondet-iter(wrapping add is commutative; order cannot affect the sum)
+    for (k, v) in map.iter() {
+        acc = acc.wrapping_add(k ^ v);
+    }
+    acc
+}

@@ -1,0 +1,7 @@
+// Fixture: std-sync — blocking OS primitive import. Linted as crates/cluster/src/s.rs.
+
+use std::sync::{Arc, Mutex};
+
+pub fn shared() -> Arc<Mutex<u64>> {
+    Arc::new(Mutex::new(0))
+}

@@ -1,0 +1,10 @@
+// Fixture: std-thread — OS thread creation. Linted as crates/core/src/t.rs.
+
+pub fn launch() {
+    std::thread::spawn(|| {});
+}
+
+pub fn waived_launch() {
+    // lint: allow-std-thread(host-side loader thread, outside the simulation)
+    thread::spawn(run);
+}

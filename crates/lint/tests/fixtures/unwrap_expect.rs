@@ -1,0 +1,13 @@
+// Fixture: unwrap — panic without a stated invariant. Linted as crates/cluster/src/u.rs.
+
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().expect("oops")
+}
+
+pub fn described(xs: &[u64]) -> u64 {
+    *xs.first().expect("partition vector is built non-empty in plan()")
+}

@@ -1,0 +1,7 @@
+// Fixture: wall-clock — host time read. Linted as crates/bench/src/w.rs.
+
+pub fn measure() -> u128 {
+    // SimCtx::now() is the only clock the harness admits.
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

@@ -394,7 +394,14 @@ fn worker<T: Tuple>(
             e.1 = e.1.wrapping_add(t.rid());
         }
         meter.charge_bytes(ctx, tuples.len() * T::SIZE, cost.build_rate);
-        for (key, (count, rid_sum)) in groups {
+        // Drain in sorted key order: HashMap iteration order varies per
+        // process, and the fold below must stay byte-identical run-to-run.
+        let mut keys: Vec<u64> = groups.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let (count, rid_sum) = groups
+                .remove(&key)
+                .expect("key was just collected from the group map");
             local.groups += 1;
             local.key_weighted_count = local
                 .key_weighted_count
@@ -465,5 +472,28 @@ mod tests {
         assert_eq!(a.phases.total(), b.phases.total());
         assert!(a.phases.network_partition.as_nanos() > 0);
         assert!(a.phases.build_probe.as_nanos() > 0);
+    }
+
+    #[test]
+    fn repeated_in_process_runs_are_byte_identical() {
+        // Each repetition builds fresh HashMaps whose RandomState draws a
+        // new SipHash seed, so any order-dependent fold over them would
+        // diverge across these runs. Five repetitions in one process pin
+        // the sorted-drain fix in the build/probe phase.
+        let machines = 3;
+        let run = || {
+            let (s, _) = generate_outer::<Tuple16>(12_000, 900, machines, Skew::Zipf(1.05), 53);
+            run_aggregation(cfg(machines, 2), s)
+        };
+        let first = run();
+        for rep in 1..5 {
+            let again = run();
+            assert_eq!(again.result, first.result, "repetition {rep} diverged");
+            assert_eq!(
+                again.phases.total(),
+                first.phases.total(),
+                "repetition {rep} phase times diverged"
+            );
+        }
     }
 }

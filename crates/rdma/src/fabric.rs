@@ -33,7 +33,7 @@
 //! are taken and the event schedule is identical to the pre-fault-plane
 //! fabric.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -102,6 +102,7 @@ pub struct SendHandle {
 impl SendHandle {
     /// Block until the work request completes, then surface its status.
     pub fn wait(&self, ctx: &SimCtx) -> Result<(), FabricError> {
+        // lint: allow-error-swallow(sim Event::wait returns unit, not a fabric Result)
         self.state.ev.wait(ctx);
         match self.state.wc.get() {
             None | Some(WcStatus::Success) => Ok(()),
@@ -161,6 +162,7 @@ impl ReadHandle {
     /// Block until the read completes, then take the data — or the typed
     /// error if the read was flushed or retries were exhausted.
     pub fn wait(self, ctx: &SimCtx) -> Result<Vec<u8>, FabricError> {
+        // lint: allow-error-swallow(sim Event::wait returns unit, not a fabric Result)
         self.state.done.wait(ctx);
         match self.state.wc.get() {
             None | Some(WcStatus::Success) => Ok(self
@@ -582,8 +584,10 @@ pub struct Fabric {
     launched: AtomicBool,
     /// Root only — per physical host, the live receive lanes keyed by
     /// query id. The ingress engine demuxes two-sided traffic through
-    /// this; direct traffic bypasses it entirely.
-    lanes: Vec<Mutex<HashMap<u32, Arc<Nic>>>>,
+    /// this; direct traffic bypasses it entirely. Ordered map: crash and
+    /// abort paths iterate it, and the close/poison order decides the
+    /// virtual-time wake order of parked receivers.
+    lanes: Vec<Mutex<BTreeMap<u32, Arc<Nic>>>>,
     /// A view retires exactly once (graceful close or abort).
     view_closed: AtomicBool,
     validator: Arc<Validator>,
@@ -626,7 +630,7 @@ impl Fabric {
             })
             .collect();
         let rx_queues = (0..hosts).map(|_| SimChannel::new()).collect();
-        let lanes = (0..hosts).map(|_| Mutex::new(HashMap::new())).collect();
+        let lanes = (0..hosts).map(|_| Mutex::new(BTreeMap::new())).collect();
         Arc::new(Fabric {
             cfg,
             query: QueryId::DIRECT,
