@@ -49,6 +49,15 @@ cargo check -q -p rsj-rdma --no-default-features
 # and parse.
 cargo run --release -q -p rsj-bench --bin perf -- --short --label ci --out target/ci_bench_perf.json
 cargo run --release -q -p rsj-bench --bin perf -- --check
+# Sweep-smoke lane: a small experiment subset through the parallel sweep
+# engine with two workers, diffed byte-wise against the serial engine.
+# Guards the stitching contract (DESIGN.md §11): `--jobs N` must never
+# change a single output byte.
+cargo run --release -q -p rsj-bench --bin experiments -- \
+    all --subset fig3,fig5b,hardware,optimal --jobs 1 > target/sweep_smoke_serial.txt
+cargo run --release -q -p rsj-bench --bin experiments -- \
+    all --subset fig3,fig5b,hardware,optimal --jobs 2 > target/sweep_smoke_parallel.txt
+cmp target/sweep_smoke_serial.txt target/sweep_smoke_parallel.txt
 # Seeded chaos sweep: every operator under a deterministic fault schedule
 # must complete byte-correct or abort with a structured error, and replay
 # identically. The watchdog timeout turns any hang into a hard CI failure.

@@ -2,18 +2,26 @@
 //!
 //! ```text
 //! cargo run -p rsj-bench --release --bin experiments -- <id> [--scale N]
+//!     [--jobs J] [--subset ids]
 //!
 //! ids: fig3 fig5a fig5b fig6a fig6b fig7a fig7b fig8 fig8ws fig9a fig9b
-//!      fig10a fig10b wide hardware optimal all
-//! --scale N   divide the paper's tuple counts by N (default 256)
+//!      fig10a fig10b wide hardware optimal buffers operators materialize all
+//! --scale N    divide the paper's tuple counts by N (default 256)
+//! --jobs J     run `all` through the parallel sweep engine with J worker
+//!              threads (default 1). Output is stitched in experiment
+//!              order and is byte-identical for every J.
+//! --subset ids comma-separated experiment ids: restrict `all` to these
+//!              units (canonical order; the CI smoke lane's knob)
 //! ```
 
-use rsj_bench::{experiments, Scale, DEFAULT_SCALE};
+use rsj_bench::{experiments, sweep, Scale, DEFAULT_SCALE};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut id: Option<String> = None;
     let mut scale = DEFAULT_SCALE;
+    let mut jobs = 1usize;
+    let mut subset: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -23,6 +31,22 @@ fn main() {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--scale needs a positive integer"));
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&j| j >= 1)
+                    .unwrap_or_else(|| die("--jobs needs a positive integer"));
+            }
+            "--subset" => {
+                i += 1;
+                subset = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--subset needs a comma-separated id list")),
+                );
             }
             flag if flag.starts_with("--") => die(&format!("unknown flag {flag}")),
             name => {
@@ -39,6 +63,18 @@ fn main() {
         "# experiment {id} at scale 1/{} (times reported in paper-equivalent seconds)",
         scale.factor
     );
+
+    if id == "all" {
+        let units: Vec<usize> = match subset.as_deref() {
+            Some(list) => sweep::resolve_subset(list).unwrap_or_else(|e| die(&e)),
+            None => (0..sweep::UNITS.len()).collect(),
+        };
+        sweep::run_sweep(&units, scale, jobs);
+        return;
+    }
+    if subset.is_some() || jobs != 1 {
+        die("--jobs/--subset only apply to the `all` sweep");
+    }
 
     match id.as_str() {
         "fig3" => experiments::fig3(scale),
@@ -60,14 +96,13 @@ fn main() {
         "buffers" | "ext-buffers" => experiments::buffer_size_sweep(scale),
         "operators" | "ext-operators" => experiments::operators(scale),
         "materialize" | "ext-materialize" => experiments::materialization(scale),
-        "all" => experiments::all(scale),
         other => die(&format!("unknown experiment '{other}'")),
     }
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: experiments <id> [--scale N]");
+    eprintln!("usage: experiments <id> [--scale N] [--jobs J] [--subset ids]");
     eprintln!(
         "ids: fig3 fig5a fig5b fig6a fig6b fig7a fig7b fig8 fig9a fig9b \
          fig8ws fig10a fig10b wide hardware optimal buffers operators materialize all"

@@ -23,13 +23,17 @@
 //! --sweep-out PATH      tee the sweep's stdout to PATH instead of
 //!                       discarding it, so a timed run doubles as the
 //!                       byte-identity check against experiments_all.txt
+//! --sweep-jobs N        forward `--jobs N` to the experiments sweep and
+//!                       record N as the sweep entry's `cpus`
 //! ```
 //!
-//! Each entry records `{bench, wall_ms, virtual_s, tuples_per_s}` rows
-//! plus host metadata. `virtual_s` is the run's paper-equivalent virtual
-//! time where one exists (joins and kernel benches) and `null` for pure
-//! CPU kernels; `tuples_per_s` is wall-clock throughput where tuples are
-//! the natural unit and `null` otherwise.
+//! Each entry records `{bench, wall_ms, virtual_s, tuples_per_s, cpus}`
+//! rows plus host metadata. `virtual_s` is the run's paper-equivalent
+//! virtual time where one exists (joins and kernel benches) and `null`
+//! for pure CPU kernels; `tuples_per_s` is wall-clock throughput where
+//! tuples are the natural unit and `null` otherwise; `cpus` is the
+//! bench's own worker parallelism (1 everywhere except multi-job
+//! sweeps; `--check` compares only same-`cpus` entries).
 
 use std::sync::Arc;
 
@@ -90,6 +94,7 @@ fn main() {
             Iters::full()
         };
         benches.push(bench_self_continuation(it.advances));
+        benches.push(bench_settle_batched(it.advances));
         benches.push(bench_handoff(it.handoffs));
         benches.push(bench_swwc_partition(it.partition_tuples, it.partition_reps));
         benches.push(bench_bucket_table(it.hash_tuples));
@@ -160,6 +165,7 @@ fn main() {
         benches.push(bench_sweep(
             opts.experiments_bin.as_deref(),
             opts.sweep_out.as_deref(),
+            opts.sweep_jobs,
         ));
     }
 
@@ -196,6 +202,7 @@ struct Opts {
     out: String,
     experiments_bin: Option<String>,
     sweep_out: Option<String>,
+    sweep_jobs: u64,
 }
 
 impl Opts {
@@ -208,6 +215,7 @@ impl Opts {
             out: "BENCH_PERF.json".to_string(),
             experiments_bin: None,
             sweep_out: None,
+            sweep_jobs: 1,
         };
         let mut i = 0;
         while i < args.len() {
@@ -245,6 +253,14 @@ impl Opts {
                             .unwrap_or_else(|| die("--sweep-out needs a path")),
                     );
                 }
+                "--sweep-jobs" => {
+                    i += 1;
+                    o.sweep_jobs = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&j| j >= 1)
+                        .unwrap_or_else(|| die("--sweep-jobs needs a positive integer"));
+                }
                 other => die(&format!("unknown flag {other}")),
             }
             i += 1;
@@ -260,7 +276,7 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: perf [--short | --sweep-only] [--check] [--label STR] [--out PATH] \
-         [--experiments-bin PATH] [--sweep-out PATH]"
+         [--experiments-bin PATH] [--sweep-out PATH] [--sweep-jobs N]"
     );
     std::process::exit(2)
 }
@@ -341,6 +357,27 @@ fn bench_self_continuation(advances: u64) -> BenchRecord {
         std::hint::black_box(sim.run());
     });
     BenchRecord::new("kernel/self-continuation", ms)
+}
+
+/// The same uncontended charge stream through the batched self-advance
+/// path: chunks accrue as pure cell arithmetic and a `settle_point`
+/// commits every 64 of them — the shape lazy settlement gives a phase
+/// worker between two interactions. The gap to `kernel/self-continuation`
+/// prices what the sweep saves per eliminated dispatch.
+fn bench_settle_batched(advances: u64) -> BenchRecord {
+    let ((), ms) = wall_ms(|| {
+        let sim = Simulation::new();
+        sim.spawn("hot", move |ctx| {
+            for i in 0..advances {
+                ctx.advance_batched(SimDuration::from_nanos(1 + i % 7));
+                if i % 64 == 63 {
+                    ctx.settle_point();
+                }
+            }
+        });
+        std::hint::black_box(sim.run());
+    });
+    BenchRecord::new("kernel/settle-batched", ms)
 }
 
 /// Two tasks ping-ponging a token through channels: every hop is a
@@ -521,8 +558,10 @@ fn bench_service_pair(queries: usize, hosts: usize, cores: usize) -> (BenchRecor
 
 /// Time the full `experiments all` regeneration sweep as a subprocess —
 /// the number the ≥1.5× acceptance bar is judged on. `bin` overrides the
-/// binary so a baseline build can be timed with the same harness.
-fn bench_sweep(bin: Option<&str>, sweep_out: Option<&str>) -> BenchRecord {
+/// binary so a baseline build can be timed with the same harness; `jobs`
+/// is forwarded to the sweep engine and recorded as the entry's `cpus`
+/// so single-worker and multi-worker timings are never cross-compared.
+fn bench_sweep(bin: Option<&str>, sweep_out: Option<&str>, jobs: u64) -> BenchRecord {
     let path = match bin {
         Some(p) => std::path::PathBuf::from(p),
         None => {
@@ -539,13 +578,13 @@ fn bench_sweep(bin: Option<&str>, sweep_out: Option<&str>) -> BenchRecord {
     };
     let (status, ms) = wall_ms(|| {
         std::process::Command::new(&path)
-            .arg("all")
+            .args(["all", "--jobs", &jobs.to_string()])
             .stdout(stdout)
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()))
     });
     assert!(status.success(), "{} all failed: {status}", path.display());
-    BenchRecord::new("sweep/experiments-all", ms)
+    BenchRecord::new("sweep/experiments-all", ms).cpus(jobs)
 }
 
 // ---------------------------------------------------------------------
@@ -558,6 +597,13 @@ struct BenchRecord {
     wall_ms: f64,
     virtual_s: Option<f64>,
     tuples_per_s: Option<f64>,
+    /// Worker parallelism the bench itself used. Almost every bench
+    /// drives a single simulation (one runnable task at a time), so the
+    /// default is 1; the sweep records its `--jobs` so entries taken at
+    /// different parallelism are never compared against each other
+    /// (`--check` only diffs same-`cpus` entries). Entries recorded
+    /// before the field existed are read back as 1.
+    cpus: u64,
 }
 
 impl BenchRecord {
@@ -568,7 +614,13 @@ impl BenchRecord {
             wall_ms: (wall_ms * 1e3).round() / 1e3,
             virtual_s: None,
             tuples_per_s: None,
+            cpus: 1,
         }
+    }
+
+    fn cpus(mut self, n: u64) -> BenchRecord {
+        self.cpus = n;
+        self
     }
 
     fn virtual_s(mut self, v: f64) -> BenchRecord {
@@ -591,6 +643,9 @@ impl std::fmt::Display for BenchRecord {
         if let Some(t) = self.tuples_per_s {
             write!(f, "  {:.1} M tuples/s", t / 1e6)?;
         }
+        if self.cpus != 1 {
+            write!(f, "  ({} cpus)", self.cpus)?;
+        }
         Ok(())
     }
 }
@@ -602,6 +657,7 @@ impl Serialize for BenchRecord {
             ("wall_ms", Value::Num(self.wall_ms)),
             ("virtual_s", self.virtual_s.to_value()),
             ("tuples_per_s", self.tuples_per_s.to_value()),
+            ("cpus", Value::Num(self.cpus as f64)),
         ])
     }
 }
@@ -735,18 +791,84 @@ fn parse_trajectory(text: &str) -> Result<Vec<Value>, String> {
                     return Err(ctx(&format!("{opt} must be a number or null")));
                 }
             }
+            // `cpus` arrived with the parallel sweep engine; absent in
+            // earlier entries (read back as 1 by `bench_cpus`).
+            if let Ok(f) = b.field("cpus") {
+                let c = f.as_f64().map_err(|err| ctx(&err.to_string()))?;
+                if !(c.is_finite() && c >= 1.0) {
+                    return Err(ctx(&format!("non-physical cpus {c}")));
+                }
+            }
         }
     }
     Ok(entries.to_vec())
 }
 
-/// `--check`: validate the committed trajectory. Errors on a missing
+/// The parallelism a serialized bench ran at; entries recorded before
+/// the `cpus` field existed were all single-worker.
+fn bench_cpus(b: &Value) -> u64 {
+    b.field("cpus")
+        .and_then(Value::as_f64)
+        .map(|c| c as u64)
+        .unwrap_or(1)
+}
+
+/// `--check`: validate the committed trajectory and print the wall-clock
+/// trend for every bench in the newest entry. Trends compare only
+/// same-`cpus` entries — a `--jobs 8` sweep time against a serial sweep
+/// time is a parallelism delta, not a perf delta. Errors on a missing
 /// file — a perf PR must ship its before/after entries.
 fn check_file(path: &str) -> Result<usize, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let entries = parse_trajectory(&text)?;
     if entries.is_empty() {
         return Err("trajectory has no entries".to_string());
+    }
+    let last = entries.last().expect("emptiness was rejected above");
+    let benches = last
+        .field("benches")
+        .and_then(Value::as_arr)
+        .expect("validated above");
+    for b in benches {
+        let name = b
+            .field("bench")
+            .and_then(Value::as_str)
+            .expect("validated above");
+        let wall = b
+            .field("wall_ms")
+            .and_then(Value::as_f64)
+            .expect("validated above");
+        let cpus = bench_cpus(b);
+        // Most recent earlier sample of the same bench at the same
+        // parallelism.
+        let prev = entries[..entries.len() - 1]
+            .iter()
+            .rev()
+            .flat_map(|e| {
+                e.field("benches")
+                    .and_then(Value::as_arr)
+                    .expect("validated above")
+            })
+            .find(|p| {
+                p.field("bench")
+                    .and_then(Value::as_str)
+                    .expect("validated above")
+                    == name
+                    && bench_cpus(p) == cpus
+            });
+        match prev {
+            Some(p) => {
+                let before = p
+                    .field("wall_ms")
+                    .and_then(Value::as_f64)
+                    .expect("validated above");
+                println!(
+                    "{name:<26} {wall:>10.1} ms  ({:+.1}% vs last same-cpus entry, cpus {cpus})",
+                    (wall / before - 1.0) * 100.0
+                );
+            }
+            None => println!("{name:<26} {wall:>10.1} ms  (no prior entry at cpus {cpus})"),
+        }
     }
     Ok(entries.len())
 }

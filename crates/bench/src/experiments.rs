@@ -13,21 +13,22 @@ use rsj_model::{self as model, ModelInput};
 use rsj_rdma::FabricConfig;
 use rsj_workload::{generate_inner, generate_outer, Skew, Tuple, Tuple16, Tuple32, Tuple64};
 
+use crate::outln;
 use crate::{measure_stream_bandwidth, run_scaled_join, secs, Scale, Table};
 
 /// Bytes of one paper "million tuples" unit (16-byte tuples).
 const MB_PER_MTUPLES: f64 = 16.0e6;
 
 fn hdr(title: &str) {
-    println!("\n================================================================");
-    println!("{title}");
-    println!("================================================================");
+    outln!("\n================================================================");
+    outln!("{title}");
+    outln!("================================================================");
 }
 
 /// Figure 3: point-to-point bandwidth vs message size on QDR and FDR.
 pub fn fig3(_scale: Scale) {
     hdr("Figure 3 — point-to-point bandwidth for different message sizes");
-    println!("(simulated fabric, 2 hosts; paper: saturation at ~8 KiB on both networks)\n");
+    outln!("(simulated fabric, 2 hosts; paper: saturation at ~8 KiB on both networks)\n");
     let mut t = Table::new(&[
         "msg size",
         "QDR sim MB/s",
@@ -50,8 +51,8 @@ pub fn fig3(_scale: Scale) {
             format!("{:.0}", fdr.stream_bandwidth(size, 2) / 1e6),
         ]);
     }
-    println!("{}", t.render());
-    println!("Paper reference peaks: QDR ≈ 3400 MB/s, FDR ≈ 6000 MB/s (§6.3).");
+    outln!("{}", t.render());
+    outln!("Paper reference peaks: QDR ≈ 3400 MB/s, FDR ≈ 6000 MB/s (§6.3).");
 }
 
 /// Figure 5a: single high-end server vs 4-node FDR vs 4-node QDR for
@@ -106,10 +107,10 @@ pub fn fig5a(scale: Scale) {
             secs(p_qdr),
         ]);
     }
-    println!("{}", t.render());
-    println!("Shape check: single < FDR < QDR for every size (lower coordination");
-    println!("overhead and higher intra-machine bandwidth), distribution overhead");
-    println!("amortizing with size — as in the paper.");
+    outln!("{}", t.render());
+    outln!("Shape check: single < FDR < QDR for every size (lower coordination");
+    outln!("overhead and higher intra-machine bandwidth), distribution overhead");
+    outln!("amortizing with size — as in the paper.");
 }
 
 fn pick_single_bits(scale: Scale, total_millions: u64) -> (u32, u32) {
@@ -176,10 +177,10 @@ pub fn fig5b(scale: Scale) {
             secs(paper_total),
         ]);
     }
-    println!("{}", t.render());
-    println!("Differences are confined to the network partitioning pass, as in the");
-    println!("paper; interleaving hides part of the wire time, and the TCP stack");
-    println!("pays for kernel crossings and intermediate copies.");
+    outln!("{}", t.render());
+    outln!("Differences are confined to the network partitioning pass, as in the");
+    outln!("paper; interleaving hides part of the wire time, and the TCP stack");
+    outln!("pays for kernel crossings and intermediate copies.");
     let il = net_times
         .iter()
         .find(|(l, _)| l.contains("interleaved") && !l.contains("non"))
@@ -190,7 +191,7 @@ pub fn fig5b(scale: Scale) {
         .find(|(l, _)| l.contains("non-interleaved"))
         .expect("non-interleaved row present in net_times")
         .1;
-    println!(
+    outln!(
         "Interleaving reduced the network pass by {:.0}% (paper: ~35%).",
         (1.0 - il / nil) * 100.0
     );
@@ -258,9 +259,9 @@ pub fn fig6a(scale: Scale) {
                 .unwrap_or_else(|| "- (OOM in paper)".into()),
         ]);
     }
-    println!("{}", t.render());
-    println!("Shape checks: time ~doubles with data size at fixed machine count;");
-    println!("speed-up from 2 to 10 machines is sub-linear (paper: 2.91x).");
+    outln!("{}", t.render());
+    outln!("Shape checks: time ~doubles with data size at fixed machine count;");
+    outln!("speed-up from 2 to 10 machines is sub-linear (paper: 2.91x).");
 }
 
 /// Figure 6b: small-to-large joins, 2–10 QDR machines.
@@ -282,9 +283,9 @@ pub fn fig6b(scale: Scale) {
         }
         t.row(cells);
     }
-    println!("{}", t.render());
-    println!("Shape check: halving the inner relation reduces (partitioning-");
-    println!("dominated) execution time; 1:8 takes roughly half of 1:1 (§6.4.2).");
+    outln!("{}", t.render());
+    outln!("Shape check: halving the inner relation reduces (partitioning-");
+    outln!("dominated) execution time; 1:8 takes roughly half of 1:1 (§6.4.2).");
 }
 
 /// Figure 7a: per-phase breakdown, 2048M ⋈ 2048M, 2–10 QDR machines.
@@ -322,14 +323,14 @@ pub fn fig7a(scale: Scale) {
             secs(paper_totals[m - 2]),
         ]);
     }
-    println!("{}", t.render());
+    outln!("{}", t.render());
     let (_, n2, l2, b2) = firsts[0];
     let (_, n10, l10, b10) = firsts[8];
-    println!(
+    outln!(
         "Speed-up 2→10 machines: network pass {:.2}x (paper: limited by the",
         n2 / n10
     );
-    println!(
+    outln!(
         "network), local pass {:.2}x (paper: 4.73x), build-probe {:.2}x (paper: 5.00x).",
         l2 / l10,
         b2 / b10
@@ -372,10 +373,10 @@ pub fn fig7b(scale: Scale) {
             secs(paper_totals[m - 2]),
         ]);
     }
-    println!("{}", t.render());
-    println!("Shape check: local pass and build-probe stay constant (per-machine");
-    println!("volume is constant); the network pass grows because a larger fraction");
-    println!("of the data crosses the (congested) QDR network.");
+    outln!("{}", t.render());
+    outln!("Shape check: local pass and build-probe stay constant (per-machine");
+    outln!("volume is constant); the network pass grows because a larger fraction");
+    outln!("of the data crosses the (congested) QDR network.");
 }
 
 /// Figure 8: effect of data skew (128M ⋈ 2048M, Zipf 1.05/1.20, 4 and 8
@@ -416,11 +417,11 @@ pub fn fig8(scale: Scale) {
             ]);
         }
     }
-    println!("{}", t.render());
-    println!("Shape check: execution time grows with the skew factor on both");
-    println!("configurations; the network pass and the local processing are both");
-    println!("dominated by the machine holding the heaviest partition (§6.5; work");
-    println!("sharing across machines is future work in the paper).");
+    outln!("{}", t.render());
+    outln!("Shape check: execution time grows with the skew factor on both");
+    outln!("configurations; the network pass and the local processing are both");
+    outln!("dominated by the machine holding the heaviest partition (§6.5; work");
+    outln!("sharing across machines is future work in the paper).");
 }
 
 /// Extension ablation (the paper's §6.5/§8 future work): Figure 8's skew
@@ -467,14 +468,14 @@ pub fn fig8_work_sharing(scale: Scale) {
             ]);
         }
     }
-    println!("{}", t.render());
-    println!("The paper predicts (§6.5) that \"this issue can be addressed by");
-    println!("extending the algorithm to allow work sharing between machines\".");
-    println!("Inter-machine probe stealing alone barely helps (the paper's own §4.3");
-    println!("probe splitting already parallelizes the probes within the owner);");
-    println!("the dominant serial cost is the giant partition's single-threaded");
-    println!("second partitioning pass, which the parallel-local-pass extension");
-    println!("spreads across the owning machine's cores.");
+    outln!("{}", t.render());
+    outln!("The paper predicts (§6.5) that \"this issue can be addressed by");
+    outln!("extending the algorithm to allow work sharing between machines\".");
+    outln!("Inter-machine probe stealing alone barely helps (the paper's own §4.3");
+    outln!("probe splitting already parallelizes the probes within the owner);");
+    outln!("the dominant serial cost is the giant partition's single-threaded");
+    outln!("second partitioning pass, which the parallel-local-pass extension");
+    outln!("spreads across the owning machine's cores.");
 }
 
 /// Figures 9a/9b: analytical model vs simulated execution.
@@ -525,11 +526,11 @@ pub fn fig9(scale: Scale, fdr: bool) {
             format!("{:.3}", (measured - est_refined).abs()),
         ]);
     }
-    println!("{}", t.render());
+    outln!("{}", t.render());
     let avg = errs.iter().sum::<f64>() / errs.len() as f64;
     let avg_r = errs_refined.iter().sum::<f64>() / errs_refined.len() as f64;
-    println!("Average |measured − estimated|: §5 model {avg:.3} s (paper: 0.17 s);");
-    println!("refined pipeline model (extension) {avg_r:.3} s.");
+    outln!("Average |measured − estimated|: §5 model {avg:.3} s (paper: 0.17 s);");
+    outln!("refined pipeline model (extension) {avg_r:.3} s.");
 }
 
 /// Figures 10a/10b: network partitioning pass with 4 vs 8 cores/machine.
@@ -567,14 +568,14 @@ pub fn fig10(scale: Scale, fdr: bool) {
             format!("{:.0}%", (1.0 - n8 / n4) * 100.0),
         ]);
     }
-    println!("{}", t.render());
+    outln!("{}", t.render());
     if fdr {
-        println!("Shape check (FDR): 4 threads cannot saturate 6 GB/s, so doubling the");
-        println!("cores keeps speeding up the pass (paper §6.8.1: optimum ≈ 7 cores).");
+        outln!("Shape check (FDR): 4 threads cannot saturate 6 GB/s, so doubling the");
+        outln!("cores keeps speeding up the pass (paper §6.8.1: optimum ≈ 7 cores).");
     } else {
-        println!("Shape check (QDR): with many machines, 3 partitioning threads already");
-        println!("saturate the congested network — extra cores stop helping (paper");
-        println!("§6.8.1: optimum ≈ 4 cores).");
+        outln!("Shape check (QDR): with many machines, 3 partitioning threads already");
+        outln!("saturate the congested network — extra cores stop helping (paper");
+        outln!("§6.8.1: optimum ≈ 4 cores).");
     }
 }
 
@@ -607,10 +608,10 @@ pub fn wide_tuples(scale: Scale) {
         secs(t64),
         format!("{:+.1}%", (t64 / t16 - 1.0) * 100.0),
     ]);
-    println!("{}", t.render());
-    println!("Paper: \"the execution time of the join, as well as the execution time");
-    println!("of each phase, is identical for all three workloads\" — data movement,");
-    println!("not tuple count, determines the cost.");
+    outln!("{}", t.render());
+    outln!("Paper: \"the execution time of the join, as well as the execution time");
+    outln!("of each phase, is identical for all three workloads\" — data movement,");
+    outln!("not tuple count, determines the cost.");
 }
 
 /// Table 2: the hardware configurations (presets).
@@ -642,7 +643,7 @@ pub fn hardware(_scale: Scale) {
             bw,
         ]);
     }
-    println!("{}", t.render());
+    outln!("{}", t.render());
 }
 
 /// §5.3/§6.8.1: optimal thread count and the Eq. 13 machine bound.
@@ -675,13 +676,13 @@ pub fn optimal(_scale: Scale) {
         ),
         "7 cores".into(),
     ]);
-    println!("{}", t.render());
+    outln!("{}", t.render());
     let bound = model::max_machines_for_full_buffers(1024.0 * MB_PER_MTUPLES, 1024, 8, 64 * 1024);
-    println!(
+    outln!(
         "Eq. 13: with |R| = 1024M tuples, NP1 = 1024, 8 cores and 64 KiB buffers,\n\
          RDMA buffers stay full up to NM ≤ {bound:.1} machines."
     );
-    println!(
+    outln!(
         "Eq. 14: NC/M · NM ≤ NP1 holds for every evaluated configuration: {}",
         model::enough_partitions(1024, 10, 8)
     );
@@ -712,11 +713,11 @@ pub fn buffer_size_sweep(scale: Scale) {
             format!("{bound:.0}"),
         ]);
     }
-    println!("{}", t.render());
-    println!("Shape check: once buffers exceed the Figure 3 knee (8 KiB) the");
-    println!("steady-state wire time is buffer-size independent, but the final-");
-    println!("buffer drain tail grows linearly with the buffer size, and Eq. 13's");
-    println!("machine bound shrinks — exactly why the paper settles on 64 KiB.");
+    outln!("{}", t.render());
+    outln!("Shape check: once buffers exceed the Figure 3 knee (8 KiB) the");
+    outln!("steady-state wire time is buffer-size independent, but the final-");
+    outln!("buffer drain tail grows linearly with the buffer size, and Eq. 13's");
+    outln!("machine bound shrinks — exactly why the paper settles on 64 KiB.");
 }
 
 /// Extension: the §7 generalization — the same workload through the radix
@@ -804,11 +805,11 @@ pub fn operators(scale: Scale) {
         secs(total),
     ]);
 
-    println!("{}", t.render());
-    println!("All three produce the identical verified result. The radix hash join");
-    println!("beats sort-merge (sorting is slower than radix partitioning per pass,");
-    println!("[3]); the cyclo-join avoids partitioning but rotates the outer");
-    println!("relation NM-1 times through cache-cold machine-sized tables (§2.3).");
+    outln!("{}", t.render());
+    outln!("All three produce the identical verified result. The radix hash join");
+    outln!("beats sort-merge (sorting is slower than radix partitioning per pass,");
+    outln!("[3]); the cyclo-join avoids partitioning but rotates the outer");
+    outln!("relation NM-1 times through cache-cold machine-sized tables (§2.3).");
 }
 
 /// Extension: result materialization (§4.3 output paths; §7 defers the
@@ -843,12 +844,12 @@ pub fn materialization(scale: Scale) {
             ),
         ]);
     }
-    println!("{}", t.render());
-    println!("§7: \"distributed result materialization involves moving large amounts");
-    println!("of data over the network and will therefore be an expensive operation\"");
-    println!("— shipping 16-byte result pairs for every match to one coordinator");
-    println!("funnels the entire result through a single ingress link, which is why");
-    println!("the paper leaves the join inside an operator pipeline instead.");
+    outln!("{}", t.render());
+    outln!("§7: \"distributed result materialization involves moving large amounts");
+    outln!("of data over the network and will therefore be an expensive operation\"");
+    outln!("— shipping 16-byte result pairs for every match to one coordinator");
+    outln!("funnels the entire result through a single ingress link, which is why");
+    outln!("the paper leaves the join inside an operator pipeline instead.");
 }
 
 /// Run every experiment in order.

@@ -25,6 +25,7 @@ use rsj_workload::{generate_inner, generate_outer, ExpectedResult, Relation, Ske
 
 pub mod experiments;
 pub mod service_stress;
+pub mod sweep;
 
 /// Default scale divisor: 2048 M tuples become 2 M. Paper-equivalent
 /// times are scale-invariant (all simulated costs are linear in bytes and
@@ -118,7 +119,7 @@ impl Scale {
         let want_bits = 64 - u64::leading_zeros(want.next_power_of_two()) as u64 - 1;
         let b2 = want_bits.saturating_sub(b1 as u64).clamp(1, 10) as u32;
         cfg.radix_bits = (b1, b2);
-        cfg.meter_quantum_ns /= self.factor as f64;
+        cfg.cluster.meter_quantum_ns /= self.factor as f64;
         cfg
     }
 }

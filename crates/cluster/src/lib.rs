@@ -29,7 +29,7 @@ pub mod wire;
 
 pub use cost::CostModel;
 pub use error::JoinError;
-pub use meter::Meter;
+pub use meter::{default_settle_mode, Meter, SettleMode};
 pub use phases::PhaseTimes;
 pub use runtime::{run_cluster, try_run_cluster, ClusterRun, PhaseEvent, Runtime};
 pub use service::{JoinRequest, QueryJob, QueryReport, QueryService, ServiceConfig, ServiceReport};

@@ -3,58 +3,124 @@
 //! Workers process real tuples but owe virtual time for every byte at the
 //! rates of the [`CostModel`](crate::CostModel). Charging per tuple would
 //! mean millions of scheduler events, so the [`Meter`] accrues owed time
-//! and settles it with the kernel in quanta — always flushing before any
-//! externally visible action (posting a send, hitting a barrier) so the
-//! relative order of compute and communication stays exact at those
-//! boundaries.
+//! and quantizes it into committed chunks at quantum crossings — always
+//! flushing before any externally visible action (posting a send, hitting
+//! a barrier) so the relative order of compute and communication stays
+//! exact at those boundaries.
+//!
+//! ## Settlement modes
+//!
+//! *Where* a committed chunk goes is a [`SettleMode`] choice:
+//!
+//! - **Eager** dispatches each chunk into the kernel as its own
+//!   `ctx.advance` — the historical behaviour. Each dispatch is usually a
+//!   cross-worker OS context switch, which PR 3 measured as the sweep's
+//!   wall-clock floor.
+//! - **Lazy** (the default) accrues each chunk into the kernel's per-task
+//!   batch via [`SimCtx::advance_batched`] and commits the whole batch in
+//!   a single advance at the next *interaction* — a [`Meter::flush`]
+//!   before a fabric post, barrier, or park. The chunk boundaries and
+//!   rounding are bit-identical to eager mode, so the committed clock at
+//!   every interaction (the only points where another task can observe
+//!   this worker's time) is exactly the same; only the number of scheduler
+//!   dispatches between interactions changes. DESIGN.md §11 carries the
+//!   equivalence argument; the full-sweep byte-identity gate checks it
+//!   end-to-end.
+//!
+//! The mode for [`Meter::new`]/[`Meter::for_quantum`] meters comes from the
+//! `RSJ_SETTLE` environment variable (`lazy` default, `eager` to pin the
+//! historical dispatch pattern — the CI identity gate diffs both).
+//! [`Meter::with_quantum_ns`] stays eager so tests asserting per-crossing
+//! clock movement keep their contract.
+
+use std::sync::OnceLock;
 
 use rsj_sim::{SimCtx, SimDuration};
+
+/// When committed compute-time chunks are dispatched into the kernel.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SettleMode {
+    /// Every quantum crossing is its own kernel dispatch (historical).
+    Eager,
+    /// Chunks accrue in the kernel's per-task batch; one dispatch per
+    /// interaction ([`Meter::flush`]).
+    Lazy,
+}
+
+/// Process-wide default settlement mode, read once from `RSJ_SETTLE`.
+pub fn default_settle_mode() -> SettleMode {
+    static MODE: OnceLock<SettleMode> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("RSJ_SETTLE").as_deref() {
+        Ok("eager") => SettleMode::Eager,
+        _ => SettleMode::Lazy,
+    })
+}
 
 /// Accrues owed virtual compute time and settles it in quanta.
 pub struct Meter {
     owed_ns: f64,
     quantum_ns: f64,
     total_ns: f64,
+    mode: SettleMode,
 }
 
 impl Meter {
     /// Default settlement quantum: 20 µs of virtual time.
     ///
-    /// Each settlement is a real kernel dispatch — usually a cross-worker
-    /// OS context switch — so the quantum sets the sweep's wall-clock
-    /// floor, and a coarser value is tempting. It is not safe: between
-    /// settlements a worker's clock lags by up to one quantum, and that
-    /// lag is observable wherever workers meet shared state mid-charge
-    /// (buffer-pool draws, TCP window acquisition in the partitioning
-    /// pass). Raising the quantum to 200 µs measurably shifted the
-    /// network-pass results (~1 %), so 20 µs is part of the committed
-    /// determinism contract, not a tunable.
+    /// The quantum is the *quantization contract*: owed time is rounded
+    /// into committed chunks exactly at quantum crossings, in both
+    /// settlement modes, so the committed clock at every interaction is
+    /// identical whether chunks were dispatched eagerly or batched. A
+    /// coarser quantum is still not a free tunable — between settlements a
+    /// worker's *flushed* clock lags by up to one quantum wherever workers
+    /// meet shared state mid-charge without an explicit flush (raising it
+    /// to 200 µs measurably shifted the network-pass results ~1 % under
+    /// eager settlement), so 20 µs remains part of the committed
+    /// determinism contract. The lazy mode removes the *dispatch cost* of
+    /// the quantum without touching its arithmetic.
     pub const DEFAULT_QUANTUM_NS: f64 = 20_000.0;
 
-    /// A meter with the default quantum.
+    /// A meter with the default quantum and the process default
+    /// [`SettleMode`].
     #[allow(clippy::new_without_default)]
     pub fn new() -> Meter {
-        Meter::with_quantum_ns(Self::DEFAULT_QUANTUM_NS)
+        Meter::for_quantum(Self::DEFAULT_QUANTUM_NS)
     }
 
-    /// A meter with a custom quantum (tests use small ones).
+    /// A meter with a custom quantum and the process default
+    /// [`SettleMode`]. This is the constructor for configured runs: pass
+    /// the cluster's `meter_quantum_ns` so scaled experiments shrink the
+    /// quantization alongside the data.
+    pub fn for_quantum(quantum_ns: f64) -> Meter {
+        Meter::with_mode(quantum_ns, default_settle_mode())
+    }
+
+    /// A meter with a custom quantum and **eager** settlement. Tests use
+    /// small quanta and assert the clock moves at each crossing; that
+    /// contract requires eager dispatch, so this constructor pins it.
     pub fn with_quantum_ns(quantum_ns: f64) -> Meter {
+        Meter::with_mode(quantum_ns, SettleMode::Eager)
+    }
+
+    /// A meter with an explicit quantum and settlement mode.
+    pub fn with_mode(quantum_ns: f64, mode: SettleMode) -> Meter {
         assert!(quantum_ns >= 0.0);
         Meter {
             owed_ns: 0.0,
             quantum_ns,
             total_ns: 0.0,
+            mode,
         }
     }
 
     /// Charge the time to process `bytes` at `rate` bytes/second,
-    /// settling with the kernel if a full quantum is owed.
+    /// committing a chunk if a full quantum is owed.
     #[inline]
     pub fn charge_bytes(&mut self, ctx: &SimCtx, bytes: usize, rate: f64) {
         debug_assert!(rate > 0.0);
         self.owed_ns += bytes as f64 / rate * 1e9;
         if self.owed_ns >= self.quantum_ns {
-            self.flush(ctx);
+            self.settle(ctx);
         }
     }
 
@@ -64,20 +130,36 @@ impl Meter {
         debug_assert!(seconds >= 0.0);
         self.owed_ns += seconds * 1e9;
         if self.owed_ns >= self.quantum_ns {
-            self.flush(ctx);
+            self.settle(ctx);
         }
     }
 
-    /// Settle all owed time with the kernel. Must be called before any
-    /// action whose virtual-time position matters (sends, barriers).
-    pub fn flush(&mut self, ctx: &SimCtx) {
+    /// Quantize all owed time into a committed chunk. The rounding is
+    /// mode-independent; only the dispatch differs (immediate advance vs
+    /// kernel batch).
+    fn settle(&mut self, ctx: &SimCtx) {
         if self.owed_ns > 0.0 {
             let ns = self.owed_ns.round() as u64;
             self.total_ns += self.owed_ns;
             self.owed_ns = 0.0;
             if ns > 0 {
-                ctx.advance(SimDuration::from_nanos(ns));
+                let d = SimDuration::from_nanos(ns);
+                match self.mode {
+                    SettleMode::Eager => ctx.advance(d),
+                    SettleMode::Lazy => ctx.advance_batched(d),
+                }
             }
+        }
+    }
+
+    /// Settle all owed time with the kernel. Must be called before any
+    /// action whose virtual-time position matters (sends, barriers,
+    /// parks): it quantizes the remainder and, in lazy mode, commits the
+    /// whole accrued batch in one kernel advance.
+    pub fn flush(&mut self, ctx: &SimCtx) {
+        self.settle(ctx);
+        if self.mode == SettleMode::Lazy {
+            ctx.settle_point();
         }
     }
 
@@ -130,5 +212,48 @@ mod tests {
             });
             sim.run();
         }
+    }
+
+    #[test]
+    fn lazy_mode_defers_dispatch_but_matches_eager_clock_at_flush() {
+        // The same charge schedule under both modes: identical flushed
+        // clock (chunk rounding is mode-independent), identical totals.
+        fn run(mode: SettleMode) -> (u64, f64) {
+            let out = std::sync::Arc::new(parking_lot::Mutex::new((0u64, 0.0f64)));
+            let out2 = std::sync::Arc::clone(&out);
+            let sim = Simulation::new();
+            sim.spawn("worker", move |ctx| {
+                let mut m = Meter::with_mode(1000.0, mode);
+                for i in 0..777usize {
+                    m.charge_bytes(ctx, 64 + (i % 13), 1e9);
+                }
+                m.flush(ctx);
+                *out2.lock() = (ctx.now().as_nanos(), m.total_seconds());
+            });
+            sim.run();
+            let r = *out.lock();
+            r
+        }
+        let eager = run(SettleMode::Eager);
+        let lazy = run(SettleMode::Lazy);
+        assert_eq!(eager, lazy);
+    }
+
+    #[test]
+    fn lazy_mode_tracks_time_through_ctx_now_before_flush() {
+        let sim = Simulation::new();
+        sim.spawn("worker", |ctx| {
+            let mut m = Meter::with_mode(100.0, SettleMode::Lazy);
+            // 2500 ns charged: many quantum crossings, zero dispatches,
+            // but the task's own clock must already see the committed
+            // chunks (now() includes the kernel batch).
+            for _ in 0..25 {
+                m.charge_bytes(ctx, 100, 1e9);
+            }
+            assert_eq!(ctx.now().as_nanos(), 2500);
+            m.flush(ctx);
+            assert_eq!(ctx.now().as_nanos(), 2500);
+        });
+        assert_eq!(sim.run().as_nanos(), 2500);
     }
 }

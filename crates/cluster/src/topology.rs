@@ -72,6 +72,13 @@ pub struct ClusterSpec {
     pub interconnect: Interconnect,
     /// Per-thread cost model.
     pub cost: CostModel,
+    /// Virtual-time quantum at which workers quantize accrued compute time
+    /// (see [`Meter::DEFAULT_QUANTUM_NS`](crate::Meter::DEFAULT_QUANTUM_NS)).
+    /// Scaled experiment runs shrink it alongside the data so the
+    /// compute/communication interleaving granularity stays proportional.
+    /// Every operator's meters draw from this field, so no binary can pin
+    /// a stale quantum by constructing meters directly.
+    pub meter_quantum_ns: f64,
 }
 
 impl Serialize for ClusterSpec {
@@ -82,6 +89,7 @@ impl Serialize for ClusterSpec {
             ("cores_per_machine", self.cores_per_machine.to_value()),
             ("interconnect", self.interconnect.to_value()),
             ("cost", self.cost.to_value()),
+            ("meter_quantum_ns", self.meter_quantum_ns.to_value()),
         ])
     }
 }
@@ -94,6 +102,11 @@ impl Deserialize for ClusterSpec {
             cores_per_machine: Deserialize::from_value(v.field("cores_per_machine")?)?,
             interconnect: Deserialize::from_value(v.field("interconnect")?)?,
             cost: Deserialize::from_value(v.field("cost")?)?,
+            // Absent in specs serialized before the field existed: default.
+            meter_quantum_ns: match v.field("meter_quantum_ns") {
+                Ok(f) => Deserialize::from_value(f)?,
+                Err(_) => crate::Meter::DEFAULT_QUANTUM_NS,
+            },
         })
     }
 }
@@ -109,6 +122,7 @@ impl ClusterSpec {
             cores_per_machine: 8,
             interconnect: Interconnect::Qdr,
             cost: CostModel::cluster(),
+            meter_quantum_ns: crate::Meter::DEFAULT_QUANTUM_NS,
         }
     }
 
@@ -123,6 +137,7 @@ impl ClusterSpec {
             cores_per_machine: 8,
             interconnect: Interconnect::Fdr,
             cost: CostModel::cluster(),
+            meter_quantum_ns: crate::Meter::DEFAULT_QUANTUM_NS,
         }
     }
 
@@ -136,6 +151,7 @@ impl ClusterSpec {
             cores_per_machine: 8,
             interconnect: Interconnect::IpoIb,
             cost: CostModel::cluster(),
+            meter_quantum_ns: crate::Meter::DEFAULT_QUANTUM_NS,
         }
     }
 
@@ -148,6 +164,7 @@ impl ClusterSpec {
             cores_per_machine: 32,
             interconnect: Interconnect::Qpi,
             cost: CostModel::single_machine_server(),
+            meter_quantum_ns: crate::Meter::DEFAULT_QUANTUM_NS,
         }
     }
 

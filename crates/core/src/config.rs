@@ -101,10 +101,6 @@ pub struct DistJoinConfig {
     /// costs by the same factor so that virtual times rescale exactly (see
     /// DESIGN.md §4.5).
     pub fabric_override: Option<rsj_rdma::FabricConfig>,
-    /// Virtual-time quantum at which workers settle accrued compute time
-    /// with the scheduler. Scaled runs shrink it alongside the data so the
-    /// compute/communication interleaving granularity stays proportional.
-    pub meter_quantum_ns: f64,
     /// **Extension beyond the paper** (its §6.5/§8 future work): idle
     /// machines steal whole build-probe fragments from other machines'
     /// task queues during the build-probe phase, pulling the fragment
@@ -153,7 +149,6 @@ impl DistJoinConfig {
             cache_budget_bytes: 32 * 1024,
             tcp_window_msgs: 8,
             fabric_override: None,
-            meter_quantum_ns: rsj_cluster::Meter::DEFAULT_QUANTUM_NS,
             inter_machine_work_sharing: false,
             work_sharing_min_bytes: 16 * 1024,
             parallel_local_pass: false,

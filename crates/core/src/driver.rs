@@ -276,7 +276,7 @@ fn worker<T: Tuple>(
     mach: usize,
     core: usize,
 ) -> Result<(), JoinError> {
-    let mut meter = Meter::with_quantum_ns(sh.cfg.meter_quantum_ns);
+    let mut meter = Meter::for_quantum(sh.cfg.cluster.meter_quantum_ns);
 
     phase_histogram(ctx, sh, mach, core, &mut meter)?;
     rt.try_sync_named(ctx, phase::HISTOGRAM, mach)?;

@@ -158,6 +158,7 @@ fn result_sink<T: Tuple>(
             }
             other => panic!("unexpected {other:?} during result sink"),
         }
+        meter.flush(ctx);
         nic.repost_recv(ctx);
     }
     meter.flush(ctx);
@@ -245,7 +246,12 @@ pub(crate) fn phase_build_probe<T: Tuple>(
                 let tables = Arc::new(tables);
                 if s_part.len() > info.s_split_threshold {
                     // Skewed outer fragment: share the probe among threads
-                    // in chunks of the threshold size.
+                    // in chunks of the threshold size. The pushes are
+                    // externally visible (an idle sibling that polls an
+                    // empty queue leaves the phase), so the build cost
+                    // must be settled first — otherwise *when* the chunks
+                    // appear depends on the settlement dispatch pattern.
+                    meter.flush(ctx);
                     let mut lo = 0;
                     while lo < s_part.len() {
                         let hi = (lo + info.s_split_threshold).min(s_part.len());
@@ -293,8 +299,11 @@ pub(crate) fn phase_build_probe<T: Tuple>(
                 );
             }
         }
-        sh.bp_busy.fetch_sub(1, Ordering::SeqCst);
+        // Settle before dropping the busy flag: peers poll `bp_busy` to
+        // decide whether the phase can still grow, so the flag must move
+        // at this worker's committed time, not at a stale clock.
         meter.flush(ctx);
+        sh.bp_busy.fetch_sub(1, Ordering::SeqCst);
         emitter.take_err()?;
     }
     let local_bytes = emitter.finish(ctx, meter, &nic)?;

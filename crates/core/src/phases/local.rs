@@ -84,6 +84,11 @@ pub(crate) fn phase_local<T: Tuple>(
         meter.charge_bytes(ctx, (r_p.len() + s_p.len()) * T::SIZE, rate);
         let sub_r = Arc::new(pt.partition(&r_p, b1, b2));
         let sub_s = Arc::new(pt.partition(&s_p, b1, b2));
+        // The pushes are externally visible (sibling cores pop the queue
+        // and poll the queued-bytes gauge), so the partitioning cost must
+        // be settled first or the queue order becomes settlement-mode
+        // dependent.
+        meter.flush(ctx);
         for j in 0..(1usize << b2) {
             if !sub_r.part(j).is_empty() || !sub_s.part(j).is_empty() {
                 let t = BpTask::BuildProbe {
@@ -96,7 +101,6 @@ pub(crate) fn phase_local<T: Tuple>(
                 st.bp_tasks.push(0, t);
             }
         }
-        meter.flush(ctx);
     }
     meter.flush(ctx);
     Ok(())

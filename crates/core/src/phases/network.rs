@@ -316,6 +316,7 @@ fn receiver_loop<T: Tuple>(
             }
             other => panic!("unexpected {other:?} during network pass"),
         }
+        meter.flush(ctx);
         nic.repost_recv(ctx);
     }
     meter.flush(ctx);

@@ -6,7 +6,7 @@ use crate::engine::{FileCtx, Global, KERNEL};
 use crate::lexer::TokKind;
 use crate::Finding;
 
-/// Rule identifiers in reporting order (8 ported + 3 new families).
+/// Rule identifiers in reporting order (8 ported + 4 new families).
 pub const RULES: &[&str] = &[
     "std-thread",
     "std-sync",
@@ -19,6 +19,7 @@ pub const RULES: &[&str] = &[
     "nondet-iter",
     "barrier-protocol",
     "error-swallow",
+    "meter-flush",
 ];
 
 /// Minimum length for an `.expect("…")` message to count as descriptive.
@@ -232,6 +233,11 @@ pub(crate) fn check_file(ctx: &FileCtx<'_>, global: &Global, out: &mut Vec<Findi
     // entry points in crates/core and crates/operators.
     if ctx.rel.starts_with("crates/core/src/") || ctx.rel.starts_with("crates/operators/src/") {
         barrier_protocol(ctx, global, out);
+    }
+
+    // ---- meter-flush: settle-on-interaction audit for the same layer.
+    if ctx.rel.starts_with("crates/core/src/") || ctx.rel.starts_with("crates/operators/src/") {
+        meter_flush(ctx, out);
     }
 }
 
@@ -653,6 +659,147 @@ fn barrier_protocol(ctx: &FileCtx<'_>, global: &Global, out: &mut Vec<Finding>) 
                 }
             }
             last = Some((idx, name.clone()));
+        }
+    }
+}
+
+/// Meter charge/flush/interaction call sites relevant to `meter-flush`.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum MeterEvent {
+    /// `.charge_bytes(` / `.charge_seconds(` — accrues unflushed time.
+    Charge,
+    /// `.flush(` — settles accrued time with the kernel.
+    Flush,
+    /// A park / barrier / fabric-post / recv call whose virtual-time
+    /// position other tasks observe.
+    Interaction,
+}
+
+/// Methods whose call marks a kernel-visible interaction point.
+const INTERACTION_METHODS: [&str; 9] = [
+    "park",
+    "sync_named",
+    "try_sync_named",
+    "sync_quiet",
+    "post_send",
+    "post_send_windowed",
+    "post_write",
+    "post_read",
+    "recv",
+];
+
+/// Meter charge methods.
+const CHARGE_METHODS: [&str; 2] = ["charge_bytes", "charge_seconds"];
+
+/// `meter-flush`: in functions that charge a [`Meter`], every
+/// interaction call (park, named barrier, fabric post, recv) must be
+/// preceded by a `.flush(` with no intervening charge — the
+/// settle-on-interaction invariant that makes lazy settlement equivalent
+/// to eager (DESIGN.md §11). Two passes: a linear control-flow-order scan,
+/// plus a cyclic scan of each `loop`/`while`/`for` body so a charge at the
+/// bottom of a loop reaching an interaction at its top (the receiver-loop
+/// shape) is caught.
+fn meter_flush(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    for f in ctx.functions() {
+        if ctx.in_test(f.name_idx) {
+            continue;
+        }
+        let Some((open, end)) = f.body else { continue };
+        // Events in token order. Only functions that actually charge a
+        // meter are audited; pure consumers of ctx/fabric are out of scope.
+        let mut events: Vec<(usize, MeterEvent)> = Vec::new();
+        for i in open + 1..end {
+            if ctx.text(i) != "." || ctx.text(i + 2) != "(" {
+                continue;
+            }
+            let m = ctx.text(i + 1);
+            if CHARGE_METHODS.contains(&m) {
+                events.push((i + 1, MeterEvent::Charge));
+            } else if m == "flush" {
+                events.push((i + 1, MeterEvent::Flush));
+            } else if INTERACTION_METHODS.contains(&m) {
+                events.push((i + 1, MeterEvent::Interaction));
+            }
+        }
+        if !events.iter().any(|(_, e)| *e == MeterEvent::Charge) {
+            continue;
+        }
+        let report = |idx: usize, shape: &str, out: &mut Vec<Finding>| {
+            out.push(Finding {
+                file: ctx.rel.to_string(),
+                line: ctx.line(idx),
+                rule: "meter-flush",
+                message: format!(
+                    "interaction `{}` in `{}` is reachable with unflushed meter charges \
+                     ({shape}); call meter.flush(ctx) first so the action's virtual-time \
+                     position reflects all accrued compute (settle-on-interaction, \
+                     DESIGN.md §11)",
+                    ctx.text(idx),
+                    f.name
+                ),
+                waived: false,
+                reason: None,
+            });
+        };
+        // Pass 1: linear order.
+        let mut unflushed: Option<usize> = None;
+        for &(idx, ev) in &events {
+            match ev {
+                MeterEvent::Charge => unflushed = Some(idx),
+                MeterEvent::Flush => unflushed = None,
+                MeterEvent::Interaction => {
+                    if unflushed.take().is_some() {
+                        report(idx, "straight-line path", out);
+                    }
+                }
+            }
+        }
+        // Pass 2: cyclic scan per loop body. A charge with no flush before
+        // the loop's bottom can wrap around to an interaction at its top.
+        let mut i = open + 1;
+        while i < end {
+            if ctx.kind(i) == TokKind::Ident && matches!(ctx.text(i), "loop" | "while" | "for") {
+                // Find the body brace of this loop header (skip groups).
+                let mut j = i + 1;
+                let mut brace = None;
+                while j < end {
+                    match ctx.text(j) {
+                        "{" => {
+                            brace = Some(j);
+                            break;
+                        }
+                        ";" => break,
+                        "(" | "[" => j = ctx.matching_close(j).unwrap_or(end),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(lb) = brace {
+                    let le = ctx.matching_close(lb).unwrap_or(end);
+                    let body: Vec<&(usize, MeterEvent)> =
+                        events.iter().filter(|(k, _)| *k > lb && *k < le).collect();
+                    // Unflushed charge at the loop's bottom?
+                    let tail_charge = body
+                        .iter()
+                        .rev()
+                        .take_while(|(_, e)| *e != MeterEvent::Flush)
+                        .any(|(_, e)| *e == MeterEvent::Charge);
+                    if tail_charge {
+                        // First interaction from the loop's top before any
+                        // flush is reached with that charge pending.
+                        if let Some((idx, _)) = body
+                            .iter()
+                            .take_while(|(_, e)| *e != MeterEvent::Flush)
+                            .find(|(_, e)| *e == MeterEvent::Interaction)
+                        {
+                            report(*idx, "wrap-around within a loop", out);
+                        }
+                    }
+                    // Keep scanning from the header so nested loops get
+                    // their own cyclic pass.
+                }
+            }
+            i += 1;
         }
     }
 }

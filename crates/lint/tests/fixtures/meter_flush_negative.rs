@@ -1,0 +1,22 @@
+// Fixture: meter-flush negatives. Linted as
+// crates/operators/src/mf_neg.rs.
+
+pub fn flushed_before_post(ctx: &SimCtx, nic: &Nic, meter: &mut Meter) {
+    meter.charge_bytes(ctx, 4096, 1e9);
+    meter.flush(ctx);
+    nic.post_send(ctx, SLOT, 4096);
+}
+
+pub fn receiver_flushes_before_repost(ctx: &SimCtx, nic: &Nic, meter: &mut Meter) {
+    loop {
+        let c = nic.recv(ctx);
+        meter.charge_bytes(ctx, c.len, 1e9);
+        meter.flush(ctx);
+        nic.repost_recv(ctx);
+    }
+}
+
+pub fn no_charges_out_of_scope(ctx: &SimCtx, nic: &Nic) {
+    let c = nic.recv(ctx);
+    nic.post_send(ctx, SLOT, c.len);
+}

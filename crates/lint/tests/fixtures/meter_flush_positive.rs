@@ -1,0 +1,22 @@
+// Fixture: meter-flush positives. Linted as
+// crates/core/src/phases/mf_pos.rs.
+
+pub fn straight_line(ctx: &SimCtx, nic: &Nic, meter: &mut Meter) {
+    meter.charge_bytes(ctx, 4096, 1e9);
+    nic.post_send(ctx, SLOT, 4096);
+}
+
+pub fn park_after_charge(ctx: &SimCtx, meter: &mut Meter, done: &Flag) {
+    meter.charge_seconds(ctx, 1.0e-6);
+    while !done.ready() {
+        ctx.park();
+    }
+}
+
+pub fn receiver_wraparound(ctx: &SimCtx, nic: &Nic, meter: &mut Meter) {
+    loop {
+        let c = nic.recv(ctx);
+        meter.charge_bytes(ctx, c.len, 1e9);
+        nic.repost_recv(ctx);
+    }
+}

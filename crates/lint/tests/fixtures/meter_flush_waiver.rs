@@ -1,0 +1,7 @@
+// Fixture: meter-flush waiver. Linted as crates/core/src/mf_waiver.rs.
+
+pub fn tolerated_stale_position(ctx: &SimCtx, nic: &Nic, meter: &mut Meter) {
+    meter.charge_bytes(ctx, 64, 1e9);
+    // lint: allow-meter-flush(diagnostic probe; stale send position is tolerated here)
+    nic.post_send(ctx, SLOT, 64);
+}

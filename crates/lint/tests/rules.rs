@@ -105,6 +105,24 @@ const CASES: &[Case] = &[
         expect: &[],
         waived: 1,
     },
+    Case {
+        fixture: "meter_flush_positive.rs",
+        vpath: "crates/core/src/phases/mf_pos.rs",
+        expect: &[("meter-flush", 6), ("meter-flush", 12), ("meter-flush", 18)],
+        waived: 0,
+    },
+    Case {
+        fixture: "meter_flush_negative.rs",
+        vpath: "crates/operators/src/mf_neg.rs",
+        expect: &[],
+        waived: 0,
+    },
+    Case {
+        fixture: "meter_flush_waiver.rs",
+        vpath: "crates/core/src/mf_waiver.rs",
+        expect: &[],
+        waived: 1,
+    },
     // -- ported rules --
     Case {
         fixture: "std_thread.rs",

@@ -252,7 +252,7 @@ fn worker<T: Tuple>(
     let np = 1usize << cfg.radix_bits;
     let workers = rt.cores() - 1;
     let cost = &cfg.cluster.cost;
-    let mut meter = Meter::new();
+    let mut meter = Meter::for_quantum(cfg.cluster.meter_quantum_ns);
     let nic = rt.fabric.nic(HostId(mach));
     let fab =
         |phase: &'static str| move |e: rsj_rdma::FabricError| JoinError::fabric(mach, phase, e);
@@ -291,6 +291,7 @@ fn worker<T: Tuple>(
                 }
                 other => panic!("unexpected {other:?} during network pass"),
             }
+            meter.flush(ctx);
             nic.repost_recv(ctx);
         }
         meter.flush(ctx);

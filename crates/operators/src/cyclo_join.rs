@@ -221,7 +221,7 @@ fn worker<T: Tuple>(
     let cost = &cfg.cluster.cost;
     let build_rate = cost.build_rate / cfg.cache_miss_derating;
     let probe_rate = cost.probe_rate / cfg.cache_miss_derating;
-    let mut meter = Meter::new();
+    let mut meter = Meter::for_quantum(cfg.cluster.meter_quantum_ns);
     let nic = rt.fabric.nic(HostId(mach));
 
     // ---- Phase 1: build the stationary table over the whole local R

@@ -5,9 +5,16 @@
 //! runs until it reaches a *yield point* — [`SimCtx::advance`] (charge
 //! virtual time), [`SimCtx::park`] (block until unparked), or thread exit —
 //! at which point the kernel dispatches the runnable thread with the
-//! smallest `(wake_time, sequence_number)` key. Virtual time jumps directly
-//! from event to event; no wall-clock time is ever consulted, so a
-//! simulation is bit-for-bit deterministic across runs and machines.
+//! smallest `(wake_time, task, sequence_number)` key. Ties on the clock are
+//! broken by the *target task id*, not by global insertion order: which
+//! task runs first at a shared instant is a pure function of the instant
+//! and the task set, never of how many scheduler dispatches happened to
+//! precede it. (Seq still orders multiple events of one task, and makes the
+//! key total.) That invariance is what lets two dispatch patterns that
+//! commit the same per-task clocks — e.g. eager vs batched settlement —
+//! produce the identical execution. Virtual time jumps directly from event
+//! to event; no wall-clock time is ever consulted, so a simulation is
+//! bit-for-bit deterministic across runs and machines.
 //!
 //! This design lets the join algorithm be written as ordinary blocking Rust
 //! code (loops, channels, barriers) while its *timing* comes entirely from
@@ -16,35 +23,49 @@
 //!
 //! ## Wall-clock hot path
 //!
-//! The `(time, seq)` total order is the determinism contract; *how fast the
-//! host walks that order* is a pure implementation concern. Three techniques
-//! keep the walk cheap (DESIGN.md §"Kernel fast path"):
+//! The `(time, task, seq)` total order is the determinism contract; *how
+//! fast the host walks that order* is a pure implementation concern. Three
+//! techniques keep the walk cheap (DESIGN.md §"Kernel fast path"):
 //!
 //! 1. **Self-continuation fast path.** When an `advance()` would push an
 //!    event that precedes everything queued, the reference scheduler would
 //!    push it, dispatch it straight back to the same task, and pay a full
 //!    OS park/unpark round-trip for a no-op handoff. The fast path detects
-//!    this (`wake < next queued time`), bumps the clock, allocates the same
-//!    sequence number, and returns inline — zero queue operations, zero
-//!    context switches. Consecutive charges between interaction points
+//!    this (`(wake, task) < next queued key`), bumps the clock, allocates
+//!    the same sequence number, and returns inline — zero queue operations,
+//!    zero context switches. Consecutive charges between interaction points
 //!    therefore coalesce: none of them touches the queue at all.
 //! 2. **Two-level event queue.** Events at the *current* instant go into a
-//!    FIFO near-bucket (they are seq-ascending by construction), only
-//!    strictly-future events pay the binary-heap `O(log n)`. Unpark wakes
-//!    and same-instant yields — the bulk of barrier and channel traffic —
-//!    become `O(1)` pushes and pops.
+//!    small near-heap, only strictly-future events pay the main binary-heap
+//!    `O(log n)` over the full horizon. Unpark wakes and same-instant
+//!    yields — the bulk of barrier and channel traffic — stay in the small
+//!    structure.
 //! 3. **Futex-style gates.** The per-task wake gate is an atomic flag plus
 //!    `std::thread::park`/`unpark` instead of a mutex + condvar, roughly
 //!    3× cheaper per handoff on Linux (one futex wake, no lock convoy).
 //!    The winner's gate is opened *after* the scheduler lock is released so
 //!    the woken thread never immediately blocks on that lock.
+//! 4. **Batched self-advance.** [`SimCtx::advance_batched`] accrues virtual
+//!    time into a per-task `pending` cell without touching the scheduler at
+//!    all — not even the state lock. This is sound because the kernel is a
+//!    *cooperative* scheduler: while this task holds the run token, no
+//!    other task executes, so the event queue is frozen except for events
+//!    this task itself pushes. The accrued time is this task's lookahead —
+//!    provably unobservable until the task next performs a kernel-visible
+//!    action (advance, park, unpark, spawn, exit), at which point
+//!    [`SimCtx::settle_point`] commits the whole batch as one `advance`
+//!    carrying the same total duration the unbatched calls would have, so
+//!    every committed `(time, seq)` key at an interaction is unchanged. A
+//!    seq-derived epoch assertion (debug builds) machine-checks the
+//!    frozen-queue invariant on every settle.
 //!
 //! A heap-only reference scheduler (feature `ref-kernel`, also compiled for
 //! this crate's own tests) retains the original push-everything/pop-min
 //! structure; the trace-equivalence tests assert both produce the identical
-//! `(time, seq, task)` dispatch trace.
+//! `(time, seq, task)` dispatch trace under the shared comparator.
 
-use std::collections::{BinaryHeap, VecDeque};
+use std::cell::Cell;
+use std::collections::BinaryHeap;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -58,24 +79,27 @@ use crate::time::{SimDuration, SimTime};
 pub struct TaskId(pub(crate) usize);
 
 /// One entry of a recorded dispatch trace: the kernel granted `task` the
-/// right to run at virtual time `time`, with tie-break key `seq`. The
+/// right to run at virtual time `time`; `seq` is the event's insertion
+/// number (the last component of the `(time, task, seq)` key). The
 /// sequence of these entries *is* the scheduling decision record — two
 /// kernel implementations are equivalent iff they produce identical traces.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct Dispatch {
     /// Virtual time of the grant.
     pub time: SimTime,
-    /// The event's global sequence number (insertion order, ties broken by
-    /// it).
+    /// The event's global sequence number (insertion order; final
+    /// component of the dispatch key).
     pub seq: u64,
     /// The task that was granted execution.
     pub task: TaskId,
 }
 
-/// Scheduler entry: wake `task` at `time`; ties broken by insertion order
-/// (`seq`), which makes dispatch deterministic. A plain 24-byte value —
-/// queues store it inline, so "allocating" an event is a bump of a
-/// preallocated buffer, never a heap allocation per event.
+/// Scheduler entry: wake `task` at `time`; clock ties are broken by the
+/// target task id so the dispatch order at a shared instant never depends
+/// on how many events were inserted before (see module docs), with `seq`
+/// (insertion order) only ordering multiple events of one task. A plain
+/// 24-byte value — queues store it inline, so "allocating" an event is a
+/// bump of a preallocated buffer, never a heap allocation per event.
 #[derive(Copy, Clone, PartialEq, Eq)]
 struct Event {
     time: SimTime,
@@ -83,10 +107,17 @@ struct Event {
     task: usize,
 }
 
+impl Event {
+    #[inline]
+    fn key(&self) -> (SimTime, usize, u64) {
+        (self.time, self.task, self.seq)
+    }
+}
+
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event wins.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        other.key().cmp(&self.key())
     }
 }
 
@@ -179,12 +210,14 @@ struct Grant {
 struct State {
     now: SimTime,
     seq: u64,
-    /// Events scheduled at exactly `now`, in seq order (FIFO — seq is
-    /// globally monotone and the bucket drains before `now` advances, so
-    /// pushes arrive seq-ascending). The `O(1)` half of the queue.
-    near: VecDeque<Event>,
+    /// Events scheduled at exactly `now` at push time. A small min-heap:
+    /// with task-id tie-breaking, same-instant events do not pop in
+    /// insertion order, but the heap stays tiny (it drains before `now`
+    /// advances), so pops cost `O(log instant-width)` instead of the main
+    /// heap's `O(log horizon)`.
+    near: BinaryHeap<Event>,
     /// Events scheduled strictly after `now` at push time. Min-heap by
-    /// `(time, seq)`.
+    /// `(time, task, seq)`.
     far: BinaryHeap<Event>,
     slots: Vec<Slot>,
     /// Number of spawned-but-unfinished tasks.
@@ -214,29 +247,29 @@ impl State {
         }
     }
 
-    /// Peek the minimum `(time, seq)` key across both queue levels.
+    /// Peek the minimum `(time, task, seq)` key across both queue levels.
     #[inline]
-    fn peek_key(&self) -> Option<(SimTime, u64)> {
-        let near = self.near.front().map(|e| (e.time, e.seq));
-        let far = self.far.peek().map(|e| (e.time, e.seq));
+    fn peek_key(&self) -> Option<(SimTime, usize, u64)> {
+        let near = self.near.peek().map(Event::key);
+        let far = self.far.peek().map(Event::key);
         match (near, far) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         }
     }
 
-    /// Pop the event with the minimum `(time, seq)` key.
+    /// Pop the event with the minimum `(time, task, seq)` key.
     #[inline]
     fn pop_min(&mut self) -> Option<Event> {
-        match (self.near.front(), self.far.peek()) {
+        match (self.near.peek(), self.far.peek()) {
             (Some(a), Some(b)) => {
-                if (a.time, a.seq) <= (b.time, b.seq) {
-                    self.near.pop_front()
+                if a.key() <= b.key() {
+                    self.near.pop()
                 } else {
                     self.far.pop()
                 }
             }
-            (Some(_), None) => self.near.pop_front(),
+            (Some(_), None) => self.near.pop(),
             (None, _) => self.far.pop(),
         }
     }
@@ -275,7 +308,7 @@ impl Kernel {
                 seq: 0,
                 // Preallocated and retained for the life of the run: event
                 // pushes never allocate once these warm up.
-                near: VecDeque::with_capacity(256),
+                near: BinaryHeap::with_capacity(256),
                 far: BinaryHeap::with_capacity(1024),
                 slots: Vec::with_capacity(64),
                 live: 0,
@@ -293,7 +326,7 @@ impl Kernel {
         let seq = state.seq;
         state.seq += 1;
         if !state.is_reference() && time == state.now {
-            state.near.push_back(Event { time, seq, task });
+            state.near.push(Event { time, seq, task });
         } else {
             debug_assert!(state.is_reference() || time > state.now);
             state.far.push(Event { time, seq, task });
@@ -371,10 +404,9 @@ impl Kernel {
     /// Charge `d` of virtual time to task `tid`.
     ///
     /// Fast path: if the task's wake event would precede everything queued
-    /// — strictly earlier than the minimum key, which with a
-    /// globally-monotone seq reduces to `wake < min.time` — then pushing it
-    /// and dispatching would hand control straight back to this same
-    /// thread. Skip the queue, the state transition, and the gate
+    /// — `(wake, tid)` strictly below the minimum `(time, task)` — then
+    /// pushing it and dispatching would hand control straight back to this
+    /// same thread. Skip the queue, the state transition, and the gate
     /// round-trip entirely: allocate the seq, bump the clock, keep running.
     /// The recorded trace entry is identical to what the reference
     /// scheduler produces, because the reference would pop this very event
@@ -387,9 +419,10 @@ impl Kernel {
             wake = st.now + d;
             if !st.is_reference() && st.failure.is_none() {
                 let wins = match st.peek_key() {
-                    // Tie on time means the queued event's smaller seq
-                    // wins; only a strictly earlier wake continues inline.
-                    Some((t, _)) => wake < t,
+                    // A clock tie is broken by task id; a tie on both (a
+                    // stale event of this very task) falls through to the
+                    // slow path, whose pop order handles it.
+                    Some((t, task, _)) => (wake, tid) < (t, task),
                     None => true,
                 };
                 if wins {
@@ -450,12 +483,36 @@ impl Kernel {
 pub struct SimCtx {
     kernel: Arc<Kernel>,
     tid: usize,
+    /// Virtual nanoseconds accrued by [`SimCtx::advance_batched`] and not
+    /// yet committed to the scheduler. Observable only through this
+    /// context: [`SimCtx::now`] adds it, and every kernel-visible action
+    /// settles or carries it, so no other task can ever see a clock that
+    /// lags the accrual.
+    pending: Cell<u64>,
+    /// Debug-build epoch check: `(scheduler seq at accrual start, events
+    /// this task itself pushed since)`. While `pending` is nonzero the
+    /// event queue must be frozen apart from our own pushes — the
+    /// invariant that makes batching sound — and `settle_point` asserts it.
+    #[cfg(debug_assertions)]
+    accrual_epoch: Cell<(u64, u64)>,
 }
 
 impl SimCtx {
-    /// The current virtual time.
+    fn new(kernel: Arc<Kernel>, tid: usize) -> SimCtx {
+        SimCtx {
+            kernel,
+            tid,
+            pending: Cell::new(0),
+            #[cfg(debug_assertions)]
+            accrual_epoch: Cell::new((0, 0)),
+        }
+    }
+
+    /// The current virtual time (committed clock plus this task's
+    /// uncommitted batched accrual).
     pub fn now(&self) -> SimTime {
-        self.kernel.state.lock().now
+        let committed = self.kernel.state.lock().now;
+        committed + SimDuration::from_nanos(self.pending.get())
     }
 
     /// This thread's id, usable as an unpark target from other threads.
@@ -464,13 +521,74 @@ impl SimCtx {
     }
 
     /// Charge `d` of virtual time to this thread: the thread resumes once
-    /// the virtual clock reaches `now + d`, after all earlier events.
+    /// the virtual clock reaches `now + d`, after all earlier events. Any
+    /// batched accrual is folded into the same single advance.
     pub fn advance(&self, d: SimDuration) {
-        self.kernel.advance(self.tid, d);
+        let total = d + SimDuration::from_nanos(self.pending.take());
+        self.kernel.advance(self.tid, total);
     }
 
+    /// Accrue `d` of virtual time *without* a scheduler dispatch: the time
+    /// is added to this task's pending batch and becomes part of the next
+    /// kernel-visible action ([`SimCtx::advance`], [`SimCtx::settle_point`],
+    /// [`SimCtx::park`], or task exit). Pure per-task cell arithmetic — no
+    /// lock, no queue operation, no context switch.
+    ///
+    /// The batch is this task's *lookahead*: because exactly one simulated
+    /// thread runs at a time, no other task can be dispatched (or push an
+    /// event) while the batch accrues, so deferring the commit cannot
+    /// change which events exist when the commit finally happens — the
+    /// committed `(time, seq)` of the eventual advance is exactly what an
+    /// unbatched advance of the same total would have produced.
+    #[inline]
+    pub fn advance_batched(&self, d: SimDuration) {
+        #[cfg(debug_assertions)]
+        if self.pending.get() == 0 && d.as_nanos() > 0 {
+            let seq = self.kernel.state.lock().seq;
+            self.accrual_epoch.set((seq, 0));
+        }
+        self.pending.set(self.pending.get() + d.as_nanos());
+    }
+
+    /// Commit any batched accrual to the scheduler as one advance. No-op
+    /// when nothing is pending. This is the settle hook interaction sites
+    /// call (directly or via `advance`/`park`) before an action whose
+    /// virtual-time position other tasks can observe.
+    pub fn settle_point(&self) {
+        let p = self.pending.take();
+        if p > 0 {
+            #[cfg(debug_assertions)]
+            {
+                let (start_seq, self_pushes) = self.accrual_epoch.get();
+                let seq = self.kernel.state.lock().seq;
+                debug_assert_eq!(
+                    seq,
+                    start_seq + self_pushes,
+                    "event queue changed under a batched accrual: another task ran while \
+                     this one held the run token"
+                );
+            }
+            self.kernel.advance(self.tid, SimDuration::from_nanos(p));
+        }
+    }
+
+    /// Debug-epoch bookkeeping: this task pushed an event while a batch
+    /// was accruing (its own unpark/spawn — the only legal queue mutations
+    /// during accrual).
+    #[cfg(debug_assertions)]
+    fn note_self_push(&self) {
+        if self.pending.get() > 0 {
+            let (s, p) = self.accrual_epoch.get();
+            self.accrual_epoch.set((s, p + 1));
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline]
+    fn note_self_push(&self) {}
+
     /// Yield without consuming virtual time, letting other threads scheduled
-    /// at the current instant run first (in deterministic seq order).
+    /// at the current instant run first (in deterministic task order).
     pub fn yield_now(&self) {
         self.advance(SimDuration::ZERO);
     }
@@ -488,7 +606,12 @@ impl SimCtx {
     /// Block until another thread calls [`SimCtx::unpark`] on this thread's
     /// [`TaskId`]. If an unpark was already delivered (a *permit*), returns
     /// immediately. Virtual time may advance arbitrarily while parked.
+    ///
+    /// Parking settles any batched accrual first: the park's virtual-time
+    /// position is observable (it decides which unpark wakes us and at what
+    /// clock we resume), so the task's clock must be fully committed.
     pub fn park(&self) {
+        self.settle_point();
         {
             let mut st = self.kernel.state.lock();
             if st.slots[self.tid].permit {
@@ -500,34 +623,53 @@ impl SimCtx {
             .yield_and_wait(self.tid, TaskState::Blocked, None);
     }
 
-    /// Make `target` runnable at the current virtual time. If `target` is
-    /// not parked, a permit is stored and its next [`SimCtx::park`] returns
+    /// Make `target` runnable at the caller's current virtual time (its
+    /// committed clock plus any batched accrual). If `target` is not
+    /// parked, a permit is stored and its next [`SimCtx::park`] returns
     /// immediately.
+    ///
+    /// This deliberately does *not* settle the caller: unpark is routinely
+    /// called under short-lived real mutexes (channel/barrier internals),
+    /// and settling could dispatch another task that then blocks on that
+    /// mutex outside the kernel's knowledge. Instead the wake event is
+    /// pushed at the caller's effective time — a future event from the
+    /// scheduler's point of view — which carries the identical timestamp a
+    /// pre-settled caller would have produced.
     pub fn unpark(&self, target: TaskId) {
         let mut st = self.kernel.state.lock();
         let slot = &mut st.slots[target.0];
         match slot.state {
             TaskState::Blocked => {
                 slot.state = TaskState::Runnable;
-                let now = st.now;
-                Kernel::push_event(&mut st, now, target.0);
+                let at = st.now + SimDuration::from_nanos(self.pending.get());
+                Kernel::push_event(&mut st, at, target.0);
+                drop(st);
+                self.note_self_push();
             }
             TaskState::Finished => {}
             _ => slot.permit = true,
         }
     }
 
-    /// Spawn a new simulated thread. It becomes runnable at the current
-    /// virtual time and starts executing once dispatched.
+    /// Spawn a new simulated thread. It becomes runnable at the caller's
+    /// current virtual time (committed clock plus batched accrual) and
+    /// starts executing once dispatched.
     pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> TaskId
     where
         F: FnOnce(&SimCtx) + Send + 'static,
     {
-        spawn_task(&self.kernel, name.into(), f)
+        let id = spawn_task(
+            &self.kernel,
+            name.into(),
+            f,
+            SimDuration::from_nanos(self.pending.get()),
+        );
+        self.note_self_push();
+        id
     }
 }
 
-fn spawn_task<F>(kernel: &Arc<Kernel>, name: String, f: F) -> TaskId
+fn spawn_task<F>(kernel: &Arc<Kernel>, name: String, f: F, offset: SimDuration) -> TaskId
 where
     F: FnOnce(&SimCtx) + Send + 'static,
 {
@@ -543,8 +685,8 @@ where
             permit: false,
         });
         st.live += 1;
-        let now = st.now;
-        Kernel::push_event(&mut st, now, tid);
+        let at = st.now + offset;
+        Kernel::push_event(&mut st, at, tid);
         tid
     };
 
@@ -559,11 +701,13 @@ where
                 finish_task(&kernel2, tid, None);
                 return;
             }
-            let ctx = SimCtx {
-                kernel: Arc::clone(&kernel2),
-                tid,
-            };
-            let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+            let ctx = SimCtx::new(Arc::clone(&kernel2), tid);
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                f(&ctx);
+                // Commit any batched accrual left at exit so the final
+                // virtual time matches an unbatched run of the same work.
+                ctx.settle_point();
+            }));
             let failure = match result {
                 Ok(()) => None,
                 Err(payload) => {
@@ -663,7 +807,7 @@ impl Simulation {
     where
         F: FnOnce(&SimCtx) + Send + 'static,
     {
-        spawn_task(&self.kernel, name.into(), f)
+        spawn_task(&self.kernel, name.into(), f, SimDuration::ZERO)
     }
 
     /// Run the simulation until every simulated thread has finished.
@@ -904,5 +1048,109 @@ mod tests {
         assert_eq!(fast.1, reference.1, "dispatch traces diverged");
         // Sanity: the workload actually exercised scheduling decisions.
         assert!(fast.1.len() > 300);
+    }
+
+    #[test]
+    fn batched_advance_is_visible_through_now_and_settles() {
+        let sim = Simulation::new();
+        sim.spawn("batcher", |ctx| {
+            ctx.advance_batched(SimDuration::from_nanos(300));
+            ctx.advance_batched(SimDuration::from_nanos(200));
+            // Accrued time is observable through this context...
+            assert_eq!(ctx.now().as_nanos(), 500);
+            // ...and a settle commits it in one advance.
+            ctx.settle_point();
+            assert_eq!(ctx.now().as_nanos(), 500);
+            ctx.settle_point(); // idempotent
+            assert_eq!(ctx.now().as_nanos(), 500);
+        });
+        assert_eq!(sim.run().as_nanos(), 500);
+    }
+
+    #[test]
+    fn batched_chunks_produce_the_merged_advance_trace() {
+        // `advance_batched(a); advance_batched(b); advance(c)` must be
+        // indistinguishable — same dispatch trace — from `advance(a+b+c)`.
+        fn run(batched: bool) -> (u64, Vec<Dispatch>) {
+            let sim = Simulation::new();
+            sim.record_trace();
+            for i in 0..4usize {
+                sim.spawn(format!("w{i}"), move |ctx| {
+                    for step in 0..30u64 {
+                        let base = (i as u64 * 29 + step * 13) % 23;
+                        if batched {
+                            ctx.advance_batched(SimDuration::from_nanos(base));
+                            ctx.advance_batched(SimDuration::from_nanos(base + 1));
+                            ctx.advance(SimDuration::from_nanos(2));
+                        } else {
+                            ctx.advance(SimDuration::from_nanos(2 * base + 3));
+                        }
+                    }
+                });
+            }
+            let (end, trace) = sim.run_traced();
+            (end.as_nanos(), trace)
+        }
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn unpark_during_accrual_carries_effective_time() {
+        let sim = Simulation::new();
+        let waiter = sim.spawn("waiter", |ctx| {
+            ctx.park();
+            assert_eq!(ctx.now().as_nanos(), 700);
+        });
+        sim.spawn("batcher", move |ctx| {
+            ctx.advance_batched(SimDuration::from_nanos(700));
+            // No settle: the wake event must still carry now + pending.
+            ctx.unpark(waiter);
+            ctx.advance_batched(SimDuration::from_nanos(50));
+        });
+        assert_eq!(sim.run().as_nanos(), 750);
+    }
+
+    #[test]
+    fn spawn_during_accrual_starts_child_at_effective_time() {
+        let sim = Simulation::new();
+        sim.spawn("parent", |ctx| {
+            ctx.advance_batched(SimDuration::from_nanos(400));
+            ctx.spawn("child", |ctx| {
+                assert_eq!(ctx.now().as_nanos(), 400);
+            });
+        });
+        assert_eq!(sim.run().as_nanos(), 400);
+    }
+
+    #[test]
+    fn exit_with_pending_accrual_settles() {
+        let sim = Simulation::new();
+        sim.spawn("tail", |ctx| {
+            ctx.advance(SimDuration::from_nanos(10));
+            ctx.advance_batched(SimDuration::from_nanos(90));
+            // Falls off the end with 90 ns unsettled.
+        });
+        assert_eq!(sim.run().as_nanos(), 100);
+    }
+
+    #[test]
+    fn park_settles_accrual_before_blocking() {
+        let sim = Simulation::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        let waiter = sim.spawn("waiter", move |ctx| {
+            ctx.advance_batched(SimDuration::from_nanos(120));
+            ctx.park();
+            // The accrual committed before the block, so the resume clock
+            // is the unparker's later time, not a stale one.
+            assert_eq!(ctx.now().as_nanos(), 500);
+            hits2.fetch_add(1, Ordering::SeqCst);
+        });
+        sim.spawn("waker", move |ctx| {
+            ctx.advance(SimDuration::from_nanos(500));
+            ctx.unpark(waiter);
+        });
+        sim.run();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
     }
 }

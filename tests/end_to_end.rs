@@ -120,7 +120,7 @@ fn paper_equivalent_times_are_scale_invariant() {
             tcp_syscall: nic.tcp_syscall / factor as f64,
             ..nic
         };
-        cfg.meter_quantum_ns /= factor as f64;
+        cfg.cluster.meter_quantum_ns /= factor as f64;
         let out = run_distributed_join(cfg, r, s);
         oracle.verify(&out.result);
         out.phases.total().as_secs_f64() * factor as f64
@@ -163,7 +163,7 @@ fn model_tracks_simulation_across_machine_counts() {
         fabric.msg_rate *= 1024.0;
         fabric.latency /= 1024.0;
         cfg.fabric_override = Some(fabric);
-        cfg.meter_quantum_ns /= 1024.0;
+        cfg.cluster.meter_quantum_ns /= 1024.0;
         let nic = cfg.cluster.cost.nic;
         cfg.cluster.cost.nic = rsj::rdma::NicCosts {
             post_overhead: nic.post_overhead / 1024.0,
@@ -208,6 +208,39 @@ fn wide_tuples_hold_the_section_6_7_result() {
     let t64 = run::<Tuple64>(8_000);
     assert!((t32 - t16).abs() / t16 < 0.1, "32B: {t32} vs {t16}");
     assert!((t64 - t16).abs() / t16 < 0.1, "64B: {t64} vs {t16}");
+}
+
+#[test]
+fn lazy_settlement_run_is_byte_identical_across_repetitions() {
+    // DESIGN.md §11: under the default lazy settlement path, repeating a
+    // mid-size cluster join must reproduce the identical virtual outcome
+    // byte for byte — batching commits into the kernel batch must not
+    // leak any host-scheduling nondeterminism into virtual time. Five
+    // repetitions, each with freshly generated (identical) relations and
+    // its own Simulation, serialized to a fingerprint string.
+    let fingerprint = || {
+        let machines = 4;
+        let r = generate_inner::<Tuple16>(50_000, machines, 700);
+        let (s, oracle) =
+            generate_outer::<Tuple16>(100_000, 50_000, machines, Skew::Zipf(1.05), 701);
+        let cfg = dist_cfg(machines, 4);
+        let out = run_distributed_join(cfg, r, s);
+        oracle.verify(&out.result);
+        format!(
+            "h={} n={} l={} b={} result={:?} bytes={}",
+            out.phases.histogram.as_nanos(),
+            out.phases.network_partition.as_nanos(),
+            out.phases.local_partition.as_nanos(),
+            out.phases.build_probe.as_nanos(),
+            out.result,
+            out.materialized_bytes,
+        )
+        .into_bytes()
+    };
+    let first = fingerprint();
+    for rep in 1..5 {
+        assert_eq!(fingerprint(), first, "repetition {rep} diverged");
+    }
 }
 
 #[test]
