@@ -40,7 +40,7 @@ use std::sync::Arc;
 use rsj_bench::service_stress::stress_batch;
 use rsj_bench::{run_scaled_join, Scale};
 use rsj_cluster::{ClusterSpec, QueryService, ServiceConfig};
-use rsj_core::DistJoinConfig;
+use rsj_core::{DistJoinConfig, Transport};
 use rsj_joins::{BucketTable, Partitioner};
 use rsj_rdma::{FaultPlan, ValidateMode};
 use rsj_sim::{SimChannel, SimDuration, Simulation};
@@ -160,6 +160,9 @@ fn main() {
         );
         benches.push(serial);
         benches.push(contended);
+        let (two, one) = bench_transport_pair(it.join_scale);
+        benches.push(two);
+        benches.push(one);
     }
     if !opts.short {
         benches.push(bench_sweep(
@@ -554,6 +557,43 @@ fn bench_service_pair(queries: usize, hosts: usize, cores: usize) -> (BenchRecor
     let serial = run(1, "service/serial");
     let contended = run(8, "service/contention");
     (serial, contended)
+}
+
+/// The probe-dataplane pair (DESIGN.md §11): the mid-size join once over
+/// the two-sided partition-and-ship plane and once over the one-sided
+/// RDMA-READ plane, identical inputs and (asserted) identical results.
+/// Virtual time records the simulated cost of each plane at this uniform
+/// workload point — the two-sided anchor of the shootout's crossover —
+/// while wall time tracks the simulator cost of the READ-heavy path
+/// (doorbell batching, bucket decode, seqlock retries).
+fn bench_transport_pair(scale: u64) -> (BenchRecord, BenchRecord) {
+    let scale = Scale::new(scale);
+    let run = |transport: Transport, name: &'static str| {
+        let (out, ms) = wall_ms(|| {
+            run_scaled_join(
+                scale,
+                ClusterSpec::qdr_cluster(4),
+                2048,
+                2048,
+                Skew::None,
+                |cfg: &mut DistJoinConfig| cfg.probe_transport = transport,
+            )
+        });
+        let tuples = 2 * scale.tuples(2048);
+        (
+            out.result,
+            BenchRecord::new(name, ms)
+                .virtual_s(scale.paper_seconds(out.phases.total()))
+                .tuples_per_s(tuples as f64 / (ms / 1e3)),
+        )
+    };
+    let (two_result, two) = run(Transport::TwoSided, "transport/two_sided");
+    let (one_result, one) = run(Transport::OneSided, "transport/one_sided");
+    assert_eq!(
+        two_result, one_result,
+        "probe dataplanes disagree on the mid-size join"
+    );
+    (two, one)
 }
 
 /// Time the full `experiments all` regeneration sweep as a subprocess —

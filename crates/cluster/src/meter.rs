@@ -23,7 +23,7 @@
 //!   rounding are bit-identical to eager mode, so the committed clock at
 //!   every interaction (the only points where another task can observe
 //!   this worker's time) is exactly the same; only the number of scheduler
-//!   dispatches between interactions changes. DESIGN.md §11 carries the
+//!   dispatches between interactions changes. DESIGN.md §12 carries the
 //!   equivalence argument; the full-sweep byte-identity gate checks it
 //!   end-to-end.
 //!

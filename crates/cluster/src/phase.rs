@@ -18,3 +18,8 @@ pub const NETWORK_PARTITION: &str = "network_partition";
 pub const LOCAL_PARTITION: &str = "local_partition";
 /// Build and probe of the hash tables (paper phase 4).
 pub const BUILD_PROBE: &str = "build_probe";
+/// One-sided probe: RDMA READs of published remote bucket tables — the
+/// alternative to [`BUILD_PROBE`] when the join runs with
+/// `Transport::OneSided` (DESIGN.md §11). Folded into the `build_probe`
+/// slot of the phase breakdown so reports stay four-phase.
+pub const ONE_SIDED_PROBE: &str = "one_sided_probe";

@@ -621,7 +621,10 @@ impl PhaseTimes {
     /// Each phase's duration is the span from its global start to the
     /// arrival of the cluster-wide slowest machine — so as long as the
     /// phases were recorded back-to-back, the four durations sum to the
-    /// end-to-end time. Unknown phase names are ignored.
+    /// end-to-end time. Unknown phase names are ignored. A run records
+    /// either [`phase::BUILD_PROBE`] or [`phase::ONE_SIDED_PROBE`] (never
+    /// both); whichever is present fills the `build_probe` slot so the
+    /// breakdown stays four-phase across transports.
     pub fn from_events(events: &[PhaseEvent]) -> PhaseTimes {
         let span = |name: &str| {
             events
@@ -635,7 +638,7 @@ impl PhaseTimes {
             histogram: span(phase::HISTOGRAM),
             network_partition: span(phase::NETWORK_PARTITION),
             local_partition: span(phase::LOCAL_PARTITION),
-            build_probe: span(phase::BUILD_PROBE),
+            build_probe: span(phase::BUILD_PROBE).max(span(phase::ONE_SIDED_PROBE)),
         }
     }
 }

@@ -67,6 +67,17 @@ impl fmt::Display for TagError {
 
 impl std::error::Error for TagError {}
 
+impl TagError {
+    /// A payload-level decode failure that never had a tag — e.g. a
+    /// seqlock-versioned bucket snapshot whose torn-read retries were
+    /// exhausted during a one-sided probe (DESIGN.md §11). Carried as a
+    /// `TagError` so it surfaces through the same
+    /// [`crate::JoinError::Decode`] arm as a malformed immediate.
+    pub fn payload(reason: &'static str) -> TagError {
+        TagError { raw: 0, reason }
+    }
+}
+
 impl WireTag {
     /// Encode into the 32-bit immediate.
     pub fn encode(self) -> u32 {

@@ -1,4 +1,4 @@
-//! Meter-level settlement equivalence (DESIGN.md §11): the same random
+//! Meter-level settlement equivalence (DESIGN.md §12): the same random
 //! charge schedule through [`Meter`]s in `Eager` and `Lazy` mode must
 //! produce identical flushed clocks at every interaction, identical
 //! charge totals, and an identical dispatch-visible interaction order —

@@ -36,6 +36,22 @@ pub enum ReceiveMode {
     OneSided,
 }
 
+/// How the *probe* phase reaches the build side's bucket tables — the
+/// dataplane choice DESIGN.md §11 documents (distinct from
+/// [`ReceiveMode`], which only governs how *partition* traffic lands).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Transport {
+    /// The paper's dataplane: both relations are repartitioned across the
+    /// wire, every machine builds and probes its owned partitions locally.
+    TwoSided,
+    /// One-sided dataplane: only the build relation R crosses the wire.
+    /// Each owner publishes its bucket tables in registered regions with
+    /// seqlock-versioned buckets; probe hosts fetch buckets with RDMA
+    /// READ — no receiver CPU in the probe hot path, at the price of one
+    /// wire round trip per remote bucket fetch.
+    OneSided,
+}
+
 /// What happens to matching tuple pairs (§4.3: "The result containing the
 /// matching tuples can either be output to a local buffer or written to
 /// RDMA-enabled buffers, depending on the location where the result will
@@ -117,6 +133,18 @@ pub struct DistJoinConfig {
     /// serial bottleneck — see EXPERIMENTS.md's fig8ws discussion). Off by
     /// default to preserve the paper's measured imbalance.
     pub parallel_local_pass: bool,
+    /// Probe dataplane: ship-and-probe-locally (two-sided, the paper's
+    /// design) or publish-and-READ (one-sided, DESIGN.md §11). The join
+    /// result is byte-identical either way; only the cost profile moves.
+    pub probe_transport: Transport,
+    /// One-sided probe: READs chained per doorbell ring — one
+    /// `post_overhead` covers this many bucket fetches
+    /// ([`rsj_rdma::Nic::post_read_batch`]).
+    pub read_doorbell: usize,
+    /// One-sided probe: adjacent bucket ranges are coalesced into a
+    /// single READ while the merged span stays within this many bytes
+    /// (the inline-fetch / MTU knob of DESIGN.md §11).
+    pub one_sided_mtu: usize,
     /// Result materialization (§4.3 / §7).
     pub materialize: MaterializeMode,
     /// Override the fabric's verbs-contract validator response for this
@@ -152,6 +180,9 @@ impl DistJoinConfig {
             inter_machine_work_sharing: false,
             work_sharing_min_bytes: 16 * 1024,
             parallel_local_pass: false,
+            probe_transport: Transport::TwoSided,
+            read_doorbell: 16,
+            one_sided_mtu: 4096,
             materialize: MaterializeMode::CountOnly,
             validate_mode: None,
             fault_plan: None,
@@ -219,6 +250,27 @@ impl DistJoinConfig {
                 "the TCP baseline models a socket receiver thread"
             );
         }
+        if self.probe_transport == Transport::OneSided {
+            assert!(self.read_doorbell >= 1, "doorbell batch must be positive");
+            assert!(
+                self.one_sided_mtu >= 64,
+                "one-sided MTU smaller than a bucket header"
+            );
+            assert_ne!(
+                self.materialize,
+                MaterializeMode::ToCoordinator,
+                "one-sided probe materializes locally (no result shipping path)"
+            );
+            assert!(
+                !self.inter_machine_work_sharing,
+                "work stealing assumes two-sided build-probe task queues"
+            );
+            assert_ne!(
+                self.transport,
+                TransportMode::Tcp,
+                "one-sided probe needs an RDMA-capable transport"
+            );
+        }
     }
 }
 
@@ -249,6 +301,24 @@ mod tests {
     fn too_few_partitions_is_rejected() {
         let mut cfg = DistJoinConfig::new(ClusterSpec::qdr_cluster(10));
         cfg.radix_bits = (3, 10); // 8 partitions < 10 machines
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "materializes locally")]
+    fn one_sided_probe_rejects_coordinator_materialization() {
+        let mut cfg = DistJoinConfig::new(ClusterSpec::qdr_cluster(4));
+        cfg.probe_transport = Transport::OneSided;
+        cfg.materialize = MaterializeMode::ToCoordinator;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "two-sided build-probe task queues")]
+    fn one_sided_probe_rejects_work_stealing() {
+        let mut cfg = DistJoinConfig::new(ClusterSpec::qdr_cluster(4));
+        cfg.probe_transport = Transport::OneSided;
+        cfg.inter_machine_work_sharing = true;
         cfg.validate();
     }
 

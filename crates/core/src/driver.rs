@@ -32,11 +32,12 @@ use rsj_rdma::HostId;
 use rsj_sim::{SimCtx, SimTime};
 use rsj_workload::{JoinResult, Relation, Tuple};
 
-use crate::config::{DistJoinConfig, MaterializeMode};
+use crate::config::{DistJoinConfig, MaterializeMode, Transport};
 use crate::phases::build_probe::phase_build_probe;
 use crate::phases::histogram::phase_histogram;
 use crate::phases::local::phase_local;
 use crate::phases::network::phase_network;
+use crate::phases::one_sided::{phase_one_sided_probe, phase_publish_tables};
 use crate::phases::ClusterShared;
 
 /// Per-machine statistics of one run.
@@ -265,11 +266,27 @@ pub fn try_run_distributed_join<T: Tuple>(
     Ok(outcome)
 }
 
-/// One simulated core's journey through the four phases. The runtime's
-/// named barriers record the per-machine phase events; the trailing
-/// barrier and fabric shutdown are handled by [`Runtime::try_run`]. A
-/// phase error aborts the whole run ([`Runtime::fail`]).
+/// One simulated core's journey through the four phases, dispatched on
+/// the probe dataplane. The runtime's named barriers record the
+/// per-machine phase events; the trailing barrier and fabric shutdown
+/// are handled by [`Runtime::try_run`]. A phase error aborts the whole
+/// run ([`Runtime::fail`]).
 fn worker<T: Tuple>(
+    ctx: &SimCtx,
+    rt: &Runtime,
+    sh: &ClusterShared<T>,
+    mach: usize,
+    core: usize,
+) -> Result<(), JoinError> {
+    match sh.cfg.probe_transport {
+        Transport::TwoSided => worker_two_sided(ctx, rt, sh, mach, core),
+        Transport::OneSided => worker_one_sided(ctx, rt, sh, mach, core),
+    }
+}
+
+/// The paper's dataplane: histogram → network partition → local
+/// partition → build-probe.
+fn worker_two_sided<T: Tuple>(
     ctx: &SimCtx,
     rt: &Runtime,
     sh: &ClusterShared<T>,
@@ -290,5 +307,39 @@ fn worker<T: Tuple>(
     phase_build_probe(ctx, sh, mach, core, &mut meter)?;
     *sh.machines[mach].cpu_busy_seconds.lock() += meter.total_seconds();
     rt.try_sync_named(ctx, phase::BUILD_PROBE, mach)?;
+    Ok(())
+}
+
+/// The one-sided dataplane (DESIGN.md §11): histogram → network
+/// partition (R only) → publish bucket tables (under the
+/// `local_partition` barrier) → RDMA-READ probe. Published regions stay
+/// open until the probe barrier proves every READ has completed; core 0
+/// then closes the epoch so the validator audits any straggler.
+fn worker_one_sided<T: Tuple>(
+    ctx: &SimCtx,
+    rt: &Runtime,
+    sh: &ClusterShared<T>,
+    mach: usize,
+    core: usize,
+) -> Result<(), JoinError> {
+    let mut meter = Meter::for_quantum(sh.cfg.cluster.meter_quantum_ns);
+
+    phase_histogram(ctx, sh, mach, core, &mut meter)?;
+    rt.try_sync_named(ctx, phase::HISTOGRAM, mach)?;
+
+    phase_network(ctx, sh, mach, core, &mut meter)?;
+    rt.try_sync_named(ctx, phase::NETWORK_PARTITION, mach)?;
+
+    phase_publish_tables(ctx, sh, mach, core, &mut meter)?;
+    rt.try_sync_named(ctx, phase::LOCAL_PARTITION, mach)?;
+
+    phase_one_sided_probe(ctx, sh, mach, core, &mut meter)?;
+    *sh.machines[mach].cpu_busy_seconds.lock() += meter.total_seconds();
+    rt.try_sync_named(ctx, phase::ONE_SIDED_PROBE, mach)?;
+    if core == 0 {
+        for mr in sh.machines[mach].published_tables.lock().iter() {
+            mr.unpublish();
+        }
+    }
     Ok(())
 }

@@ -31,7 +31,9 @@ mod driver;
 mod histogram;
 mod phases;
 
-pub use config::{AssignmentPolicy, DistJoinConfig, MaterializeMode, ReceiveMode, TransportMode};
+pub use config::{
+    AssignmentPolicy, DistJoinConfig, MaterializeMode, ReceiveMode, Transport, TransportMode,
+};
 pub use driver::{
     run_distributed_join, try_run_distributed_join, DistJoinJob, DistJoinOutcome, MachineReport,
 };

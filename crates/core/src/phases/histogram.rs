@@ -15,7 +15,7 @@ use rsj_workload::Tuple;
 
 use crate::histogram::{assign_partitions, Histogram, REL_R, REL_S};
 use crate::phases::{barrier_wait, sender_index, ClusterShared, GlobalInfo, RELS};
-use crate::ReceiveMode;
+use crate::{ReceiveMode, Transport};
 
 /// Phase name used in error attribution and watchdog reports.
 const PHASE: &str = "histogram";
@@ -106,6 +106,11 @@ pub(crate) fn phase_histogram<T: Tuple>(
             for &p in &owned {
                 for src in (0..m).filter(|&s| s != mach) {
                     for rel in RELS {
+                        if rel == REL_S && cfg.probe_transport == Transport::OneSided {
+                            // S stays local on the one-sided probe
+                            // dataplane — don't pin regions nobody writes.
+                            continue;
+                        }
                         let tuples = machine_hists[src].counts[rel][p];
                         if tuples == 0 {
                             continue;

@@ -12,12 +12,16 @@
 //!   senders, two-sided receiver loop or one-sided writes);
 //! * [`local`] — §4.2.3 local partitioning pass (serial and parallel);
 //! * [`build_probe`] — §4.3 build-probe with skew splitting, result
-//!   materialization, and the inter-machine work-sharing extension.
+//!   materialization, and the inter-machine work-sharing extension;
+//! * [`one_sided`] — the alternative probe dataplane of DESIGN.md §11:
+//!   owners publish seqlock-versioned bucket tables, probe hosts fetch
+//!   buckets with doorbell-batched RDMA READs.
 
 pub(crate) mod build_probe;
 pub(crate) mod histogram;
 pub(crate) mod local;
 pub(crate) mod network;
+pub(crate) mod one_sided;
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::AtomicUsize;
@@ -130,6 +134,16 @@ pub(crate) struct MachineState<T> {
     /// Bytes currently being pulled *out* of this machine by thieves
     /// (their reads serialize on our egress link).
     pub(crate) steal_outstanding_bytes: AtomicUsize,
+    /// One-sided dataplane, owner side: the registered regions holding
+    /// this machine's published bucket tables (unpublished by core 0
+    /// after the probe barrier).
+    pub(crate) published_tables: Mutex<Vec<Arc<rsj_rdma::Mr>>>,
+    /// One-sided dataplane, owner side: partition → encoded region bytes,
+    /// kept so this machine's own probes skip the loopback READ.
+    pub(crate) owned_table_bytes: Mutex<HashMap<usize, Arc<Vec<u8>>>>,
+    /// One-sided dataplane, probe side: partition → decoded directory,
+    /// fetched once per machine by core 0 before probing starts.
+    pub(crate) dir_cache: Mutex<HashMap<usize, Arc<rsj_joins::RemoteDirectory>>>,
 }
 
 impl<T: Tuple> MachineState<T> {
@@ -173,6 +187,9 @@ impl<T: Tuple> MachineState<T> {
             next_lp_emit: AtomicUsize::new(0),
             bp_queued_bytes: AtomicUsize::new(0),
             steal_outstanding_bytes: AtomicUsize::new(0),
+            published_tables: Mutex::new(Vec::new()),
+            owned_table_bytes: Mutex::new(HashMap::new()),
+            dir_cache: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -199,6 +216,10 @@ pub(crate) struct ClusterShared<T> {
     /// Materialized result bytes received by the coordinator (machine 0)
     /// in [`crate::MaterializeMode::ToCoordinator`] runs.
     pub(crate) coord_result_bytes: Mutex<u64>,
+    /// One-sided dataplane: partition → the owner's published table
+    /// handle (the out-of-band handle exchange of DESIGN.md §11; filled
+    /// behind the `local_partition` barrier, read-only afterwards).
+    pub(crate) table_registry: Mutex<HashMap<usize, RemoteMr>>,
 }
 
 impl<T: Tuple> ClusterShared<T> {
@@ -243,6 +264,7 @@ impl<T: Tuple> ClusterShared<T> {
             scratch_mrs: Mutex::new(vec![None; m]),
             bp_busy: AtomicUsize::new(0),
             coord_result_bytes: Mutex::new(0),
+            table_registry: Mutex::new(HashMap::new()),
         }
     }
 }

@@ -18,7 +18,7 @@ use rsj_workload::Tuple;
 
 use crate::histogram::{REL_R, REL_S};
 use crate::phases::{sender_index, ClusterShared, LocalOut, RELS};
-use crate::{ReceiveMode, TransportMode};
+use crate::{ReceiveMode, Transport, TransportMode};
 
 /// Phase name used in error attribution and watchdog reports.
 const PHASE: &str = "network_partition";
@@ -103,6 +103,12 @@ fn sender_loop<T: Tuple>(
     let mut stall = 0.0f64;
 
     for (rel, chunk) in [(REL_R, &st.r_chunk), (REL_S, &st.s_chunk)] {
+        if rel == REL_S && cfg.probe_transport == Transport::OneSided {
+            // One-sided probe dataplane: S never crosses the wire — the
+            // probe phase READs the owners' published bucket tables
+            // instead (DESIGN.md §11).
+            continue;
+        }
         let range = ranges(chunk.len(), workers)[w].clone();
         for t in &chunk[range] {
             meter.charge_bytes(ctx, T::SIZE, rate);

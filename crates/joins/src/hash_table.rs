@@ -31,7 +31,7 @@ pub struct ChainedTable<T> {
 /// Multiplicative hashing (Knuth). Partition keys share their low radix
 /// bits, so bucket selection must mix the *high* bits in.
 #[inline]
-fn hash(key: u64) -> u64 {
+pub(crate) fn hash(key: u64) -> u64 {
     key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32
 }
 

@@ -11,17 +11,25 @@
 //! * [`run_single_machine_join`] — the parallel radix join of Balkesen et
 //!   al. [4] with the paper's extensions (Figure 5a's "single" bars);
 //! * [`run_no_partitioning_join`] — the hardware-oblivious baseline of
-//!   Blanas et al. [6].
+//!   Blanas et al. [6];
+//! * [`remote_table`] — the seqlock-versioned bucket-table byte format a
+//!   one-sided join publishes for RDMA-READ probing (DESIGN.md §11).
 
 mod hash_table;
 mod no_partitioning;
 mod radix;
+pub mod remote_table;
 mod single_machine;
 mod sort;
 mod task_queue;
 
 pub use hash_table::{BucketTable, ChainedTable};
 pub use no_partitioning::{run_no_partitioning_join, NoPartitioningConfig, NoPartitioningOutcome};
+pub use remote_table::{
+    begin_bucket_mutation, decode_bucket, encode_remote_table, end_bucket_mutation, remote_dir_len,
+    remote_nbuckets, RemoteDirectory, TornRead,
+};
+
 pub use radix::{
     choose_radix_bits, concat_partitioned, histogram, histogram_into, partition, partition_of,
     Partitioned, Partitioner,

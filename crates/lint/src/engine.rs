@@ -36,6 +36,7 @@ pub(crate) const DEFAULT_PHASE_ORDER: &[&str] = &[
     "NETWORK_PARTITION",
     "LOCAL_PARTITION",
     "BUILD_PROBE",
+    "ONE_SIDED_PROBE",
 ];
 
 /// One file, lexed and structurally analyzed.

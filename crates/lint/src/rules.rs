@@ -676,7 +676,7 @@ enum MeterEvent {
 }
 
 /// Methods whose call marks a kernel-visible interaction point.
-const INTERACTION_METHODS: [&str; 9] = [
+const INTERACTION_METHODS: [&str; 10] = [
     "park",
     "sync_named",
     "try_sync_named",
@@ -685,6 +685,7 @@ const INTERACTION_METHODS: [&str; 9] = [
     "post_send_windowed",
     "post_write",
     "post_read",
+    "post_read_batch",
     "recv",
 ];
 
@@ -695,7 +696,7 @@ const CHARGE_METHODS: [&str; 2] = ["charge_bytes", "charge_seconds"];
 /// interaction call (park, named barrier, fabric post, recv) must be
 /// preceded by a `.flush(` with no intervening charge — the
 /// settle-on-interaction invariant that makes lazy settlement equivalent
-/// to eager (DESIGN.md §11). Two passes: a linear control-flow-order scan,
+/// to eager (DESIGN.md §12). Two passes: a linear control-flow-order scan,
 /// plus a cyclic scan of each `loop`/`while`/`for` body so a charge at the
 /// bottom of a loop reaching an interaction at its top (the receiver-loop
 /// shape) is caught.
@@ -733,7 +734,7 @@ fn meter_flush(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                     "interaction `{}` in `{}` is reachable with unflushed meter charges \
                      ({shape}); call meter.flush(ctx) first so the action's virtual-time \
                      position reflects all accrued compute (settle-on-interaction, \
-                     DESIGN.md §11)",
+                     DESIGN.md §12)",
                     ctx.text(idx),
                     f.name
                 ),

@@ -296,7 +296,8 @@ fn canonical_phase_order_is_in_sync_with_phase_rs() {
             "HISTOGRAM",
             "NETWORK_PARTITION",
             "LOCAL_PARTITION",
-            "BUILD_PROBE"
+            "BUILD_PROBE",
+            "ONE_SIDED_PROBE"
         ],
         "phase.rs declaration order changed; update DEFAULT_PHASE_ORDER in \
          crates/lint/src/engine.rs and re-check the operators"

@@ -20,6 +20,12 @@
 //! runtime and wire codec ([`rsj_cluster::Runtime`],
 //! [`rsj_cluster::WireTag`]) rather than carrying private copies.
 //!
+//! The radix hash join itself lives in [`rsj_core`]; this crate re-exports
+//! its entry points and the [`Transport`] dataplane switch so a user
+//! composing operators can flip a query between the two-sided
+//! partition-and-ship probe and the one-sided RDMA-READ probe over
+//! published bucket tables (DESIGN.md §11) without a second import.
+//!
 //! [`PhaseTimes`]: rsj_cluster::PhaseTimes
 
 mod aggregation;
@@ -34,6 +40,9 @@ pub use cyclo_join::{
     run_cyclo_join, try_run_cyclo_join, CycloJoinConfig, CycloJoinJob, CycloJoinOutcome,
 };
 pub use rsj_cluster::{run_cluster, JoinError, Runtime};
+pub use rsj_core::{
+    run_distributed_join, try_run_distributed_join, DistJoinConfig, DistJoinJob, Transport,
+};
 pub use sort_merge::{
     run_sort_merge_join, try_run_sort_merge_join, SortMergeConfig, SortMergeJob, SortMergeOutcome,
 };

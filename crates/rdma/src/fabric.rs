@@ -156,6 +156,10 @@ pub struct ReadHandle {
     src: HostId,
     dst: HostId,
     faults: Arc<FaultState>,
+    /// Whether the work request actually reached the wire (false when the
+    /// validator or the fault plane dropped the post). Batch posting uses
+    /// this to decide which read in a chain pays the doorbell.
+    posted: bool,
 }
 
 impl ReadHandle {
@@ -305,13 +309,100 @@ impl Nic {
     /// Post a one-sided RDMA READ of `len` bytes from `remote` at
     /// `offset`. No CPU is consumed on the remote host: its NIC streams
     /// the data back directly (used by the work-sharing extension to pull
-    /// build-probe fragments from overloaded machines).
+    /// build-probe fragments from overloaded machines, and by the
+    /// one-sided probe path to fetch published bucket tables).
+    ///
+    /// Each call pays [`NicCosts::post_overhead`] for its doorbell; use
+    /// [`Nic::post_read_batch`] to amortize the doorbell over a chain of
+    /// reads.
+    ///
+    /// ```
+    /// use rsj_rdma::{Fabric, FabricConfig, HostId, NicCosts};
+    /// use rsj_sim::Simulation;
+    ///
+    /// let sim = Simulation::new();
+    /// let fabric = Fabric::new(FabricConfig::fdr(), NicCosts::default(), 2);
+    /// fabric.launch(&sim);
+    /// sim.spawn("reader", move |ctx| {
+    ///     let mr = fabric.nic(HostId(1)).mrs.register(ctx, 256);
+    ///     mr.fill(0, &[42; 256]);
+    ///     let remote = mr.publish();
+    ///     let bytes = fabric
+    ///         .nic(HostId(0))
+    ///         .post_read(ctx, remote, 128, 64)
+    ///         .wait(ctx)
+    ///         .unwrap();
+    ///     assert_eq!(bytes, vec![42u8; 64]);
+    ///     fabric.shutdown(ctx);
+    /// });
+    /// sim.run();
+    /// ```
     pub fn post_read(
         &self,
         ctx: &SimCtx,
         remote: RemoteMr,
         offset: usize,
         len: usize,
+    ) -> ReadHandle {
+        self.post_read_inner(ctx, remote, offset, len, true)
+    }
+
+    /// Post a doorbell-batched chain of RDMA READs: the verbs `wr.next`
+    /// linked-list idiom, where one doorbell write submits every work
+    /// request in the chain. The whole batch costs a single
+    /// [`NicCosts::post_overhead`] on the initiating core — the CPU-side
+    /// win the one-sided probe path is built around — while each read
+    /// still pays its own wire time. Reads are validated (and fault-gated)
+    /// individually, exactly as if posted one by one.
+    ///
+    /// ```
+    /// use rsj_rdma::{Fabric, FabricConfig, HostId, NicCosts};
+    /// use rsj_sim::Simulation;
+    ///
+    /// let sim = Simulation::new();
+    /// let fabric = Fabric::new(FabricConfig::fdr(), NicCosts::default(), 2);
+    /// fabric.launch(&sim);
+    /// sim.spawn("reader", move |ctx| {
+    ///     let mr = fabric.nic(HostId(1)).mrs.register(ctx, 64);
+    ///     mr.fill(0, &[9; 64]);
+    ///     let remote = mr.publish();
+    ///     let reads = [(remote, 0, 16), (remote, 16, 16), (remote, 48, 16)];
+    ///     let handles = fabric.nic(HostId(0)).post_read_batch(ctx, &reads);
+    ///     for h in handles {
+    ///         assert_eq!(h.wait(ctx).unwrap(), vec![9u8; 16]);
+    ///     }
+    ///     fabric.shutdown(ctx);
+    /// });
+    /// sim.run();
+    /// ```
+    pub fn post_read_batch(
+        &self,
+        ctx: &SimCtx,
+        reads: &[(RemoteMr, usize, usize)],
+    ) -> Vec<ReadHandle> {
+        let mut doorbell_rung = false;
+        reads
+            .iter()
+            .map(|&(remote, offset, len)| {
+                let h = self.post_read_inner(ctx, remote, offset, len, !doorbell_rung);
+                // Validator- or fault-dropped reads never reach the wire;
+                // the doorbell is paid by the first read that does.
+                doorbell_rung |= h.posted;
+                h
+            })
+            .collect()
+    }
+
+    /// Shared READ post path; `charge_doorbell` decides whether this work
+    /// request pays [`NicCosts::post_overhead`] (single posts and the
+    /// first live read of a batch) or rides a doorbell already rung.
+    fn post_read_inner(
+        &self,
+        ctx: &SimCtx,
+        remote: RemoteMr,
+        offset: usize,
+        len: usize,
+        charge_doorbell: bool,
     ) -> ReadHandle {
         let mk_state = |data: Option<Vec<u8>>| {
             Arc::new(ReadState {
@@ -320,29 +411,32 @@ impl Nic {
                 data: Mutex::new(data),
             })
         };
-        let handle = |state: Arc<ReadState>| ReadHandle {
+        let handle = |state: Arc<ReadState>, posted: bool| ReadHandle {
             state,
             query: self.query,
             src: self.host,
             dst: remote.host,
             faults: Arc::clone(&self.faults),
+            posted,
         };
         if !self.validator.check_read(&remote, offset, len) {
             // Record mode: the faulting read is dropped; hand back an
             // already-completed handle of zeroes so the caller can't hang.
             let state = mk_state(Some(vec![0u8; len]));
             state.done.set(ctx);
-            return handle(state);
+            return handle(state, false);
         }
         if let Some(status) = self.faults.post_denied(self.query, self.host, remote.host) {
             let state = mk_state(None);
             state.wc.set(status);
             state.done.set(ctx);
             self.stats.lock().wc_errors += 1;
-            return handle(state);
+            return handle(state, false);
         }
         let state = mk_state(None);
-        ctx.advance(SimDuration::from_secs_f64(self.costs.post_overhead));
+        if charge_doorbell {
+            ctx.advance(SimDuration::from_secs_f64(self.costs.post_overhead));
+        }
         self.stats.lock().tx_msgs += 1;
         self.lane_progress.fetch_add(1, Ordering::Relaxed);
         self.tx.send(
@@ -363,7 +457,7 @@ impl Nic {
                 window: None,
             },
         );
-        handle(state)
+        handle(state, true)
     }
 
     /// Post a one-sided RDMA WRITE of `payload` into `remote` at `offset`.
@@ -1014,6 +1108,36 @@ impl Fabric {
         }
     }
 
+    /// Credit received bytes to the query's lane NIC on host `h`, so a
+    /// query-scoped [`NicStats`] accounts one-sided traffic (WRITE
+    /// landings, READ request arrivals and responses) exactly like the
+    /// direct path's base NIC does. No-op for direct traffic or a lane
+    /// already retired.
+    fn credit_lane_rx(&self, h: usize, query: QueryId, bytes: usize) {
+        if query == QueryId::DIRECT {
+            return;
+        }
+        if let Some(lane) = self.lanes[h].lock().get(&query.0).cloned() {
+            let mut ls = lane.stats.lock();
+            ls.rx_msgs += 1;
+            ls.rx_bytes += bytes as u64;
+        }
+    }
+
+    /// Lane-side twin of [`Fabric::credit_lane_rx`] for bytes a host
+    /// *serves* on behalf of a query (READ responses streamed out of a
+    /// published region).
+    fn credit_lane_tx(&self, h: usize, query: QueryId, bytes: usize) {
+        if query == QueryId::DIRECT {
+            return;
+        }
+        if let Some(lane) = self.lanes[h].lock().get(&query.0).cloned() {
+            let mut ls = lane.stats.lock();
+            ls.tx_msgs += 1;
+            ls.tx_bytes += bytes as u64;
+        }
+    }
+
     fn ingress_engine(&self, ctx: &SimCtx, h: usize, n: usize) {
         let rx = Arc::clone(&self.rx_queues[h]);
         let host = HostId(h);
@@ -1108,6 +1232,9 @@ impl Fabric {
                     if let Some(region) = nic.mrs.get(mr) {
                         region.dma_write(offset, &msg.payload);
                     }
+                    // Query-scoped writes land on the shared region, but
+                    // the traffic belongs to the query's lane report.
+                    self.credit_lane_rx(h, msg.query, msg.payload.len());
                 }
                 MsgKind::ReadRequest {
                     mr,
@@ -1126,6 +1253,12 @@ impl Fabric {
                         stats.tx_msgs += 1;
                         stats.tx_bytes += data.len() as u64;
                     }
+                    // Mirror both sides of the responder's involvement
+                    // onto the query's lane: the request arrival and the
+                    // response bytes served — so a service-path
+                    // [`NicStats`] matches the direct path byte for byte.
+                    self.credit_lane_rx(h, msg.query, msg.payload.len());
+                    self.credit_lane_tx(h, msg.query, data.len());
                     nic.tx.send(
                         ctx,
                         Message {
@@ -1141,6 +1274,9 @@ impl Fabric {
                     );
                 }
                 MsgKind::ReadResponse { reply } => {
+                    // Requester side of a READ: the fetched bytes count
+                    // against the query's lane, as two-sided receives do.
+                    self.credit_lane_rx(h, msg.query, msg.payload.len());
                     *reply.data.lock() = Some(msg.payload);
                     reply.done.set(ctx);
                 }

@@ -18,7 +18,14 @@
 //!   ([`FabricConfig`]).
 //!
 //! See `DESIGN.md` §1 for why this substitution preserves the paper's
-//! experimental behaviour.
+//! experimental behaviour, and §11 for the one-sided dataplane built on
+//! [`Nic::post_read`] / [`Nic::post_read_batch`] and the
+//! [`Mr::publish`] / [`Mr::unpublish`] epoch protocol.
+
+// Every public item in the verbs layer is API other crates program
+// against; the workspace default (`missing_docs = "warn"`) is promoted
+// to a hard error here.
+#![deny(missing_docs)]
 
 mod config;
 mod fabric;

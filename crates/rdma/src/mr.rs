@@ -113,6 +113,83 @@ impl Mr {
         f(&self.data.lock())
     }
 
+    /// Owner-side local write into the region (no HCA involved — the
+    /// owner stores through its own mapping, e.g. while building a bucket
+    /// table that will be published for one-sided probes).
+    ///
+    /// Unlike [`Mr::dma_write`] this is *not* a verbs operation: an
+    /// out-of-bounds store here is a plain local bug, so it panics
+    /// unconditionally instead of going through the validator.
+    ///
+    /// ```
+    /// use rsj_rdma::{Fabric, FabricConfig, HostId, NicCosts};
+    /// use rsj_sim::Simulation;
+    ///
+    /// let sim = Simulation::new();
+    /// let fabric = Fabric::new(FabricConfig::fdr(), NicCosts::default(), 2);
+    /// fabric.launch(&sim);
+    /// sim.spawn("owner", move |ctx| {
+    ///     let mr = fabric.nic(HostId(0)).mrs.register(ctx, 8);
+    ///     mr.fill(4, &[7, 7, 7, 7]);
+    ///     mr.with_data(|d| assert_eq!(&d[4..], &[7, 7, 7, 7]));
+    ///     fabric.shutdown(ctx);
+    /// });
+    /// sim.run();
+    /// ```
+    pub fn fill(&self, offset: usize, src: &[u8]) {
+        let mut data = self.data.lock();
+        let end = offset
+            .checked_add(src.len())
+            .expect("fill range overflows usize");
+        assert!(
+            end <= data.len(),
+            "local fill [{offset}, {end}) out of bounds of {}-byte region",
+            data.len()
+        );
+        data[offset..end].copy_from_slice(src);
+    }
+
+    /// Publish the region for one-sided readers and return the handle
+    /// they should use — the out-of-band `(addr, rkey)` advertisement of
+    /// the seqlock protocol (DESIGN.md §11). Publishing is an epoch
+    /// marker for the validator's read-after-unpublish audit: a region
+    /// may be published, read, unpublished and published again, but an
+    /// RDMA READ posted against an *unpublished* epoch is a protocol
+    /// violation even though the registration (and thus hardware-level
+    /// bounds) is still valid.
+    ///
+    /// ```
+    /// use rsj_rdma::{Fabric, FabricConfig, HostId, NicCosts};
+    /// use rsj_sim::Simulation;
+    ///
+    /// let sim = Simulation::new();
+    /// let fabric = Fabric::new(FabricConfig::fdr(), NicCosts::default(), 2);
+    /// fabric.launch(&sim);
+    /// sim.spawn("owner", move |ctx| {
+    ///     let mr = fabric.nic(HostId(1)).mrs.register(ctx, 64);
+    ///     let handle = mr.publish();
+    ///     // ... hand `handle` to probe-side hosts, let them READ ...
+    ///     let data = fabric.nic(HostId(0)).post_read(ctx, handle, 0, 64);
+    ///     assert_eq!(data.wait(ctx).unwrap().len(), 64);
+    ///     mr.unpublish(); // further READs would be flagged by the validator
+    ///     fabric.shutdown(ctx);
+    /// });
+    /// sim.run();
+    /// ```
+    pub fn publish(&self) -> RemoteMr {
+        self.validator.mr_published(self.host, self.index);
+        self.remote_handle()
+    }
+
+    /// Retract a published region: readers must stop issuing RDMA READs
+    /// against handles from the closed epoch. The validator flags any
+    /// later read as [`Violation::ReadAfterUnpublish`] (see
+    /// [`Mr::publish`] for the epoch rules); a subsequent
+    /// [`Mr::publish`] opens a fresh epoch and clears the flag.
+    pub fn unpublish(&self) {
+        self.validator.mr_unpublished(self.host, self.index);
+    }
+
     /// Take the region contents out, leaving the backing memory empty
     /// (the registration, and thus [`Mr::len`], is unchanged). Used when
     /// the join assembles received partitions after the network pass;

@@ -86,6 +86,19 @@ pub enum Violation {
         /// Current region length in bytes.
         region_len: usize,
     },
+    /// An RDMA READ was posted against a region after its owner retracted
+    /// the publication ([`crate::Mr::unpublish`]). The registration — and
+    /// thus the hardware-level bounds check — is still valid, so real
+    /// hardware would complete the read and return whatever bytes the
+    /// owner has since scribbled there: a silent torn read the seqlock
+    /// version protocol cannot catch once the epoch is closed. Readers
+    /// must drop their handles when the owner closes the epoch.
+    ReadAfterUnpublish {
+        /// Region owner.
+        host: HostId,
+        /// Region index.
+        index: usize,
+    },
     /// A [`crate::RemoteMr`] handle's length disagrees with the length
     /// registered for that region — a stale or forged `(addr, rkey)` pair.
     StaleRemoteHandle {
@@ -197,6 +210,11 @@ impl fmt::Display for Violation {
                 "RDMA read out of bounds: [{offset}, {}) from region of {region_len} bytes \
                  (host {}, mr {index})",
                 offset.saturating_add(*len),
+                host.0
+            ),
+            Violation::ReadAfterUnpublish { host, index } => write!(
+                f,
+                "RDMA read posted against unpublished region (host {}, mr {index})",
                 host.0
             ),
             Violation::StaleRemoteHandle {
@@ -317,6 +335,13 @@ mod imp {
         mode: std::sync::atomic::AtomicU8,
         /// Registered regions: `(host, index) → registered length`.
         mrs: Mutex<HashMap<(usize, usize), usize>>,
+        /// Regions whose publication epoch is currently closed
+        /// ([`crate::Mr::unpublish`] without a later re-publish). Reads
+        /// against these are [`Violation::ReadAfterUnpublish`].
+        /// Never-published regions are absent: plain one-sided regions
+        /// (e.g. histogram-announced receive buffers) are readable
+        /// without the publish protocol.
+        unpublished: Mutex<HashSet<(usize, usize)>>,
         /// Receive-path flow counters, scoped per `(host, query)` lane so
         /// a query service can audit each query's teardown individually.
         flows: Mutex<HashMap<(usize, u32), HostFlow>>,
@@ -348,6 +373,7 @@ mod imp {
                     ValidateMode::Record
                 })),
                 mrs: Mutex::new(HashMap::new()),
+                unpublished: Mutex::new(HashSet::new()),
                 flows: Mutex::new(HashMap::new()),
                 pools: Mutex::new(Vec::new()),
                 crashed: Mutex::new(HashSet::new()),
@@ -447,6 +473,19 @@ mod imp {
             self.mrs.lock().insert((host.0, index), len);
         }
 
+        /// A region opened a publication epoch ([`crate::Mr::publish`]):
+        /// one-sided reads are sanctioned until the matching unpublish.
+        pub(crate) fn mr_published(&self, host: HostId, index: usize) {
+            self.unpublished.lock().remove(&(host.0, index));
+        }
+
+        /// A region closed its publication epoch
+        /// ([`crate::Mr::unpublish`]): later reads against it are
+        /// [`Violation::ReadAfterUnpublish`] until it is re-published.
+        pub(crate) fn mr_unpublished(&self, host: HostId, index: usize) {
+            self.unpublished.lock().insert((host.0, index));
+        }
+
         /// Validate a one-sided WRITE against the registered region table
         /// before it is posted. Returns `false` (Record mode) if the post
         /// must be dropped.
@@ -483,6 +522,18 @@ mod imp {
                     index: remote.index,
                     claimed: remote.len,
                     registered: region_len,
+                });
+                return false;
+            }
+            if is_read
+                && self
+                    .unpublished
+                    .lock()
+                    .contains(&(remote.host.0, remote.index))
+            {
+                self.report(Violation::ReadAfterUnpublish {
+                    host: remote.host,
+                    index: remote.index,
                 });
                 return false;
             }
@@ -794,6 +845,8 @@ mod stub {
         }
 
         pub(crate) fn mr_registered(&self, _host: HostId, _index: usize, _len: usize) {}
+        pub(crate) fn mr_published(&self, _host: HostId, _index: usize) {}
+        pub(crate) fn mr_unpublished(&self, _host: HostId, _index: usize) {}
 
         pub(crate) fn check_write(&self, remote: &RemoteMr, offset: usize, len: usize) -> bool {
             assert!(

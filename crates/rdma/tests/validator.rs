@@ -110,6 +110,93 @@ fn oob_read_is_detected_and_zero_filled() {
 
 #[cfg(feature = "verify")]
 #[test]
+fn read_after_unpublish_is_detected_and_zero_filled() {
+    let (sim, fabric) = recording_fabric(FabricConfig::fdr());
+    {
+        let fabric = Arc::clone(&fabric);
+        sim.spawn("straggler", move |ctx| {
+            // Host 1 publishes a bucket-table epoch (DESIGN.md §11)...
+            let mr = fabric.nic(HostId(1)).mrs.register(ctx, 64);
+            mr.fill(0, &[7u8; 64]);
+            let remote = mr.publish();
+            // ...and a probe READ inside the epoch is legal and sees the
+            // published bytes.
+            let data = fabric
+                .nic(HostId(0))
+                .post_read(ctx, remote, 0, 64)
+                .wait(ctx)
+                .expect("in-epoch read");
+            assert_eq!(data, vec![7u8; 64]);
+            // The owner closes the epoch; a straggler still holding the
+            // handle reads after the retraction. The registration is
+            // intact, so hardware would happily return scribbled bytes —
+            // the validator flags it, and record mode zero-fills.
+            mr.unpublish();
+            let data = fabric
+                .nic(HostId(0))
+                .post_read(ctx, remote, 0, 64)
+                .wait(ctx)
+                .expect("record-mode drop must not surface a completion error");
+            assert_eq!(data, vec![0u8; 64]);
+            fabric.shutdown(ctx);
+        });
+    }
+    sim.run();
+    let vs = fabric.validator().violations();
+    assert_eq!(
+        vs.len(),
+        1,
+        "only the post-epoch read may trip the validator, got {vs:?}"
+    );
+    assert!(
+        matches!(
+            vs[0],
+            Violation::ReadAfterUnpublish {
+                host: HostId(1),
+                ..
+            }
+        ),
+        "expected a read-after-unpublish violation, got {vs:?}"
+    );
+}
+
+#[cfg(feature = "verify")]
+#[test]
+fn republish_reopens_the_read_epoch() {
+    let (sim, fabric) = recording_fabric(FabricConfig::fdr());
+    {
+        let fabric = Arc::clone(&fabric);
+        sim.spawn("reader", move |ctx| {
+            let mr = fabric.nic(HostId(1)).mrs.register(ctx, 16);
+            let remote = mr.publish();
+            mr.unpublish();
+            mr.fill(0, &[3u8; 16]);
+            // Re-publishing opens a fresh epoch: the same handle is legal
+            // again and observes the new bytes.
+            let remote = {
+                let reissued = mr.publish();
+                assert_eq!(reissued.index, remote.index);
+                reissued
+            };
+            let data = fabric
+                .nic(HostId(0))
+                .post_read(ctx, remote, 0, 16)
+                .wait(ctx)
+                .expect("re-published read");
+            assert_eq!(data, vec![3u8; 16]);
+            fabric.shutdown(ctx);
+        });
+    }
+    sim.run();
+    assert!(
+        fabric.validator().violations().is_empty(),
+        "re-published reads are legal, got {:?}",
+        fabric.validator().violations()
+    );
+}
+
+#[cfg(feature = "verify")]
+#[test]
 fn use_before_register_is_detected() {
     let (sim, fabric) = recording_fabric(FabricConfig::fdr());
     {

@@ -1,4 +1,4 @@
-//! Eager vs batched settlement equivalence (DESIGN.md §11).
+//! Eager vs batched settlement equivalence (DESIGN.md §12).
 //!
 //! Lazy settlement claims that accruing a task's self-advances in the
 //! kernel batch (`advance_batched` + `settle_point` at interactions) is

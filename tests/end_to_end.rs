@@ -212,7 +212,7 @@ fn wide_tuples_hold_the_section_6_7_result() {
 
 #[test]
 fn lazy_settlement_run_is_byte_identical_across_repetitions() {
-    // DESIGN.md §11: under the default lazy settlement path, repeating a
+    // DESIGN.md §12: under the default lazy settlement path, repeating a
     // mid-size cluster join must reproduce the identical virtual outcome
     // byte for byte — batching commits into the kernel batch must not
     // leak any host-scheduling nondeterminism into virtual time. Five
