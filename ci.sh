@@ -66,3 +66,8 @@ timeout 600 cargo run --release -q -p rsj-bench --bin chaos -- --seeds 6
 # queue and shared fabric, every result verified against its generator
 # oracle. Same watchdog rule — a wedged schedule must fail, not stall.
 timeout 300 cargo run --release -q -p rsj-bench --bin service -- --short
+# Self-healing soak (DESIGN.md §13): a seeded crash/recovery batch through
+# the healing service — every query must end Completed (byte-correct) or
+# typed Rejected, at least one query must heal, and the report must replay
+# byte-identically. The watchdog turns a hung query into a CI failure.
+timeout 300 cargo run --release -q -p rsj-bench --bin chaos -- --soak --short

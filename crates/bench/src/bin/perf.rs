@@ -39,7 +39,7 @@ use std::sync::Arc;
 
 use rsj_bench::service_stress::stress_batch;
 use rsj_bench::{run_scaled_join, Scale};
-use rsj_cluster::{ClusterSpec, QueryService, ServiceConfig};
+use rsj_cluster::{ClusterSpec, HealingConfig, QueryService, ServiceConfig};
 use rsj_core::{DistJoinConfig, Transport};
 use rsj_joins::{BucketTable, Partitioner};
 use rsj_rdma::{FaultPlan, ValidateMode};
@@ -160,6 +160,29 @@ fn main() {
         );
         benches.push(serial);
         benches.push(contended);
+        let (hoff, harmed) = bench_healing_pair(it.service_queries, 10, 2, it.validator_reps);
+        let overhead = harmed.wall_ms / hoff.wall_ms - 1.0;
+        println!(
+            "healing: armed {:.0} ms vs off {:.0} ms -> {:+.1}% idle overhead (bound {:.0}%)",
+            harmed.wall_ms,
+            hoff.wall_ms,
+            overhead * 100.0,
+            FAULT_PLANE_OVERHEAD_BOUND * 100.0
+        );
+        if overhead >= FAULT_PLANE_OVERHEAD_BOUND {
+            let msg = format!(
+                "armed-idle healing costs {:.1}% of the stress batch, over the {:.0}% budget",
+                overhead * 100.0,
+                FAULT_PLANE_OVERHEAD_BOUND * 100.0
+            );
+            if opts.short {
+                eprintln!("warning: {msg} (not enforced in --short mode)");
+            } else {
+                panic!("{msg}");
+            }
+        }
+        benches.push(hoff);
+        benches.push(harmed);
         let (two, one) = bench_transport_pair(it.join_scale);
         benches.push(two);
         benches.push(one);
@@ -557,6 +580,44 @@ fn bench_service_pair(queries: usize, hosts: usize, cores: usize) -> (BenchRecor
     let serial = run(1, "service/serial");
     let contended = run(8, "service/contention");
     (serial, contended)
+}
+
+/// The healing-idle pair (DESIGN.md §13): the identical fault-free stress
+/// batch with the self-healing layer disarmed and armed. Armed mode runs
+/// the failure detector (lease table, heartbeat ticks) and the live-host
+/// placement recomputation on every admission, with nothing ever failing —
+/// the overhead every ordinary batch pays for crash insurance. Min-of-N
+/// each; the gap is priced against the same `FAULT_PLANE_OVERHEAD_BOUND`
+/// budget as the armed fault plane.
+fn bench_healing_pair(
+    queries: usize,
+    hosts: usize,
+    cores: usize,
+    reps: usize,
+) -> (BenchRecord, BenchRecord) {
+    let run = |armed: bool, name: &'static str| {
+        let mut best = f64::INFINITY;
+        let mut virt = 0.0;
+        for _ in 0..reps {
+            let mut cfg = ServiceConfig::qdr_rack(hosts, cores);
+            cfg.max_concurrent = 4;
+            if armed {
+                cfg.healing = HealingConfig::armed();
+            }
+            let mut batch = stress_batch(queries, 1, hosts, cores);
+            let requests = std::mem::take(&mut batch.requests);
+            let (report, ms) = wall_ms(|| QueryService::run(&cfg, requests));
+            assert_eq!(report.aborted, 0, "{name}: fault-free batch aborted");
+            assert_eq!(report.retries, 0, "{name}: fault-free batch retried");
+            assert_eq!(batch.verify_all(), queries);
+            best = best.min(ms);
+            virt = report.makespan.as_secs_f64();
+        }
+        BenchRecord::new(name, best).virtual_s(virt)
+    };
+    let off = run(false, "service/healing-off");
+    let armed = run(true, "service/healing-armed");
+    (off, armed)
 }
 
 /// The probe-dataplane pair (DESIGN.md §11): the mid-size join once over

@@ -14,7 +14,7 @@
 
 use std::fmt;
 
-use rsj_rdma::{FabricError, QueryId};
+use rsj_rdma::{FabricError, HostId, QueryId};
 
 use crate::wire::TagError;
 
@@ -114,6 +114,22 @@ impl JoinError {
             | JoinError::Decode { query, .. }
             | JoinError::BarrierTimeout { query, .. }
             | JoinError::Aborted { query, .. } => *query,
+        }
+    }
+
+    /// The crashed host this error names, if the failing worker observed
+    /// a host crash directly. Secondary errors (peers observing the
+    /// poisoned barrier, watchdog timeouts) return `None` — the query
+    /// service falls back to intersecting the query's placement with the
+    /// fabric's crashed-host set when deciding whether a failure is
+    /// crash-caused and re-executable (DESIGN.md §13).
+    pub fn crashed_host(&self) -> Option<HostId> {
+        match self {
+            JoinError::Fabric {
+                source: FabricError::HostCrashed { host },
+                ..
+            } => Some(*host),
+            _ => None,
         }
     }
 

@@ -32,6 +32,9 @@ pub use error::JoinError;
 pub use meter::{default_settle_mode, Meter, SettleMode};
 pub use phases::PhaseTimes;
 pub use runtime::{run_cluster, try_run_cluster, ClusterRun, PhaseEvent, Runtime};
-pub use service::{JoinRequest, QueryJob, QueryReport, QueryService, ServiceConfig, ServiceReport};
+pub use service::{
+    HealingConfig, HostReport, JoinRequest, QueryJob, QueryReport, QueryService, RejectReason,
+    ServiceConfig, ServiceReport,
+};
 pub use topology::{ClusterSpec, Interconnect};
 pub use wire::{ranges, TagError, WireTag};

@@ -23,3 +23,8 @@ pub const BUILD_PROBE: &str = "build_probe";
 /// `Transport::OneSided` (DESIGN.md §11). Folded into the `build_probe`
 /// slot of the phase breakdown so reports stay four-phase.
 pub const ONE_SIDED_PROBE: &str = "one_sided_probe";
+/// Not a barrier: the phase label stamped onto errors synthesized by the
+/// query service *before* a query's workers exist — a typed `Rejected`
+/// outcome under the degraded-admission policy (DESIGN.md §13). Listed
+/// last so it never participates in the canonical barrier order.
+pub const ADMISSION: &str = "admission";

@@ -16,18 +16,37 @@
 //! admission is FIFO — so the same seed and the same admission order
 //! reproduce the identical event schedule, and permuting *disjoint*
 //! queries' admission order leaves each query's own trace unchanged.
+//!
+//! With [`HealingConfig::enabled`] the service is additionally
+//! *self-healing* (DESIGN.md §13): the fabric's failure detector fences
+//! crashed hosts, queries aborted by a crash are re-admitted under a
+//! fresh retry [`QueryId`] (fresh fault stream) onto surviving hosts with
+//! exponential virtual-time backoff and a bounded retry budget, and new
+//! admissions avoid fenced hosts — rejecting with a typed
+//! [`RejectReason`] when the surviving rack cannot fit a placement. A
+//! healed query's re-execution runs the same job on the same inputs, so
+//! its final result is byte-identical to a fault-free run.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rsj_rdma::{
-    Fabric, FabricConfig, FaultPlan, HostId, NicCosts, PoolArena, QueryId, ValidateMode,
+    DetectorConfig, Fabric, FabricConfig, FaultPlan, HostId, NicCosts, PoolArena, QueryId,
+    ValidateMode,
 };
 use rsj_sim::{SimChannel, SimCtx, SimDuration, SimTime, Simulation};
 
 use crate::error::JoinError;
+use crate::phase;
 use crate::phases::PhaseTimes;
 use crate::runtime::{ClusterRun, Runtime};
+
+/// Retry attempts of one query get ids `base + attempt * RETRY_STRIDE`,
+/// so every attempt draws an independent `(seed, QueryId)` fault stream
+/// while the report keys stay on the base id. Explicit query ids must
+/// stay below the stride when healing is enabled.
+const RETRY_STRIDE: u32 = 1 << 24;
 
 /// One query's worth of work, as the service sees it: the operator crates
 /// implement this for each join type, keeping their inputs and outputs in
@@ -95,6 +114,10 @@ pub struct ServiceConfig {
     pub pool_budget_bytes: u64,
     /// Validator response override (`None` keeps the build default).
     pub validate: Option<ValidateMode>,
+    /// Self-healing policy: failure detection, fencing and bounded
+    /// re-execution (DESIGN.md §13). Disabled by default — the service
+    /// then behaves exactly as a non-healing scheduler, event for event.
+    pub healing: HealingConfig,
 }
 
 impl ServiceConfig {
@@ -109,8 +132,124 @@ impl ServiceConfig {
             max_concurrent: 4,
             pool_budget_bytes: 256 << 20,
             validate: None,
+            healing: HealingConfig::default(),
         }
     }
+}
+
+/// Self-healing policy for a [`QueryService`] run (DESIGN.md §13).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HealingConfig {
+    /// Arm the failure detector and the retry machinery. When `false`
+    /// (the default) the service ignores the rest of this struct and its
+    /// event schedule is identical to the pre-healing scheduler.
+    pub enabled: bool,
+    /// Lease/heartbeat parameters of the fabric's failure detector.
+    pub detector: DetectorConfig,
+    /// Total admissions one query may consume: the first run plus up to
+    /// `max_attempts - 1` re-executions. Exhausting the budget yields a
+    /// typed [`RejectReason::RetryBudgetExhausted`].
+    pub max_attempts: u32,
+    /// Virtual-time backoff before the first re-admission; doubles on
+    /// each further retry of the same query.
+    pub backoff_base: SimDuration,
+    /// Ceiling on a single backoff interval.
+    pub backoff_max: SimDuration,
+}
+
+impl Default for HealingConfig {
+    fn default() -> Self {
+        HealingConfig {
+            enabled: false,
+            detector: DetectorConfig::default(),
+            max_attempts: 3,
+            backoff_base: SimDuration::from_micros(200),
+            backoff_max: SimDuration::from_millis(5),
+        }
+    }
+}
+
+impl HealingConfig {
+    /// The default policy with healing switched on.
+    pub fn armed() -> HealingConfig {
+        HealingConfig {
+            enabled: true,
+            ..HealingConfig::default()
+        }
+    }
+
+    /// Backoff before re-admission number `retry` (1-based): base
+    /// doubled per retry, capped at `backoff_max`.
+    fn backoff(&self, retry: u32) -> SimDuration {
+        let shift = retry.saturating_sub(1).min(20);
+        let ns = self
+            .backoff_base
+            .as_nanos()
+            .saturating_mul(1u64 << shift)
+            .min(self.backoff_max.as_nanos());
+        SimDuration::from_nanos(ns)
+    }
+}
+
+/// Why the degraded-admission policy rejected a query instead of running
+/// (or re-running) it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The query wants more machines than the rack has live hosts.
+    NoCapacity {
+        /// Machines the query asked for.
+        machines: usize,
+        /// Live (non-fenced) hosts remaining.
+        live: usize,
+    },
+    /// The request pinned an explicit placement that names a fenced host.
+    PlacementUnavailable {
+        /// The fenced host the placement names.
+        host: HostId,
+    },
+    /// The query kept landing on crashing hosts until its retry budget
+    /// ran out.
+    RetryBudgetExhausted {
+        /// Admissions consumed (== `HealingConfig::max_attempts`).
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::NoCapacity { machines, live } => {
+                write!(f, "wants {machines} machines, only {live} hosts live")
+            }
+            RejectReason::PlacementUnavailable { host } => {
+                write!(f, "explicit placement names fenced host {}", host.0)
+            }
+            RejectReason::RetryBudgetExhausted { attempts } => {
+                write!(f, "retry budget exhausted after {attempts} attempts")
+            }
+        }
+    }
+}
+
+/// Per-host liveness and recovery rollup in a [`ServiceReport`].
+#[derive(Clone, Debug)]
+pub struct HostReport {
+    /// The physical host.
+    pub host: HostId,
+    /// Whether the host ended the run fenced (crashed and detected).
+    pub fenced: bool,
+    /// When the fault plan crashed the host, if it did.
+    pub crashed_at: Option<SimTime>,
+    /// When the failure detector declared it dead, if it did.
+    pub detected_at: Option<SimTime>,
+    /// Detection latency: `detected_at - crashed_at` when both exist.
+    pub detection_latency: Option<SimDuration>,
+    /// Queries that lost an attempt to this host's crash and later
+    /// completed on survivors.
+    pub queries_recovered: usize,
+    /// Queries that lost an attempt to this host's crash and ended
+    /// rejected.
+    pub queries_rejected: usize,
 }
 
 /// One query's outcome in the service report.
@@ -133,6 +272,16 @@ pub struct QueryReport {
     /// `Ok` for a completed query, the typed [`JoinError`] (carrying this
     /// query's id) for an aborted one.
     pub result: Result<(), JoinError>,
+    /// Admissions this query consumed (1 for an untroubled run; > 1 when
+    /// the healing layer re-executed it after a host crash).
+    pub attempts: u32,
+    /// `Some` when the degraded-admission policy rejected the query
+    /// instead of running it to completion.
+    pub rejected: Option<RejectReason>,
+    /// Time from the first crash-caused failure to final completion —
+    /// the healing layer's time-to-recovery for this query. `None` for
+    /// queries that never lost an attempt or never recovered.
+    pub recovery: Option<SimDuration>,
 }
 
 /// What a whole [`QueryService::run`] reports.
@@ -156,8 +305,19 @@ pub struct ServiceReport {
     /// Fraction of the rack's total egress-wire capacity kept busy over
     /// the makespan (Σ per-host tx busy / (hosts × makespan)).
     pub fabric_utilization: f64,
-    /// Queries that aborted with an error.
+    /// Queries that aborted with an error (typed rejections included).
     pub aborted: usize,
+    /// Queries the degraded-admission policy rejected (subset of
+    /// `aborted`, each carrying a typed [`RejectReason`]).
+    pub rejected: usize,
+    /// Queries that completed successfully after losing at least one
+    /// attempt to a host crash.
+    pub healed: usize,
+    /// Total re-admissions across the batch (attempts beyond each
+    /// query's first).
+    pub retries: usize,
+    /// Per-host liveness and recovery rollup, ordered by host id.
+    pub hosts: Vec<HostReport>,
 }
 
 impl ServiceReport {
@@ -169,23 +329,49 @@ impl ServiceReport {
 
 /// The admission scheduler: runs a batch of queued [`JoinRequest`]s over
 /// one shared fabric and reports per-query latency, queue wait and
-/// rack-level utilization.
+/// rack-level utilization — re-executing crash-aborted queries on
+/// surviving hosts when healing is enabled.
 pub struct QueryService;
 
-struct Admitted {
-    id: QueryId,
-    label: String,
-    admitted: SimTime,
+/// Control messages the admission loop blocks on.
+enum Ctl {
+    /// An attempt of `slot` retired (its last worker ran the per-query
+    /// teardown audit), stamped at the worker's own completion instant.
+    Done {
+        slot: usize,
+        completed: SimTime,
+        result: Result<PhaseTimes, JoinError>,
+    },
+    /// `slot`'s re-admission backoff elapsed: put it back in the queue.
+    Requeue { slot: usize },
 }
 
-struct Finished {
-    report: QueryReport,
+/// Mutable per-request bookkeeping owned by the admission loop.
+struct SlotState {
+    /// The report-facing id; retry attempts run as `base + k·stride`.
+    base: QueryId,
+    /// Admissions consumed so far.
+    attempts: u32,
+    /// When the first attempt left the queue.
+    first_admitted: Option<SimTime>,
+    /// When the first crash-caused failure retired an attempt.
+    first_failure: Option<SimTime>,
+    /// Placement of the most recent attempt (for crash attribution).
+    last_placement: Vec<HostId>,
+    /// Hosts whose crash cost this query an attempt.
+    crash_hosts: Vec<HostId>,
 }
 
 impl QueryService {
     /// Run `requests` to completion under `cfg` and report.
     pub fn run(cfg: &ServiceConfig, requests: Vec<JoinRequest>) -> ServiceReport {
         assert!(cfg.hosts >= 1 && cfg.cores >= 1 && cfg.max_concurrent >= 1);
+        if cfg.healing.enabled {
+            assert!(
+                cfg.healing.max_attempts >= 1 && cfg.healing.max_attempts <= 255,
+                "retry budget must fit the id stride"
+            );
+        }
         let fabric = Fabric::new_with_plan(cfg.fabric, cfg.nic, cfg.hosts, cfg.fault_plan.clone());
         if let Some(mode) = cfg.validate {
             fabric.validator().set_mode(mode);
@@ -198,7 +384,9 @@ impl QueryService {
 
         // Resolve ids and placements up front: FIFO position decides both
         // the default id (starting at 1; 0 is the direct lane) and the
-        // default rotation over the rack.
+        // default rotation over the rack. With healing enabled the
+        // rotation is recomputed over *live* hosts at each admission —
+        // identical to this plan until the first fence.
         let mut seen = std::collections::HashSet::new();
         let planned: Vec<(QueryId, Vec<HostId>)> = requests
             .iter()
@@ -207,6 +395,12 @@ impl QueryService {
                 let id = req.id.unwrap_or(k as u32 + 1);
                 assert!(id != 0, "query id 0 is the direct lane");
                 assert!(seen.insert(id), "duplicate query id {id}");
+                if cfg.healing.enabled {
+                    assert!(
+                        id < RETRY_STRIDE,
+                        "query id {id} collides with the retry id stride"
+                    );
+                }
                 let m = req.job.machines();
                 assert!(
                     m >= 1 && m <= cfg.hosts,
@@ -222,40 +416,225 @@ impl QueryService {
             })
             .collect();
 
-        let finished: Arc<Mutex<Vec<Finished>>> = Arc::new(Mutex::new(Vec::new()));
+        let reports: Arc<Mutex<Vec<QueryReport>>> = Arc::new(Mutex::new(Vec::new()));
+        // Per-host (queries_recovered, queries_rejected) tallies.
+        let host_counts: Arc<Mutex<Vec<(usize, usize)>>> =
+            Arc::new(Mutex::new(vec![(0, 0); cfg.hosts]));
         let end_time: Arc<Mutex<SimTime>> = Arc::new(Mutex::new(SimTime::ZERO));
 
         let sim = Simulation::new();
         fabric.launch(&sim);
+        if cfg.healing.enabled {
+            fabric.arm_failure_detector(&sim, cfg.healing.detector);
+        }
         {
             let fabric = Arc::clone(&fabric);
             let arenas = Arc::clone(&arenas);
-            let finished = Arc::clone(&finished);
+            let reports = Arc::clone(&reports);
+            let host_counts = Arc::clone(&host_counts);
             let end_time = Arc::clone(&end_time);
             let cfg = cfg.clone();
             sim.spawn("service-admit", move |ctx| {
-                let done_ch: Arc<SimChannel<u32>> = SimChannel::new();
+                let ctl: Arc<SimChannel<Ctl>> = SimChannel::new();
                 let total = requests.len();
-                let mut next = 0usize;
+                let mut slots: Vec<SlotState> = planned
+                    .iter()
+                    .map(|(id, placement)| SlotState {
+                        base: *id,
+                        attempts: 0,
+                        first_admitted: None,
+                        first_failure: None,
+                        last_placement: placement.clone(),
+                        crash_hosts: Vec::new(),
+                    })
+                    .collect();
+                let mut pending: VecDeque<usize> = (0..total).collect();
                 let mut active = 0usize;
                 let mut retired = 0usize;
-                while retired < total {
-                    while active < cfg.max_concurrent && next < total {
-                        let req = &requests[next];
-                        let (id, placement) = planned[next].clone();
-                        Self::admit(
-                            ctx, &fabric, &arenas, &cfg, req, id, placement, &done_ch, &finished,
-                        );
-                        active += 1;
-                        next += 1;
+                // Assemble one slot's final report, attributing recovery
+                // or rejection to the hosts whose crashes it survived.
+                let retire = |st: &SlotState,
+                              label: &str,
+                              completed: SimTime,
+                              phases: PhaseTimes,
+                              result: Result<(), JoinError>,
+                              rejected: Option<RejectReason>| {
+                    {
+                        let mut counts = host_counts.lock();
+                        let mut counted: Vec<HostId> = Vec::new();
+                        for &h in &st.crash_hosts {
+                            if counted.contains(&h) {
+                                continue;
+                            }
+                            counted.push(h);
+                            if result.is_ok() {
+                                counts[h.0].0 += 1;
+                            } else if rejected.is_some() {
+                                counts[h.0].1 += 1;
+                            }
+                        }
+                        if let Some(RejectReason::PlacementUnavailable { host }) = &rejected {
+                            if st.crash_hosts.is_empty() {
+                                counts[host.0].1 += 1;
+                            }
+                        }
                     }
-                    match done_ch.recv(ctx) {
-                        Some(_qid) => {
+                    let admitted = st.first_admitted.unwrap_or(completed);
+                    let recovery = if result.is_ok() {
+                        st.first_failure.map(|t| completed - t)
+                    } else {
+                        None
+                    };
+                    reports.lock().push(QueryReport {
+                        id: st.base,
+                        label: label.to_string(),
+                        admitted,
+                        completed,
+                        queue_wait: admitted - SimTime::ZERO,
+                        latency: completed - SimTime::ZERO,
+                        phases,
+                        result,
+                        attempts: st.attempts,
+                        rejected,
+                        recovery,
+                    });
+                };
+                while retired < total {
+                    while active < cfg.max_concurrent {
+                        let Some(slot) = pending.pop_front() else {
+                            break;
+                        };
+                        match Self::place(&cfg, &fabric, &requests[slot], slot, &planned[slot].1) {
+                            Ok(placement) => {
+                                let st = &mut slots[slot];
+                                st.attempts += 1;
+                                if st.first_admitted.is_none() {
+                                    st.first_admitted = Some(ctx.now());
+                                }
+                                st.last_placement = placement.clone();
+                                let qid = QueryId(st.base.0 + (st.attempts - 1) * RETRY_STRIDE);
+                                Self::admit(
+                                    ctx,
+                                    &fabric,
+                                    &arenas,
+                                    &cfg,
+                                    &requests[slot],
+                                    slot,
+                                    qid,
+                                    placement,
+                                    &ctl,
+                                );
+                                active += 1;
+                            }
+                            Err(reason) => {
+                                // Typed rejection before any workers exist:
+                                // the degraded-admission policy refuses the
+                                // query rather than hanging or crashing it.
+                                let st = &slots[slot];
+                                let err = JoinError::aborted(phase::ADMISSION).with_query(st.base);
+                                retire(
+                                    st,
+                                    &requests[slot].label,
+                                    ctx.now(),
+                                    PhaseTimes::default(),
+                                    Err(err),
+                                    Some(reason),
+                                );
+                                retired += 1;
+                            }
+                        }
+                    }
+                    // Typed rejections retire queries without a worker ever
+                    // sending on `ctl`: re-check before blocking, or the
+                    // last rejection would park the loop forever.
+                    if retired >= total {
+                        break;
+                    }
+                    match ctl.recv(ctx) {
+                        Some(Ctl::Requeue { slot }) => pending.push_back(slot),
+                        Some(Ctl::Done {
+                            slot,
+                            completed,
+                            result,
+                        }) => {
                             active -= 1;
-                            retired += 1;
+                            match result {
+                                Ok(phases) => {
+                                    retire(
+                                        &slots[slot],
+                                        &requests[slot].label,
+                                        completed,
+                                        phases,
+                                        Ok(()),
+                                        None,
+                                    );
+                                    retired += 1;
+                                }
+                                Err(err) => {
+                                    let err = err.with_query(slots[slot].base);
+                                    let cause = Self::crash_cause(
+                                        &cfg,
+                                        &fabric,
+                                        &err,
+                                        &slots[slot].last_placement,
+                                    );
+                                    if let Some(host) = cause {
+                                        // Evidence-based fencing: a typed
+                                        // error naming the crash is proof
+                                        // enough — no need to wait for the
+                                        // detector's lease to expire.
+                                        fabric.fence_host(ctx, host);
+                                        {
+                                            let st = &mut slots[slot];
+                                            if st.first_failure.is_none() {
+                                                st.first_failure = Some(completed);
+                                            }
+                                            st.crash_hosts.push(host);
+                                        }
+                                        let attempts = slots[slot].attempts;
+                                        if attempts < cfg.healing.max_attempts {
+                                            let wake = ctx.now() + cfg.healing.backoff(attempts);
+                                            let base = slots[slot].base.0;
+                                            let ctl = Arc::clone(&ctl);
+                                            ctx.spawn(
+                                                format!("q{base}-backoff-{attempts}"),
+                                                move |ctx| {
+                                                    ctx.sleep_until(wake);
+                                                    ctl.send(ctx, Ctl::Requeue { slot });
+                                                },
+                                            );
+                                        } else {
+                                            retire(
+                                                &slots[slot],
+                                                &requests[slot].label,
+                                                completed,
+                                                PhaseTimes::default(),
+                                                Err(err),
+                                                Some(RejectReason::RetryBudgetExhausted {
+                                                    attempts,
+                                                }),
+                                            );
+                                            retired += 1;
+                                        }
+                                    } else {
+                                        retire(
+                                            &slots[slot],
+                                            &requests[slot].label,
+                                            completed,
+                                            PhaseTimes::default(),
+                                            Err(err),
+                                            None,
+                                        );
+                                        retired += 1;
+                                    }
+                                }
+                            }
                         }
                         None => break,
                     }
+                }
+                if cfg.healing.enabled {
+                    fabric.disarm_failure_detector();
                 }
                 *end_time.lock() = ctx.now();
                 // The batch is drained: stop the shared fabric's engines.
@@ -270,7 +649,7 @@ impl QueryService {
 
         let makespan_t = *end_time.lock();
         let makespan = makespan_t - SimTime::ZERO;
-        let mut queries: Vec<QueryReport> = finished.lock().drain(..).map(|f| f.report).collect();
+        let mut queries: Vec<QueryReport> = reports.lock().drain(..).collect();
         queries.sort_by_key(|q| q.id);
         let aborted = queries.iter().filter(|q| q.result.is_err()).count();
         let mut lat: Vec<SimDuration> = queries.iter().map(|q| q.latency).collect();
@@ -286,6 +665,38 @@ impl QueryService {
         } else {
             busy_ns as f64 / capacity_ns as f64
         };
+        let rejected = queries.iter().filter(|q| q.rejected.is_some()).count();
+        let healed = queries
+            .iter()
+            .filter(|q| q.result.is_ok() && q.attempts > 1)
+            .count();
+        let retries = queries
+            .iter()
+            .map(|q| q.attempts.saturating_sub(1) as usize)
+            .sum();
+        let counts = host_counts.lock();
+        let hosts = (0..cfg.hosts)
+            .map(|h| {
+                let host = HostId(h);
+                let crashed_at = cfg
+                    .fault_plan
+                    .as_ref()
+                    .and_then(|p| p.crashes.iter().find(|c| c.host == host).map(|c| c.at));
+                let detected_at = fabric.detected_at(host);
+                HostReport {
+                    host,
+                    fenced: fabric.is_fenced(host),
+                    crashed_at,
+                    detected_at,
+                    detection_latency: match (crashed_at, detected_at) {
+                        (Some(c), Some(d)) => Some(d - c),
+                        _ => None,
+                    },
+                    queries_recovered: counts[h].0,
+                    queries_rejected: counts[h].1,
+                }
+            })
+            .collect();
         ServiceReport {
             latency_p50: percentile(&lat, 50),
             latency_p95: percentile(&lat, 95),
@@ -297,7 +708,67 @@ impl QueryService {
             makespan,
             fabric_utilization,
             aborted,
+            rejected,
+            healed,
+            retries,
+            hosts,
         }
+    }
+
+    /// Decide where an attempt of `req` (queued at FIFO position `slot`)
+    /// runs, or reject it. With healing off this is exactly the
+    /// pre-resolved plan; with healing on, default placements rotate over
+    /// the *live* hosts (same anchor, so a full rack reproduces the plan)
+    /// and explicit placements are checked against the fenced set.
+    fn place(
+        cfg: &ServiceConfig,
+        fabric: &Fabric,
+        req: &JoinRequest,
+        slot: usize,
+        planned: &[HostId],
+    ) -> Result<Vec<HostId>, RejectReason> {
+        if !cfg.healing.enabled {
+            return Ok(planned.to_vec());
+        }
+        if let Some(explicit) = &req.placement {
+            if let Some(&bad) = explicit.iter().find(|&&h| fabric.is_fenced(h)) {
+                return Err(RejectReason::PlacementUnavailable { host: bad });
+            }
+            return Ok(explicit.clone());
+        }
+        let live: Vec<HostId> = (0..cfg.hosts)
+            .map(HostId)
+            .filter(|&h| !fabric.is_fenced(h))
+            .collect();
+        let m = req.job.machines();
+        if m > live.len() {
+            return Err(RejectReason::NoCapacity {
+                machines: m,
+                live: live.len(),
+            });
+        }
+        Ok((0..m).map(|i| live[(slot + i) % live.len()]).collect())
+    }
+
+    /// The crashed host a failed attempt should be attributed to, if the
+    /// failure is crash-caused and healing is on. Primary evidence is the
+    /// typed error naming the host; secondary errors (peers observing the
+    /// poisoned barrier, watchdog timeouts) fall back to intersecting the
+    /// attempt's placement with the fabric's crashed-host set.
+    fn crash_cause(
+        cfg: &ServiceConfig,
+        fabric: &Fabric,
+        err: &JoinError,
+        placement: &[HostId],
+    ) -> Option<HostId> {
+        if !cfg.healing.enabled {
+            return None;
+        }
+        if let Some(h) = err.crashed_host() {
+            return Some(h);
+        }
+        let crashed = fabric.crashed_hosts();
+        placement.iter().copied().find(|h| crashed.contains(h))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -307,10 +778,10 @@ impl QueryService {
         arenas: &Arc<Vec<Arc<PoolArena>>>,
         cfg: &ServiceConfig,
         req: &JoinRequest,
+        slot: usize,
         id: QueryId,
         placement: Vec<HostId>,
-        done_ch: &Arc<SimChannel<u32>>,
-        finished: &Arc<Mutex<Vec<Finished>>>,
+        ctl: &Arc<SimChannel<Ctl>>,
     ) {
         let rt = Runtime::for_query(
             id,
@@ -323,16 +794,10 @@ impl QueryService {
         rt.stamp_start(ctx.now());
         req.job.attach(&rt);
         let job = Arc::clone(&req.job);
-        let admitted = Admitted {
-            id,
-            label: req.label.clone(),
-            admitted: ctx.now(),
-        };
         let finish_rt = Arc::clone(&rt);
         let finish_job = Arc::clone(&job);
         let arenas = Arc::clone(arenas);
-        let done_ch = Arc::clone(done_ch);
-        let finished = Arc::clone(finished);
+        let ctl = Arc::clone(ctl);
         rt.spawn_workers(
             ctx,
             move |ctx, rt, mach, core| job.run_worker(ctx, rt, mach, core),
@@ -340,31 +805,21 @@ impl QueryService {
                 let result = match result {
                     Ok(run) => {
                         finish_job.finish(&finish_rt, &run);
-                        let phases = PhaseTimes::from_events(&run.events);
-                        Ok(phases)
+                        Ok(PhaseTimes::from_events(&run.events))
                     }
                     Err(e) => Err(e),
                 };
                 for arena in arenas.iter() {
-                    arena.release(admitted.id);
+                    arena.release(id);
                 }
-                let completed = ctx.now();
-                finished.lock().push(Finished {
-                    report: QueryReport {
-                        id: admitted.id,
-                        label: admitted.label,
-                        admitted: admitted.admitted,
-                        completed,
-                        queue_wait: admitted.admitted - SimTime::ZERO,
-                        latency: completed - SimTime::ZERO,
-                        phases: match &result {
-                            Ok(p) => *p,
-                            Err(_) => PhaseTimes::default(),
-                        },
-                        result: result.map(|_| ()),
+                ctl.send(
+                    ctx,
+                    Ctl::Done {
+                        slot,
+                        completed: ctx.now(),
+                        result,
                     },
-                });
-                done_ch.send(ctx, admitted.id.0);
+                );
             },
         );
     }
@@ -575,5 +1030,177 @@ mod tests {
         assert_eq!(percentile(&v, 99), d(1000));
         assert_eq!(percentile(&[], 50), SimDuration::ZERO);
         assert_eq!(percentile(&v[..1], 99), d(100));
+    }
+
+    // ---- self-healing (DESIGN.md §13) ----
+
+    use rsj_rdma::fault::HostCrash;
+
+    /// A service config with healing armed and `host` scheduled to crash
+    /// at `at_us` microseconds.
+    fn healing_cfg(hosts: usize, crash_host: usize, at_us: u64) -> ServiceConfig {
+        let mut cfg = ServiceConfig::qdr_rack(hosts, 1);
+        cfg.healing = HealingConfig::armed();
+        let mut plan = FaultPlan::fault_free();
+        plan.crashes.push(HostCrash {
+            host: HostId(crash_host),
+            at: SimTime::from_nanos(at_us * 1_000),
+        });
+        cfg.fault_plan = Some(plan);
+        cfg
+    }
+
+    #[test]
+    fn crashed_query_is_reexecuted_on_survivors_and_reported_healed() {
+        let cfg = healing_cfg(4, 1, 5);
+        let job = RingJob::new(2, 64 * 1024, None);
+        let report = QueryService::run(
+            &cfg,
+            vec![JoinRequest {
+                label: "healme".into(),
+                id: None,
+                placement: None, // rotation puts attempt 1 on hosts {0, 1}
+                job: Arc::clone(&job) as Arc<dyn QueryJob>,
+            }],
+        );
+        assert_eq!(report.aborted, 0);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.healed, 1);
+        assert_eq!(report.retries, 1);
+        let q = &report.queries[0];
+        assert_eq!(q.id, QueryId(1));
+        assert!(q.result.is_ok());
+        assert_eq!(q.attempts, 2);
+        assert!(q.recovery.is_some(), "time-to-recovery must be surfaced");
+        // finish ran exactly once, on the surviving attempt.
+        assert_eq!(job.finished.load(Ordering::Relaxed), 1);
+        // The host rollup shows the crash: fenced, detected, credited
+        // with the recovered query.
+        let h1 = &report.hosts[1];
+        assert!(h1.fenced);
+        assert_eq!(h1.crashed_at, Some(SimTime::from_nanos(5_000)));
+        let detected = h1.detected_at.expect("crash was detected");
+        assert!(detected >= h1.crashed_at.unwrap());
+        assert_eq!(
+            h1.detection_latency,
+            Some(detected - h1.crashed_at.unwrap())
+        );
+        assert_eq!(h1.queries_recovered, 1);
+        assert_eq!(h1.queries_rejected, 0);
+        for h in [0, 2, 3] {
+            assert!(!report.hosts[h].fenced, "host {h} must stay live");
+        }
+    }
+
+    #[test]
+    fn rack_too_small_after_fencing_rejects_with_no_capacity() {
+        // Two hosts, a two-machine query: once host 1 is fenced the rack
+        // can never fit a re-execution.
+        let cfg = healing_cfg(2, 1, 5);
+        let report = QueryService::run(&cfg, ring_requests(1, 64 * 1024));
+        assert_eq!(report.aborted, 1);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.healed, 0);
+        let q = &report.queries[0];
+        assert!(q.result.is_err());
+        assert_eq!(
+            q.rejected,
+            Some(RejectReason::NoCapacity {
+                machines: 2,
+                live: 1
+            })
+        );
+        // One admission happened (the crashed attempt); the re-admission
+        // was refused by the degraded-admission policy, not hung.
+        assert_eq!(q.attempts, 1);
+        assert_eq!(report.hosts[1].queries_rejected, 1);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_a_typed_rejection() {
+        let mut cfg = healing_cfg(4, 1, 5);
+        cfg.healing.max_attempts = 1; // no re-executions allowed
+        let report = QueryService::run(&cfg, ring_requests(1, 64 * 1024));
+        assert_eq!(report.aborted, 1);
+        assert_eq!(report.rejected, 1);
+        let q = &report.queries[0];
+        assert_eq!(
+            q.rejected,
+            Some(RejectReason::RetryBudgetExhausted { attempts: 1 })
+        );
+        assert_eq!(q.attempts, 1);
+        let err = q.result.as_ref().unwrap_err();
+        assert_eq!(
+            err.query(),
+            QueryId(1),
+            "error is re-stamped to the base id"
+        );
+    }
+
+    #[test]
+    fn explicit_placement_naming_a_fenced_host_is_rejected_typed() {
+        let cfg = healing_cfg(4, 1, 5);
+        let report = QueryService::run(
+            &cfg,
+            vec![JoinRequest {
+                label: "pinned".into(),
+                id: None,
+                placement: Some(vec![HostId(1), HostId(2)]),
+                job: RingJob::new(2, 64 * 1024, None),
+            }],
+        );
+        assert_eq!(report.rejected, 1);
+        let q = &report.queries[0];
+        assert_eq!(
+            q.rejected,
+            Some(RejectReason::PlacementUnavailable { host: HostId(1) })
+        );
+        assert_eq!(report.hosts[1].queries_rejected, 1);
+    }
+
+    #[test]
+    fn healed_schedule_replays_byte_identically() {
+        let run = || {
+            let mut cfg = healing_cfg(4, 1, 5);
+            cfg.max_concurrent = 2;
+            QueryService::run(&cfg, ring_requests(5, 32 * 1024))
+        };
+        let a = run();
+        let b = run();
+        assert!(a.healed >= 1, "the crash must have touched some query");
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.healed, b.healed);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.rejected, b.rejected);
+        for (qa, qb) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(qa.id, qb.id);
+            assert_eq!(qa.admitted, qb.admitted);
+            assert_eq!(qa.completed, qb.completed);
+            assert_eq!(qa.attempts, qb.attempts);
+            assert_eq!(qa.recovery, qb.recovery);
+            assert_eq!(qa.rejected, qb.rejected);
+        }
+        for (ha, hb) in a.hosts.iter().zip(&b.hosts) {
+            assert_eq!(ha.fenced, hb.fenced);
+            assert_eq!(ha.detected_at, hb.detected_at);
+            assert_eq!(ha.queries_recovered, hb.queries_recovered);
+        }
+    }
+
+    #[test]
+    fn healing_off_leaves_the_crash_as_a_plain_abort() {
+        // Same fault plan, healing disarmed: the query aborts once with
+        // the typed crash error and is never retried — the pre-healing
+        // contract, event for event.
+        let mut cfg = healing_cfg(4, 1, 5);
+        cfg.healing = HealingConfig::default();
+        let report = QueryService::run(&cfg, ring_requests(1, 64 * 1024));
+        assert_eq!(report.aborted, 1);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.retries, 0);
+        let q = &report.queries[0];
+        assert_eq!(q.attempts, 1);
+        assert!(q.rejected.is_none());
+        assert!(q.result.is_err());
     }
 }

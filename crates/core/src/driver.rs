@@ -123,12 +123,14 @@ impl<T: Tuple> QueryJob for DistJoinJob<T> {
     }
 
     fn attach(&self, rt: &Arc<Runtime>) {
-        let (r, s) = self
-            .input
-            .lock()
-            .take()
-            .expect("DistJoinJob attached twice");
-        let shared = Arc::new(ClusterShared::new(self.cfg.clone(), rt, &r, &s));
+        // Borrow the input rather than consuming it: a healing query
+        // service re-attaches the same job for each re-execution attempt,
+        // rebuilding the per-query shared state from scratch (DESIGN.md
+        // §13). `attach` never blocks on the simulation, so holding the
+        // input lock across the build is safe.
+        let input = self.input.lock();
+        let (r, s) = input.as_ref().expect("DistJoinJob has no input");
+        let shared = Arc::new(ClusterShared::new(self.cfg.clone(), rt, r, s));
         // A failing worker poisons every machine-local barrier and TCP
         // window so no peer stays parked on one during the abort.
         for st in &shared.machines {

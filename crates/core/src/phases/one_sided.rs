@@ -265,9 +265,15 @@ pub(crate) fn phase_one_sided_probe<T: Tuple>(
                             &bytes[r.start - span.start..r.end - span.start],
                         ) {
                             Ok(entries) => entries,
-                            Err(TornRead) => {
-                                fetch_bucket_retry(ctx, &nic, meter, sh, mach, remote, r)?
-                            }
+                            Err(TornRead) => fetch_bucket_retry(
+                                ctx,
+                                &nic,
+                                meter,
+                                cost.memcpy_rate,
+                                mach,
+                                remote,
+                                r,
+                            )?,
                         };
                         fetched.insert(b, entries);
                     }
@@ -331,7 +337,7 @@ fn fetch_bucket_retry<T: Tuple>(
     ctx: &SimCtx,
     nic: &Nic,
     meter: &mut Meter,
-    sh: &ClusterShared<T>,
+    memcpy_rate: f64,
     mach: usize,
     remote: RemoteMr,
     range: Range<usize>,
@@ -342,7 +348,7 @@ fn fetch_bucket_retry<T: Tuple>(
             .post_read(ctx, remote, range.start, range.len())
             .wait(ctx)
             .map_err(|e| JoinError::fabric(mach, PHASE_PROBE, e))?;
-        meter.charge_bytes(ctx, bytes.len(), sh.cfg.cluster.cost.memcpy_rate);
+        meter.charge_bytes(ctx, bytes.len(), memcpy_rate);
         match decode_bucket(&bytes) {
             Ok(entries) => return Ok(entries),
             Err(TornRead) => continue,
@@ -353,4 +359,112 @@ fn fetch_bucket_retry<T: Tuple>(
         PHASE_PROBE,
         TagError::payload("torn bucket snapshot: READ retries exhausted"),
     ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use rsj_joins::begin_bucket_mutation;
+    use rsj_rdma::{Fabric, FabricConfig, NicCosts};
+    use rsj_sim::{SimDuration, Simulation};
+    use rsj_workload::Tuple16;
+
+    /// 64 R tuples whose keys cover several buckets; the probe target is
+    /// key 5, whose bucket we tear and (optionally) heal.
+    fn table() -> (Vec<u8>, RemoteDirectory) {
+        let tuples: Vec<Tuple16> = (0..64u64).map(|k| Tuple16::new(k, k * 10)).collect();
+        let bytes = encode_remote_table(&tuples);
+        let dir = RemoteDirectory::decode(&bytes);
+        (bytes, dir)
+    }
+
+    /// Publish `bytes` on host 1 and run `fetch_bucket_retry` for key 5's
+    /// bucket from host 0, returning the probe outcome and the virtual
+    /// time it took. `heal_after`: re-fill the region with the stable
+    /// encoding after that delay, clearing the torn bucket mid-retry.
+    fn run_retry(
+        bytes: Vec<u8>,
+        stable: Vec<u8>,
+        range: Range<usize>,
+        heal_after: Option<SimDuration>,
+    ) -> (Result<Vec<Tuple16>, JoinError>, SimDuration) {
+        let sim = Simulation::new();
+        let fabric = Fabric::new(FabricConfig::qdr(), NicCosts::default(), 2);
+        fabric.launch(&sim);
+        let out = Arc::new(Mutex::new(None));
+        {
+            let fabric = Arc::clone(&fabric);
+            let out = Arc::clone(&out);
+            sim.spawn("prober", move |ctx| {
+                let mr = fabric.nic(HostId(1)).mrs.register(ctx, bytes.len());
+                mr.fill(0, &bytes);
+                let remote = mr.publish();
+                if let Some(delay) = heal_after {
+                    let at = ctx.now() + delay;
+                    ctx.spawn("healer", move |ctx| {
+                        ctx.sleep_until(at);
+                        // The publisher finishing its mutation: the region
+                        // is rewritten with an even-version snapshot.
+                        mr.fill(0, &stable);
+                    });
+                }
+                let nic = fabric.nic(HostId(0));
+                let mut meter = Meter::new();
+                let start = ctx.now();
+                let got =
+                    fetch_bucket_retry::<Tuple16>(ctx, &nic, &mut meter, 1e9, 0, remote, range);
+                *out.lock() = Some((got, ctx.now() - start));
+                fabric.shutdown(ctx);
+            });
+        }
+        sim.run();
+        let (got, took) = out.lock().take().expect("prober ran");
+        (got, took)
+    }
+
+    #[test]
+    fn torn_bucket_retries_exhaust_at_the_cap_with_a_typed_decode_error() {
+        let (stable, dir) = table();
+        let bucket = dir.bucket_of(5);
+        let range = dir.bucket_range(bucket);
+        let mut torn = stable.clone();
+        // A publisher that died mid-mutation: the version stays odd
+        // forever, so every one of the TORN_RETRY_CAP re-READs decodes
+        // torn.
+        begin_bucket_mutation(&mut torn, range.clone());
+        let (got, took) = run_retry(torn, stable.clone(), range.clone(), None);
+        let err = got.expect_err("permanently torn bucket must exhaust the retry budget");
+        assert!(
+            format!("{err}").contains("retries exhausted"),
+            "unexpected error: {err}"
+        );
+
+        // The budget really was spent: a clean fetch measures one READ's
+        // virtual time; exhaustion must cost at least (CAP - 1) more of
+        // them (each retry re-crosses the wire; no fast-path bailout).
+        let (ok, clean) = run_retry(stable.clone(), stable, range, None);
+        assert!(ok.is_ok());
+        assert!(clean > SimDuration::from_nanos(0));
+        assert!(
+            took >= SimDuration::from_nanos(clean.as_nanos() * (TORN_RETRY_CAP as u64 - 1)),
+            "exhaustion took {took:?}, one READ takes {clean:?}: fewer than \
+             {TORN_RETRY_CAP} wire round-trips happened"
+        );
+    }
+
+    #[test]
+    fn torn_bucket_heals_mid_retry_and_returns_the_stable_entries() {
+        let (stable, dir) = table();
+        let bucket = dir.bucket_of(5);
+        let range = dir.bucket_range(bucket);
+        let mut torn = stable.clone();
+        begin_bucket_mutation(&mut torn, range.clone());
+        let (got, took) = run_retry(torn, stable, range, Some(SimDuration::from_micros(5)));
+        let entries = got.expect("retry loop must succeed once the publisher settles");
+        assert!(!entries.is_empty());
+        assert!(entries.iter().all(|t| t.key() == 5));
+        // Healing at 5 µs means the loop spun well under the cap.
+        assert!(took >= SimDuration::from_micros(5));
+    }
 }

@@ -7,7 +7,7 @@
 //! exact fault-free result or a structured abort.
 
 use proptest::prelude::*;
-use rsj_cluster::{ClusterSpec, JoinRequest, QueryService, ServiceConfig};
+use rsj_cluster::{ClusterSpec, HealingConfig, JoinRequest, QueryService, ServiceConfig};
 use rsj_core::{
     run_distributed_join, try_run_distributed_join, DistJoinConfig, DistJoinJob, DistJoinOutcome,
     JoinError, MaterializeMode, ReceiveMode, Transport,
@@ -149,6 +149,7 @@ fn one_sided_through_service_is_byte_identical_to_direct() {
         max_concurrent: 1,
         pool_budget_bytes: 1 << 30,
         validate: None,
+        healing: HealingConfig::default(),
     };
     let report = QueryService::run(
         &service_cfg,

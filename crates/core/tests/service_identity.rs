@@ -5,7 +5,7 @@
 //! multiplexing layer (query-tagged lanes, arena pools, namespaced
 //! barriers) must cost nothing when there is nothing to multiplex.
 
-use rsj_cluster::{ClusterSpec, JoinRequest, QueryService, ServiceConfig};
+use rsj_cluster::{ClusterSpec, HealingConfig, JoinRequest, QueryService, ServiceConfig};
 use rsj_core::{try_run_distributed_join, DistJoinConfig, DistJoinJob, MaterializeMode};
 use rsj_workload::{generate_inner, generate_outer, Relation, Skew, Tuple16};
 
@@ -44,6 +44,7 @@ fn single_query_through_service_is_byte_identical_to_direct() {
         max_concurrent: 1,
         pool_budget_bytes: 1 << 30,
         validate: None,
+        healing: HealingConfig::default(),
     };
     let report = QueryService::run(
         &service_cfg,
@@ -103,6 +104,7 @@ fn materializing_runs_agree_through_the_service_too() {
         max_concurrent: 1,
         pool_budget_bytes: 1 << 30,
         validate: None,
+        healing: HealingConfig::default(),
     };
     let report = QueryService::run(
         &service_cfg,

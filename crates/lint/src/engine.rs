@@ -37,6 +37,7 @@ pub(crate) const DEFAULT_PHASE_ORDER: &[&str] = &[
     "LOCAL_PARTITION",
     "BUILD_PROBE",
     "ONE_SIDED_PROBE",
+    "ADMISSION",
 ];
 
 /// One file, lexed and structurally analyzed.

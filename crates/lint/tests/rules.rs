@@ -297,7 +297,8 @@ fn canonical_phase_order_is_in_sync_with_phase_rs() {
             "NETWORK_PARTITION",
             "LOCAL_PARTITION",
             "BUILD_PROBE",
-            "ONE_SIDED_PROBE"
+            "ONE_SIDED_PROBE",
+            "ADMISSION"
         ],
         "phase.rs declaration order changed; update DEFAULT_PHASE_ORDER in \
          crates/lint/src/engine.rs and re-check the operators"

@@ -164,11 +164,11 @@ impl<T: Tuple> QueryJob for AggregationJob<T> {
     }
 
     fn attach(&self, rt: &Arc<Runtime>) {
-        let s = self
-            .input
-            .lock()
-            .take()
-            .expect("AggregationJob attached twice");
+        // Borrow, don't consume: a healing service re-attaches the job on
+        // each re-execution attempt, rebuilding state from the pristine
+        // input (DESIGN.md §13).
+        let input = self.input.lock();
+        let s = input.as_ref().expect("AggregationJob has no input");
         let m = self.cfg.cluster.machines;
         let np = 1usize << self.cfg.radix_bits;
         let workers = self.cfg.cluster.cores_per_machine - 1;

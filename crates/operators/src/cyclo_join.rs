@@ -154,11 +154,11 @@ impl<T: Tuple> QueryJob for CycloJoinJob<T> {
     }
 
     fn attach(&self, _rt: &Arc<Runtime>) {
-        let (r, s) = self
-            .input
-            .lock()
-            .take()
-            .expect("CycloJoinJob attached twice");
+        // Borrow, don't consume: a healing service re-attaches the job on
+        // each re-execution attempt, rebuilding state from the pristine
+        // input (DESIGN.md §13).
+        let input = self.input.lock();
+        let (r, s) = input.as_ref().expect("CycloJoinJob has no input");
         let m = self.cfg.cluster.machines;
         let states: Arc<Vec<MachState<T>>> = Arc::new(
             (0..m)

@@ -168,11 +168,11 @@ impl<T: Tuple> QueryJob for SortMergeJob<T> {
     }
 
     fn attach(&self, rt: &Arc<Runtime>) {
-        let (r, s) = self
-            .input
-            .lock()
-            .take()
-            .expect("SortMergeJob attached twice");
+        // Borrow, don't consume: a healing service re-attaches the job on
+        // each re-execution attempt, rebuilding state from the pristine
+        // input (DESIGN.md §13).
+        let input = self.input.lock();
+        let (r, s) = input.as_ref().expect("SortMergeJob has no input");
         let m = self.cfg.cluster.machines;
         let np = 1usize << self.cfg.radix_bits;
         let workers = self.cfg.cluster.cores_per_machine - 1;

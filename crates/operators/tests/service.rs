@@ -4,7 +4,9 @@
 
 use std::sync::Arc;
 
-use rsj_cluster::{ClusterSpec, JoinRequest, QueryJob, QueryService, ServiceConfig, ServiceReport};
+use rsj_cluster::{
+    ClusterSpec, HealingConfig, JoinRequest, QueryJob, QueryService, ServiceConfig, ServiceReport,
+};
 use rsj_core::{try_run_distributed_join, DistJoinConfig, DistJoinJob};
 use rsj_operators::{
     try_run_aggregation, try_run_cyclo_join, try_run_sort_merge_join, AggregateResult,
@@ -139,6 +141,7 @@ fn service_cfg(fault_plan: Option<FaultPlan>, max_concurrent: usize) -> ServiceC
         max_concurrent,
         pool_budget_bytes: 1 << 30,
         validate: None,
+        healing: HealingConfig::default(),
     }
 }
 
@@ -262,6 +265,77 @@ fn host_crash_aborts_exactly_the_touching_queries() {
     assert_eq!(report.aborted, touching.len());
     // Every untouched query's results are byte-correct vs its direct run.
     assert_results_match_direct(&w, &report, &touching);
+}
+
+/// Regression (DESIGN.md §13): a worker parked in `Nic::recv` on a lane
+/// whose placement peer crashes *before any fabric activity* must wake
+/// with the typed crash error immediately — not sit until the per-query
+/// barrier watchdog (1 virtual second) declares a hang.
+struct ParkedRecvJob;
+
+impl QueryJob for ParkedRecvJob {
+    fn machines(&self) -> usize {
+        2
+    }
+    fn cores(&self) -> usize {
+        1
+    }
+    fn attach(&self, _rt: &Arc<rsj_cluster::Runtime>) {}
+    fn run_worker(
+        &self,
+        ctx: &rsj_sim::SimCtx,
+        rt: &rsj_cluster::Runtime,
+        mach: usize,
+        _core: usize,
+    ) -> Result<(), rsj_cluster::JoinError> {
+        if mach == 1 {
+            // The machine on the doomed host: zero fabric activity, just
+            // parked at the phase barrier.
+            rt.try_sync_named(ctx, rsj_cluster::phase::HISTOGRAM, mach)?;
+            return Ok(());
+        }
+        // The survivor parks in recv, waiting for a message its crashed
+        // peer will never send.
+        let nic = rt.fabric.nic(HostId(mach));
+        nic.recv(ctx)
+            .map_err(|e| rsj_cluster::JoinError::fabric(mach, rsj_cluster::phase::HISTOGRAM, e))?;
+        rt.try_sync_named(ctx, rsj_cluster::phase::HISTOGRAM, mach)?;
+        Ok(())
+    }
+    fn finish(&self, _rt: &rsj_cluster::Runtime, _run: &rsj_cluster::ClusterRun) {}
+}
+
+#[test]
+fn recv_parked_before_any_fabric_activity_wakes_with_the_crash_not_the_watchdog() {
+    let mut plan = FaultPlan::fault_free();
+    plan.crashes = vec![HostCrash {
+        host: HostId(4),
+        at: SimTime::from_nanos(1_000),
+    }];
+    let report = QueryService::run(
+        &service_cfg(Some(plan), 1),
+        vec![JoinRequest {
+            label: "parked".into(),
+            id: None,
+            placement: Some(vec![HostId(3), HostId(4)]),
+            job: Arc::new(ParkedRecvJob),
+        }],
+    );
+    assert_eq!(report.aborted, 1);
+    let q = &report.queries[0];
+    let err = q.result.as_ref().expect_err("crash must abort the query");
+    assert_eq!(
+        err.crashed_host(),
+        Some(HostId(4)),
+        "parked recv must surface the typed crash, got: {err}"
+    );
+    // The wake is crash-driven, not watchdog-driven: the watchdog needs a
+    // full virtual second of zero progress, the crash lands at 1 µs.
+    assert!(
+        q.completed < SimTime::from_nanos(100_000_000),
+        "query retired at {:?} — that is watchdog territory",
+        q.completed
+    );
 }
 
 #[test]

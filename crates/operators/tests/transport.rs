@@ -4,7 +4,7 @@
 //! implementation, and must multiplex through the query service next to
 //! other operators exactly like the two-sided plane does.
 
-use rsj_cluster::{ClusterSpec, JoinRequest, QueryService, ServiceConfig};
+use rsj_cluster::{ClusterSpec, HealingConfig, JoinRequest, QueryService, ServiceConfig};
 use rsj_operators::{
     run_distributed_join, run_sort_merge_join, DistJoinConfig, DistJoinJob, SortMergeConfig,
     Transport,
@@ -84,6 +84,7 @@ fn mixed_transports_share_one_service_fabric() {
         max_concurrent: 2,
         pool_budget_bytes: 1 << 30,
         validate: None,
+        healing: HealingConfig::default(),
     };
     let report = QueryService::run(
         &service_cfg,

@@ -41,7 +41,7 @@ use parking_lot::Mutex;
 use rsj_sim::{SimChannel, SimCtx, SimDuration, SimEvent, SimSemaphore, SimTime, Simulation};
 
 use crate::config::{FabricConfig, HostId, NicCosts, QueryId};
-use crate::fault::{FabricError, FaultPlan, FaultState, WcCell, WcStatus};
+use crate::fault::{DetectorConfig, FabricError, FaultPlan, FaultState, WcCell, WcStatus};
 use crate::mr::{MrTable, RemoteMr};
 use crate::validate::Validator;
 
@@ -419,18 +419,22 @@ impl Nic {
             faults: Arc::clone(&self.faults),
             posted,
         };
-        if !self.validator.check_read(&remote, offset, len) {
-            // Record mode: the faulting read is dropped; hand back an
-            // already-completed handle of zeroes so the caller can't hang.
-            let state = mk_state(Some(vec![0u8; len]));
-            state.done.set(ctx);
-            return handle(state, false);
-        }
+        // Fault-plane denial is checked *before* the validator: a READ
+        // aimed at a crashed (and fenced — its MR epochs are closed) host
+        // must surface as a typed `HostCrashed` completion the caller can
+        // recover from, not as a read-after-unpublish panic.
         if let Some(status) = self.faults.post_denied(self.query, self.host, remote.host) {
             let state = mk_state(None);
             state.wc.set(status);
             state.done.set(ctx);
             self.stats.lock().wc_errors += 1;
+            return handle(state, false);
+        }
+        if !self.validator.check_read(&remote, offset, len) {
+            // Record mode: the faulting read is dropped; hand back an
+            // already-completed handle of zeroes so the caller can't hang.
+            let state = mk_state(Some(vec![0u8; len]));
+            state.done.set(ctx);
             return handle(state, false);
         }
         let state = mk_state(None);
@@ -618,6 +622,19 @@ impl Nic {
     fn recv_fault_check(&self) -> Result<(), FabricError> {
         if self.faults.is_crashed(self.host) {
             return Err(FabricError::HostCrashed { host: self.host });
+        }
+        // A lane receiver is waiting for its placement peers: if any of
+        // them crashed, the message it is parked for can never arrive.
+        // Surface the crash as a typed error instead of leaving the
+        // worker to the barrier watchdog — this also covers a query
+        // admitted *after* the crash, whose lanes no crash fan-out will
+        // ever close.
+        if let Some(placement) = &self.placement {
+            for &peer in placement.iter() {
+                if self.faults.is_crashed(peer) {
+                    return Err(FabricError::HostCrashed { host: peer });
+                }
+            }
         }
         if self.faults.is_aborted() || self.faults.is_query_aborted(self.query) {
             return Err(FabricError::Aborted);
@@ -927,7 +944,11 @@ impl Fabric {
     /// errors, and poison its SRQ so the ingress engine cannot wedge.
     /// Query lanes on the crashed host wake too; their registry entries
     /// stay (the `is_crashed` check precedes every delivery, so nothing
-    /// can reach the closed lane channels).
+    /// can reach the closed lane channels). Every query *touching* the
+    /// crashed host additionally has its lanes on the surviving hosts
+    /// unregistered and closed: a receiver parked there is waiting for a
+    /// peer that can never answer, and must wake with a typed error now,
+    /// not when the barrier watchdog gives up.
     fn crash_host(&self, ctx: &SimCtx, host: HostId) {
         if !self.faults.set_crashed(host) {
             return;
@@ -936,10 +957,123 @@ impl Fabric {
         self.nics[host.0].recv_cq.close(ctx);
         self.nics[host.0].srq.poison(ctx);
         let lanes: Vec<Arc<Nic>> = self.lanes[host.0].lock().values().cloned().collect();
+        let touching: Vec<u32> = self.lanes[host.0].lock().keys().copied().collect();
         for lane in lanes {
             lane.recv_cq.close(ctx);
             lane.srq.poison(ctx);
         }
+        // Survivor-side wake, in deterministic (query, host) order. The
+        // lanes unregister *before* closing, so the ingress engine
+        // resolves them to a clean flush rather than a closed channel.
+        for q in touching {
+            for h in 0..self.hosts() {
+                if h == host.0 {
+                    continue;
+                }
+                let lane = self.lanes[h].lock().remove(&q);
+                if let Some(lane) = lane {
+                    lane.recv_cq.close(ctx);
+                    lane.srq.poison(ctx);
+                }
+            }
+        }
+    }
+
+    /// Fence `host` after its crash was detected (by the failure detector
+    /// or by crash evidence in a typed error): close the read epoch of
+    /// every memory region it registered — one-sided probes holding stale
+    /// handles get `ReadAfterUnpublish`/`HostCrashed`, never stale bytes —
+    /// and make sure the fail-stop machinery (queue close, lane wake) has
+    /// run. The query service additionally stops placing queries on
+    /// fenced hosts. Idempotent; first fence wins.
+    pub fn fence_host(&self, ctx: &SimCtx, host: HostId) {
+        if let Some(root) = &self.root {
+            root.fence_host(ctx, host);
+            return;
+        }
+        if !self.faults.set_fenced(host) {
+            return;
+        }
+        self.faults.note_detected(host, ctx.now());
+        self.crash_host(ctx, host);
+        self.nics[host.0].mrs.unpublish_all();
+    }
+
+    /// Hosts fenced so far (failure detector or crash-evidence driven).
+    pub fn fenced_hosts(&self) -> Vec<HostId> {
+        self.faults.fenced_hosts()
+    }
+
+    /// Whether `host` is fenced.
+    pub fn is_fenced(&self, host: HostId) -> bool {
+        self.faults.is_fenced(host)
+    }
+
+    /// The virtual instant `host` was declared dead — by the failure
+    /// detector's lease expiry or by crash evidence in a typed error,
+    /// whichever fenced it first.
+    pub fn detected_at(&self, host: HostId) -> Option<SimTime> {
+        self.faults.detected_at(host)
+    }
+
+    /// Arm the deterministic failure detector (DESIGN.md §13): a single
+    /// monitor task that, every [`DetectorConfig::heartbeat`] of virtual
+    /// time, probes hosts whose activity lease expired and fences a host
+    /// after `miss_threshold` consecutive missed heartbeats. Probes are
+    /// modeled out of band — no wire messages — so per-query fault
+    /// streams and the event schedule of healthy traffic are untouched;
+    /// detection latency is a seeded, replayable function of the crash
+    /// schedule and the detector knobs. Call
+    /// [`Fabric::disarm_failure_detector`] when the service drains so the
+    /// task exits and the simulation can quiesce.
+    pub fn arm_failure_detector(self: &Arc<Self>, spawner: &impl Spawner, dcfg: DetectorConfig) {
+        assert!(
+            self.root.is_none(),
+            "the failure detector runs on the root fabric"
+        );
+        let fabric = Arc::clone(self);
+        spawner.spawn_task("failure-detector".to_string(), move |ctx| {
+            let hosts = fabric.hosts();
+            let mut misses = vec![0u32; hosts];
+            loop {
+                ctx.sleep_until(ctx.now() + dcfg.heartbeat);
+                if fabric.faults.detector_stopped() {
+                    break;
+                }
+                for (h, missed) in misses.iter_mut().enumerate() {
+                    let host = HostId(h);
+                    if fabric.faults.is_fenced(host) {
+                        continue;
+                    }
+                    let idle = ctx
+                        .now()
+                        .as_nanos()
+                        .saturating_sub(fabric.faults.last_activity_ns(host));
+                    if idle <= dcfg.lease.as_nanos() {
+                        *missed = 0;
+                        continue;
+                    }
+                    // Lease expired: heartbeat-probe the host. A live but
+                    // idle host answers and renews its lease; a crashed
+                    // host misses.
+                    if fabric.faults.is_crashed(host) {
+                        *missed += 1;
+                        if *missed >= dcfg.miss_threshold {
+                            fabric.fence_host(ctx, host);
+                        }
+                    } else {
+                        fabric.faults.note_activity(host, ctx.now());
+                        *missed = 0;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Tell the armed failure detector to exit at its next tick (the
+    /// service calls this once its batch has drained).
+    pub fn disarm_failure_detector(&self) {
+        self.faults.stop_detector();
     }
 
     /// Abort this fabric handle. On the root: every queue closes, every
@@ -1039,6 +1173,10 @@ impl Fabric {
                 self.flush_message(ctx, msg, WcStatus::Flushed);
                 continue;
             }
+            // A live host carrying traffic renews its failure-detector
+            // lease (flushed messages above do not: a dead host's engine
+            // draining its queue is not liveness).
+            self.faults.note_activity(src, ctx.now());
             if let Some(plan) = self.faults.plan() {
                 if let Some(end) = plan.stall_end(src, ctx.now()) {
                     ctx.sleep_until(end);
@@ -1150,6 +1288,7 @@ impl Fabric {
                 self.flush_message(ctx, msg, WcStatus::Flushed);
                 continue;
             }
+            self.faults.note_activity(host, ctx.now());
             let nic = &self.nics[h];
             ctx.sleep_until(msg.arrival);
             let wire = SimDuration::from_secs_f64(self.cfg.wire_seconds(msg.payload.len(), n));
@@ -1336,6 +1475,7 @@ impl Spawner for SimCtx {
 mod tests {
     use super::*;
     use crate::fault::{HostCrash, LinkFlap};
+    use crate::validate::ValidateMode;
 
     fn two_host_fabric(cfg: FabricConfig) -> (Simulation, Arc<Fabric>) {
         let sim = Simulation::new();
@@ -1765,5 +1905,177 @@ mod tests {
         assert_eq!(saw.lock().take(), Some(Err(FabricError::Aborted)));
         // Posts after the abort flush immediately instead of wedging.
         assert!(fabric.aborted());
+    }
+
+    #[test]
+    fn read_in_flight_at_crash_instant_completes_with_host_crashed() {
+        let sim = Simulation::new();
+        let fabric = Fabric::new_with_plan(
+            FabricConfig::qdr(),
+            NicCosts::default(),
+            2,
+            Some(FaultPlan::fault_free()),
+        );
+        fabric.launch(&sim);
+        let posted = SimEvent::new();
+        let saw = Arc::new(Mutex::new(None));
+        {
+            let fabric = Arc::clone(&fabric);
+            let posted = Arc::clone(&posted);
+            let saw = Arc::clone(&saw);
+            sim.spawn("reader", move |ctx| {
+                // 256 KiB keeps the transfer on the wire for tens of
+                // microseconds — far longer than the killer's 1 µs delay
+                // after the doorbell, so the crash lands mid-flight.
+                let mr = fabric.nic(HostId(1)).mrs.register(ctx, 256 << 10);
+                mr.fill(0, &vec![7u8; 256 << 10]);
+                let remote = mr.publish();
+                let h = fabric.nic(HostId(0)).post_read(ctx, remote, 0, 256 << 10);
+                posted.set(ctx);
+                *saw.lock() = Some(h.wait(ctx));
+                fabric.shutdown(ctx);
+            });
+        }
+        {
+            let fabric = Arc::clone(&fabric);
+            sim.spawn("killer", move |ctx| {
+                posted.wait(ctx);
+                ctx.advance(SimDuration::from_micros(1));
+                fabric.fence_host(ctx, HostId(1));
+            });
+        }
+        sim.run();
+        assert_eq!(
+            saw.lock().take(),
+            Some(Err(FabricError::HostCrashed { host: HostId(1) })),
+            "an in-flight READ must flush with the crash typed, not stale bytes"
+        );
+    }
+
+    #[test]
+    fn read_posted_after_fencing_is_a_typed_error_not_a_validator_panic() {
+        // The fence closes the read epoch of every MR the dead host
+        // published. In Panic mode a stale-handle READ would normally
+        // panic the validator — but a *crashed* target must win the
+        // race and surface as a recoverable HostCrashed completion.
+        let sim = Simulation::new();
+        let fabric = Fabric::new_with_plan(
+            FabricConfig::qdr(),
+            NicCosts::default(),
+            2,
+            Some(FaultPlan::fault_free()),
+        );
+        fabric.validator().set_mode(ValidateMode::Panic);
+        fabric.launch(&sim);
+        let saw = Arc::new(Mutex::new(None));
+        {
+            let fabric = Arc::clone(&fabric);
+            let saw = Arc::clone(&saw);
+            sim.spawn("reader", move |ctx| {
+                let mr = fabric.nic(HostId(1)).mrs.register(ctx, 4096);
+                let remote = mr.publish();
+                fabric.fence_host(ctx, HostId(1));
+                assert!(fabric.is_fenced(HostId(1)));
+                assert_eq!(fabric.fenced_hosts(), vec![HostId(1)]);
+                let h = fabric.nic(HostId(0)).post_read(ctx, remote, 0, 4096);
+                *saw.lock() = Some(h.wait(ctx));
+                fabric.shutdown(ctx);
+            });
+        }
+        sim.run();
+        assert_eq!(
+            saw.lock().take(),
+            Some(Err(FabricError::HostCrashed { host: HostId(1) }))
+        );
+    }
+
+    #[test]
+    fn record_mode_zero_fills_a_stale_handle_read() {
+        // Without a crash (publisher retracted voluntarily), a stale
+        // handle in Record mode is dropped and zero-filled so the caller
+        // can never observe bytes from a closed epoch.
+        let sim = Simulation::new();
+        let fabric = Fabric::new(FabricConfig::qdr(), NicCosts::default(), 2);
+        fabric.validator().set_mode(ValidateMode::Record);
+        fabric.launch(&sim);
+        let saw = Arc::new(Mutex::new(None));
+        {
+            let fabric = Arc::clone(&fabric);
+            let saw = Arc::clone(&saw);
+            sim.spawn("reader", move |ctx| {
+                let mr = fabric.nic(HostId(1)).mrs.register(ctx, 64);
+                mr.fill(0, &[9u8; 64]);
+                let remote = mr.publish();
+                mr.unpublish();
+                let h = fabric.nic(HostId(0)).post_read(ctx, remote, 0, 64);
+                *saw.lock() = Some(h.wait(ctx));
+                fabric.shutdown(ctx);
+            });
+        }
+        sim.run();
+        assert_eq!(saw.lock().take(), Some(Ok(vec![0u8; 64])));
+        assert!(fabric.validator().violation_count() > 0);
+    }
+
+    #[test]
+    fn failure_detector_fences_a_crashed_host_within_its_latency_bound() {
+        let run = || {
+            let sim = Simulation::new();
+            let mut plan = FaultPlan::fault_free();
+            plan.crashes.push(HostCrash {
+                host: HostId(1),
+                at: SimTime::from_nanos(300_000),
+            });
+            let fabric =
+                Fabric::new_with_plan(FabricConfig::qdr(), NicCosts::default(), 3, Some(plan));
+            fabric.launch(&sim);
+            let dcfg = DetectorConfig::default();
+            fabric.arm_failure_detector(&sim, dcfg);
+            {
+                let fabric = Arc::clone(&fabric);
+                sim.spawn("driver", move |ctx| {
+                    // Keep one live host chatty so its lease renews from
+                    // real fabric activity, not just detector probes.
+                    let nic = fabric.nic(HostId(0));
+                    for _ in 0..20 {
+                        nic.post_send(ctx, HostId(2), 7, vec![0u8; 512])
+                            .wait(ctx)
+                            .unwrap();
+                        ctx.advance(SimDuration::from_micros(30));
+                    }
+                    fabric.disarm_failure_detector();
+                    ctx.advance(SimDuration::from_micros(50));
+                    fabric.shutdown(ctx);
+                });
+            }
+            {
+                let fabric = Arc::clone(&fabric);
+                sim.spawn("sink", move |ctx| {
+                    let nic = fabric.nic(HostId(2));
+                    while let Ok(Some(_)) = nic.recv(ctx) {
+                        nic.repost_recv(ctx);
+                    }
+                });
+            }
+            sim.run();
+            (
+                fabric.is_fenced(HostId(1)),
+                fabric.is_fenced(HostId(0)),
+                fabric.detected_at(HostId(1)),
+            )
+        };
+        let (fenced, live_fenced, detected) = run();
+        assert!(fenced, "the crashed host must be detected and fenced");
+        assert!(!live_fenced, "live hosts keep their leases");
+        let detected = detected.expect("detection instant recorded");
+        let crash = SimTime::from_nanos(300_000);
+        assert!(detected > crash, "detection follows the crash");
+        assert!(
+            detected - crash <= DetectorConfig::default().worst_case_latency(),
+            "lease expiry plus miss threshold bounds detection latency: {:?}",
+            detected - crash
+        );
+        // Detection latency is part of the deterministic replay contract.
+        assert_eq!(run().2, Some(detected));
     }
 }

@@ -184,6 +184,44 @@ pub struct HostCrash {
     pub at: SimTime,
 }
 
+/// Configuration of the deterministic virtual-time failure detector
+/// (DESIGN.md §13). Each host holds a *lease* renewed by any fabric
+/// activity it performs; when a lease goes stale the detector probes the
+/// host with an explicit heartbeat every `heartbeat` of virtual time, and
+/// `miss_threshold` consecutive missed heartbeats declare it dead. The
+/// probe is modeled out of band (no wire message), so arming the detector
+/// never perturbs the seeded per-query fault streams — detection latency
+/// is a pure function of the crash schedule and these three knobs, hence
+/// seeded and replayable.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DetectorConfig {
+    /// Detector tick: how often stale-lease hosts are probed.
+    pub heartbeat: SimDuration,
+    /// How long a host's lease stays fresh after its last fabric activity.
+    pub lease: SimDuration,
+    /// Consecutive missed heartbeats before the host is declared dead.
+    pub miss_threshold: u32,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            heartbeat: SimDuration::from_micros(20),
+            lease: SimDuration::from_micros(50),
+            miss_threshold: 3,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// Worst-case detection latency after a crash: the lease must first
+    /// expire, then `miss_threshold` probes must miss.
+    pub fn worst_case_latency(&self) -> SimDuration {
+        self.lease
+            + SimDuration::from_nanos(self.heartbeat.as_nanos() * (self.miss_threshold as u64 + 1))
+    }
+}
+
 /// A seeded, schedule-driven fault injection plan, owned by the fabric.
 ///
 /// All stochastic decisions hash `(seed, src, dst, message sequence,
@@ -427,6 +465,18 @@ pub(crate) struct FaultState {
     query_aborted_any: AtomicBool,
     /// Queries aborted individually (service multiplexing).
     query_aborted: Mutex<HashSet<u32>>,
+    /// Hosts fenced by the failure detector (or by crash evidence): their
+    /// MR epochs are closed and the service stops placing queries there.
+    fenced: Vec<AtomicBool>,
+    /// Virtual instant (ns) the detector declared each host dead;
+    /// `u64::MAX` until detected.
+    detected_ns: Vec<AtomicU64>,
+    /// Last observed fabric activity per host (ns) — the lease the
+    /// failure detector renews and checks.
+    activity_ns: Vec<AtomicU64>,
+    /// Set when the service retires its batch: the detector task exits at
+    /// its next tick instead of keeping the simulation alive forever.
+    detector_stop: AtomicBool,
 }
 
 impl FaultState {
@@ -440,6 +490,10 @@ impl FaultState {
             progress: AtomicU64::new(0),
             query_aborted_any: AtomicBool::new(false),
             query_aborted: Mutex::new(HashSet::new()),
+            fenced: (0..hosts).map(|_| AtomicBool::new(false)).collect(),
+            detected_ns: (0..hosts).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            activity_ns: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
+            detector_stop: AtomicBool::new(false),
         })
     }
 
@@ -471,6 +525,58 @@ impl FaultState {
             .filter(|&h| self.crashed[h].load(Ordering::SeqCst))
             .map(HostId)
             .collect()
+    }
+
+    pub(crate) fn is_fenced(&self, host: HostId) -> bool {
+        self.fenced[host.0].load(Ordering::SeqCst)
+    }
+
+    /// Returns whether this call switched the flag (first fence wins).
+    pub(crate) fn set_fenced(&self, host: HostId) -> bool {
+        !self.fenced[host.0].swap(true, Ordering::SeqCst)
+    }
+
+    /// Hosts fenced so far (detector- or evidence-driven).
+    pub(crate) fn fenced_hosts(&self) -> Vec<HostId> {
+        (0..self.hosts)
+            .filter(|&h| self.fenced[h].load(Ordering::SeqCst))
+            .map(HostId)
+            .collect()
+    }
+
+    /// Renew `host`'s lease: the engines call this on every live message
+    /// they carry, the detector on every answered heartbeat probe.
+    pub(crate) fn note_activity(&self, host: HostId, now: SimTime) {
+        self.activity_ns[host.0].store(now.as_nanos(), Ordering::Relaxed);
+    }
+
+    pub(crate) fn last_activity_ns(&self, host: HostId) -> u64 {
+        self.activity_ns[host.0].load(Ordering::Relaxed)
+    }
+
+    /// Record the instant the detector declared `host` dead (first wins).
+    pub(crate) fn note_detected(&self, host: HostId, now: SimTime) {
+        let _ = self.detected_ns[host.0].compare_exchange(
+            u64::MAX,
+            now.as_nanos(),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+
+    pub(crate) fn detected_at(&self, host: HostId) -> Option<SimTime> {
+        match self.detected_ns[host.0].load(Ordering::SeqCst) {
+            u64::MAX => None,
+            ns => Some(SimTime::from_nanos(ns)),
+        }
+    }
+
+    pub(crate) fn stop_detector(&self) {
+        self.detector_stop.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn detector_stopped(&self) -> bool {
+        self.detector_stop.load(Ordering::SeqCst)
     }
 
     pub(crate) fn qp_in_error(&self, src: HostId, dst: HostId) -> bool {

@@ -37,7 +37,8 @@ pub mod validate;
 pub use config::{FabricConfig, HostId, NicCosts, QueryId};
 pub use fabric::{Completion, Fabric, Nic, NicStats, ReadHandle, SendHandle, Spawner};
 pub use fault::{
-    splitmix64, FabricError, FaultPlan, HostCrash, LinkFlap, NicStall, RetryPolicy, WcStatus,
+    splitmix64, DetectorConfig, FabricError, FaultPlan, HostCrash, LinkFlap, NicStall, RetryPolicy,
+    WcStatus,
 };
 pub use mr::{Mr, MrTable, RemoteMr};
 pub use pool::{BufferPool, PoolArena, SendWindow};

@@ -252,6 +252,18 @@ impl MrTable {
         region
     }
 
+    /// Close the read epoch of every region on this host — the fencing
+    /// step after a crash is detected (DESIGN.md §13). One-sided probes
+    /// that still hold handles from before the crash are flagged
+    /// [`Violation::ReadAfterUnpublish`] (or dropped with zero fill in
+    /// [`crate::ValidateMode::Record`]) instead of reading stale bytes.
+    pub(crate) fn unpublish_all(&self) {
+        let regions = self.regions.lock();
+        for mr in regions.iter() {
+            mr.unpublish();
+        }
+    }
+
     /// Total bytes ever registered on this host — the "pinned memory"
     /// figure the paper's §4.2.2 small-memory discussion is about.
     pub fn registered_bytes(&self) -> u64 {
